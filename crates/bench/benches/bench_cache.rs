@@ -1,0 +1,41 @@
+//! Criterion benches of the cache simulator and the space-time model —
+//! the Fig. 5 machinery. The analytic model must be effectively free
+//! compared to the trace-driven simulation it replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use platform::arch::{ArchModel, MB};
+use platform::cache::CacheSim;
+use platform::spacetime::{predict_traffic, simulate_traffic};
+use triplec::bandwidth_model::rdg_access_model;
+use triplec::memory_model::FrameGeometry;
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let arch = ArchModel::default();
+    let mut group = c.benchmark_group("cache_sim");
+    group.sample_size(10);
+    for mb in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("linear_scan_mb", mb), &mb, |b, &mb| {
+            let mut sim = CacheSim::new(arch.l2);
+            b.iter(|| sim.linear_scan(0, mb * MB, false));
+        });
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let geom = FrameGeometry { width: 512, height: 512 };
+    let model = rdg_access_model(geom, 3);
+    c.bench_function("spacetime_predict_rdg", |b| {
+        b.iter(|| predict_traffic(&model, 4 * MB));
+    });
+    let mut group = c.benchmark_group("spacetime_simulate");
+    group.sample_size(10);
+    group.bench_function("rdg_512px", |b| {
+        let arch = ArchModel::default();
+        b.iter(|| simulate_traffic(&model, arch.l2));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache_sim, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benches of whole-frame pipeline execution: serial vs. striped
+//! policies and the managed planning step (the per-frame overhead of
+//! semi-automatic parallelization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pipeline::app::{AppConfig, AppState};
+use pipeline::executor::{process_frame, ExecutionPolicy};
+use pipeline::runner::run_sequence;
+use runtime::manager::{ManagerConfig, ResourceManager};
+use triplec::triple::{TripleC, TripleCConfig};
+use xray::{Frame, SequenceConfig, SequenceGenerator};
+
+const SIZE: usize = 192;
+
+fn frames(n: usize, seed: u64) -> Vec<Frame> {
+    let seq = SequenceConfig { width: SIZE, height: SIZE, frames: n, seed, ..Default::default() };
+    SequenceGenerator::new(seq).collect()
+}
+
+fn bench_process_frame(c: &mut Criterion) {
+    let fs = frames(4, 11);
+    let app = AppConfig::default();
+    let mut group = c.benchmark_group("process_frame");
+    group.sample_size(10);
+    for stripes in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("stripes", stripes), &stripes, |b, &stripes| {
+            let policy = ExecutionPolicy { rdg_stripes: stripes, aux_stripes: stripes, cores: 8 };
+            let mut state = AppState::new(SIZE, SIZE);
+            let mut i = 0;
+            b.iter(|| {
+                let f = &fs[i % fs.len()];
+                i += 1;
+                process_frame(f.index, &f.image, &mut state, &app, &policy)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_manager_plan(c: &mut Criterion) {
+    // train a model once from a short profiled run
+    let app = AppConfig::default();
+    let seq = SequenceConfig { width: SIZE, height: SIZE, frames: 12, seed: 12, ..Default::default() };
+    let profile = run_sequence(seq, &app, &ExecutionPolicy::default());
+    let cfg = TripleCConfig {
+        geometry: triplec::FrameGeometry { width: SIZE, height: SIZE },
+        ..Default::default()
+    };
+    let model = TripleC::train(&profile.task_series(), &profile.scenarios, cfg);
+    let mut mgr = ResourceManager::new(model, ManagerConfig::default());
+    mgr.set_budget(runtime::budget::LatencyBudget::new(40.0, 0.15));
+
+    c.bench_function("manager_plan", |b| {
+        b.iter(|| mgr.plan(30.0));
+    });
+}
+
+criterion_group!(benches, bench_process_frame, bench_manager_plan);
+criterion_main!(benches);

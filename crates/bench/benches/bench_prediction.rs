@@ -1,0 +1,95 @@
+//! Criterion benches of the Triple-C prediction models themselves.
+//!
+//! The prediction must be orders of magnitude cheaper than the work it
+//! predicts (the resource manager runs it every frame); these benches pin
+//! that property.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{Rng, SeedableRng};
+use triplec::ewma::Ewma;
+use triplec::markov::MarkovChain;
+use triplec::predictor::{EwmaMarkovPredictor, PredictContext};
+use triplec::quantize::Quantizer;
+use triplec::scenario::Scenario;
+use triplec::training::TaskSeries;
+use triplec::triple::{TripleC, TripleCConfig};
+
+fn ar_series(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut ar = 0.0f64;
+    (0..n)
+        .map(|i| {
+            ar = 0.85 * ar + rng.gen_range(-1.0..1.0);
+            40.0 + 8.0 * (i as f64 / 90.0).sin() + 3.0 * ar
+        })
+        .collect()
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let series = ar_series(2000, 1);
+    c.bench_function("ewma_update", |b| {
+        let mut e = Ewma::new(0.2);
+        let mut i = 0;
+        b.iter(|| {
+            e.update(series[i % series.len()]);
+            i += 1;
+        });
+    });
+
+    let q = Quantizer::train(&series, 16);
+    c.bench_function("quantizer_state_of", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let s = q.state_of(series[i % series.len()]);
+            i += 1;
+            s
+        });
+    });
+
+    let seq: Vec<usize> = series.iter().map(|&v| q.state_of(v)).collect();
+    let chain = MarkovChain::estimate(&seq, q.states());
+    c.bench_function("markov_expected_next", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let e = chain.expected_next(seq[i % seq.len()], |j| q.representative(j));
+            i += 1;
+            e
+        });
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    for n in [500usize, 2000] {
+        let series = ar_series(n, 2);
+        group.bench_with_input(BenchmarkId::new("ewma_markov_train", n), &series, |b, s| {
+            b.iter(|| EwmaMarkovPredictor::train(s, 0.2, 24, "RDG"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_facade(c: &mut Criterion) {
+    let series = vec![
+        TaskSeries::new("RDG_FULL", ar_series(1000, 3)),
+        TaskSeries::new("MKX_EXT", vec![2.5; 1000]),
+        TaskSeries::new("CPLS_SEL", ar_series(1000, 4).iter().map(|v| v / 20.0).collect()),
+        TaskSeries::new("REG", vec![2.0; 1000]),
+        TaskSeries::new("ENH", vec![24.0; 1000]),
+        TaskSeries::new("ZOOM", vec![12.5; 1000]),
+    ];
+    let scenarios: Vec<u8> = (0..1000).map(|i| if i % 40 < 30 { 5 } else { 7 }).collect();
+    let model = TripleC::train(&series, &scenarios, TripleCConfig::default());
+    let ctx = PredictContext { roi_kpixels: 100.0 };
+
+    c.bench_function("triplec_predict_frame_time", |b| {
+        b.iter(|| model.predict_frame_time(Scenario::worst_case(), &ctx));
+    });
+    c.bench_function("triplec_predict_frame_full", |b| {
+        b.iter(|| model.predict_frame(Scenario::worst_case(), &ctx, 0.1));
+    });
+}
+
+criterion_group!(benches, bench_primitives, bench_training, bench_facade);
+criterion_main!(benches);

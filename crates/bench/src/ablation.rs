@@ -1,0 +1,402 @@
+//! Ablations of the paper's design choices (listed in DESIGN.md §5):
+//! the EWMA factor, the Markov state count, the EWMA/Markov decomposition
+//! itself, and the adaptive (equal-mass) quantization.
+
+use crate::config::ExperimentConfig;
+use crate::report::table;
+use pipeline::app::AppConfig;
+use pipeline::runner::profile_rdg_direct;
+use triplec::accuracy::evaluate;
+use triplec::ewma::Ewma;
+use triplec::markov::MarkovChain;
+use triplec::predictor::{EwmaMarkovPredictor, PredictContext, Predictor};
+use triplec::quantize::Quantizer;
+use triplec::stats::mean;
+use xray::long_trace_sequence;
+
+/// Measures a content-dependent RDG computation-time series with the
+/// pipeline's coarse-to-fine adaptation (the Fig. 3 regime).
+pub fn collect_rdg_series(cfg: &ExperimentConfig, frames: usize) -> Vec<f64> {
+    let seq = long_trace_sequence(cfg.size, cfg.size, frames);
+    profile_rdg_direct(seq, &AppConfig::default())
+}
+
+/// One-step-ahead evaluation of any predictor over a test series.
+fn one_step_accuracy(p: &mut dyn Predictor, warmup: &[f64], test: &[f64]) -> f64 {
+    let ctx = PredictContext::default();
+    for &x in warmup {
+        p.observe(x, &ctx);
+    }
+    let pairs: Vec<(f64, f64)> = test
+        .iter()
+        .map(|&x| {
+            let pred = p.predict(&ctx);
+            p.observe(x, &ctx);
+            (pred, x)
+        })
+        .collect();
+    evaluate(&pairs).mean_accuracy
+}
+
+/// Ablation 1 — EWMA smoothing factor sweep.
+pub fn alpha_sweep(cfg: &ExperimentConfig) -> (Vec<(f64, f64)>, String) {
+    let series = collect_rdg_series(cfg, cfg.fig3_frames.min(300));
+    let split = series.len() * 2 / 3;
+    let (train, test) = series.split_at(split);
+    let warm = &train[train.len().saturating_sub(20)..];
+
+    let alphas = [0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    let mut results = Vec::with_capacity(alphas.len());
+    for &a in &alphas {
+        let mut p = EwmaMarkovPredictor::train(train, a, 24, "RDG");
+        let acc = one_step_accuracy(&mut p, warm, test);
+        results.push((a, acc));
+    }
+    let mut out = String::new();
+    out.push_str("Ablation — EWMA alpha (Eq. 1; paper does not publish its value)\n\n");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(a, acc)| vec![format!("{a:.2}"), format!("{:.1}%", acc * 100.0)])
+        .collect();
+    out.push_str(&table(&["alpha", "one-step accuracy"], &rows));
+    let best = results.iter().cloned().fold((0.0, 0.0), |b, r| if r.1 > b.1 { r } else { b });
+    out.push_str(&format!("\nbest alpha {:.2} at {:.1}% accuracy\n", best.0, best.1 * 100.0));
+    (results, out)
+}
+
+/// Ablation 2 — Markov state-count sweep vs. the paper's 2M heuristic.
+pub fn state_sweep(cfg: &ExperimentConfig) -> (Vec<(usize, f64)>, String) {
+    let series = collect_rdg_series(cfg, cfg.fig3_frames.min(300));
+    let split = series.len() * 2 / 3;
+    let (train, test) = series.split_at(split);
+    let warm = &train[train.len().saturating_sub(20)..];
+
+    // the paper heuristic applied to the residuals
+    let (_, residuals) = triplec::ewma::decompose(train, 0.2);
+    let heuristic = Quantizer::paper_state_count(
+        &residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(),
+        64,
+    );
+
+    let counts = [1usize, 2, 4, 8, 16, 32, 64];
+    let mut results = Vec::with_capacity(counts.len());
+    for &n in &counts {
+        let mut p = EwmaMarkovPredictor::train(train, 0.2, n, "RDG");
+        let acc = one_step_accuracy(&mut p, warm, test);
+        results.push((n, acc));
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Ablation — Markov state count (paper heuristic 2M = {heuristic} states here)\n\n"
+    ));
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(n, acc)| vec![format!("{n}"), format!("{:.1}%", acc * 100.0)])
+        .collect();
+    out.push_str(&table(&["max states", "one-step accuracy"], &rows));
+    (results, out)
+}
+
+/// Ablation 3 — model decomposition: constant vs. EWMA-only vs.
+/// Markov-only vs. the paper's EWMA+Markov split.
+pub fn decomposition(cfg: &ExperimentConfig) -> (Vec<(&'static str, f64)>, String) {
+    let series = collect_rdg_series(cfg, cfg.fig3_frames.min(300));
+    let split = series.len() * 2 / 3;
+    let (train, test) = series.split_at(split);
+    let warm = &train[train.len().saturating_sub(20)..];
+    let ctx = PredictContext::default();
+
+    let mut results: Vec<(&'static str, f64)> = Vec::new();
+
+    // constant (global mean)
+    {
+        let m = mean(train);
+        let pairs: Vec<(f64, f64)> = test.iter().map(|&x| (m, x)).collect();
+        results.push(("constant (mean)", evaluate(&pairs).mean_accuracy));
+    }
+    // EWMA-only
+    {
+        let mut e = Ewma::new(0.2);
+        for &x in train.iter().chain(warm) {
+            e.update(x);
+        }
+        let pairs: Vec<(f64, f64)> = test
+            .iter()
+            .map(|&x| {
+                let pred = e.value_or(x);
+                e.update(x);
+                (pred, x)
+            })
+            .collect();
+        results.push(("EWMA only", evaluate(&pairs).mean_accuracy));
+    }
+    // Markov-only on raw values
+    {
+        let q = Quantizer::train(train, Quantizer::paper_state_count(train, 24).max(2));
+        let seq: Vec<usize> = train.iter().map(|&v| q.state_of(v)).collect();
+        let chain = MarkovChain::estimate(&seq, q.states());
+        let mut state = q.state_of(*warm.last().unwrap_or(&train[0]));
+        let pairs: Vec<(f64, f64)> = test
+            .iter()
+            .map(|&x| {
+                let pred = chain.expected_next(state, |j| q.representative(j));
+                state = q.state_of(x);
+                (pred, x)
+            })
+            .collect();
+        results.push(("Markov only", evaluate(&pairs).mean_accuracy));
+    }
+    // the paper's split
+    {
+        let mut p = EwmaMarkovPredictor::train(train, 0.2, 24, "RDG");
+        for &x in warm {
+            p.observe(x, &ctx);
+        }
+        let pairs: Vec<(f64, f64)> = test
+            .iter()
+            .map(|&x| {
+                let pred = p.predict(&ctx);
+                p.observe(x, &ctx);
+                (pred, x)
+            })
+            .collect();
+        results.push(("EWMA + Markov (paper)", evaluate(&pairs).mean_accuracy));
+    }
+
+    let mut out = String::new();
+    out.push_str("Ablation — long/short-term decomposition (Section 4)\n\n");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(name, acc)| vec![name.to_string(), format!("{:.1}%", acc * 100.0)])
+        .collect();
+    out.push_str(&table(&["model", "one-step accuracy"], &rows));
+    (results, out)
+}
+
+/// Ablation 4 — equal-mass (paper) vs. uniform-width quantization.
+pub fn quantization(cfg: &ExperimentConfig) -> (Vec<(&'static str, f64)>, String) {
+    let series = collect_rdg_series(cfg, cfg.fig3_frames.min(300));
+    let split = series.len() * 2 / 3;
+    let (train, test) = series.split_at(split);
+
+    let (_, residuals) = triplec::ewma::decompose(train, 0.2);
+    let states = Quantizer::paper_state_count(
+        &residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(),
+        24,
+    )
+    .max(2);
+
+    let eval_quantizer = |q: &Quantizer| {
+        // evaluate via residual round-trip + chain prediction
+        let seq: Vec<usize> = residuals.iter().map(|&r| q.state_of(r)).collect();
+        let chain = MarkovChain::estimate(&seq, q.states());
+        let mut e = Ewma::new(0.2);
+        for &x in train {
+            e.update(x);
+        }
+        let mut state = seq.last().copied().unwrap_or(0);
+        let pairs: Vec<(f64, f64)> = test
+            .iter()
+            .map(|&x| {
+                let base = e.value_or(x);
+                let pred = base + chain.expected_next(state, |j| q.representative(j));
+                state = q.state_of(x - base);
+                e.update(x);
+                (pred, x)
+            })
+            .collect();
+        evaluate(&pairs).mean_accuracy
+    };
+
+    let adaptive = eval_quantizer(&Quantizer::train(&residuals, states));
+    let uniform = eval_quantizer(&Quantizer::train_uniform(&residuals, states));
+
+    let results =
+        vec![("equal-mass (paper)", adaptive), ("uniform-width", uniform)];
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Ablation — quantization intervals ({states} states)\n\n"
+    ));
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(name, acc)| vec![name.to_string(), format!("{:.1}%", acc * 100.0)])
+        .collect();
+    out.push_str(&table(&["quantizer", "one-step accuracy"], &rows));
+    (results, out)
+}
+
+/// Ablation 5 — Markov-chain order: the paper's argument that
+/// higher-order chains explode the state space and starve the transition
+/// estimates (Section 4), quantified.
+pub fn order_sweep(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64, f64)>, String) {
+    use triplec::markov_high::HigherOrderChain;
+    let series = collect_rdg_series(cfg, cfg.fig3_frames.min(300));
+    let split = series.len() * 2 / 3;
+    let (train, test) = series.split_at(split);
+
+    // quantize on the EWMA residuals as the real model does
+    let (_, residuals) = triplec::ewma::decompose(train, 0.2);
+    let states = Quantizer::paper_state_count(
+        &residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(),
+        16,
+    )
+    .max(4);
+    let q = Quantizer::train(&residuals, states);
+    let train_states: Vec<usize> = residuals.iter().map(|&r| q.state_of(r)).collect();
+
+    let mut results = Vec::new();
+    for order in 1..=3usize {
+        let chain = HigherOrderChain::estimate(&train_states, q.states(), order);
+        // one-step evaluation with a running EWMA + context window
+        let mut e = Ewma::new(0.2);
+        for &x in train {
+            e.update(x);
+        }
+        let mut ctx: Vec<usize> = train_states[train_states.len() - order..].to_vec();
+        let pairs: Vec<(f64, f64)> = test
+            .iter()
+            .map(|&x| {
+                let base = e.value_or(x);
+                let pred = base + chain.expected_next(&ctx, |j| q.representative(j));
+                let st = q.state_of(x - base);
+                ctx.remove(0);
+                ctx.push(st);
+                e.update(x);
+                (pred, x)
+            })
+            .collect();
+        let acc = evaluate(&pairs).mean_accuracy;
+        results.push((order, acc, chain.context_coverage(), chain.samples_per_context()));
+    }
+
+    let mut out = String::new();
+    out.push_str("Ablation — Markov order (Section 4's state-space argument)\n\n");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(o, acc, cov, spc)| {
+            vec![
+                format!("{o}"),
+                format!("{:.1}%", acc * 100.0),
+                format!("{:.1}%", cov * 100.0),
+                format!("{spc:.1}"),
+            ]
+        })
+        .collect();
+    out.push_str(&table(
+        &["order", "one-step accuracy", "context coverage", "samples/context"],
+        &rows,
+    ));
+    out.push_str(
+        "\npaper: \"with an increasing order, the number of samples for each\n\
+         estimate is very small, even for long data sets\" — first order wins\n\
+         once sample starvation is accounted for.\n",
+    );
+    (results, out)
+}
+
+/// Ablation 6 — online model training (Section 6 "Profiling ... can be
+/// used for on-line model training"): a frozen model vs. one whose
+/// transition matrix keeps adapting, evaluated after a platform-load
+/// regime change.
+pub fn online_training(cfg: &ExperimentConfig) -> (Vec<(&'static str, f64)>, String) {
+    let series = collect_rdg_series(cfg, cfg.fig3_frames.min(300));
+    let split = series.len() / 2;
+    let (train, test_raw) = series.split_at(split);
+    // regime change: the platform is suddenly 40% more loaded
+    let test: Vec<f64> = test_raw.iter().map(|&x| x * 1.4).collect();
+
+    let eval = |online: bool| {
+        let mut p = EwmaMarkovPredictor::train(train, 0.2, 24, "RDG").with_online_training(online);
+        let ctx = PredictContext::default();
+        for &x in &train[train.len().saturating_sub(10)..] {
+            p.observe(x, &ctx);
+        }
+        let pairs: Vec<(f64, f64)> = test
+            .iter()
+            .map(|&x| {
+                let pred = p.predict(&ctx);
+                p.observe(x, &ctx);
+                (pred, x)
+            })
+            .collect();
+        evaluate(&pairs).mean_accuracy
+    };
+
+    let frozen = eval(false);
+    let online = eval(true);
+    let results = vec![("frozen matrix", frozen), ("online training", online)];
+    let mut out = String::new();
+    out.push_str("Ablation — online model training after a 1.4x load regime change\n\n");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|&(n, a)| vec![n.to_string(), format!("{:.1}%", a * 100.0)])
+        .collect();
+    out.push_str(&table(&["model", "one-step accuracy"], &rows));
+    out.push_str(
+        "\n(the EWMA absorbs most of the level shift either way; online training\n\
+         additionally re-estimates the residual transitions, Section 6)\n",
+    );
+    (results, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig { size: 96, fig3_frames: 60, ..Default::default() }
+    }
+
+    #[test]
+    fn alpha_sweep_produces_all_points() {
+        let (r, text) = alpha_sweep(&tiny());
+        assert_eq!(r.len(), 7);
+        assert!(r.iter().all(|&(_, acc)| (0.0..=1.0).contains(&acc)));
+        assert!(text.contains("best alpha"));
+    }
+
+    #[test]
+    fn state_sweep_produces_all_points() {
+        let (r, _) = state_sweep(&tiny());
+        assert_eq!(r.len(), 7);
+    }
+
+    #[test]
+    fn decomposition_beats_constant() {
+        let (r, _) = decomposition(&tiny());
+        let constant = r.iter().find(|(n, _)| n.starts_with("constant")).unwrap().1;
+        let paper = r.iter().find(|(n, _)| n.contains("paper")).unwrap().1;
+        // on a content-driven series the composite model must beat the mean
+        assert!(
+            paper >= constant - 0.05,
+            "paper model {:.2} worse than constant {:.2}",
+            paper,
+            constant
+        );
+    }
+
+    #[test]
+    fn quantization_comparison_runs() {
+        let (r, _) = quantization(&tiny());
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|&(_, acc)| acc > 0.0));
+    }
+
+    #[test]
+    fn order_sweep_shows_sample_starvation() {
+        let (r, _) = order_sweep(&tiny());
+        assert_eq!(r.len(), 3);
+        // samples per context must shrink with the order
+        assert!(r[0].3 > r[2].3, "order-1 {} vs order-3 {}", r[0].3, r[2].3);
+    }
+
+    #[test]
+    fn online_training_comparison_runs() {
+        let (r, _) = online_training(&tiny());
+        assert_eq!(r.len(), 2);
+        let frozen = r[0].1;
+        let online = r[1].1;
+        // online adaptation must not hurt after a regime change
+        assert!(online >= frozen - 0.1, "online {online} << frozen {frozen}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Experiment configuration.
+//!
+//! Measured experiments render synthetic sequences at a configurable
+//! geometry (default 256x256 so the whole suite runs in minutes on a
+//! laptop; `--size 1024` reproduces the paper's full geometry). Analytic
+//! experiments (Table 1, Fig. 2, Fig. 5) always use the paper's
+//! 1024x1024 / 4 MB-L2 parameters — they cost nothing to evaluate.
+
+/// Configuration shared by the measured experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Rendered frame edge length (frames are square).
+    pub size: usize,
+    /// Frame count of the long Fig. 3 trace.
+    pub fig3_frames: usize,
+    /// Frame count of the Fig. 7 dynamic run.
+    pub fig7_frames: usize,
+    /// Scale factor on corpus sizes (1.0 = the paper's 37 x ~52 frames).
+    pub corpus_scale: f64,
+    /// Stripe counts examined in Fig. 6.
+    pub fig6_stripes: Vec<usize>,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            size: 256,
+            fig3_frames: 600,
+            fig7_frames: 200,
+            corpus_scale: 1.0,
+            fig6_stripes: vec![1, 2],
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Parses `--size N`, `--frames N`, `--corpus-scale X`, `--stripes a,b`
+    /// style flags from an argument list (unknown flags are ignored so the
+    /// caller can route subcommands first).
+    pub fn from_args(args: &[String]) -> Self {
+        let mut cfg = Self::default();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let mut grab = |target: &mut usize| {
+                if let Some(v) = it.peek().and_then(|s| s.parse::<usize>().ok()) {
+                    *target = v;
+                    it.next();
+                }
+            };
+            match a.as_str() {
+                "--size" => grab(&mut cfg.size),
+                "--frames" => {
+                    let mut v = cfg.fig3_frames;
+                    grab(&mut v);
+                    cfg.fig3_frames = v;
+                    cfg.fig7_frames = v.min(cfg.fig7_frames.max(v.min(200)));
+                    cfg.fig7_frames = v;
+                }
+                "--corpus-scale" => {
+                    if let Some(v) = it.peek().and_then(|s| s.parse::<f64>().ok()) {
+                        cfg.corpus_scale = v;
+                        it.next();
+                    }
+                }
+                "--stripes" => {
+                    if let Some(v) = it.peek() {
+                        let parsed: Vec<usize> =
+                            v.split(',').filter_map(|s| s.parse().ok()).collect();
+                        if !parsed.is_empty() {
+                            cfg.fig6_stripes = parsed;
+                            it.next();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        cfg
+    }
+
+    /// The triplec geometry for model configuration at the experiment size.
+    pub fn geometry(&self) -> triplec::FrameGeometry {
+        triplec::FrameGeometry { width: self.size, height: self.size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ExperimentConfig::default();
+        assert_eq!(c.size, 256);
+        assert!(c.fig3_frames >= 100);
+    }
+
+    #[test]
+    fn parses_size_and_frames() {
+        let c = ExperimentConfig::from_args(&args(&["--size", "128", "--frames", "50"]));
+        assert_eq!(c.size, 128);
+        assert_eq!(c.fig3_frames, 50);
+        assert_eq!(c.fig7_frames, 50);
+    }
+
+    #[test]
+    fn parses_stripes_list() {
+        let c = ExperimentConfig::from_args(&args(&["--stripes", "1,2,4,8"]));
+        assert_eq!(c.fig6_stripes, vec![1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn ignores_unknown_flags() {
+        let c = ExperimentConfig::from_args(&args(&["fig3", "--whatever", "--size", "64"]));
+        assert_eq!(c.size, 64);
+    }
+
+    #[test]
+    fn corpus_scale_parsed() {
+        let c = ExperimentConfig::from_args(&args(&["--corpus-scale", "0.25"]));
+        assert!((c.corpus_scale - 0.25).abs() < 1e-12);
+    }
+}

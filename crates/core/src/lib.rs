@@ -1,0 +1,56 @@
+//! # triplec (triplec-core)
+//!
+//! The primary contribution of the paper: **Triple-C**, a prediction model
+//! for **C**omputation time, **C**ache-memory usage and
+//! **C**ommunication-bandwidth usage of groups of dynamic image-processing
+//! tasks, employing scenario-based Markov chains (Albers, Suijs, de With,
+//! IPDPS 2009).
+//!
+//! Model structure (Section 4 and 5 of the paper):
+//!
+//! * [`ewma`] — the EWMA low-pass filter of Eq. 1 separating long-term
+//!   structural fluctuations from short-term stochastic ones;
+//! * [`quantize`] — adaptive equal-mass state quantization with the
+//!   `M = Cmax/sigma` (×2) state-count heuristic;
+//! * [`markov`] — transition-matrix estimation (Eq. 2), prediction,
+//!   sampling and stationary analysis;
+//! * [`linear`] — the linear ROI-growth model of Eq. 3;
+//! * [`stats`] — autocorrelation analysis validating Markov suitability;
+//! * [`predictor`] — the per-task composite predictors of Table 2(b);
+//! * [`scenario`] — the eight switch scenarios and the scenario-level
+//!   Markov chain ("scenario-based Markov chains");
+//! * [`memory_model`] — the Table 1 memory requirements;
+//! * [`bandwidth_model`] — inter-task (Fig. 2) and intra-task (Fig. 5)
+//!   bandwidth prediction on top of `triplec-platform`'s space-time model;
+//! * [`accuracy`] — the 97%/90% accuracy metrics of Section 7;
+//! * [`training`] — model selection and corpus training;
+//! * [`triple`] — the [`TripleC`](triple::TripleC) facade used by the
+//!   runtime manager.
+
+pub mod accuracy;
+pub mod bandwidth_model;
+pub mod ewma;
+pub mod linear;
+pub mod markov;
+pub mod markov_high;
+pub mod memory_model;
+pub mod predictor;
+pub mod quantize;
+pub mod scenario;
+pub mod stats;
+pub mod training;
+pub mod triple;
+
+pub use accuracy::{accuracy, evaluate, AccuracyReport};
+pub use ewma::{decompose, Ewma};
+pub use linear::LinearModel;
+pub use markov::MarkovChain;
+pub use markov_high::HigherOrderChain;
+pub use memory_model::{implementation_table, paper_table1, FrameGeometry, TaskMemory};
+pub use predictor::{
+    ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, PredictContext, Predictor,
+};
+pub use quantize::Quantizer;
+pub use scenario::{Scenario, ScenarioChain, TASKS};
+pub use training::{train_auto, ModelKind, TaskSeries, TrainingConfig};
+pub use triple::{FramePrediction, TripleC, TripleCConfig};

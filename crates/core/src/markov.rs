@@ -1,0 +1,309 @@
+//! Finite-state Markov chains over quantized computation-time states.
+//!
+//! "The entries of the transition probability matrix {Pij} are estimated by
+//! `Pij = nij / sum_k nik`, where nij denotes the number of transitions
+//! from interval i to interval j." (Eq. 2, Section 4)
+
+use rand::Rng;
+
+/// A first-order Markov chain with row-stochastic transition matrix.
+///
+/// ```
+/// use triplec::MarkovChain;
+/// // states observed over time: 0 -> 1 -> 0 -> 1 -> 1
+/// let chain = MarkovChain::estimate(&[0, 1, 0, 1, 1], 2);
+/// assert_eq!(chain.most_likely_next(0), 1);
+/// assert!((chain.prob(1, 0) - 0.5).abs() < 1e-12); // Eq. 2
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarkovChain {
+    states: usize,
+    /// Row-major transition probabilities, `p[i * states + j] = P(i -> j)`.
+    p: Vec<f64>,
+    /// Raw transition counts (kept for online updates and inspection).
+    counts: Vec<u64>,
+}
+
+impl MarkovChain {
+    /// Estimates the chain from a state sequence (Eq. 2). Rows that were
+    /// never visited fall back to a uniform distribution.
+    pub fn estimate(sequence: &[usize], states: usize) -> Self {
+        assert!(states > 0, "at least one state required");
+        let mut counts = vec![0u64; states * states];
+        for w in sequence.windows(2) {
+            let (i, j) = (w[0], w[1]);
+            assert!(i < states && j < states, "state out of range: {i} -> {j}");
+            counts[i * states + j] += 1;
+        }
+        let mut chain = Self { states, p: vec![0.0; states * states], counts };
+        chain.renormalize();
+        chain
+    }
+
+    /// Recomputes probabilities from counts.
+    #[allow(clippy::needless_range_loop)] // (i, j) indexing mirrors Eq. 2
+    fn renormalize(&mut self) {
+        for i in 0..self.states {
+            let row = &self.counts[i * self.states..(i + 1) * self.states];
+            let total: u64 = row.iter().sum();
+            if total == 0 {
+                let u = 1.0 / self.states as f64;
+                for j in 0..self.states {
+                    self.p[i * self.states + j] = u;
+                }
+            } else {
+                for j in 0..self.states {
+                    self.p[i * self.states + j] = row[j] as f64 / total as f64;
+                }
+            }
+        }
+    }
+
+    /// Number of states.
+    pub fn states(&self) -> usize {
+        self.states
+    }
+
+    /// Transition probability `P(i -> j)`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.p[i * self.states + j]
+    }
+
+    /// A full row of the transition matrix.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.p[i * self.states..(i + 1) * self.states]
+    }
+
+    /// Most likely next state from `i`.
+    pub fn most_likely_next(&self, i: usize) -> usize {
+        self.row(i)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(j, _)| j)
+            .unwrap_or(0)
+    }
+
+    /// Expected value of `f(next_state)` from state `i`.
+    pub fn expected_next(&self, i: usize, f: impl Fn(usize) -> f64) -> f64 {
+        self.row(i).iter().enumerate().map(|(j, &pj)| pj * f(j)).sum()
+    }
+
+    /// Records an observed transition and refreshes the affected row
+    /// (online training / model adaptation, Section 6 "Profiling").
+    #[allow(clippy::needless_range_loop)] // (i, j) indexing mirrors Eq. 2
+    pub fn observe(&mut self, i: usize, j: usize) {
+        assert!(i < self.states && j < self.states, "state out of range");
+        self.counts[i * self.states + j] += 1;
+        let row = &self.counts[i * self.states..(i + 1) * self.states];
+        let total: u64 = row.iter().sum();
+        for j2 in 0..self.states {
+            self.p[i * self.states + j2] = row[j2] as f64 / total as f64;
+        }
+    }
+
+    /// Samples the next state from `i`.
+    pub fn sample_next(&self, i: usize, rng: &mut impl Rng) -> usize {
+        let r: f64 = rng.gen();
+        let mut acc = 0.0;
+        for j in 0..self.states {
+            acc += self.prob(i, j);
+            if r < acc {
+                return j;
+            }
+        }
+        self.states - 1
+    }
+
+    /// The `q`-quantile of `f(next_state)` from state `i`: the smallest
+    /// value `v` among the images of the next-state distribution such
+    /// that `P(f(next) <= v) >= q`. Used for conservative (guaranteed-
+    /// performance) planning rather than expected-value planning.
+    pub fn quantile_next(&self, i: usize, q: f64, f: impl Fn(usize) -> f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut pairs: Vec<(f64, f64)> =
+            (0..self.states).map(|j| (f(j), self.prob(i, j))).collect();
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut acc = 0.0;
+        for (v, p) in &pairs {
+            acc += p;
+            if acc >= q - 1e-12 {
+                return *v;
+            }
+        }
+        pairs.last().map(|&(v, _)| v).unwrap_or(0.0)
+    }
+
+    /// Stationary distribution by power iteration (uniform start).
+    #[allow(clippy::needless_range_loop)] // (i, j) indexing mirrors the math
+    pub fn stationary(&self, iterations: usize) -> Vec<f64> {
+        let mut pi = vec![1.0 / self.states as f64; self.states];
+        let mut next = vec![0.0; self.states];
+        for _ in 0..iterations {
+            next.fill(0.0);
+            for i in 0..self.states {
+                let w = pi[i];
+                if w == 0.0 {
+                    continue;
+                }
+                for j in 0..self.states {
+                    next[j] += w * self.prob(i, j);
+                }
+            }
+            std::mem::swap(&mut pi, &mut next);
+        }
+        pi
+    }
+
+    /// Verifies every row sums to 1 within tolerance (model invariant).
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        (0..self.states).all(|i| (self.row(i).iter().sum::<f64>() - 1.0).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_matches_eq2() {
+        // sequence 0 1 0 1 1: transitions 0->1 (x2), 1->0 (x1), 1->1 (x1)
+        let c = MarkovChain::estimate(&[0, 1, 0, 1, 1], 2);
+        assert!((c.prob(0, 1) - 1.0).abs() < 1e-12);
+        assert!((c.prob(0, 0) - 0.0).abs() < 1e-12);
+        assert!((c.prob(1, 0) - 0.5).abs() < 1e-12);
+        assert!((c.prob(1, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rows_are_stochastic() {
+        let c = MarkovChain::estimate(&[0, 1, 2, 1, 0, 2, 2, 1], 3);
+        assert!(c.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn unvisited_rows_are_uniform() {
+        let c = MarkovChain::estimate(&[0, 0, 0], 3);
+        for j in 0..3 {
+            assert!((c.prob(2, j) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn most_likely_and_expected() {
+        let c = MarkovChain::estimate(&[0, 1, 0, 1, 0, 2], 3);
+        // from 0: 1 x2, 2 x1 (wait: 0->1, 1->0, 0->1, 1->0, 0->2)
+        assert_eq!(c.most_likely_next(0), 1);
+        let e = c.expected_next(0, |j| j as f64);
+        // P(0->1)=2/3, P(0->2)=1/3 => E = 2/3 + 2/3 = 4/3
+        assert!((e - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observe_updates_row() {
+        let mut c = MarkovChain::estimate(&[0, 1], 2);
+        assert!((c.prob(0, 1) - 1.0).abs() < 1e-12);
+        c.observe(0, 0);
+        assert!((c.prob(0, 0) - 0.5).abs() < 1e-12);
+        assert!((c.prob(0, 1) - 0.5).abs() < 1e-12);
+        assert!(c.is_row_stochastic(1e-12));
+    }
+
+    #[test]
+    fn sampling_follows_distribution() {
+        let c = MarkovChain::estimate(&[0, 1, 0, 1, 0, 0, 0, 1, 0, 0], 2);
+        // from 0: count 0->1: 3, 0->0: 3 (seq transitions from 0: 0->1 x3, 0->0 x3)
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let n = 20000;
+        let ones = (0..n).filter(|_| c.sample_next(0, &mut rng) == 1).count();
+        let p = ones as f64 / n as f64;
+        assert!((p - c.prob(0, 1)).abs() < 0.02, "sampled {p} expected {}", c.prob(0, 1));
+    }
+
+    #[test]
+    fn stationary_of_symmetric_chain_is_uniform() {
+        let c = MarkovChain::estimate(&[0, 1, 0, 1, 0, 1, 1, 0, 1, 1, 0, 0], 2);
+        let pi = c.stationary(200);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // this chain is roughly doubly stochastic; distribution near uniform
+        assert!(pi[0] > 0.3 && pi[0] < 0.7, "pi {:?}", pi);
+    }
+
+    #[test]
+    fn stationary_absorbing_state() {
+        // 0 -> 1, 1 -> 1: state 1 absorbs
+        let c = MarkovChain::estimate(&[0, 1, 1, 1, 1], 2);
+        let pi = c.stationary(500);
+        assert!(pi[1] > 0.99, "pi {:?}", pi);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_state_rejected() {
+        let _ = MarkovChain::estimate(&[0, 5], 3);
+    }
+
+    #[test]
+    fn single_state_chain_is_trivial() {
+        let c = MarkovChain::estimate(&[0, 0, 0, 0], 1);
+        assert_eq!(c.most_likely_next(0), 0);
+        assert!((c.prob(0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_next_brackets_expectation() {
+        let c = MarkovChain::estimate(&[0, 1, 2, 1, 0, 2, 2, 1, 0, 1, 2, 0], 3);
+        let reps = [10.0, 20.0, 30.0];
+        for i in 0..3 {
+            let e = c.expected_next(i, |j| reps[j]);
+            let lo = c.quantile_next(i, 0.05, |j| reps[j]);
+            let hi = c.quantile_next(i, 0.95, |j| reps[j]);
+            assert!(lo <= e + 1e-9, "state {i}: lo {lo} > e {e}");
+            assert!(hi >= e - 1e-9, "state {i}: hi {hi} < e {e}");
+            // quantile is monotone in q
+            let mid = c.quantile_next(i, 0.5, |j| reps[j]);
+            assert!(lo <= mid && mid <= hi);
+        }
+    }
+
+    #[test]
+    fn quantile_of_deterministic_chain_is_the_target() {
+        let c = MarkovChain::estimate(&[0, 1, 0, 1, 0, 1], 2);
+        // from 0 always to 1
+        for q in [0.01, 0.5, 0.99] {
+            assert_eq!(c.quantile_next(0, q, |j| j as f64 * 7.0), 7.0);
+        }
+    }
+
+    #[test]
+    fn ar_process_round_trip_prediction_beats_mean() {
+        // quantize an AR(1) process, train a chain, and verify one-step
+        // expected-value prediction beats predicting the global mean
+        use crate::quantize::Quantizer;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut x = 0.0f64;
+        let xs: Vec<f64> = (0..8000)
+            .map(|_| {
+                x = 0.9 * x + rng.gen_range(-1.0..1.0);
+                x
+            })
+            .collect();
+        let q = Quantizer::train(&xs, 10);
+        let seq: Vec<usize> = xs.iter().map(|&v| q.state_of(v)).collect();
+        let chain = MarkovChain::estimate(&seq, q.states());
+
+        let mean = crate::stats::mean(&xs);
+        let mut err_chain = 0.0;
+        let mut err_mean = 0.0;
+        for w in xs.windows(2) {
+            let pred = chain.expected_next(q.state_of(w[0]), |j| q.representative(j));
+            err_chain += (pred - w[1]).abs();
+            err_mean += (mean - w[1]).abs();
+        }
+        assert!(
+            err_chain < 0.6 * err_mean,
+            "chain {err_chain} not much better than mean {err_mean}"
+        );
+    }
+}

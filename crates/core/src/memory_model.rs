@@ -1,0 +1,254 @@
+//! Task memory requirements (Table 1).
+//!
+//! "The required amount of memory for each task can be derived by
+//! extracting the input/output requirements and intermediate storage
+//! requirement from a reference software implementation." (Section 5.1)
+//!
+//! Two tables are provided: the paper's published Table 1 (its reference
+//! implementation at 1024x1024, 2 B/pixel) and the table derived from
+//! *this* repository's implementation, whose intermediates are `f32`
+//! (hence larger). The byte formulas here mirror the buffer allocations of
+//! `triplec-imaging`; an integration test pins them against the actual
+//! `byte_size()` reports so the model cannot drift from the code.
+
+/// Frame geometry of the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameGeometry {
+    /// Frame width, pixels.
+    pub width: usize,
+    /// Frame height, pixels.
+    pub height: usize,
+}
+
+impl FrameGeometry {
+    /// The paper's geometry: 1024x1024 pixels.
+    pub const PAPER: FrameGeometry = FrameGeometry { width: 1024, height: 1024 };
+
+    /// Pixels per frame.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Bytes of one u16 detector frame (2 B/pixel, as in the paper).
+    pub fn frame_bytes(&self) -> usize {
+        self.pixels() * 2
+    }
+}
+
+/// Memory requirement of one task variant, bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskMemory {
+    /// Task name (Fig. 2 naming).
+    pub task: &'static str,
+    /// The RDG-select switch state this row applies to (`None` = either).
+    pub rdg_selected: Option<bool>,
+    /// Input buffer bytes.
+    pub input: usize,
+    /// Intermediate storage bytes.
+    pub intermediate: usize,
+    /// Output buffer bytes.
+    pub output: usize,
+}
+
+impl TaskMemory {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.input + self.intermediate + self.output
+    }
+
+    /// Whether the task's intermediate storage exceeds a cache capacity
+    /// (the criterion for intra-task swap traffic, Section 5.2).
+    pub fn overflows(&self, cache_capacity: usize) -> bool {
+        self.intermediate > cache_capacity
+    }
+}
+
+const KB: usize = 1024;
+
+/// The paper's Table 1 (bytes; the paper prints KB).
+pub fn paper_table1() -> Vec<TaskMemory> {
+    vec![
+        TaskMemory { task: "RDG_FULL", rdg_selected: None, input: 2048 * KB, intermediate: 7168 * KB, output: 5120 * KB },
+        TaskMemory { task: "RDG_ROI", rdg_selected: None, input: 2048 * KB, intermediate: 5120 * KB, output: 5120 * KB },
+        TaskMemory { task: "MKX_FULL", rdg_selected: Some(false), input: 512 * KB, intermediate: 512 * KB, output: 2560 * KB },
+        TaskMemory { task: "MKX_ROI", rdg_selected: Some(false), input: 512 * KB, intermediate: 512 * KB, output: 2560 * KB },
+        TaskMemory { task: "MKX_FULL", rdg_selected: Some(true), input: 4608 * KB, intermediate: 512 * KB, output: 2560 * KB },
+        TaskMemory { task: "MKX_ROI", rdg_selected: Some(true), input: 4608 * KB, intermediate: 512 * KB, output: 2560 * KB },
+        TaskMemory { task: "ENH", rdg_selected: None, input: 2048 * KB, intermediate: 8192 * KB, output: 1024 * KB },
+        TaskMemory { task: "ZOOM", rdg_selected: None, input: 1024 * KB, intermediate: 4096 * KB, output: 4096 * KB },
+    ]
+}
+
+/// Per-pixel byte costs of this repository's implementation. These mirror
+/// the buffer allocations in `triplec-imaging` exactly:
+///
+/// * RDG/MKX intermediates: `src_f32` (4) + Hessian Ixx/Iyy/Ixy (12) +
+///   convolution scratch a/b (8) + response accumulator (4) = 28 B/px
+///   (MKX adds a 4 B/px best-scale map).
+/// * RDG output: filtered u16 (2) + ridgeness f32 (4) = 6 B/px.
+/// * ENH intermediate: the f32 temporal accumulator = 4 B/px.
+pub mod per_pixel {
+    /// RDG intermediate bytes/pixel.
+    pub const RDG_INTERMEDIATE: usize = 28;
+    /// RDG output bytes/pixel (filtered + ridgeness).
+    pub const RDG_OUTPUT: usize = 6;
+    /// MKX intermediate bytes/pixel (RDG buffers + best-scale map).
+    pub const MKX_INTERMEDIATE: usize = 32;
+    /// ENH intermediate bytes/pixel (f32 accumulator).
+    pub const ENH_INTERMEDIATE: usize = 4;
+}
+
+/// The table derived from this repository's implementation at `geom`.
+///
+/// `roi_fraction` scales the ROI-variant rows' *output* processing region
+/// (buffers themselves are allocated full-frame, as in the paper, which is
+/// why RDG ROI keeps a full-size input); `zoom_out` is the ZOOM output
+/// edge length.
+pub fn implementation_table(geom: FrameGeometry, zoom_out: usize) -> Vec<TaskMemory> {
+    let px = geom.pixels();
+    let frame = geom.frame_bytes();
+    let rdg_out = px * per_pixel::RDG_OUTPUT;
+    vec![
+        TaskMemory {
+            task: "RDG_FULL",
+            rdg_selected: None,
+            input: frame,
+            intermediate: px * per_pixel::RDG_INTERMEDIATE,
+            output: rdg_out,
+        },
+        TaskMemory {
+            task: "RDG_ROI",
+            rdg_selected: None,
+            input: frame,
+            intermediate: px * per_pixel::RDG_INTERMEDIATE,
+            output: rdg_out,
+        },
+        TaskMemory {
+            task: "MKX_FULL",
+            rdg_selected: Some(false),
+            input: frame,
+            intermediate: px * per_pixel::MKX_INTERMEDIATE,
+            output: frame,
+        },
+        TaskMemory {
+            task: "MKX_FULL",
+            rdg_selected: Some(true),
+            input: rdg_out,
+            intermediate: px * per_pixel::MKX_INTERMEDIATE,
+            output: frame,
+        },
+        TaskMemory {
+            task: "MKX_ROI",
+            rdg_selected: Some(false),
+            input: frame,
+            intermediate: px * per_pixel::MKX_INTERMEDIATE,
+            output: frame,
+        },
+        TaskMemory {
+            task: "MKX_ROI",
+            rdg_selected: Some(true),
+            input: rdg_out,
+            intermediate: px * per_pixel::MKX_INTERMEDIATE,
+            output: frame,
+        },
+        TaskMemory {
+            task: "ENH",
+            rdg_selected: None,
+            input: frame,
+            intermediate: px * per_pixel::ENH_INTERMEDIATE,
+            output: frame,
+        },
+        TaskMemory {
+            task: "ZOOM",
+            rdg_selected: None,
+            input: frame / 2,
+            intermediate: 0,
+            output: zoom_out * zoom_out * 2,
+        },
+    ]
+}
+
+/// Looks up a row by task name and switch state.
+pub fn lookup<'a>(
+    table: &'a [TaskMemory],
+    task: &str,
+    rdg_selected: bool,
+) -> Option<&'a TaskMemory> {
+    table
+        .iter()
+        .find(|m| m.task == task && m.rdg_selected == Some(rdg_selected))
+        .or_else(|| table.iter().find(|m| m.task == task && m.rdg_selected.is_none()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_matches_published_values() {
+        let t = paper_table1();
+        let rdg = lookup(&t, "RDG_FULL", true).unwrap();
+        assert_eq!(rdg.input, 2048 * KB);
+        assert_eq!(rdg.intermediate, 7168 * KB);
+        assert_eq!(rdg.output, 5120 * KB);
+        let mkx_no = lookup(&t, "MKX_FULL", false).unwrap();
+        assert_eq!(mkx_no.input, 512 * KB);
+        let mkx_yes = lookup(&t, "MKX_FULL", true).unwrap();
+        assert_eq!(mkx_yes.input, 4608 * KB);
+    }
+
+    #[test]
+    fn frame_geometry_basics() {
+        let g = FrameGeometry::PAPER;
+        assert_eq!(g.pixels(), 1 << 20);
+        assert_eq!(g.frame_bytes(), 2 * KB * KB);
+    }
+
+    #[test]
+    fn implementation_table_scales_with_geometry() {
+        let small = implementation_table(FrameGeometry { width: 256, height: 256 }, 128);
+        let large = implementation_table(FrameGeometry { width: 512, height: 512 }, 128);
+        let s = lookup(&small, "RDG_FULL", true).unwrap();
+        let l = lookup(&large, "RDG_FULL", true).unwrap();
+        assert_eq!(l.input, 4 * s.input);
+        assert_eq!(l.intermediate, 4 * s.intermediate);
+    }
+
+    #[test]
+    fn mkx_input_grows_when_rdg_selected() {
+        // the switch dependence the paper highlights: "if the RDG task is
+        // switched off, the succeeding MKX function has a much smaller
+        // input buffer requirement"
+        let t = implementation_table(FrameGeometry::PAPER, 512);
+        let without = lookup(&t, "MKX_FULL", false).unwrap();
+        let with = lookup(&t, "MKX_FULL", true).unwrap();
+        assert!(with.input > without.input);
+    }
+
+    #[test]
+    fn rdg_intermediate_overflows_paper_l2() {
+        let t = implementation_table(FrameGeometry::PAPER, 512);
+        let rdg = lookup(&t, "RDG_FULL", true).unwrap();
+        // 4 MB L2 of the paper's platform
+        assert!(rdg.overflows(4 * KB * KB));
+        // paper's own table rows overflow too (7168 KB > 4096 KB)
+        let p = paper_table1();
+        assert!(lookup(&p, "RDG_FULL", true).unwrap().overflows(4 * KB * KB));
+        assert!(lookup(&p, "ENH", true).unwrap().overflows(4 * KB * KB));
+        assert!(!lookup(&p, "MKX_FULL", false).unwrap().overflows(4 * KB * KB));
+    }
+
+    #[test]
+    fn lookup_falls_back_to_switch_independent_rows() {
+        let t = paper_table1();
+        assert!(lookup(&t, "ENH", true).is_some());
+        assert!(lookup(&t, "ENH", false).is_some());
+        assert!(lookup(&t, "NOPE", true).is_none());
+    }
+
+    #[test]
+    fn totals_sum_components() {
+        let m = TaskMemory { task: "X", rdg_selected: None, input: 1, intermediate: 2, output: 3 };
+        assert_eq!(m.total(), 6);
+    }
+}

@@ -1,0 +1,376 @@
+//! Per-task computation-time predictors (Table 2(b)).
+//!
+//! | Task | Prediction model |
+//! |---|---|
+//! | RDG FULL | Eq. 1 (EWMA) + Markov chain |
+//! | RDG ROI | Eq. 3 (linear ROI growth) + Markov chain |
+//! | MKX EXT | constant |
+//! | CPLS SEL | Eq. 1 + Markov chain |
+//! | REG | constant |
+//! | ROI EST | constant |
+//! | GW EXT | Eq. 1 + Markov chain |
+//! | ENH | constant |
+//! | ZOOM | constant |
+
+use crate::ewma::Ewma;
+use crate::linear::LinearModel;
+use crate::markov::MarkovChain;
+use crate::quantize::Quantizer;
+
+/// Covariates available to a predictor at prediction time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PredictContext {
+    /// Size of the region of interest the task will process, kilopixels.
+    pub roi_kpixels: f64,
+}
+
+/// A per-task computation-time predictor.
+pub trait Predictor: Send {
+    /// Predicted computation time of the next execution, ms.
+    fn predict(&self, ctx: &PredictContext) -> f64;
+    /// Conservative prediction: the `q`-quantile of the next execution
+    /// time. The default (for models without a distribution) returns the
+    /// point prediction; Markov-backed models override it. Planning with
+    /// q > 0.5 trades average-case latency for fewer budget overruns.
+    fn predict_quantile(&self, ctx: &PredictContext, _q: f64) -> f64 {
+        self.predict(ctx)
+    }
+    /// Feeds the measured execution time after the task ran.
+    fn observe(&mut self, actual_ms: f64, ctx: &PredictContext);
+    /// Model summary string for the Table 2(b) report.
+    fn model_name(&self) -> String;
+}
+
+/// Constant-time model for tasks with stable cost (MKX, REG, ROI EST, ENH,
+/// ZOOM in Table 2(b)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantPredictor {
+    value_ms: f64,
+}
+
+impl ConstantPredictor {
+    /// Creates the predictor with a fixed cost.
+    pub fn new(value_ms: f64) -> Self {
+        Self { value_ms }
+    }
+
+    /// Fits the constant as the mean of a training series.
+    pub fn train(series: &[f64]) -> Self {
+        Self { value_ms: crate::stats::mean(series) }
+    }
+}
+
+impl Predictor for ConstantPredictor {
+    fn predict(&self, _ctx: &PredictContext) -> f64 {
+        self.value_ms
+    }
+
+    fn observe(&mut self, _actual_ms: f64, _ctx: &PredictContext) {}
+
+    fn model_name(&self) -> String {
+        format!("{:.1}", self.value_ms)
+    }
+}
+
+/// EWMA + Markov predictor: the EWMA output predicts the long-term
+/// behaviour; a Markov chain over quantized residuals predicts the
+/// short-term fluctuation on top (Section 4).
+///
+/// ```
+/// use triplec::{EwmaMarkovPredictor, PredictContext, Predictor};
+/// let history: Vec<f64> = (0..200).map(|i| 40.0 + (i % 5) as f64).collect();
+/// let mut p = EwmaMarkovPredictor::train(&history, 0.2, 16, "RDG");
+/// let ctx = PredictContext::default();
+/// p.observe(42.0, &ctx);
+/// let next = p.predict(&ctx);
+/// assert!(next > 35.0 && next < 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EwmaMarkovPredictor {
+    ewma: Ewma,
+    quantizer: Quantizer,
+    chain: MarkovChain,
+    last_state: Option<usize>,
+    /// When true, observed transitions keep training the chain at runtime
+    /// ("on-line model training", Section 6).
+    online: bool,
+    label: &'static str,
+}
+
+impl EwmaMarkovPredictor {
+    /// Trains the predictor from a computation-time series.
+    ///
+    /// `alpha` is the EWMA factor; `max_states` caps the paper's `2M` state
+    /// heuristic.
+    pub fn train(series: &[f64], alpha: f64, max_states: usize, label: &'static str) -> Self {
+        assert!(!series.is_empty(), "cannot train on an empty series");
+        let (_lpf, residuals) = crate::ewma::decompose(series, alpha);
+        let states = Quantizer::paper_state_count(&residuals, max_states);
+        let quantizer = Quantizer::train(&residuals, states);
+        let seq: Vec<usize> = residuals.iter().map(|&r| quantizer.state_of(r)).collect();
+        let chain = MarkovChain::estimate(&seq, quantizer.states());
+        Self { ewma: Ewma::new(alpha), quantizer, chain, last_state: None, online: false, label }
+    }
+
+    /// Enables online adaptation of the transition matrix.
+    pub fn with_online_training(mut self, online: bool) -> Self {
+        self.online = online;
+        self
+    }
+
+    /// The residual quantizer (for inspection / the Table 2(a) report).
+    pub fn quantizer(&self) -> &Quantizer {
+        &self.quantizer
+    }
+
+    /// The residual Markov chain (for the Table 2(a) report).
+    pub fn chain(&self) -> &MarkovChain {
+        &self.chain
+    }
+}
+
+impl Predictor for EwmaMarkovPredictor {
+    fn predict(&self, _ctx: &PredictContext) -> f64 {
+        let base = self.ewma.value_or(0.0);
+        let fluctuation = match self.last_state {
+            Some(s) => self.chain.expected_next(s, |j| self.quantizer.representative(j)),
+            None => 0.0,
+        };
+        (base + fluctuation).max(0.0)
+    }
+
+    fn predict_quantile(&self, _ctx: &PredictContext, q: f64) -> f64 {
+        let base = self.ewma.value_or(0.0);
+        let fluctuation = match self.last_state {
+            Some(s) => self.chain.quantile_next(s, q, |j| self.quantizer.representative(j)),
+            None => 0.0,
+        };
+        (base + fluctuation).max(0.0)
+    }
+
+    fn observe(&mut self, actual_ms: f64, _ctx: &PredictContext) {
+        let base = self.ewma.value_or(actual_ms);
+        let residual = actual_ms - base;
+        let state = self.quantizer.state_of(residual);
+        if let (Some(prev), true) = (self.last_state, self.online) {
+            self.chain.observe(prev, state);
+        }
+        self.last_state = Some(state);
+        self.ewma.update(actual_ms);
+    }
+
+    fn model_name(&self) -> String {
+        format!("<Eq. 1> + Markov {}", self.label)
+    }
+}
+
+/// Linear-ROI + Markov predictor for granularity-dependent tasks (RDG ROI):
+/// a linear growth function of the ROI size (Eq. 3) plus a Markov chain
+/// over the detrended residuals (Section 4, last paragraph).
+#[derive(Debug, Clone)]
+pub struct LinearMarkovPredictor {
+    model: LinearModel,
+    quantizer: Quantizer,
+    chain: MarkovChain,
+    last_state: Option<usize>,
+    online: bool,
+    label: &'static str,
+}
+
+impl LinearMarkovPredictor {
+    /// Trains from `(roi_kpixels, time_ms)` pairs observed in sequence
+    /// order.
+    pub fn train(points: &[(f64, f64)], max_states: usize, label: &'static str) -> Self {
+        assert!(points.len() >= 2, "need at least two training points");
+        let model = LinearModel::fit(points);
+        let residuals = model.residuals(points);
+        let states = Quantizer::paper_state_count(
+            &residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(),
+            max_states,
+        )
+        .max(2);
+        let quantizer = Quantizer::train(&residuals, states);
+        let seq: Vec<usize> = residuals.iter().map(|&r| quantizer.state_of(r)).collect();
+        let chain = MarkovChain::estimate(&seq, quantizer.states());
+        Self { model, quantizer, chain, last_state: None, online: false, label }
+    }
+
+    /// Enables online adaptation.
+    pub fn with_online_training(mut self, online: bool) -> Self {
+        self.online = online;
+        self
+    }
+
+    /// The fitted growth function (compare with Eq. 3).
+    pub fn growth(&self) -> LinearModel {
+        self.model
+    }
+}
+
+impl Predictor for LinearMarkovPredictor {
+    fn predict(&self, ctx: &PredictContext) -> f64 {
+        let base = self.model.eval(ctx.roi_kpixels);
+        let fluctuation = match self.last_state {
+            Some(s) => self.chain.expected_next(s, |j| self.quantizer.representative(j)),
+            None => 0.0,
+        };
+        (base + fluctuation).max(0.0)
+    }
+
+    fn predict_quantile(&self, ctx: &PredictContext, q: f64) -> f64 {
+        let base = self.model.eval(ctx.roi_kpixels);
+        let fluctuation = match self.last_state {
+            Some(s) => self.chain.quantile_next(s, q, |j| self.quantizer.representative(j)),
+            None => 0.0,
+        };
+        (base + fluctuation).max(0.0)
+    }
+
+    fn observe(&mut self, actual_ms: f64, ctx: &PredictContext) {
+        let residual = actual_ms - self.model.eval(ctx.roi_kpixels);
+        let state = self.quantizer.state_of(residual);
+        if let (Some(prev), true) = (self.last_state, self.online) {
+            self.chain.observe(prev, state);
+        }
+        self.last_state = Some(state);
+    }
+
+    fn model_name(&self) -> String {
+        format!("<Eq. 3> + Markov {}", self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn ctx() -> PredictContext {
+        PredictContext::default()
+    }
+
+    #[test]
+    fn constant_predictor_is_constant() {
+        let mut p = ConstantPredictor::new(2.5);
+        assert_eq!(p.predict(&ctx()), 2.5);
+        p.observe(100.0, &ctx());
+        assert_eq!(p.predict(&ctx()), 2.5);
+        assert_eq!(p.model_name(), "2.5");
+    }
+
+    #[test]
+    fn constant_trains_to_mean() {
+        let p = ConstantPredictor::train(&[1.0, 2.0, 3.0]);
+        assert!((p.predict(&ctx()) - 2.0).abs() < 1e-12);
+    }
+
+    /// An AR(1)-plus-trend series: the EWMA+Markov predictor must beat the
+    /// global mean by a clear margin (the point of the paper's model).
+    #[test]
+    fn ewma_markov_beats_mean_on_correlated_load() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut ar = 0.0f64;
+        let series: Vec<f64> = (0..3000)
+            .map(|i| {
+                ar = 0.85 * ar + rng.gen_range(-1.0..1.0);
+                45.0 + 8.0 * (std::f64::consts::TAU * i as f64 / 400.0).sin() + 3.0 * ar
+            })
+            .collect();
+        let (train, test) = series.split_at(2000);
+        let mut p = EwmaMarkovPredictor::train(train, 0.2, 32, "TEST");
+        let mean = crate::stats::mean(train);
+
+        // warm up on the tail of training data
+        for &x in &train[train.len() - 50..] {
+            p.observe(x, &ctx());
+        }
+        let mut err_model = 0.0;
+        let mut err_mean = 0.0;
+        for &x in test {
+            err_model += (p.predict(&ctx()) - x).abs();
+            err_mean += (mean - x).abs();
+            p.observe(x, &ctx());
+        }
+        assert!(
+            err_model < 0.5 * err_mean,
+            "model {err_model:.1} vs mean {err_mean:.1}"
+        );
+    }
+
+    #[test]
+    fn ewma_markov_prediction_nonnegative() {
+        let series = vec![0.5, 0.1, 0.2, 0.4, 0.05, 0.3, 0.2, 0.15];
+        let mut p = EwmaMarkovPredictor::train(&series, 0.3, 8, "T");
+        p.observe(0.01, &ctx());
+        assert!(p.predict(&ctx()) >= 0.0);
+    }
+
+    #[test]
+    fn ewma_markov_model_name_matches_table2b() {
+        let p = EwmaMarkovPredictor::train(&[1.0, 2.0, 3.0], 0.2, 8, "RDG");
+        assert_eq!(p.model_name(), "<Eq. 1> + Markov RDG");
+    }
+
+    #[test]
+    fn linear_markov_recovers_roi_dependence() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let points: Vec<(f64, f64)> = (0..1000)
+            .map(|i| {
+                let roi = 50.0 + (i % 250) as f64;
+                (roi, 0.07 * roi + 20.0 + rng.gen_range(-1.0..1.0))
+            })
+            .collect();
+        let p = LinearMarkovPredictor::train(&points, 16, "RDG");
+        let g = p.growth();
+        assert!((g.slope - 0.07).abs() < 0.01, "slope {}", g.slope);
+        assert!((g.intercept - 20.0).abs() < 2.0, "intercept {}", g.intercept);
+        // prediction at a known ROI lands near the line
+        let pred = p.predict(&PredictContext { roi_kpixels: 100.0 });
+        assert!((pred - 27.0).abs() < 3.0, "pred {pred}");
+    }
+
+    #[test]
+    fn linear_markov_residual_chain_helps() {
+        // residuals are AR(1): the chain should reduce error vs line alone
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut ar = 0.0f64;
+        let points: Vec<(f64, f64)> = (0..3000)
+            .map(|i| {
+                ar = 0.9 * ar + rng.gen_range(-1.0..1.0);
+                let roi = 50.0 + (i % 300) as f64;
+                (roi, 0.067 * roi + 20.6 + 4.0 * ar)
+            })
+            .collect();
+        let (train, test) = points.split_at(2000);
+        let mut p = LinearMarkovPredictor::train(train, 24, "RDG");
+        let line = p.growth();
+        for &(roi, y) in &train[train.len() - 20..] {
+            p.observe(y, &PredictContext { roi_kpixels: roi });
+        }
+        let mut err_model = 0.0;
+        let mut err_line = 0.0;
+        for &(roi, y) in test {
+            let c = PredictContext { roi_kpixels: roi };
+            err_model += (p.predict(&c) - y).abs();
+            err_line += (line.eval(roi) - y).abs();
+            p.observe(y, &c);
+        }
+        assert!(
+            err_model < 0.7 * err_line,
+            "model {err_model:.1} vs line {err_line:.1}"
+        );
+    }
+
+    #[test]
+    fn online_training_updates_chain() {
+        let series = vec![10.0, 12.0, 10.0, 12.0, 10.0, 12.0, 10.0, 12.0];
+        let mut p = EwmaMarkovPredictor::train(&series, 0.3, 8, "T").with_online_training(true);
+        // feed a long run of constant values: the chain adapts to the new
+        // regime and the prediction converges toward it
+        for _ in 0..100 {
+            p.observe(20.0, &ctx());
+        }
+        let pred = p.predict(&ctx());
+        assert!((pred - 20.0).abs() < 1.5, "pred {pred}");
+    }
+}

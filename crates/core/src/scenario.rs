@@ -1,0 +1,246 @@
+//! Application scenarios: the data-dependent switch state tables.
+//!
+//! "Due to the switch statements in the flow graph of Figure 2, there are
+//! multiple application scenarios possible. ... In total, there are eight
+//! different scenarios possible given the three switch statements in the
+//! flow graph." (Section 5)
+//!
+//! The three switches are: RDG DETECTION (are dominant structures present,
+//! so ridge detection must run), ROI ESTIMATED (was a region of interest
+//! found, enabling ROI-granularity processing), and REG. SUCCESSFUL (did
+//! temporal registration succeed, enabling enhancement and zoom).
+
+use crate::markov::MarkovChain;
+
+/// The names of the application tasks (Fig. 2).
+pub const TASKS: [&str; 9] =
+    ["RDG_FULL", "RDG_ROI", "MKX_EXT", "CPLS_SEL", "REG", "ROI_EST", "GW_EXT", "ENH", "ZOOM"];
+
+/// One switch combination.
+///
+/// ```
+/// use triplec::Scenario;
+/// let worst = Scenario::worst_case();
+/// assert!(worst.runs("RDG_FULL") && worst.runs("ENH"));
+/// let best = Scenario::best_case();
+/// assert!(!best.runs("ENH"));
+/// assert_eq!(Scenario::all().len(), 8); // the paper's eight scenarios
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// RDG DETECTION: dominant structures present, ridge detection runs.
+    pub rdg_active: bool,
+    /// ROI ESTIMATED: a region of interest is available from tracking, so
+    /// analysis runs at ROI granularity instead of full-frame.
+    pub roi_estimated: bool,
+    /// REG. SUCCESSFUL: registration passed, enhancement and zoom run.
+    pub reg_successful: bool,
+}
+
+impl Scenario {
+    /// Scenario id in `0..8` (bit 0 = RDG, bit 1 = ROI, bit 2 = REG).
+    pub fn id(&self) -> u8 {
+        u8::from(self.rdg_active)
+            | (u8::from(self.roi_estimated) << 1)
+            | (u8::from(self.reg_successful) << 2)
+    }
+
+    /// Inverse of [`Scenario::id`].
+    pub fn from_id(id: u8) -> Self {
+        assert!(id < 8, "scenario id out of range: {id}");
+        Self {
+            rdg_active: id & 1 != 0,
+            roi_estimated: id & 2 != 0,
+            reg_successful: id & 4 != 0,
+        }
+    }
+
+    /// All eight scenarios in id order.
+    pub fn all() -> [Scenario; 8] {
+        std::array::from_fn(|i| Scenario::from_id(i as u8))
+    }
+
+    /// The worst-case scenario for bandwidth: full-frame granularity, RDG
+    /// active, registration successful (Section 5).
+    pub fn worst_case() -> Self {
+        Self { rdg_active: true, roi_estimated: false, reg_successful: true }
+    }
+
+    /// The best-case scenario for bandwidth: ROI granularity, no RDG, no
+    /// registration success ("the algorithm will not output a satisfying
+    /// result", Section 5).
+    pub fn best_case() -> Self {
+        Self { rdg_active: false, roi_estimated: true, reg_successful: false }
+    }
+
+    /// The state table: which tasks run under this scenario.
+    ///
+    /// * RDG runs (full or ROI granularity) only when `rdg_active`;
+    /// * marker extraction, couples selection and registration always run;
+    /// * ROI estimation and guide-wire extraction run once a couple is
+    ///   being tracked (`roi_estimated`);
+    /// * enhancement and zoom run only on successful registration.
+    pub fn active_tasks(&self) -> Vec<&'static str> {
+        let mut tasks = Vec::with_capacity(9);
+        if self.rdg_active {
+            tasks.push(if self.roi_estimated { "RDG_ROI" } else { "RDG_FULL" });
+        }
+        tasks.push("MKX_EXT");
+        tasks.push("CPLS_SEL");
+        tasks.push("REG");
+        if self.roi_estimated {
+            tasks.push("ROI_EST");
+            tasks.push("GW_EXT");
+        }
+        if self.reg_successful {
+            tasks.push("ENH");
+            tasks.push("ZOOM");
+        }
+        tasks
+    }
+
+    /// Whether `task` runs under this scenario.
+    pub fn runs(&self, task: &str) -> bool {
+        self.active_tasks().contains(&task)
+    }
+}
+
+/// A Markov chain over scenario ids: predicts the next frame's switch
+/// combination from the current one (the scenario-based part of
+/// "scenario-based Markov chains").
+#[derive(Debug, Clone)]
+pub struct ScenarioChain {
+    chain: MarkovChain,
+}
+
+impl ScenarioChain {
+    /// Estimates the chain from an observed scenario-id sequence.
+    pub fn estimate(sequence: &[u8]) -> Self {
+        let seq: Vec<usize> = sequence.iter().map(|&s| s as usize).collect();
+        Self { chain: MarkovChain::estimate(&seq, 8) }
+    }
+
+    /// Most likely next scenario.
+    pub fn predict_next(&self, current: Scenario) -> Scenario {
+        Scenario::from_id(self.chain.most_likely_next(current.id() as usize) as u8)
+    }
+
+    /// Probability of transitioning between two scenarios.
+    pub fn prob(&self, from: Scenario, to: Scenario) -> f64 {
+        self.chain.prob(from.id() as usize, to.id() as usize)
+    }
+
+    /// Expected value of `f(next_scenario)` (e.g. predicted frame cost).
+    pub fn expected_next(&self, current: Scenario, f: impl Fn(Scenario) -> f64) -> f64 {
+        self.chain.expected_next(current.id() as usize, |j| f(Scenario::from_id(j as u8)))
+    }
+
+    /// Long-run scenario occupancy.
+    pub fn stationary(&self) -> Vec<f64> {
+        self.chain.stationary(300)
+    }
+
+    /// The underlying 8x8 chain.
+    pub fn chain(&self) -> &MarkovChain {
+        &self.chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_round_trips() {
+        for id in 0..8u8 {
+            assert_eq!(Scenario::from_id(id).id(), id);
+        }
+        assert_eq!(Scenario::all().len(), 8);
+    }
+
+    #[test]
+    fn eight_distinct_scenarios() {
+        let ids: std::collections::BTreeSet<u8> =
+            Scenario::all().iter().map(|s| s.id()).collect();
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn worst_case_runs_heavy_tasks() {
+        let s = Scenario::worst_case();
+        assert!(s.runs("RDG_FULL"));
+        assert!(!s.runs("RDG_ROI"));
+        assert!(s.runs("ENH"));
+        assert!(s.runs("ZOOM"));
+    }
+
+    #[test]
+    fn best_case_skips_heavy_tasks() {
+        let s = Scenario::best_case();
+        assert!(!s.runs("RDG_FULL"));
+        assert!(!s.runs("RDG_ROI"));
+        assert!(!s.runs("ENH"));
+        assert!(!s.runs("ZOOM"));
+        assert!(s.runs("MKX_EXT"));
+    }
+
+    #[test]
+    fn core_tasks_always_run() {
+        for s in Scenario::all() {
+            assert!(s.runs("MKX_EXT"), "{:?}", s);
+            assert!(s.runs("CPLS_SEL"), "{:?}", s);
+            assert!(s.runs("REG"), "{:?}", s);
+        }
+    }
+
+    #[test]
+    fn rdg_granularity_follows_roi_switch() {
+        let full = Scenario { rdg_active: true, roi_estimated: false, reg_successful: false };
+        let roi = Scenario { rdg_active: true, roi_estimated: true, reg_successful: false };
+        assert!(full.runs("RDG_FULL") && !full.runs("RDG_ROI"));
+        assert!(roi.runs("RDG_ROI") && !roi.runs("RDG_FULL"));
+    }
+
+    #[test]
+    fn active_tasks_are_valid_names() {
+        for s in Scenario::all() {
+            for t in s.active_tasks() {
+                assert!(TASKS.contains(&t), "unknown task {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_chain_prediction() {
+        // alternating scenario 0 and 7
+        let seq = vec![0u8, 7, 0, 7, 0, 7, 0];
+        let sc = ScenarioChain::estimate(&seq);
+        assert_eq!(sc.predict_next(Scenario::from_id(0)).id(), 7);
+        assert_eq!(sc.predict_next(Scenario::from_id(7)).id(), 0);
+        assert!((sc.prob(Scenario::from_id(0), Scenario::from_id(7)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scenario_chain_expected_cost() {
+        let seq = vec![0u8, 1, 0, 1, 0, 1];
+        let sc = ScenarioChain::estimate(&seq);
+        // cost: scenario 0 -> 10, scenario 1 -> 30; from 0 always go to 1
+        let cost = |s: Scenario| if s.id() == 1 { 30.0 } else { 10.0 };
+        let e = sc.expected_next(Scenario::from_id(0), cost);
+        assert!((e - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stationary_sums_to_one() {
+        let seq = vec![0u8, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3];
+        let sc = ScenarioChain::estimate(&seq);
+        let pi = sc.stationary();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_scenario_id_rejected() {
+        let _ = Scenario::from_id(8);
+    }
+}

@@ -1,0 +1,243 @@
+//! Model training and model selection from profiled traces.
+//!
+//! "For training the prediction models, we have used a data set of 37
+//! video sequences of in total 1,921 video frames." (Section 7). The
+//! pipeline profiles each task's execution times; this module turns those
+//! series into the per-task predictors of Table 2(b).
+
+use crate::predictor::{
+    ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, Predictor,
+};
+use crate::stats::{autocorrelation, fit_exponential_decay, mean, std_dev};
+
+/// A profiled computation-time series of one task.
+#[derive(Debug, Clone)]
+pub struct TaskSeries {
+    /// Task name (Fig. 2 naming).
+    pub task: &'static str,
+    /// Execution times in frame order, ms.
+    pub samples: Vec<f64>,
+    /// Parallel ROI-size covariates, kilopixels (empty when the task has no
+    /// granularity dependence).
+    pub roi_kpixels: Vec<f64>,
+}
+
+impl TaskSeries {
+    /// Creates a series without covariates.
+    pub fn new(task: &'static str, samples: Vec<f64>) -> Self {
+        Self { task, samples, roi_kpixels: Vec::new() }
+    }
+
+    /// Creates a series with ROI covariates (must be the same length).
+    pub fn with_roi(task: &'static str, samples: Vec<f64>, roi_kpixels: Vec<f64>) -> Self {
+        assert_eq!(samples.len(), roi_kpixels.len(), "covariate length mismatch");
+        Self { task, samples, roi_kpixels }
+    }
+}
+
+/// Which model class to use for a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Fixed cost.
+    Constant,
+    /// EWMA long-term + Markov short-term (Eq. 1 + Eq. 2).
+    EwmaMarkov,
+    /// Linear ROI growth + Markov residual (Eq. 3 + Eq. 2).
+    LinearMarkov,
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingConfig {
+    /// EWMA smoothing factor (Eq. 1). The paper gives no value; 0.2 is the
+    /// calibrated default (see the alpha ablation experiment).
+    pub alpha: f64,
+    /// Cap on the paper's `2M` state-count heuristic.
+    pub max_states: usize,
+    /// Coefficient-of-variation threshold below which a task is modelled
+    /// as constant.
+    pub constant_cv_threshold: f64,
+    /// Minimum |correlation| between ROI size and time to pick the linear
+    /// model.
+    pub roi_correlation_threshold: f64,
+    /// Minimum lag-1 autocorrelation required for the Markov models: a
+    /// series that fluctuates but carries no temporal structure (pure
+    /// measurement noise) is unpredictable, and its mean is the optimal
+    /// constant predictor. This is the paper's autocorrelation analysis
+    /// applied as a model-selection gate.
+    pub acf_lag1_threshold: f64,
+}
+
+impl Default for TrainingConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.2,
+            max_states: 24,
+            constant_cv_threshold: 0.08,
+            roi_correlation_threshold: 0.6,
+            acf_lag1_threshold: 0.25,
+        }
+    }
+}
+
+/// Pearson correlation between two equal-length series.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx) * (x - mx);
+        dy += (y - my) * (y - my);
+    }
+    if dx <= 1e-30 || dy <= 1e-30 {
+        0.0
+    } else {
+        num / (dx * dy).sqrt()
+    }
+}
+
+/// Selects the model class for a task series (the analysis of Section 4:
+/// coefficient of variation, ROI correlation, ACF decay).
+pub fn select_model(series: &TaskSeries, cfg: &TrainingConfig) -> ModelKind {
+    let m = mean(&series.samples);
+    let s = std_dev(&series.samples);
+    if m <= 1e-12 || s / m < cfg.constant_cv_threshold {
+        return ModelKind::Constant;
+    }
+    if series.roi_kpixels.len() == series.samples.len()
+        && !series.roi_kpixels.is_empty()
+        && correlation(&series.roi_kpixels, &series.samples).abs() > cfg.roi_correlation_threshold
+    {
+        return ModelKind::LinearMarkov;
+    }
+    // A fluctuating series is only worth a Markov model if the fluctuation
+    // carries temporal structure; uncorrelated measurement noise is best
+    // predicted by its mean.
+    let acf = autocorrelation(&series.samples, 1);
+    if acf.get(1).copied().unwrap_or(0.0) < cfg.acf_lag1_threshold {
+        return ModelKind::Constant;
+    }
+    ModelKind::EwmaMarkov
+}
+
+/// Trains a predictor of the given kind.
+pub fn train_kind(series: &TaskSeries, kind: ModelKind, cfg: &TrainingConfig) -> Box<dyn Predictor> {
+    match kind {
+        ModelKind::Constant => Box::new(ConstantPredictor::train(&series.samples)),
+        ModelKind::EwmaMarkov => Box::new(EwmaMarkovPredictor::train(
+            &series.samples,
+            cfg.alpha,
+            cfg.max_states,
+            series.task,
+        )),
+        ModelKind::LinearMarkov => {
+            let points: Vec<(f64, f64)> = series
+                .roi_kpixels
+                .iter()
+                .zip(&series.samples)
+                .map(|(&r, &t)| (r, t))
+                .collect();
+            Box::new(LinearMarkovPredictor::train(&points, cfg.max_states, series.task))
+        }
+    }
+}
+
+/// Selects and trains in one step.
+pub fn train_auto(series: &TaskSeries, cfg: &TrainingConfig) -> (ModelKind, Box<dyn Predictor>) {
+    let kind = select_model(series, cfg);
+    (kind, train_kind(series, kind, cfg))
+}
+
+/// Validates Markov suitability of a series by ACF decay analysis
+/// (Section 4's autocorrelation check). Returns the fitted decay.
+pub fn markov_suitability(samples: &[f64], max_lag: usize) -> crate::stats::DecayFit {
+    let acf = autocorrelation(samples, max_lag);
+    fit_exponential_decay(&acf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn cfg() -> TrainingConfig {
+        TrainingConfig::default()
+    }
+
+    #[test]
+    fn flat_series_selects_constant() {
+        let s = TaskSeries::new("MKX_EXT", vec![2.5, 2.52, 2.48, 2.51, 2.49, 2.5]);
+        assert_eq!(select_model(&s, &cfg()), ModelKind::Constant);
+    }
+
+    #[test]
+    fn roi_correlated_series_selects_linear() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let rois: Vec<f64> = (0..500).map(|i| 50.0 + (i % 200) as f64).collect();
+        let times: Vec<f64> =
+            rois.iter().map(|&r| 0.07 * r + 20.0 + rng.gen_range(-1.0..1.0)).collect();
+        let s = TaskSeries::with_roi("RDG_ROI", times, rois);
+        assert_eq!(select_model(&s, &cfg()), ModelKind::LinearMarkov);
+    }
+
+    #[test]
+    fn fluctuating_series_without_covariate_selects_ewma_markov() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut ar = 0.0;
+        let times: Vec<f64> = (0..500)
+            .map(|_| {
+                ar = 0.9 * ar + rng.gen_range(-1.0..1.0);
+                10.0 + 4.0 * ar
+            })
+            .collect();
+        let s = TaskSeries::new("CPLS_SEL", times);
+        assert_eq!(select_model(&s, &cfg()), ModelKind::EwmaMarkov);
+    }
+
+    #[test]
+    fn correlation_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&xs, &neg) + 1.0).abs() < 1e-12);
+        assert_eq!(correlation(&[1.0], &[2.0]), 0.0);
+        assert_eq!(correlation(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn train_auto_produces_working_predictor() {
+        let s = TaskSeries::new("ENH", vec![24.0, 24.1, 23.9, 24.0, 24.05]);
+        let (kind, p) = train_auto(&s, &cfg());
+        assert_eq!(kind, ModelKind::Constant);
+        let pred = p.predict(&crate::predictor::PredictContext::default());
+        assert!((pred - 24.01).abs() < 0.1);
+    }
+
+    #[test]
+    fn markov_suitability_on_ar_series() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(14);
+        let mut ar = 0.0;
+        let xs: Vec<f64> = (0..5000)
+            .map(|_| {
+                ar = 0.8 * ar + rng.gen_range(-1.0..1.0);
+                ar
+            })
+            .collect();
+        let fit = markov_suitability(&xs, 10);
+        assert!(fit.markov_suitable, "{:?}", fit);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_covariates_rejected() {
+        let _ = TaskSeries::with_roi("X", vec![1.0, 2.0], vec![1.0]);
+    }
+}

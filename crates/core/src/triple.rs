@@ -1,0 +1,293 @@
+//! The Triple-C facade: Computation, Cache-memory and
+//! Communication-bandwidth prediction behind one interface.
+//!
+//! A trained [`TripleC`] instance answers, per frame and scenario: how
+//! long will each task take (and the whole frame), how much memory does
+//! each task need, and how much bus bandwidth will the frame consume —
+//! the three resources the runtime manager plans with (Section 6).
+
+use crate::bandwidth_model::{
+    scenario_inter_task_bandwidth, scenario_intra_task_bandwidth, FRAME_RATE_HZ,
+};
+use crate::memory_model::{implementation_table, FrameGeometry, TaskMemory};
+use crate::predictor::{PredictContext, Predictor};
+use crate::scenario::{Scenario, ScenarioChain};
+use crate::training::{train_auto, ModelKind, TaskSeries, TrainingConfig};
+use std::collections::BTreeMap;
+
+/// Configuration of a Triple-C instance.
+#[derive(Debug, Clone)]
+pub struct TripleCConfig {
+    /// Frame geometry.
+    pub geometry: FrameGeometry,
+    /// L2 capacity of the target platform, bytes.
+    pub l2_capacity: usize,
+    /// Number of RDG scales (pass count of the access model).
+    pub rdg_scales: usize,
+    /// Training hyperparameters.
+    pub training: TrainingConfig,
+    /// ZOOM output edge length, pixels.
+    pub zoom_out: usize,
+}
+
+impl Default for TripleCConfig {
+    fn default() -> Self {
+        Self {
+            geometry: FrameGeometry::PAPER,
+            l2_capacity: 4 * 1024 * 1024,
+            rdg_scales: 3,
+            training: TrainingConfig::default(),
+            zoom_out: 512,
+        }
+    }
+}
+
+/// A complete resource prediction for one upcoming frame.
+#[derive(Debug, Clone)]
+pub struct FramePrediction {
+    /// Scenario the prediction applies to.
+    pub scenario: Scenario,
+    /// Predicted per-task computation times, ms.
+    pub task_times: Vec<(&'static str, f64)>,
+    /// Predicted total (serial) computation time, ms.
+    pub total_ms: f64,
+    /// Predicted inter-task bandwidth, bytes/s.
+    pub inter_task_bw: f64,
+    /// Predicted intra-task (cache-overflow) bandwidth, bytes/s.
+    pub intra_task_bw: f64,
+}
+
+/// The trained Triple-C prediction model.
+///
+/// ```
+/// use triplec::{PredictContext, Scenario, TaskSeries, TripleC, TripleCConfig};
+/// let series = vec![
+///     TaskSeries::new("MKX_EXT", vec![2.5; 50]),
+///     TaskSeries::new("CPLS_SEL", vec![1.0; 50]),
+///     TaskSeries::new("REG", vec![2.0; 50]),
+/// ];
+/// let scenarios = vec![0u8; 50];
+/// let model = TripleC::train(&series, &scenarios, TripleCConfig::default());
+/// let ctx = PredictContext::default();
+/// let frame_ms = model.predict_frame_time(Scenario::from_id(0), &ctx);
+/// assert!((frame_ms - 5.5).abs() < 1e-9); // 2.5 + 1.0 + 2.0
+/// ```
+pub struct TripleC {
+    cfg: TripleCConfig,
+    predictors: BTreeMap<&'static str, (ModelKind, Box<dyn Predictor>)>,
+    scenario_chain: ScenarioChain,
+}
+
+impl TripleC {
+    /// Trains the model from per-task profiled series and the observed
+    /// scenario sequence.
+    pub fn train(task_series: &[TaskSeries], scenario_sequence: &[u8], cfg: TripleCConfig) -> Self {
+        let mut predictors = BTreeMap::new();
+        for s in task_series {
+            if s.samples.is_empty() {
+                continue;
+            }
+            let (kind, p) = train_auto(s, &cfg.training);
+            predictors.insert(s.task, (kind, p));
+        }
+        let scenario_chain = ScenarioChain::estimate(scenario_sequence);
+        Self { cfg, predictors, scenario_chain }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TripleCConfig {
+        &self.cfg
+    }
+
+    /// Predicted computation time of one task, ms (None if untrained).
+    pub fn predict_task(&self, task: &str, ctx: &PredictContext) -> Option<f64> {
+        self.predictors.get(task).map(|(_, p)| p.predict(ctx))
+    }
+
+    /// Conservative `q`-quantile prediction of one task's computation
+    /// time (falls back to the point prediction for constant models).
+    pub fn predict_task_quantile(&self, task: &str, ctx: &PredictContext, q: f64) -> Option<f64> {
+        self.predictors.get(task).map(|(_, p)| p.predict_quantile(ctx, q))
+    }
+
+    /// Feeds a measured execution time back into the task's predictor.
+    pub fn observe_task(&mut self, task: &str, actual_ms: f64, ctx: &PredictContext) {
+        if let Some((_, p)) = self.predictors.get_mut(task) {
+            p.observe(actual_ms, ctx);
+        }
+    }
+
+    /// Predicted serial computation time of a whole frame under `scenario`.
+    /// Untrained tasks contribute zero.
+    pub fn predict_frame_time(&self, scenario: Scenario, ctx: &PredictContext) -> f64 {
+        scenario
+            .active_tasks()
+            .iter()
+            .filter_map(|t| self.predict_task(t, ctx))
+            .sum()
+    }
+
+    /// Full per-frame resource prediction.
+    pub fn predict_frame(&self, scenario: Scenario, ctx: &PredictContext, roi_fraction: f64) -> FramePrediction {
+        let task_times: Vec<(&'static str, f64)> = scenario
+            .active_tasks()
+            .iter()
+            .map(|&t| (t, self.predict_task(t, ctx).unwrap_or(0.0)))
+            .collect();
+        let total_ms = task_times.iter().map(|(_, t)| t).sum();
+        FramePrediction {
+            scenario,
+            task_times,
+            total_ms,
+            inter_task_bw: scenario_inter_task_bandwidth(scenario, self.cfg.geometry, roi_fraction),
+            intra_task_bw: scenario_intra_task_bandwidth(
+                scenario,
+                self.cfg.geometry,
+                roi_fraction,
+                self.cfg.l2_capacity,
+                self.cfg.rdg_scales,
+            ),
+        }
+    }
+
+    /// Most likely next scenario from the scenario chain.
+    pub fn predict_next_scenario(&self, current: Scenario) -> Scenario {
+        self.scenario_chain.predict_next(current)
+    }
+
+    /// Scenario-weighted expected frame time: the expectation of the next
+    /// frame's cost over the scenario transition distribution.
+    pub fn expected_next_frame_time(&self, current: Scenario, ctx: &PredictContext) -> f64 {
+        self.scenario_chain
+            .expected_next(current, |s| self.predict_frame_time(s, ctx))
+    }
+
+    /// The scenario chain (for inspection).
+    pub fn scenario_chain(&self) -> &ScenarioChain {
+        &self.scenario_chain
+    }
+
+    /// The memory requirement table of this implementation (Table 1).
+    pub fn memory_table(&self) -> Vec<TaskMemory> {
+        implementation_table(self.cfg.geometry, self.cfg.zoom_out)
+    }
+
+    /// Model summary per task (Table 2(b)).
+    pub fn model_summary(&self) -> Vec<(&'static str, ModelKind, String)> {
+        self.predictors
+            .iter()
+            .map(|(task, (kind, p))| (*task, *kind, p.model_name()))
+            .collect()
+    }
+
+    /// The application frame period, ms (30 Hz).
+    pub fn frame_period_ms(&self) -> f64 {
+        1000.0 / FRAME_RATE_HZ
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn trained() -> TripleC {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(15);
+        let mut ar = 0.0f64;
+        let rdg: Vec<f64> = (0..600)
+            .map(|i| {
+                ar = 0.85 * ar + rng.gen_range(-1.0..1.0);
+                40.0 + 8.0 * (i as f64 / 90.0).sin() + 3.0 * ar
+            })
+            .collect();
+        let series = vec![
+            TaskSeries::new("RDG_FULL", rdg),
+            TaskSeries::new("MKX_EXT", vec![2.5; 600]),
+            TaskSeries::new("CPLS_SEL", (0..600).map(|i| 1.0 + 0.5 * ((i % 7) as f64)).collect()),
+            TaskSeries::new("REG", vec![2.0; 600]),
+            TaskSeries::new("ROI_EST", vec![1.0; 600]),
+            TaskSeries::new("GW_EXT", (0..600).map(|i| 3.0 + ((i % 5) as f64)).collect()),
+            TaskSeries::new("ENH", vec![24.0; 600]),
+            TaskSeries::new("ZOOM", vec![12.5; 600]),
+        ];
+        let scenarios: Vec<u8> = (0..600).map(|i| if i % 50 < 40 { 7 } else { 5 }).collect();
+        TripleC::train(&series, &scenarios, TripleCConfig::default())
+    }
+
+    #[test]
+    fn constant_tasks_predict_their_constant() {
+        let t = trained();
+        let ctx = PredictContext::default();
+        assert!((t.predict_task("MKX_EXT", &ctx).unwrap() - 2.5).abs() < 1e-9);
+        assert!((t.predict_task("ENH", &ctx).unwrap() - 24.0).abs() < 1e-9);
+        assert!(t.predict_task("NOPE", &ctx).is_none());
+    }
+
+    #[test]
+    fn frame_time_sums_active_tasks() {
+        let t = trained();
+        let ctx = PredictContext::default();
+        let worst = t.predict_frame_time(Scenario::worst_case(), &ctx);
+        let best = t.predict_frame_time(Scenario::best_case(), &ctx);
+        assert!(worst > best + 30.0, "worst {worst} best {best}");
+    }
+
+    #[test]
+    fn full_prediction_is_consistent() {
+        let t = trained();
+        let ctx = PredictContext::default();
+        let p = t.predict_frame(Scenario::worst_case(), &ctx, 0.1);
+        let sum: f64 = p.task_times.iter().map(|(_, v)| v).sum();
+        assert!((sum - p.total_ms).abs() < 1e-9);
+        assert!(p.inter_task_bw > 0.0);
+        assert!(p.intra_task_bw > 0.0);
+    }
+
+    #[test]
+    fn scenario_prediction_follows_training() {
+        let t = trained();
+        // training mostly stays in scenario 7
+        let next = t.predict_next_scenario(Scenario::from_id(7));
+        assert_eq!(next.id(), 7);
+    }
+
+    #[test]
+    fn expected_frame_time_between_extremes() {
+        let t = trained();
+        let ctx = PredictContext::default();
+        let e = t.expected_next_frame_time(Scenario::from_id(7), &ctx);
+        let s7 = t.predict_frame_time(Scenario::from_id(7), &ctx);
+        let s5 = t.predict_frame_time(Scenario::from_id(5), &ctx);
+        let lo = s5.min(s7) - 1e-9;
+        let hi = s5.max(s7) + 1e-9;
+        assert!(e >= lo && e <= hi, "e {e} not in [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn observe_updates_dynamic_predictors() {
+        let mut t = trained();
+        let ctx = PredictContext::default();
+        for _ in 0..50 {
+            t.observe_task("RDG_FULL", 60.0, &ctx);
+        }
+        let p = t.predict_task("RDG_FULL", &ctx).unwrap();
+        assert!((p - 60.0).abs() < 6.0, "prediction {p} did not track 60 ms");
+    }
+
+    #[test]
+    fn model_summary_covers_trained_tasks() {
+        let t = trained();
+        let summary = t.model_summary();
+        assert_eq!(summary.len(), 8);
+        let mkx = summary.iter().find(|(t, _, _)| *t == "MKX_EXT").unwrap();
+        assert_eq!(mkx.1, ModelKind::Constant);
+        let rdg = summary.iter().find(|(t, _, _)| *t == "RDG_FULL").unwrap();
+        assert_eq!(rdg.1, ModelKind::EwmaMarkov);
+    }
+
+    #[test]
+    fn frame_period_is_30hz() {
+        let t = trained();
+        assert!((t.frame_period_ms() - 33.333).abs() < 0.01);
+    }
+}

@@ -1,0 +1,270 @@
+//! GW EXT — guide-wire extraction.
+//!
+//! Verifies a marker couple by searching for a ridge (the guide wire)
+//! joining the two markers (Section 3): a dynamic-programming path search
+//! over lateral offsets around the marker axis, maximizing accumulated
+//! ridge response under a smoothness constraint. A couple whose markers sit
+//! on a connecting ridge is considered a stable detection.
+//!
+//! The task cost grows with the marker separation (path length) and with
+//! the search corridor width, so the computation time is data-dependent —
+//! the paper models GW EXT with a Markov chain.
+
+use crate::couples::Couple;
+use crate::image::ImageF32;
+
+/// Configuration of guide-wire extraction.
+#[derive(Debug, Clone)]
+pub struct GwConfig {
+    /// Half-width of the search corridor perpendicular to the marker axis,
+    /// in samples.
+    pub corridor_half_width: usize,
+    /// Lateral sample spacing, pixels.
+    pub lateral_step: f64,
+    /// Longitudinal sample spacing along the axis, pixels.
+    pub along_step: f64,
+    /// Maximum lateral offset change between consecutive samples (the
+    /// smoothness constraint), in lateral samples.
+    pub max_kink: usize,
+    /// Minimum mean ridge response along the best path for the wire to
+    /// count as found, as a fraction of the corridor's peak response.
+    pub min_mean_rel: f32,
+}
+
+impl Default for GwConfig {
+    fn default() -> Self {
+        Self {
+            corridor_half_width: 8,
+            lateral_step: 1.0,
+            along_step: 1.0,
+            max_kink: 1,
+            min_mean_rel: 0.2,
+        }
+    }
+}
+
+/// Result of guide-wire extraction.
+#[derive(Debug, Clone)]
+pub struct GwOutput {
+    /// Whether a connecting ridge was found (drives couple validation).
+    pub wire_found: bool,
+    /// The extracted wire path, image coordinates.
+    pub path: Vec<(f64, f64)>,
+    /// Mean ridge response along the path.
+    pub mean_response: f32,
+    /// Number of DP cells evaluated (content-dependent load proxy).
+    pub cells_evaluated: usize,
+}
+
+/// Samples the ridge map with bilinear interpolation.
+fn sample_bilinear(map: &ImageF32, x: f64, y: f64) -> f32 {
+    let (w, h) = map.dims();
+    if w == 0 || h == 0 {
+        return 0.0;
+    }
+    let xf = x.clamp(0.0, (w - 1) as f64);
+    let yf = y.clamp(0.0, (h - 1) as f64);
+    let x0 = xf.floor() as usize;
+    let y0 = yf.floor() as usize;
+    let x1 = (x0 + 1).min(w - 1);
+    let y1 = (y0 + 1).min(h - 1);
+    let fx = (xf - x0 as f64) as f32;
+    let fy = (yf - y0 as f64) as f32;
+    let v00 = map.get(x0, y0);
+    let v10 = map.get(x1, y0);
+    let v01 = map.get(x0, y1);
+    let v11 = map.get(x1, y1);
+    v00 * (1.0 - fx) * (1.0 - fy) + v10 * fx * (1.0 - fy) + v01 * (1.0 - fx) * fy + v11 * fx * fy
+}
+
+/// Searches for the guide wire joining the two markers of `couple` in the
+/// ridge-response map produced by RDG.
+pub fn gw_extract(ridgeness: &ImageF32, couple: &Couple, cfg: &GwConfig) -> GwOutput {
+    let (ax, ay) = (couple.a.x, couple.a.y);
+    let (bx, by) = (couple.b.x, couple.b.y);
+    let len = couple.length();
+    if len < 1e-9 {
+        return GwOutput { wire_found: false, path: Vec::new(), mean_response: 0.0, cells_evaluated: 0 };
+    }
+    // unit vectors along and across the axis
+    let ux = (bx - ax) / len;
+    let uy = (by - ay) / len;
+    let (nx, ny) = (-uy, ux);
+
+    let n_along = ((len / cfg.along_step).ceil() as usize).max(2);
+    let n_lat = 2 * cfg.corridor_half_width + 1;
+
+    // sample corridor responses
+    let mut resp = vec![0.0f32; n_along * n_lat];
+    let mut peak = 0.0f32;
+    for i in 0..n_along {
+        let t = i as f64 / (n_along - 1) as f64;
+        let px = ax + ux * t * len;
+        let py = ay + uy * t * len;
+        for j in 0..n_lat {
+            let off = (j as f64 - cfg.corridor_half_width as f64) * cfg.lateral_step;
+            let v = sample_bilinear(ridgeness, px + nx * off, py + ny * off);
+            resp[i * n_lat + j] = v;
+            peak = peak.max(v);
+        }
+    }
+
+    // DP: best[i][j] = resp[i][j] + max over |j'-j|<=max_kink of best[i-1][j']
+    let mut best = vec![0.0f32; n_along * n_lat];
+    let mut back = vec![0usize; n_along * n_lat];
+    best[..n_lat].copy_from_slice(&resp[..n_lat]);
+    let mut cells_evaluated = n_lat;
+    for i in 1..n_along {
+        for j in 0..n_lat {
+            let lo = j.saturating_sub(cfg.max_kink);
+            let hi = (j + cfg.max_kink).min(n_lat - 1);
+            let mut arg = lo;
+            let mut val = best[(i - 1) * n_lat + lo];
+            for k in (lo + 1)..=hi {
+                cells_evaluated += 1;
+                let v = best[(i - 1) * n_lat + k];
+                if v > val {
+                    val = v;
+                    arg = k;
+                }
+            }
+            cells_evaluated += 1;
+            best[i * n_lat + j] = resp[i * n_lat + j] + val;
+            back[i * n_lat + j] = arg;
+        }
+    }
+
+    // endpoints are the markers: the path must start and end at the center
+    // of the corridor (offset 0), so trace back from the center cell.
+    let center = cfg.corridor_half_width;
+    let mut j = center;
+    let mut offsets = vec![0usize; n_along];
+    offsets[n_along - 1] = j;
+    for i in (1..n_along).rev() {
+        j = back[i * n_lat + j];
+        offsets[i - 1] = j;
+    }
+
+    let mut path = Vec::with_capacity(n_along);
+    let mut sum = 0.0f32;
+    for (i, &jj) in offsets.iter().enumerate() {
+        let t = i as f64 / (n_along - 1) as f64;
+        let off = (jj as f64 - center as f64) * cfg.lateral_step;
+        let px = ax + ux * t * len + nx * off;
+        let py = ay + uy * t * len + ny * off;
+        path.push((px, py));
+        sum += resp[i * n_lat + jj];
+    }
+    let mean_response = sum / n_along as f32;
+    let wire_found = peak > 0.0 && mean_response >= cfg.min_mean_rel * peak;
+
+    GwOutput { wire_found, path, mean_response, cells_evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use crate::markers::Marker;
+
+    fn couple(ax: f64, ay: f64, bx: f64, by: f64) -> Couple {
+        Couple {
+            a: Marker { x: ax, y: ay, strength: 1.0, scale: 2.0 },
+            b: Marker { x: bx, y: by, strength: 1.0, scale: 2.0 },
+            score: 0.0,
+        }
+    }
+
+    /// Ridge map with a bright horizontal line at y=32.
+    fn line_map(w: usize, h: usize, y0: f64) -> ImageF32 {
+        Image::from_fn(w, h, |x, y| {
+            let _ = x;
+            let d = y as f64 - y0;
+            (100.0 * (-d * d / 2.0).exp()) as f32
+        })
+    }
+
+    #[test]
+    fn finds_wire_on_straight_ridge() {
+        let map = line_map(64, 64, 32.0);
+        let c = couple(10.0, 32.0, 54.0, 32.0);
+        let out = gw_extract(&map, &c, &GwConfig::default());
+        assert!(out.wire_found, "mean {} ", out.mean_response);
+        assert!(out.mean_response > 50.0);
+        // path stays near the ridge
+        for &(_, y) in &out.path {
+            assert!((y - 32.0).abs() < 2.0, "path strays to y={}", y);
+        }
+    }
+
+    #[test]
+    fn no_wire_on_empty_map() {
+        let map: ImageF32 = Image::new(64, 64);
+        let c = couple(10.0, 32.0, 54.0, 32.0);
+        let out = gw_extract(&map, &c, &GwConfig::default());
+        assert!(!out.wire_found);
+        assert_eq!(out.mean_response, 0.0);
+    }
+
+    #[test]
+    fn wire_with_gap_rejected() {
+        // ridge exists only on the left half: mean response along the
+        // corridor drops below the threshold
+        let map = Image::from_fn(64, 64, |x, y| {
+            if x < 24 {
+                let d = y as f64 - 32.0;
+                (100.0 * (-d * d / 2.0).exp()) as f32
+            } else {
+                0.0
+            }
+        });
+        let c = couple(10.0, 32.0, 54.0, 32.0);
+        let cfg = GwConfig { min_mean_rel: 0.5, ..Default::default() };
+        let out = gw_extract(&map, &c, &cfg);
+        assert!(!out.wire_found, "mean {}", out.mean_response);
+    }
+
+    #[test]
+    fn path_follows_gentle_curve() {
+        // ridge drifts from y=30 to y=34 across the image
+        let map = Image::from_fn(64, 64, |x, y| {
+            let yc = 30.0 + 4.0 * (x as f64 / 63.0);
+            let d = y as f64 - yc;
+            (100.0 * (-d * d / 2.0).exp()) as f32
+        });
+        let c = couple(2.0, 30.0, 62.0, 34.0);
+        let out = gw_extract(&map, &c, &GwConfig::default());
+        assert!(out.wire_found);
+        // midpoint of the path should sit near the curve midpoint (y=32)
+        let (_, my) = out.path[out.path.len() / 2];
+        assert!((my - 32.0).abs() < 2.5, "mid y {}", my);
+    }
+
+    #[test]
+    fn cost_grows_with_marker_separation() {
+        let map = line_map(128, 64, 32.0);
+        let near = gw_extract(&map, &couple(10.0, 32.0, 30.0, 32.0), &GwConfig::default());
+        let far = gw_extract(&map, &couple(10.0, 32.0, 120.0, 32.0), &GwConfig::default());
+        assert!(far.cells_evaluated > 2 * near.cells_evaluated);
+    }
+
+    #[test]
+    fn degenerate_couple_is_rejected() {
+        let map = line_map(64, 64, 32.0);
+        let c = couple(20.0, 32.0, 20.0, 32.0);
+        let out = gw_extract(&map, &c, &GwConfig::default());
+        assert!(!out.wire_found);
+        assert!(out.path.is_empty());
+    }
+
+    #[test]
+    fn diagonal_wire_found() {
+        let map = Image::from_fn(64, 64, |x, y| {
+            let d = (x as f64 - y as f64) / std::f64::consts::SQRT_2;
+            (100.0 * (-d * d / 2.0).exp()) as f32
+        });
+        let c = couple(10.0, 10.0, 50.0, 50.0);
+        let out = gw_extract(&map, &c, &GwConfig::default());
+        assert!(out.wire_found, "mean {}", out.mean_response);
+    }
+}

@@ -1,0 +1,240 @@
+//! Hessian computation and eigenvalue-based ridge/blob responses.
+//!
+//! Dark curvilinear structures (guide wires, vessel edges) and dark punctual
+//! structures (balloon markers) appear as intensity *minima* on a brighter
+//! background, so their second derivatives are positive. The ridge measure
+//! selects anisotropic positive curvature; the blob measure (Laplacian)
+//! selects isotropic positive curvature.
+
+use crate::image::{ImageF32, Roi};
+use crate::kernel::{convolve_cols, convolve_rows, Kernel1D};
+
+/// The three distinct entries of the (symmetric) Hessian at one scale.
+#[derive(Debug)]
+pub struct HessianImages {
+    pub ixx: ImageF32,
+    pub iyy: ImageF32,
+    pub ixy: ImageF32,
+}
+
+/// Scratch buffers for a Hessian computation, reusable across frames so the
+/// per-frame allocation count stays zero (the buffers are exactly the
+/// "intermediate" storage accounted in Table 1).
+#[derive(Debug)]
+pub struct HessianScratch {
+    a: ImageF32,
+    b: ImageF32,
+}
+
+impl HessianScratch {
+    /// Allocates scratch for `width x height` images.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self { a: ImageF32::new(width, height), b: ImageF32::new(width, height) }
+    }
+
+    /// Total scratch bytes (for memory accounting).
+    pub fn byte_size(&self) -> usize {
+        self.a.byte_size() + self.b.byte_size()
+    }
+}
+
+/// Computes the scale-normalized Hessian of `src` at scale `sigma`,
+/// restricted to `roi`, writing into `out`.
+///
+/// Each component is a separable convolution:
+/// `Ixx = G''(x) * G(y)`, `Iyy = G(x) * G''(y)`, `Ixy = G'(x) * G'(y)`.
+pub fn hessian_at_scale(
+    src: &ImageF32,
+    out: &mut HessianImages,
+    scratch: &mut HessianScratch,
+    roi: Roi,
+    sigma: f32,
+) {
+    let g = Kernel1D::gaussian(sigma);
+    let d1 = Kernel1D::gaussian_d1(sigma);
+    let d2 = Kernel1D::gaussian_d2(sigma);
+    let halo = g.radius().max(d2.radius());
+    let row_roi = roi.inflate(halo, src.width(), src.height());
+
+    // Ixx: d2 along x, smooth along y
+    convolve_rows(src, &mut scratch.a, row_roi, &d2);
+    convolve_cols(&scratch.a, &mut out.ixx, roi, &g);
+    // Iyy: smooth along x, d2 along y
+    convolve_rows(src, &mut scratch.b, row_roi, &g);
+    convolve_cols(&scratch.b, &mut out.iyy, roi, &d2);
+    // Ixy: d1 along x, d1 along y
+    convolve_rows(src, &mut scratch.a, row_roi, &d1);
+    convolve_cols(&scratch.a, &mut out.ixy, roi, &d1);
+}
+
+/// Eigenvalues of the 2x2 symmetric matrix `[ixx ixy; ixy iyy]`,
+/// returned as `(lambda_hi, lambda_lo)` with `lambda_hi >= lambda_lo`.
+#[inline]
+pub fn eigenvalues(ixx: f32, iyy: f32, ixy: f32) -> (f32, f32) {
+    let tr = ixx + iyy;
+    let diff = ixx - iyy;
+    let disc = (diff * diff * 0.25 + ixy * ixy).sqrt();
+    (tr * 0.5 + disc, tr * 0.5 - disc)
+}
+
+/// Ridge response for dark line structures: the large positive eigenvalue,
+/// attenuated by isotropy so blobs and flat regions score low.
+///
+/// `r = max(0, l_hi) * (1 - |l_lo| / |l_hi|)` when `l_hi > 0`, else 0.
+#[inline]
+pub fn ridge_response(ixx: f32, iyy: f32, ixy: f32) -> f32 {
+    let (hi, lo) = eigenvalues(ixx, iyy, ixy);
+    if hi <= 0.0 {
+        return 0.0;
+    }
+    let aniso = 1.0 - (lo.abs() / hi).min(1.0);
+    hi * aniso
+}
+
+/// Blob response for dark punctual structures: the (positive) Laplacian,
+/// attenuated by anisotropy so line structures score low.
+#[inline]
+pub fn blob_response(ixx: f32, iyy: f32, ixy: f32) -> f32 {
+    let (hi, lo) = eigenvalues(ixx, iyy, ixy);
+    if lo <= 0.0 {
+        // a dark blob curves upward in every direction
+        return 0.0;
+    }
+    // both eigenvalues positive: isotropy factor lo/hi in (0, 1]
+    let iso = if hi > 0.0 { lo / hi } else { 0.0 };
+    (hi + lo) * iso
+}
+
+/// Writes `max(current, response(H))` into `acc` for every pixel of `roi`;
+/// used to combine responses over multiple scales.
+pub fn accumulate_max_response(
+    h: &HessianImages,
+    acc: &mut ImageF32,
+    roi: Roi,
+    response: impl Fn(f32, f32, f32) -> f32,
+) {
+    let roi = roi.clamp_to(acc.width(), acc.height());
+    for y in roi.y..roi.bottom() {
+        for x in roi.x..roi.right() {
+            let r = response(h.ixx.get(x, y), h.iyy.get(x, y), h.ixy.get(x, y));
+            if r > acc.get(x, y) {
+                acc.set(x, y, r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    #[test]
+    fn eigenvalues_of_diagonal_matrix() {
+        let (hi, lo) = eigenvalues(3.0, -1.0, 0.0);
+        assert!((hi - 3.0).abs() < 1e-6);
+        assert!((lo + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvalues_ordered_and_match_trace_det() {
+        for &(a, b, c) in &[(1.0f32, 2.0, 0.5), (-3.0, 4.0, 2.0), (0.0, 0.0, 1.0)] {
+            let (hi, lo) = eigenvalues(a, b, c);
+            assert!(hi >= lo);
+            assert!((hi + lo - (a + b)).abs() < 1e-4, "trace");
+            assert!((hi * lo - (a * b - c * c)).abs() < 1e-3, "det");
+        }
+    }
+
+    #[test]
+    fn ridge_response_prefers_anisotropic_positive() {
+        // strong dark line: lambda (10, 0) -> high response
+        let line = ridge_response(10.0, 0.0, 0.0);
+        // dark blob: lambda (10, 10) -> zero response (isotropic)
+        let blob = ridge_response(10.0, 10.0, 0.0);
+        // bright line: lambda (-10, 0) -> zero response
+        let bright = ridge_response(-10.0, 0.0, 0.0);
+        assert!(line > 5.0);
+        assert!(blob.abs() < 1e-6);
+        assert!(bright == 0.0);
+    }
+
+    #[test]
+    fn blob_response_prefers_isotropic_positive() {
+        let blob = blob_response(10.0, 10.0, 0.0);
+        let line = blob_response(10.0, 0.0, 0.0);
+        let bright_blob = blob_response(-10.0, -10.0, 0.0);
+        assert!(blob > 15.0);
+        assert!(line.abs() < 1e-6);
+        assert!(bright_blob == 0.0);
+    }
+
+    /// A synthetic dark vertical line must produce a ridge-response maximum
+    /// on the line with the response oriented correctly.
+    #[test]
+    fn dark_line_detected_at_center() {
+        let w = 33;
+        let src = Image::from_fn(w, w, |x, _| {
+            let d = x as f32 - 16.0;
+            // bright background 1000, dark Gaussian trench depth 400, width 2
+            1000.0 - 400.0 * (-d * d / (2.0 * 2.0 * 2.0)).exp()
+        });
+        let mut h = HessianImages {
+            ixx: ImageF32::new(w, w),
+            iyy: ImageF32::new(w, w),
+            ixy: ImageF32::new(w, w),
+        };
+        let mut scratch = HessianScratch::new(w, w);
+        hessian_at_scale(&src, &mut h, &mut scratch, src.full_roi(), 2.0);
+        let mut acc = ImageF32::new(w, w);
+        accumulate_max_response(&h, &mut acc, src.full_roi(), ridge_response);
+        // response at line center must dominate off-line response
+        let on = acc.get(16, 16);
+        let off = acc.get(4, 16);
+        assert!(on > 10.0 * (off + 1e-3), "on {} off {}", on, off);
+    }
+
+    /// A synthetic dark spot must produce a blob-response maximum at its
+    /// center and low ridge response.
+    #[test]
+    fn dark_spot_detected_as_blob_not_ridge() {
+        let w = 33;
+        let src = Image::from_fn(w, w, |x, y| {
+            let dx = x as f32 - 16.0;
+            let dy = y as f32 - 16.0;
+            1000.0 - 500.0 * (-(dx * dx + dy * dy) / (2.0 * 2.0 * 2.0)).exp()
+        });
+        let mut h = HessianImages {
+            ixx: ImageF32::new(w, w),
+            iyy: ImageF32::new(w, w),
+            ixy: ImageF32::new(w, w),
+        };
+        let mut scratch = HessianScratch::new(w, w);
+        hessian_at_scale(&src, &mut h, &mut scratch, src.full_roi(), 2.0);
+
+        let mut blob = ImageF32::new(w, w);
+        accumulate_max_response(&h, &mut blob, src.full_roi(), blob_response);
+        let mut ridge = ImageF32::new(w, w);
+        accumulate_max_response(&h, &mut ridge, src.full_roi(), ridge_response);
+
+        assert!(blob.get(16, 16) > 50.0, "blob response {}", blob.get(16, 16));
+        assert!(
+            blob.get(16, 16) > 3.0 * ridge.get(16, 16),
+            "blob {} should beat ridge {}",
+            blob.get(16, 16),
+            ridge.get(16, 16)
+        );
+    }
+
+    #[test]
+    fn accumulate_max_keeps_largest() {
+        let h = HessianImages {
+            ixx: ImageF32::filled(4, 4, 1.0),
+            iyy: ImageF32::filled(4, 4, 0.0),
+            ixy: ImageF32::filled(4, 4, 0.0),
+        };
+        let mut acc = ImageF32::filled(4, 4, 100.0);
+        accumulate_max_response(&h, &mut acc, Roi::full(4, 4), ridge_response);
+        assert_eq!(acc.get(0, 0), 100.0);
+    }
+}

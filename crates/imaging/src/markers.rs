@@ -1,0 +1,338 @@
+//! MKX EXT — marker extraction.
+//!
+//! Selects punctual dark zones contrasting on a brighter background as
+//! candidate balloon markers (Section 3 of the paper). Runs on the
+//! ridge-suppressed frame when RDG is active, or directly on the input
+//! frame when the RDG switch is off — the two cases have different input
+//! buffer requirements (Table 1).
+
+use crate::hessian::{blob_response, hessian_at_scale, HessianImages, HessianScratch};
+use crate::image::{ImageF32, ImageU16, Roi};
+
+/// A candidate balloon marker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Marker {
+    /// Sub-pixel x position.
+    pub x: f64,
+    /// Sub-pixel y position.
+    pub y: f64,
+    /// Blob-response strength (higher = darker, more punctual).
+    pub strength: f32,
+    /// Detection scale (sigma, pixels).
+    pub scale: f32,
+}
+
+impl Marker {
+    /// Euclidean distance to another marker.
+    pub fn distance(&self, other: &Marker) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+/// Configuration of the marker-extraction task.
+#[derive(Debug, Clone)]
+pub struct MkxConfig {
+    /// Blob scales matching the expected marker radius.
+    pub scales: Vec<f32>,
+    /// Response threshold as a fraction of the maximum response.
+    pub threshold_rel: f32,
+    /// Minimum separation between reported candidates, pixels.
+    pub min_separation: f64,
+    /// Maximum number of candidates reported (strongest first).
+    pub max_candidates: usize,
+}
+
+impl Default for MkxConfig {
+    fn default() -> Self {
+        Self { scales: vec![1.5, 2.5], threshold_rel: 0.25, min_separation: 6.0, max_candidates: 32 }
+    }
+}
+
+/// Reusable working memory of the MKX task.
+#[derive(Debug)]
+pub struct MkxBuffers {
+    src_f32: ImageF32,
+    hessian: HessianImages,
+    scratch: HessianScratch,
+    acc: ImageF32,
+}
+
+impl MkxBuffers {
+    /// Allocates buffers for `width x height` frames.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            src_f32: ImageF32::new(width, height),
+            hessian: HessianImages {
+                ixx: ImageF32::new(width, height),
+                iyy: ImageF32::new(width, height),
+                ixy: ImageF32::new(width, height),
+            },
+            scratch: HessianScratch::new(width, height),
+            acc: ImageF32::new(width, height),
+        }
+    }
+
+    /// Total intermediate storage in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.src_f32.byte_size()
+            + self.hessian.ixx.byte_size()
+            + self.hessian.iyy.byte_size()
+            + self.hessian.ixy.byte_size()
+            + self.scratch.byte_size()
+            + self.acc.byte_size()
+    }
+}
+
+/// Result of marker extraction.
+#[derive(Debug, Clone)]
+pub struct MkxOutput {
+    /// Candidate markers, strongest first.
+    pub candidates: Vec<Marker>,
+    /// Number of raw local maxima before separation/count pruning
+    /// (content-dependent load proxy: noisy or busy frames produce more).
+    pub raw_maxima: usize,
+}
+
+/// Extracts candidate markers inside `roi`.
+pub fn mkx_extract(
+    src: &ImageU16,
+    roi: Roi,
+    cfg: &MkxConfig,
+    bufs: &mut MkxBuffers,
+) -> MkxOutput {
+    assert_eq!(src.dims(), bufs.src_f32.dims(), "buffer geometry must match the frame");
+    assert!(!cfg.scales.is_empty(), "at least one scale required");
+    let roi = roi.clamp_to(src.width(), src.height());
+    if roi.is_empty() {
+        return MkxOutput { candidates: Vec::new(), raw_maxima: 0 };
+    }
+
+    let halo = cfg
+        .scales
+        .iter()
+        .map(|&s| (3.0 * s).ceil() as usize)
+        .max()
+        .unwrap_or(0);
+    let conv_roi = roi.inflate(halo, src.width(), src.height());
+    for y in conv_roi.y..conv_roi.bottom() {
+        let s = src.row(y);
+        let d = bufs.src_f32.row_mut(y);
+        for x in conv_roi.x..conv_roi.right() {
+            d[x] = s[x] as f32;
+        }
+    }
+
+    for y in roi.y..roi.bottom() {
+        bufs.acc.row_mut(y)[roi.x..roi.right()].fill(0.0);
+    }
+    // strongest scale per pixel; remember which scale won
+    let mut best_scale = vec![cfg.scales[0]; src.width() * src.height()];
+    for &sigma in &cfg.scales {
+        hessian_at_scale(&bufs.src_f32, &mut bufs.hessian, &mut bufs.scratch, roi, sigma);
+        for y in roi.y..roi.bottom() {
+            for x in roi.x..roi.right() {
+                let r = blob_response(
+                    bufs.hessian.ixx.get(x, y),
+                    bufs.hessian.iyy.get(x, y),
+                    bufs.hessian.ixy.get(x, y),
+                );
+                if r > bufs.acc.get(x, y) {
+                    bufs.acc.set(x, y, r);
+                    best_scale[y * src.width() + x] = sigma;
+                }
+            }
+        }
+    }
+
+    // local maxima above a relative threshold
+    let peak = {
+        let mut m = 0.0f32;
+        for y in roi.y..roi.bottom() {
+            for &v in &bufs.acc.row(y)[roi.x..roi.right()] {
+                m = m.max(v);
+            }
+        }
+        m
+    };
+    // Absolute floor guards against numerical residue on flat frames, where
+    // every pixel would otherwise tie as a "local maximum".
+    let threshold = (cfg.threshold_rel * peak).max(1e-3);
+    let mut raw: Vec<Marker> = Vec::new();
+    if peak > 1e-3 {
+        for y in roi.y.max(1)..roi.bottom().min(src.height() - 1) {
+            for x in roi.x.max(1)..roi.right().min(src.width() - 1) {
+                let v = bufs.acc.get(x, y);
+                if v <= threshold {
+                    continue;
+                }
+                let mut is_max = true;
+                'nb: for dy in -1i64..=1 {
+                    for dx in -1i64..=1 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let n = bufs.acc.get((x as i64 + dx) as usize, (y as i64 + dy) as usize);
+                        if n > v {
+                            is_max = false;
+                            break 'nb;
+                        }
+                    }
+                }
+                if is_max {
+                    let (sx, sy) = subpixel_refine(&bufs.acc, x, y);
+                    raw.push(Marker {
+                        x: sx,
+                        y: sy,
+                        strength: v,
+                        scale: best_scale[y * src.width() + x],
+                    });
+                }
+            }
+        }
+    }
+    let raw_maxima = raw.len();
+
+    // greedy separation pruning, strongest first
+    raw.sort_by(|a, b| b.strength.total_cmp(&a.strength));
+    let mut candidates: Vec<Marker> = Vec::new();
+    for m in raw {
+        if candidates.len() >= cfg.max_candidates {
+            break;
+        }
+        if candidates.iter().all(|c| c.distance(&m) >= cfg.min_separation) {
+            candidates.push(m);
+        }
+    }
+
+    MkxOutput { candidates, raw_maxima }
+}
+
+/// Parabolic sub-pixel refinement of a local maximum.
+fn subpixel_refine(acc: &ImageF32, x: usize, y: usize) -> (f64, f64) {
+    let v = acc.get(x, y) as f64;
+    let refine = |lo: f64, hi: f64| {
+        let denom = lo - 2.0 * v + hi;
+        if denom.abs() < 1e-12 {
+            0.0
+        } else {
+            (0.5 * (lo - hi) / denom).clamp(-0.5, 0.5)
+        }
+    };
+    let dx = if x > 0 && x + 1 < acc.width() {
+        refine(acc.get(x - 1, y) as f64, acc.get(x + 1, y) as f64)
+    } else {
+        0.0
+    };
+    let dy = if y > 0 && y + 1 < acc.height() {
+        refine(acc.get(x, y - 1) as f64, acc.get(x, y + 1) as f64)
+    } else {
+        0.0
+    };
+    (x as f64 + dx, y as f64 + dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    fn frame_with_blobs(w: usize, h: usize, blobs: &[(f32, f32, f32)]) -> ImageU16 {
+        Image::from_fn(w, h, |x, y| {
+            let mut v = 2000.0f32;
+            for &(cx, cy, depth) in blobs {
+                let dx = x as f32 - cx;
+                let dy = y as f32 - cy;
+                v -= depth * (-(dx * dx + dy * dy) / 8.0).exp();
+            }
+            v.max(0.0) as u16
+        })
+    }
+
+    #[test]
+    fn finds_two_markers_near_truth() {
+        let src = frame_with_blobs(64, 64, &[(20.0, 20.0, 1100.0), (44.0, 44.0, 1000.0)]);
+        let out = mkx_extract(&src, src.full_roi(), &MkxConfig::default(), &mut MkxBuffers::new(64, 64));
+        assert!(out.candidates.len() >= 2, "found {}", out.candidates.len());
+        let near = |tx: f64, ty: f64| {
+            out.candidates
+                .iter()
+                .any(|m| ((m.x - tx).powi(2) + (m.y - ty).powi(2)).sqrt() < 2.0)
+        };
+        assert!(near(20.0, 20.0), "candidates {:?}", out.candidates);
+        assert!(near(44.0, 44.0), "candidates {:?}", out.candidates);
+    }
+
+    #[test]
+    fn strongest_marker_first() {
+        let src = frame_with_blobs(64, 64, &[(20.0, 20.0, 600.0), (44.0, 44.0, 1400.0)]);
+        let out = mkx_extract(&src, src.full_roi(), &MkxConfig::default(), &mut MkxBuffers::new(64, 64));
+        assert!(out.candidates.len() >= 2);
+        let first = &out.candidates[0];
+        assert!((first.x - 44.0).abs() < 2.0 && (first.y - 44.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn empty_frame_yields_no_candidates() {
+        let src: ImageU16 = Image::filled(64, 64, 2000);
+        let out = mkx_extract(&src, src.full_roi(), &MkxConfig::default(), &mut MkxBuffers::new(64, 64));
+        assert!(out.candidates.is_empty(), "{:?}", out.candidates);
+    }
+
+    #[test]
+    fn roi_restricts_detection() {
+        let src = frame_with_blobs(64, 64, &[(16.0, 16.0, 1100.0), (48.0, 48.0, 1100.0)]);
+        let out = mkx_extract(
+            &src,
+            Roi::new(0, 0, 32, 32),
+            &MkxConfig::default(),
+            &mut MkxBuffers::new(64, 64),
+        );
+        assert!(!out.candidates.is_empty());
+        assert!(out.candidates.iter().all(|m| m.x < 32.0 && m.y < 32.0), "{:?}", out.candidates);
+    }
+
+    #[test]
+    fn min_separation_merges_close_maxima() {
+        let src = frame_with_blobs(64, 64, &[(30.0, 30.0, 1100.0), (33.0, 30.0, 1000.0)]);
+        let cfg = MkxConfig { min_separation: 8.0, ..Default::default() };
+        let out = mkx_extract(&src, src.full_roi(), &cfg, &mut MkxBuffers::new(64, 64));
+        // the two blobs are 3 px apart, below separation: only one survives
+        let close: Vec<_> = out
+            .candidates
+            .iter()
+            .filter(|m| (m.y - 30.0).abs() < 4.0 && (m.x - 31.5).abs() < 6.0)
+            .collect();
+        assert_eq!(close.len(), 1, "{:?}", out.candidates);
+    }
+
+    #[test]
+    fn max_candidates_cap_respected() {
+        let blobs: Vec<(f32, f32, f32)> = (0..6)
+            .flat_map(|i| (0..6).map(move |j| (8.0 + i as f32 * 9.0, 8.0 + j as f32 * 9.0, 900.0)))
+            .collect();
+        let src = frame_with_blobs(64, 64, &blobs);
+        let cfg = MkxConfig { max_candidates: 5, ..Default::default() };
+        let out = mkx_extract(&src, src.full_roi(), &cfg, &mut MkxBuffers::new(64, 64));
+        assert!(out.candidates.len() <= 5);
+        assert!(out.raw_maxima >= out.candidates.len());
+    }
+
+    #[test]
+    fn subpixel_position_close_to_fractional_truth() {
+        let src = frame_with_blobs(64, 64, &[(30.4, 25.7, 1200.0)]);
+        let out = mkx_extract(&src, src.full_roi(), &MkxConfig::default(), &mut MkxBuffers::new(64, 64));
+        assert!(!out.candidates.is_empty());
+        let m = &out.candidates[0];
+        assert!((m.x - 30.4).abs() < 0.75, "x {}", m.x);
+        assert!((m.y - 25.7).abs() < 0.75, "y {}", m.y);
+    }
+
+    #[test]
+    fn marker_distance_is_euclidean() {
+        let a = Marker { x: 0.0, y: 0.0, strength: 1.0, scale: 1.0 };
+        let b = Marker { x: 3.0, y: 4.0, strength: 1.0, scale: 1.0 };
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

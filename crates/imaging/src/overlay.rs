@@ -1,0 +1,122 @@
+//! Display overlays: annotating frames with analysis results.
+//!
+//! The clinical viewer draws the tracked ROI and the detected markers over
+//! the live image; these helpers do the same on u16 frames (used by the
+//! examples and for visual debugging of the pipeline).
+
+use crate::couples::Couple;
+use crate::image::{ImageU16, Roi};
+
+/// Draws a 1-pixel rectangle outline of `roi` with the given intensity.
+pub fn draw_roi(img: &mut ImageU16, roi: Roi, value: u16) {
+    let roi = roi.clamp_to(img.width(), img.height());
+    if roi.is_empty() {
+        return;
+    }
+    for x in roi.x..roi.right() {
+        img.set(x, roi.y, value);
+        img.set(x, roi.bottom() - 1, value);
+    }
+    for y in roi.y..roi.bottom() {
+        img.set(roi.x, y, value);
+        img.set(roi.right() - 1, y, value);
+    }
+}
+
+/// Draws a cross of half-length `arm` centered at `(cx, cy)`.
+pub fn draw_cross(img: &mut ImageU16, cx: f64, cy: f64, arm: usize, value: u16) {
+    let (w, h) = img.dims();
+    if w == 0 || h == 0 {
+        return;
+    }
+    let cx = cx.round().clamp(0.0, (w - 1) as f64) as usize;
+    let cy = cy.round().clamp(0.0, (h - 1) as f64) as usize;
+    let x0 = cx.saturating_sub(arm);
+    let x1 = (cx + arm).min(w - 1);
+    for x in x0..=x1 {
+        img.set(x, cy, value);
+    }
+    let y0 = cy.saturating_sub(arm);
+    let y1 = (cy + arm).min(h - 1);
+    for y in y0..=y1 {
+        img.set(cx, y, value);
+    }
+}
+
+/// Draws a marker couple: a cross at each marker plus a connecting line.
+pub fn draw_couple(img: &mut ImageU16, couple: &Couple, value: u16) {
+    draw_cross(img, couple.a.x, couple.a.y, 4, value);
+    draw_cross(img, couple.b.x, couple.b.y, 4, value);
+    // Bresenham-ish line via parameter stepping
+    let steps = couple.length().ceil().max(1.0) as usize;
+    let (w, h) = img.dims();
+    for i in 0..=steps {
+        let t = i as f64 / steps as f64;
+        let x = couple.a.x + (couple.b.x - couple.a.x) * t;
+        let y = couple.a.y + (couple.b.y - couple.a.y) * t;
+        if x >= 0.0 && y >= 0.0 && (x as usize) < w && (y as usize) < h {
+            img.set(x as usize, y as usize, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use crate::markers::Marker;
+
+    #[test]
+    fn roi_outline_marks_borders_only() {
+        let mut img: ImageU16 = Image::new(16, 16);
+        draw_roi(&mut img, Roi::new(4, 4, 8, 8), 999);
+        assert_eq!(img.get(4, 4), 999);
+        assert_eq!(img.get(11, 11), 999);
+        assert_eq!(img.get(4, 11), 999);
+        assert_eq!(img.get(7, 7), 0, "interior must stay untouched");
+        assert_eq!(img.get(0, 0), 0);
+    }
+
+    #[test]
+    fn roi_outline_clips_at_image_border() {
+        let mut img: ImageU16 = Image::new(8, 8);
+        draw_roi(&mut img, Roi::new(6, 6, 10, 10), 5);
+        assert_eq!(img.get(7, 7), 5);
+        // no panic is the main assertion
+    }
+
+    #[test]
+    fn cross_centered_and_clipped() {
+        let mut img: ImageU16 = Image::new(16, 16);
+        draw_cross(&mut img, 8.0, 8.0, 3, 7);
+        assert_eq!(img.get(8, 8), 7);
+        assert_eq!(img.get(5, 8), 7);
+        assert_eq!(img.get(11, 8), 7);
+        assert_eq!(img.get(8, 5), 7);
+        assert_eq!(img.get(4, 8), 0);
+        // near the border
+        draw_cross(&mut img, 0.0, 0.0, 5, 9);
+        assert_eq!(img.get(0, 0), 9);
+    }
+
+    #[test]
+    fn couple_line_connects_markers() {
+        let mut img: ImageU16 = Image::new(32, 32);
+        let c = Couple {
+            a: Marker { x: 4.0, y: 4.0, strength: 1.0, scale: 2.0 },
+            b: Marker { x: 24.0, y: 24.0, strength: 1.0, scale: 2.0 },
+            score: 0.0,
+        };
+        draw_couple(&mut img, &c, 100);
+        assert_eq!(img.get(4, 4), 100);
+        assert_eq!(img.get(24, 24), 100);
+        assert_eq!(img.get(14, 14), 100, "midpoint of the connecting line");
+    }
+
+    #[test]
+    fn empty_roi_is_a_no_op() {
+        let mut img: ImageU16 = Image::new(8, 8);
+        draw_roi(&mut img, Roi::new(0, 0, 0, 0), 5);
+        assert_eq!(img.min_max(), (0, 0));
+    }
+}

@@ -1,0 +1,163 @@
+//! Data-parallel (striped) task execution.
+//!
+//! The RDG tasks have a streaming nature and can be data-partitioned
+//! (Section 6): the frame is split into horizontal stripes and each stripe
+//! is filtered independently (the bounded filter support makes stripes with
+//! halo exact). Feature-level tasks (CPLS SEL, GW EXT) are partitioned
+//! functionally instead, because they operate on extracted features rather
+//! than image data.
+
+use crate::image::{ImageF32, ImageU16, Roi};
+use crate::ridge::{assemble_stripes, rdg_stripe, RdgConfig, RdgOutput};
+
+/// Runs `work` once per stripe of `roi` on scoped worker threads and
+/// collects the results in stripe order.
+///
+/// With `stripes == 1` the work runs inline on the calling thread, so the
+/// serial and parallel paths share one code path.
+pub fn for_each_stripe<R: Send>(
+    roi: Roi,
+    stripes: usize,
+    work: impl Fn(Roi) -> R + Sync,
+) -> Vec<R> {
+    assert!(stripes > 0, "stripe count must be positive");
+    let parts = roi.stripes(stripes);
+    if parts.len() <= 1 {
+        return parts.into_iter().map(&work).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(parts.len());
+    results.resize_with(parts.len(), || None);
+    std::thread::scope(|scope| {
+        for (slot, part) in results.iter_mut().zip(parts.iter()) {
+            let work = &work;
+            let part = *part;
+            scope.spawn(move || {
+                *slot = Some(work(part));
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("stripe worker completed")).collect()
+}
+
+/// Data-parallel ridge detection: `stripes`-way striped RDG over `roi`.
+///
+/// Equivalent to [`crate::ridge::rdg_roi`] up to the per-stripe threshold
+/// statistics; the ridge-response map is bit-identical to the full-frame
+/// computation (verified by tests).
+pub fn rdg_parallel(src: &ImageU16, roi: Roi, cfg: &RdgConfig, stripes: usize) -> RdgOutput {
+    let roi = roi.clamp_to(src.width(), src.height());
+    let parts = for_each_stripe(roi, stripes, |stripe| rdg_stripe(src, stripe, cfg));
+    // A global threshold hint from the assembled response keeps the pixel
+    // count comparable with the serial path.
+    let threshold_hint = estimate_threshold(&parts, cfg.threshold_factor);
+    assemble_stripes(src, parts, threshold_hint)
+}
+
+fn estimate_threshold(parts: &[(Roi, ImageU16, ImageF32)], factor: f32) -> f32 {
+    let mut sum = 0.0f64;
+    let mut sum2 = 0.0f64;
+    let mut n = 0usize;
+    for (_, _, r) in parts {
+        for y in 0..r.height() {
+            for &v in r.row(y) {
+                sum += v as f64;
+                sum2 += (v as f64) * (v as f64);
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let mean = sum / n as f64;
+    let std = ((sum2 / n as f64 - mean * mean).max(0.0)).sqrt();
+    (mean + factor as f64 * std) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    #[test]
+    fn for_each_stripe_covers_roi_in_order() {
+        let roi = Roi::new(0, 0, 8, 20);
+        let results = for_each_stripe(roi, 4, |s| s);
+        assert_eq!(results.len(), 4);
+        let mut y = 0;
+        for s in &results {
+            assert_eq!(s.y, y);
+            y += s.height;
+        }
+        assert_eq!(y, 20);
+    }
+
+    #[test]
+    fn single_stripe_runs_inline() {
+        let roi = Roi::new(0, 0, 8, 8);
+        let results = for_each_stripe(roi, 1, |s| s.area());
+        assert_eq!(results, vec![64]);
+    }
+
+    #[test]
+    fn stripe_results_can_be_heavy() {
+        // results larger than Copy types work (ownership transfer)
+        let roi = Roi::new(0, 0, 4, 16);
+        let results = for_each_stripe(roi, 4, |s| vec![s.y; s.height]);
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], vec![0; 4]);
+        assert_eq!(results[3], vec![12; 4]);
+    }
+
+    #[test]
+    fn parallel_rdg_response_matches_serial() {
+        let src = Image::from_fn(96, 96, |x, y| {
+            let mut v = 2000.0f32;
+            let d = (x as f32 - y as f32).abs() / 1.5;
+            v -= 900.0 * (-d * d / 2.0).exp();
+            v as u16
+        });
+        let cfg = RdgConfig::default();
+        let mut bufs = crate::ridge::RdgBuffers::new(96, 96);
+        let serial = crate::ridge::rdg_full(&src, &cfg, &mut bufs);
+        for stripes in [2usize, 3, 4] {
+            let par = rdg_parallel(&src, src.full_roi(), &cfg, stripes);
+            for y in 0..96 {
+                for x in 0..96 {
+                    let a = serial.ridgeness.get(x, y);
+                    let b = par.ridgeness.get(x, y);
+                    assert!(
+                        (a - b).abs() <= 1e-3 * a.abs().max(1.0),
+                        "{stripes} stripes: mismatch at ({x},{y}): {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rdg_pixel_count_close_to_serial() {
+        let src = Image::from_fn(96, 96, |x, y| {
+            let mut v = 2000.0f32;
+            for k in 0..3 {
+                let d = (x as f32 - y as f32 + (k * 20) as f32).abs() / 1.5;
+                v -= 700.0 * (-d * d / 2.0).exp();
+            }
+            v as u16
+        });
+        let cfg = RdgConfig::default();
+        let serial = crate::ridge::rdg_full(&src, &cfg, &mut crate::ridge::RdgBuffers::new(96, 96));
+        let par = rdg_parallel(&src, src.full_roi(), &cfg, 3);
+        // serial counts hysteresis-expanded (weak-threshold) pixels while
+        // the assembled count uses the strong threshold only, so allow a
+        // generous band
+        let lo = serial.ridge_pixels / 6;
+        let hi = serial.ridge_pixels * 6 + 16;
+        assert!(
+            (lo..=hi).contains(&par.ridge_pixels),
+            "serial {} parallel {}",
+            serial.ridge_pixels,
+            par.ridge_pixels
+        );
+    }
+}

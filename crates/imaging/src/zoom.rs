@@ -1,0 +1,189 @@
+//! ZOOM — region-of-interest magnification for display.
+//!
+//! The output of the application is presented by zooming in on the ROI
+//! containing the stent (Section 3). Bilinear and bicubic interpolation
+//! are provided; the task operates on a whole output image granularity, so
+//! its memory requirement exceeds the L2 capacity at full display size
+//! (the intra-task bandwidth analysis of Section 5 includes ZOOM).
+
+use crate::image::{ImageU16, Roi};
+
+/// Interpolation method of the zoom stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZoomFilter {
+    /// 2x2 bilinear interpolation.
+    Bilinear,
+    /// 4x4 Catmull-Rom bicubic interpolation.
+    Bicubic,
+}
+
+/// Configuration of the zoom task.
+#[derive(Debug, Clone)]
+pub struct ZoomConfig {
+    /// Output width, pixels.
+    pub out_width: usize,
+    /// Output height, pixels.
+    pub out_height: usize,
+    /// Interpolation filter.
+    pub filter: ZoomFilter,
+}
+
+impl Default for ZoomConfig {
+    fn default() -> Self {
+        Self { out_width: 512, out_height: 512, filter: ZoomFilter::Bilinear }
+    }
+}
+
+/// Catmull-Rom cubic weight.
+#[inline]
+fn cubic_weight(t: f32) -> f32 {
+    let a = -0.5f32;
+    let t = t.abs();
+    if t <= 1.0 {
+        (a + 2.0) * t * t * t - (a + 3.0) * t * t + 1.0
+    } else if t < 2.0 {
+        a * t * t * t - 5.0 * a * t * t + 8.0 * a * t - 4.0 * a
+    } else {
+        0.0
+    }
+}
+
+/// Magnifies `roi` of `src` to the configured output size.
+pub fn zoom(src: &ImageU16, roi: Roi, cfg: &ZoomConfig) -> ImageU16 {
+    let mut out = ImageU16::new(cfg.out_width, cfg.out_height);
+    zoom_band(src, roi, cfg, &mut out, 0, cfg.out_height);
+    out
+}
+
+/// Computes output rows `y0..y1` of the zoom into `out` (which must have
+/// the configured output dimensions). Disjoint row bands are independent,
+/// so the zoom can be data-partitioned across cores.
+pub fn zoom_band(
+    src: &ImageU16,
+    roi: Roi,
+    cfg: &ZoomConfig,
+    out: &mut ImageU16,
+    y0: usize,
+    y1: usize,
+) {
+    assert_eq!(out.dims(), (cfg.out_width, cfg.out_height), "output geometry mismatch");
+    let roi = roi.clamp_to(src.width(), src.height());
+    if roi.is_empty() || cfg.out_width == 0 || cfg.out_height == 0 {
+        return;
+    }
+    let sx = roi.width as f64 / cfg.out_width as f64;
+    let sy = roi.height as f64 / cfg.out_height as f64;
+    for oy in y0..y1.min(cfg.out_height) {
+        // center-aligned sampling
+        let fy = roi.y as f64 + (oy as f64 + 0.5) * sy - 0.5;
+        for ox in 0..cfg.out_width {
+            let fx = roi.x as f64 + (ox as f64 + 0.5) * sx - 0.5;
+            let v = match cfg.filter {
+                ZoomFilter::Bilinear => crate::enhance::sample_frame(src, fx, fy),
+                ZoomFilter::Bicubic => sample_bicubic(src, fx, fy),
+            };
+            out.set(ox, oy, v.clamp(0.0, u16::MAX as f32) as u16);
+        }
+    }
+}
+
+/// 4x4 Catmull-Rom sample with border replication.
+fn sample_bicubic(src: &ImageU16, x: f64, y: f64) -> f32 {
+    let x0 = x.floor() as isize;
+    let y0 = y.floor() as isize;
+    let fx = (x - x0 as f64) as f32;
+    let fy = (y - y0 as f64) as f32;
+    let mut acc = 0.0f32;
+    let mut wsum = 0.0f32;
+    for j in -1isize..=2 {
+        let wy = cubic_weight(j as f32 - fy);
+        for i in -1isize..=2 {
+            let wx = cubic_weight(i as f32 - fx);
+            let w = wx * wy;
+            acc += w * src.get_clamped(x0 + i, y0 + j) as f32;
+            wsum += w;
+        }
+    }
+    if wsum.abs() < 1e-9 {
+        0.0
+    } else {
+        acc / wsum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+
+    #[test]
+    fn identity_zoom_copies() {
+        let src = Image::from_fn(16, 16, |x, y| (x * 16 + y) as u16);
+        let cfg = ZoomConfig { out_width: 16, out_height: 16, filter: ZoomFilter::Bilinear };
+        let out = zoom(&src, src.full_roi(), &cfg);
+        for y in 0..16 {
+            for x in 0..16 {
+                assert_eq!(out.get(x, y), src.get(x, y), "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_region_stays_constant() {
+        let src = ImageU16::filled(32, 32, 1234);
+        for filter in [ZoomFilter::Bilinear, ZoomFilter::Bicubic] {
+            let cfg = ZoomConfig { out_width: 64, out_height: 64, filter };
+            let out = zoom(&src, Roi::new(4, 4, 16, 16), &cfg);
+            for y in 0..64 {
+                for x in 0..64 {
+                    let v = out.get(x, y);
+                    assert!((v as i32 - 1234).abs() <= 1, "({x},{y}) = {v} with {:?}", filter);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upscale_preserves_gradient_direction() {
+        let src = Image::from_fn(16, 16, |x, _| (x * 100) as u16);
+        let cfg = ZoomConfig { out_width: 64, out_height: 64, filter: ZoomFilter::Bilinear };
+        let out = zoom(&src, src.full_roi(), &cfg);
+        for y in 0..64 {
+            for x in 1..64 {
+                assert!(out.get(x, y) >= out.get(x - 1, y), "not monotone at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn bicubic_sharper_than_bilinear_on_edge() {
+        // a step edge: bicubic overshoots slightly (ringing), so its output
+        // range must be at least as wide as bilinear's
+        let src = Image::from_fn(16, 16, |x, _| if x < 8 { 100u16 } else { 2000 });
+        let mk = |filter| {
+            let cfg = ZoomConfig { out_width: 64, out_height: 16, filter };
+            zoom(&src, src.full_roi(), &cfg)
+        };
+        let (lin_lo, lin_hi) = mk(ZoomFilter::Bilinear).min_max();
+        let (cub_lo, cub_hi) = mk(ZoomFilter::Bicubic).min_max();
+        assert!(cub_hi >= lin_hi);
+        assert!(cub_lo <= lin_lo);
+    }
+
+    #[test]
+    fn empty_roi_yields_black() {
+        let src = ImageU16::filled(8, 8, 500);
+        let cfg = ZoomConfig { out_width: 4, out_height: 4, filter: ZoomFilter::Bilinear };
+        let out = zoom(&src, Roi::new(0, 0, 0, 0), &cfg);
+        assert_eq!(out.min_max(), (0, 0));
+    }
+
+    #[test]
+    fn cubic_weights_partition_unity_near_center() {
+        // sum of the 4 taps at any phase is ~1 for Catmull-Rom
+        for phase in [0.0f32, 0.25, 0.5, 0.75] {
+            let s: f32 = (-1..=2).map(|i| cubic_weight(i as f32 - phase)).sum();
+            assert!((s - 1.0).abs() < 1e-5, "phase {phase}: {s}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Application state and configuration of the stent-enhancement pipeline.
+
+use imaging::couples::{Couple, CplsConfig};
+use imaging::enhance::{EnhConfig, EnhState};
+use imaging::guidewire::GwConfig;
+use imaging::image::{ImageU16, Roi};
+use imaging::markers::{MkxBuffers, MkxConfig};
+use imaging::registration::RegConfig;
+use imaging::ridge::{RdgBuffers, RdgConfig};
+use imaging::roi_est::RoiEstConfig;
+use imaging::zoom::ZoomConfig;
+
+/// Configuration of all pipeline tasks plus the switch thresholds.
+#[derive(Debug, Clone)]
+pub struct AppConfig {
+    pub rdg: RdgConfig,
+    pub mkx: MkxConfig,
+    pub cpls: CplsConfig,
+    pub reg: RegConfig,
+    pub roi_est: RoiEstConfig,
+    pub gw: GwConfig,
+    pub enh: EnhConfig,
+    pub zoom: ZoomConfig,
+    /// Structure-probe threshold of the "RDG DETECTION" switch: frames
+    /// whose block-averaged gradient measure exceeds it run ridge
+    /// detection. Calibrated for the synthetic sequences (see tests).
+    pub structure_threshold: f64,
+    /// Block size of the noise-suppressing probe.
+    pub probe_block: usize,
+    /// Consecutive registration failures before the tracking reference is
+    /// dropped (forces re-acquisition).
+    pub max_reg_failures: usize,
+    /// Structure-probe multiple above which RDG's fine refinement scales
+    /// run (the coarse-to-fine content adaptation).
+    pub fine_probe_factor: f64,
+}
+
+impl Default for AppConfig {
+    fn default() -> Self {
+        Self {
+            rdg: RdgConfig::default(),
+            mkx: MkxConfig::default(),
+            cpls: CplsConfig::default(),
+            reg: RegConfig::default(),
+            roi_est: RoiEstConfig::default(),
+            gw: GwConfig::default(),
+            enh: EnhConfig::default(),
+            zoom: ZoomConfig::default(),
+            structure_threshold: 26.0,
+            probe_block: 4,
+            max_reg_failures: 5,
+            fine_probe_factor: 1.25,
+        }
+    }
+}
+
+/// Noise-robust structure probe for the RDG switch: block-averages the
+/// frame (suppressing quantum noise by the block factor) and measures the
+/// mean absolute gradient of the reduced image. Dominant curvilinear
+/// structures (contrast-filled vessels) survive the averaging; noise does
+/// not.
+pub fn structure_probe(frame: &ImageU16, block: usize) -> f64 {
+    assert!(block > 0);
+    let (w, h) = frame.dims();
+    let bw = w / block;
+    let bh = h / block;
+    if bw < 2 || bh < 2 {
+        return 0.0;
+    }
+    // block-average
+    let mut small = vec![0.0f64; bw * bh];
+    for by in 0..bh {
+        for bx in 0..bw {
+            let mut sum = 0.0f64;
+            for y in 0..block {
+                for x in 0..block {
+                    sum += frame.get(bx * block + x, by * block + y) as f64;
+                }
+            }
+            small[by * bw + bx] = sum / (block * block) as f64;
+        }
+    }
+    // mean absolute gradient
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for y in 0..bh - 1 {
+        for x in 0..bw - 1 {
+            let v = small[y * bw + x];
+            total += (small[y * bw + x + 1] - v).abs() + (small[(y + 1) * bw + x] - v).abs();
+            count += 2;
+        }
+    }
+    total / count as f64
+}
+
+/// Mutable state of the pipeline, carried across frames.
+pub struct AppState {
+    /// RDG working buffers (frame-sized, reused).
+    pub rdg_bufs: RdgBuffers,
+    /// MKX working buffers.
+    pub mkx_bufs: MkxBuffers,
+    /// Temporal-integration state of ENH.
+    pub enh_state: EnhState,
+    /// Reference frame for registration (set on couple acquisition).
+    pub reference_frame: Option<ImageU16>,
+    /// Reference marker couple.
+    pub reference_couple: Option<Couple>,
+    /// Couple selected in the previous frame (temporal-consistency term).
+    pub prev_couple: Option<Couple>,
+    /// ROI being tracked (drives the "ROI ESTIMATED" switch).
+    pub current_roi: Option<Roi>,
+    /// Magnitude of the last registered motion, pixels/frame.
+    pub recent_motion: f64,
+    /// Consecutive registration failures.
+    pub reg_failures: usize,
+    /// Whether RDG's fine refinement scales are currently active (the
+    /// coarse-to-fine switch, with hysteresis against probe noise).
+    pub fine_active: bool,
+}
+
+impl AppState {
+    /// Creates pipeline state for `width x height` frames.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self {
+            rdg_bufs: RdgBuffers::new(width, height),
+            mkx_bufs: MkxBuffers::new(width, height),
+            enh_state: EnhState::new(width, height),
+            reference_frame: None,
+            reference_couple: None,
+            prev_couple: None,
+            current_roi: None,
+            recent_motion: 0.0,
+            reg_failures: 0,
+            fine_active: false,
+        }
+    }
+
+    /// Drops the tracking reference (couple lost / too many failures).
+    pub fn lose_tracking(&mut self) {
+        self.reference_frame = None;
+        self.reference_couple = None;
+        self.current_roi = None;
+        self.reg_failures = 0;
+        self.enh_state.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imaging::image::Image;
+
+    #[test]
+    fn probe_separates_structured_from_flat() {
+        let flat: ImageU16 = Image::filled(128, 128, 2000);
+        let structured = Image::from_fn(128, 128, |x, y| {
+            let d = (x as f32 - y as f32).abs() / 2.0;
+            (2000.0 - 600.0 * (-d * d / 8.0).exp()) as u16
+        });
+        let pf = structure_probe(&flat, 4);
+        let ps = structure_probe(&structured, 4);
+        assert!(ps > 5.0 * (pf + 1.0), "structured {ps} flat {pf}");
+    }
+
+    #[test]
+    fn probe_suppresses_noise() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let noisy = Image::from_fn(128, 128, |_, _| {
+            (2000.0 + rng.gen_range(-150.0..150.0)) as u16
+        });
+        let raw_grad = imaging::ridge::quick_structure_probe(&noisy, 1);
+        let blocked = structure_probe(&noisy, 4);
+        assert!(blocked < raw_grad / 2.0, "blocked {blocked} raw {raw_grad}");
+    }
+
+    #[test]
+    fn lose_tracking_clears_state() {
+        let mut s = AppState::new(32, 32);
+        s.current_roi = Some(Roi::new(0, 0, 8, 8));
+        s.reg_failures = 3;
+        s.recent_motion = 5.0;
+        s.lose_tracking();
+        assert!(s.current_roi.is_none());
+        assert!(s.reference_couple.is_none());
+        assert_eq!(s.reg_failures, 0);
+        assert_eq!(s.enh_state.frames_integrated(), 0);
+    }
+
+    #[test]
+    fn probe_handles_tiny_frames() {
+        let tiny: ImageU16 = Image::filled(4, 4, 100);
+        assert_eq!(structure_probe(&tiny, 4), 0.0);
+    }
+}

@@ -1,0 +1,427 @@
+//! Frame-by-frame execution of the dynamic flow graph.
+//!
+//! Each frame walks the Fig. 2 graph: the three data-dependent switches
+//! select the active task group, every task's computation time is
+//! measured, and the frame's *effective latency* is computed by virtual
+//! scheduling onto the modelled multiprocessor (a striped RDG overlaps its
+//! stripes on distinct cores; the remaining tasks are sequentially
+//! dependent within a frame).
+
+use crate::app::{structure_probe, AppConfig, AppState};
+use imaging::couples::cpls_select;
+
+use imaging::guidewire::gw_extract;
+use imaging::image::{ImageU16, Roi};
+use imaging::markers::mkx_extract;
+use imaging::registration::register;
+use imaging::ridge::{rdg_roi, rdg_stripe, RdgOutput};
+use imaging::roi_est::estimate_roi;
+use imaging::zoom::zoom_band;
+use platform::profile::time_ms;
+use platform::schedule::{VirtualJob, VirtualSchedule};
+use platform::trace::FrameRecord;
+use triplec::scenario::Scenario;
+
+/// How the frame's tasks are partitioned onto the platform this frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionPolicy {
+    /// Stripe count of the RDG task (1 = serial).
+    pub rdg_stripes: usize,
+    /// Stripe count of the other data-partitionable streaming tasks
+    /// (GW EXT's internal ridge filter, ENH, ZOOM).
+    pub aux_stripes: usize,
+    /// Number of modelled cores available.
+    pub cores: usize,
+}
+
+impl Default for ExecutionPolicy {
+    fn default() -> Self {
+        Self { rdg_stripes: 1, aux_stripes: 1, cores: 8 }
+    }
+}
+
+/// Tasks that can be data-partitioned (striped) on the platform; the
+/// remaining tasks are feature-level (CPLS SEL, REG, ROI EST) or
+/// extraction passes with global candidate state (MKX EXT) and stay
+/// serial within a frame.
+pub const STRIPABLE_TASKS: [&str; 5] = ["RDG_FULL", "RDG_ROI", "GW_EXT", "ENH", "ZOOM"];
+
+/// Result of processing one frame.
+pub struct FrameOutput {
+    /// Trace record: task times (serial work), scenario, effective latency.
+    pub record: FrameRecord,
+    /// The scenario the frame executed.
+    pub scenario: Scenario,
+    /// ROI in effect for the *next* frame (if tracking).
+    pub roi: Option<Roi>,
+    /// ROI processed *this* frame, kilopixels (covariate for Eq. 3).
+    pub roi_kpixels: f64,
+    /// The marker couple selected this frame.
+    pub couple_found: bool,
+    /// The enhanced, zoomed output image (only on successful registration).
+    pub display: Option<ImageU16>,
+}
+
+/// Processes one frame through the dynamic flow graph.
+pub fn process_frame(
+    frame_index: usize,
+    frame: &ImageU16,
+    state: &mut AppState,
+    cfg: &AppConfig,
+    policy: &ExecutionPolicy,
+) -> FrameOutput {
+    let (w, h) = frame.dims();
+    let mut task_times: Vec<(&'static str, f64)> = Vec::with_capacity(9);
+    let mut schedule = VirtualSchedule::new(policy.cores.max(1));
+
+    // --- switch 1: RDG DETECTION --------------------------------------
+    let probe = structure_probe(frame, cfg.probe_block);
+    let rdg_active = probe > cfg.structure_threshold;
+    // coarse-to-fine adaptation: heavy content triggers the fine scales.
+    // Deciding from the whole-frame probe keeps serial and striped
+    // executions identical; hysteresis (on above the threshold, off only
+    // below 90% of it) prevents flip-flopping on probe noise.
+    let fine_on = cfg.structure_threshold * cfg.fine_probe_factor;
+    if probe > fine_on {
+        state.fine_active = true;
+    } else if probe < fine_on * 0.9 {
+        state.fine_active = false;
+    }
+    let mut rdg_cfg = cfg.rdg.clone();
+    rdg_cfg.fine_enabled = state.fine_active;
+
+    // --- switch 2 (granularity): ROI ESTIMATED ------------------------
+    let roi_estimated = state.current_roi.is_some();
+    let work_roi = state.current_roi.unwrap_or_else(|| frame.full_roi());
+    let roi_kpixels = work_roi.area() as f64 / 1000.0;
+
+    // --- RDG ------------------------------------------------------------
+    let rdg_out: Option<RdgOutput> = if rdg_active {
+        let task: &'static str = if roi_estimated { "RDG_ROI" } else { "RDG_FULL" };
+        let stripes = policy.rdg_stripes.max(1);
+        if stripes == 1 {
+            let (out, ms) = time_ms(|| rdg_roi(frame, work_roi, &rdg_cfg, &mut state.rdg_bufs));
+            task_times.push((task, ms));
+            schedule.serial(0, ms);
+            Some(out)
+        } else {
+            // striped: measure each stripe's work, schedule them in
+            // parallel on distinct cores, then assemble
+            let mut parts = Vec::with_capacity(stripes);
+            let mut jobs = Vec::with_capacity(stripes);
+            let mut serial_ms = 0.0;
+            for (i, stripe) in work_roi.stripes(stripes).into_iter().enumerate() {
+                let (part, ms) = time_ms(|| rdg_stripe(frame, stripe, &rdg_cfg));
+                serial_ms += ms;
+                jobs.push(VirtualJob { core: i, duration_ms: ms });
+                parts.push(part);
+            }
+            task_times.push((task, serial_ms));
+            schedule.stage(&jobs);
+            let threshold = 0.0; // pixel counting not used on this path
+            Some(imaging::ridge::assemble_stripes(frame, parts, threshold))
+        }
+    } else {
+        None
+    };
+
+    // --- MKX EXT ---------------------------------------------------------
+    let mkx_input = rdg_out.as_ref().map(|o| &o.filtered).unwrap_or(frame);
+    let (mkx, ms) = time_ms(|| mkx_extract(mkx_input, work_roi, &cfg.mkx, &mut state.mkx_bufs));
+    task_times.push(("MKX_EXT", ms));
+    schedule.serial(0, ms);
+
+    // --- CPLS SEL ----------------------------------------------------------
+    let prev = state.prev_couple;
+    let (cpls, ms) = time_ms(|| cpls_select(&mkx.candidates, prev.as_ref(), &cfg.cpls));
+    task_times.push(("CPLS_SEL", ms));
+    schedule.serial(0, ms);
+    let couple = cpls.couple;
+
+    // --- REG ---------------------------------------------------------------
+    let mut reg_successful = false;
+    let mut transform = imaging::registration::RigidTransform::identity();
+    let (reg_result, ms) = time_ms(|| {
+        match (&couple, &state.reference_couple, &state.reference_frame) {
+            (Some(c), Some(rc), Some(rf)) => Some(register(frame, rf, c, rc, work_roi, &cfg.reg)),
+            _ => None,
+        }
+    });
+    task_times.push(("REG", ms));
+    schedule.serial(0, ms);
+    match reg_result {
+        Some(r) => {
+            reg_successful = r.success;
+            if r.success {
+                transform = r.transform;
+                state.recent_motion = r.transform.translation_magnitude();
+                state.reg_failures = 0;
+            } else {
+                state.reg_failures += 1;
+            }
+        }
+        None => {
+            if let Some(c) = &couple {
+                // first acquisition: this frame becomes the reference
+                state.reference_frame = Some(frame.clone());
+                state.reference_couple = Some(*c);
+            }
+        }
+    }
+
+    // --- ROI EST + GW EXT (tracking branch) ------------------------------
+    // The tracking tasks run at ROI granularity, i.e. only once a region
+    // of interest is established (the "ROI ESTIMATED" switch). On the
+    // acquisition frame (first couple, not yet tracking) the ROI is
+    // bootstrapped without running the tasks, which keeps the executed
+    // task set consistent with the scenario state table.
+    let mut next_roi = None;
+    if let Some(c) = &couple {
+        if roi_estimated {
+            let (roi, ms) = time_ms(|| estimate_roi(c, state.recent_motion, w, h, &cfg.roi_est));
+            task_times.push(("ROI_EST", ms));
+            schedule.serial(0, ms);
+
+            // guide-wire verification: "the guide wire can be detected by
+            // a ridge filter in guide-wire extraction" (Section 3) — GW
+            // runs its own ridge filter over the tracking ROI (a
+            // data-partitionable streaming pass), followed by the serial
+            // DP path search.
+            let gw_stripes = policy.aux_stripes.max(1);
+            let mut gw_serial_ms = 0.0;
+            let ridgeness = if gw_stripes == 1 {
+                let (out, ms) =
+                    time_ms(|| rdg_roi(frame, roi, &cfg.rdg, &mut state.rdg_bufs).ridgeness);
+                gw_serial_ms += ms;
+                schedule.serial(0, ms);
+                out
+            } else {
+                let mut parts = Vec::with_capacity(gw_stripes);
+                let mut jobs = Vec::with_capacity(gw_stripes);
+                for (i, stripe) in roi.stripes(gw_stripes).into_iter().enumerate() {
+                    let (part, ms) = time_ms(|| rdg_stripe(frame, stripe, &cfg.rdg));
+                    gw_serial_ms += ms;
+                    jobs.push(VirtualJob { core: i, duration_ms: ms });
+                    parts.push(part);
+                }
+                schedule.stage(&jobs);
+                imaging::ridge::assemble_stripes(frame, parts, 0.0).ridgeness
+            };
+            let (gw, ms) = time_ms(|| gw_extract(&ridgeness, c, &cfg.gw));
+            gw_serial_ms += ms;
+            schedule.serial(0, ms);
+            task_times.push(("GW_EXT", gw_serial_ms));
+
+            if gw.wire_found {
+                next_roi = Some(roi);
+            }
+        } else {
+            // acquisition bootstrap: negligible cost, not a graph task
+            next_roi = Some(estimate_roi(c, state.recent_motion, w, h, &cfg.roi_est));
+        }
+    }
+
+    // --- switch 3: REG. SUCCESSFUL -> ENH + ZOOM ---------------------------
+    let mut display = None;
+    if reg_successful {
+        let enh_roi = next_roi
+            .or(state.current_roi)
+            .unwrap_or_else(|| frame.full_roi());
+        let stripes = policy.aux_stripes.max(1);
+
+        // ENH: the accumulation is data-partitionable over disjoint rows;
+        // the readout is a cheap serial pass.
+        let weight = state.enh_state.next_weight(&cfg.enh);
+        let mut enh_serial_ms = 0.0;
+        if stripes == 1 {
+            let (_, ms) =
+                time_ms(|| state.enh_state.accumulate(frame, &transform, enh_roi, weight));
+            enh_serial_ms += ms;
+            schedule.serial(0, ms);
+        } else {
+            let mut jobs = Vec::with_capacity(stripes);
+            for (i, stripe) in enh_roi.stripes(stripes).into_iter().enumerate() {
+                let (_, ms) =
+                    time_ms(|| state.enh_state.accumulate(frame, &transform, stripe, weight));
+                enh_serial_ms += ms;
+                jobs.push(VirtualJob { core: i, duration_ms: ms });
+            }
+            schedule.stage(&jobs);
+        }
+        state.enh_state.commit();
+        let (enhanced, ms) = time_ms(|| state.enh_state.readout(enh_roi, cfg.enh.gain));
+        enh_serial_ms += ms;
+        schedule.serial(0, ms);
+        task_times.push(("ENH", enh_serial_ms));
+
+        // ZOOM: output row bands are independent.
+        let mut out_img = ImageU16::new(cfg.zoom.out_width, cfg.zoom.out_height);
+        let src_roi = enhanced.full_roi();
+        let mut zoom_serial_ms = 0.0;
+        if stripes == 1 {
+            let (_, ms) = time_ms(|| {
+                zoom_band(&enhanced, src_roi, &cfg.zoom, &mut out_img, 0, cfg.zoom.out_height)
+            });
+            zoom_serial_ms += ms;
+            schedule.serial(0, ms);
+        } else {
+            let band = cfg.zoom.out_height.div_ceil(stripes);
+            let mut jobs = Vec::with_capacity(stripes);
+            for i in 0..stripes {
+                let y0 = i * band;
+                let y1 = ((i + 1) * band).min(cfg.zoom.out_height);
+                if y0 >= y1 {
+                    continue;
+                }
+                let (_, ms) =
+                    time_ms(|| zoom_band(&enhanced, src_roi, &cfg.zoom, &mut out_img, y0, y1));
+                zoom_serial_ms += ms;
+                jobs.push(VirtualJob { core: i, duration_ms: ms });
+            }
+            schedule.stage(&jobs);
+        }
+        task_times.push(("ZOOM", zoom_serial_ms));
+        display = Some(out_img);
+    }
+
+    // --- bookkeeping -----------------------------------------------------
+    state.prev_couple = couple;
+    if couple.is_none() || state.reg_failures > cfg.max_reg_failures {
+        state.lose_tracking();
+    } else {
+        state.current_roi = next_roi;
+    }
+
+    let scenario = Scenario { rdg_active, roi_estimated, reg_successful };
+    let latency_ms = schedule.now();
+    FrameOutput {
+        record: FrameRecord { frame: frame_index, scenario: scenario.id(), task_times, latency_ms },
+        scenario,
+        roi: state.current_roi,
+        roi_kpixels,
+        couple_found: couple.is_some(),
+        display,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xray::{NoiseConfig, SequenceConfig, SequenceGenerator};
+
+    fn clean_sequence(frames: usize, seed: u64) -> SequenceGenerator {
+        SequenceGenerator::new(SequenceConfig {
+            width: 160,
+            height: 160,
+            frames,
+            seed,
+            noise: NoiseConfig { quantum_scale: 0.3, electronic_std: 2.0 },
+            ..Default::default()
+        })
+    }
+
+    fn run(frames: usize, seed: u64, policy: ExecutionPolicy) -> Vec<FrameOutput> {
+        let cfg = AppConfig::default();
+        let mut state = AppState::new(160, 160);
+        clean_sequence(frames, seed)
+            .map(|f| process_frame(f.index, &f.image, &mut state, &cfg, &policy))
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_acquires_and_tracks_markers() {
+        let outs = run(10, 42, ExecutionPolicy::default());
+        let found = outs.iter().filter(|o| o.couple_found).count();
+        assert!(found >= 7, "couple found in only {found}/10 frames");
+        // tracking established: later frames run at ROI granularity
+        assert!(
+            outs[5..].iter().any(|o| o.scenario.roi_estimated),
+            "ROI never estimated"
+        );
+    }
+
+    #[test]
+    fn registration_eventually_succeeds_and_produces_display() {
+        let outs = run(12, 43, ExecutionPolicy::default());
+        let successes = outs.iter().filter(|o| o.scenario.reg_successful).count();
+        assert!(successes >= 3, "registration succeeded {successes} times");
+        assert!(outs.iter().any(|o| o.display.is_some()), "no display output");
+    }
+
+    #[test]
+    fn every_frame_records_core_tasks() {
+        let outs = run(6, 44, ExecutionPolicy::default());
+        for o in &outs {
+            assert!(o.record.task_time("MKX_EXT").is_some());
+            assert!(o.record.task_time("CPLS_SEL").is_some());
+            assert!(o.record.task_time("REG").is_some());
+            assert!(o.record.latency_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn recorded_scenario_matches_executed_tasks() {
+        let outs = run(12, 45, ExecutionPolicy::default());
+        for o in &outs {
+            let s = o.scenario;
+            assert_eq!(o.record.task_time("ENH").is_some(), s.reg_successful, "frame {}", o.record.frame);
+            let ran_rdg = o.record.task_time("RDG_FULL").is_some()
+                || o.record.task_time("RDG_ROI").is_some();
+            assert_eq!(ran_rdg, s.rdg_active, "frame {}", o.record.frame);
+        }
+    }
+
+    #[test]
+    fn roi_granularity_reduces_rdg_work() {
+        let outs = run(14, 46, ExecutionPolicy::default());
+        let full: Vec<f64> = outs
+            .iter()
+            .filter_map(|o| o.record.task_time("RDG_FULL"))
+            .collect();
+        let roi: Vec<f64> = outs
+            .iter()
+            .filter_map(|o| o.record.task_time("RDG_ROI"))
+            .collect();
+        if !full.is_empty() && !roi.is_empty() {
+            let mf = full.iter().sum::<f64>() / full.len() as f64;
+            let mr = roi.iter().sum::<f64>() / roi.len() as f64;
+            assert!(mr < mf, "ROI RDG {mr} not cheaper than full {mf}");
+        }
+    }
+
+    #[test]
+    fn striped_rdg_lowers_effective_latency() {
+        let serial = run(8, 47, ExecutionPolicy { rdg_stripes: 1, aux_stripes: 1, cores: 8 });
+        let striped = run(8, 47, ExecutionPolicy { rdg_stripes: 4, aux_stripes: 4, cores: 8 });
+        // compare frames where full-frame RDG ran in both runs
+        let mut pairs = 0;
+        let mut faster = 0;
+        for (a, b) in serial.iter().zip(&striped) {
+            if a.record.task_time("RDG_FULL").is_some() && b.record.task_time("RDG_FULL").is_some()
+            {
+                pairs += 1;
+                if b.record.latency_ms < a.record.latency_ms {
+                    faster += 1;
+                }
+            }
+        }
+        assert!(pairs > 0, "no comparable frames");
+        assert!(
+            faster * 3 >= pairs * 2,
+            "striping faster in only {faster}/{pairs} frames"
+        );
+    }
+
+    #[test]
+    fn latency_at_most_sum_of_task_times_plus_overhead() {
+        for o in run(6, 48, ExecutionPolicy { rdg_stripes: 2, aux_stripes: 2, cores: 8 }) {
+            let serial_sum = o.record.total_task_time();
+            assert!(
+                o.record.latency_ms <= serial_sum + 1.0,
+                "latency {} exceeds serial sum {}",
+                o.record.latency_ms,
+                serial_sum
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # triplec-platform
+//!
+//! Simulated multiprocessor platform for the Triple-C reproduction,
+//! modelling the paper's dual quad-core Intel "Blackford" testbed
+//! (Fig. 4): [`arch`] holds the architecture parameters, [`cache`] is a
+//! trace-driven set-associative cache simulator (the "measurement" side of
+//! the bandwidth experiments), [`spacetime`] the analytic space-time
+//! buffer-occupation model of Section 5 (the "prediction" side, Fig. 5),
+//! [`bandwidth`] aggregates per-bus communication loads, [`mapping`]
+//! describes task-to-core partitionings, [`executor`] is a persistent
+//! worker pool used by the pipeline, and [`profile`]/[`trace`] collect the
+//! computation-time statistics the prediction models train on.
+
+pub mod arch;
+pub mod bandwidth;
+pub mod cache;
+pub mod executor;
+pub mod hierarchy;
+pub mod mapping;
+pub mod profile;
+pub mod schedule;
+pub mod spacetime;
+pub mod trace;
+
+pub use arch::{ArchModel, CacheGeometry, GB, KB, MB};
+pub use bandwidth::{add_intra_task, inter_task_load, BusLoad, Edge};
+pub use cache::{Access, CacheSim, CacheStats};
+pub use executor::CorePool;
+pub use hierarchy::{CacheHierarchy, HierarchyTraffic};
+pub use mapping::{Mapping, Partition};
+pub use profile::{time_ms, Profiler, TaskStats};
+pub use schedule::{pipelined_schedule, stage_makespan, PipelinedResult, VirtualJob, VirtualSchedule, DISPATCH_OVERHEAD_MS};
+pub use spacetime::{predict_traffic, simulate_traffic, BufferSpec, PassSpec, TaskAccessModel, TaskTraffic};
+pub use trace::{summary_of, FrameRecord, LatencySummary, TraceLog};

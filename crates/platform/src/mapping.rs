@@ -1,0 +1,175 @@
+//! Task-to-core mapping and partitioning descriptors.
+//!
+//! The partitioning of the application on the platform has a direct
+//! relationship with the required amount of communication bandwidth
+//! between tasks (Section 5): an edge between tasks mapped to cores that
+//! share an L2 stays on the cache bus, otherwise it crosses the memory
+//! hierarchy.
+
+use crate::arch::ArchModel;
+use std::collections::BTreeMap;
+
+/// How a task is partitioned across cores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partition {
+    /// The whole task on one core.
+    Serial { core: usize },
+    /// Data-parallel striping over the listed cores (RDG-style tasks).
+    Striped { cores: Vec<usize> },
+    /// Functional split: each listed core owns one sub-function
+    /// (CPLS/GW-style feature tasks).
+    Functional { cores: Vec<usize> },
+}
+
+impl Partition {
+    /// Cores used by the partition.
+    pub fn cores(&self) -> &[usize] {
+        match self {
+            Partition::Serial { core } => std::slice::from_ref(core),
+            Partition::Striped { cores } | Partition::Functional { cores } => cores,
+        }
+    }
+
+    /// Degree of parallelism.
+    pub fn width(&self) -> usize {
+        self.cores().len().max(1)
+    }
+}
+
+/// A complete mapping of named tasks onto the platform.
+#[derive(Debug, Clone, Default)]
+pub struct Mapping {
+    assignments: BTreeMap<&'static str, Partition>,
+}
+
+impl Mapping {
+    /// Empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns (or reassigns) a task.
+    pub fn assign(&mut self, task: &'static str, partition: Partition) {
+        self.assignments.insert(task, partition);
+    }
+
+    /// Looks up a task's partition.
+    pub fn get(&self, task: &str) -> Option<&Partition> {
+        self.assignments.get(task)
+    }
+
+    /// Iterates over all assignments.
+    pub fn iter(&self) -> impl Iterator<Item = (&&'static str, &Partition)> {
+        self.assignments.iter()
+    }
+
+    /// Number of assigned tasks.
+    pub fn len(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assignments.is_empty()
+    }
+
+    /// Validates that all referenced cores exist and returns the number of
+    /// distinct cores in use.
+    pub fn validate(&self, arch: &ArchModel) -> Result<usize, String> {
+        let mut used = std::collections::BTreeSet::new();
+        for (task, p) in &self.assignments {
+            for &c in p.cores() {
+                if c >= arch.cores {
+                    return Err(format!("task {task} mapped to nonexistent core {c}"));
+                }
+                used.insert(c);
+            }
+            if p.cores().is_empty() {
+                return Err(format!("task {task} mapped to no cores"));
+            }
+        }
+        Ok(used.len())
+    }
+
+    /// Whether the data edge `producer -> consumer` stays within one L2
+    /// domain. Edges between unassigned tasks default to `false`
+    /// (conservative: crosses the memory bus).
+    pub fn edge_shares_l2(&self, arch: &ArchModel, producer: &str, consumer: &str) -> bool {
+        let (Some(p), Some(c)) = (self.get(producer), self.get(consumer)) else {
+            return false;
+        };
+        p.cores().iter().all(|&pc| {
+            c.cores().iter().all(|&cc| arch.share_l2(pc, cc))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_cores_and_width() {
+        let s = Partition::Serial { core: 3 };
+        assert_eq!(s.cores(), &[3]);
+        assert_eq!(s.width(), 1);
+        let d = Partition::Striped { cores: vec![0, 1, 2, 3] };
+        assert_eq!(d.width(), 4);
+    }
+
+    #[test]
+    fn mapping_assign_and_lookup() {
+        let mut m = Mapping::new();
+        m.assign("RDG", Partition::Striped { cores: vec![0, 1] });
+        m.assign("MKX", Partition::Serial { core: 2 });
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.get("RDG").unwrap().width(), 2);
+        assert!(m.get("ZZZ").is_none());
+        // reassignment replaces
+        m.assign("MKX", Partition::Serial { core: 3 });
+        assert_eq!(m.get("MKX").unwrap().cores(), &[3]);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_bad_cores() {
+        let arch = ArchModel::default();
+        let mut m = Mapping::new();
+        m.assign("RDG", Partition::Serial { core: 7 });
+        assert_eq!(m.validate(&arch), Ok(1));
+        m.assign("MKX", Partition::Serial { core: 8 });
+        assert!(m.validate(&arch).is_err());
+    }
+
+    #[test]
+    fn validate_counts_distinct_cores() {
+        let arch = ArchModel::default();
+        let mut m = Mapping::new();
+        m.assign("RDG", Partition::Striped { cores: vec![0, 1] });
+        m.assign("MKX", Partition::Serial { core: 1 });
+        assert_eq!(m.validate(&arch), Ok(2));
+    }
+
+    #[test]
+    fn edge_l2_sharing_follows_core_pairs() {
+        let arch = ArchModel::default(); // pairs (0,1), (2,3), ...
+        let mut m = Mapping::new();
+        m.assign("A", Partition::Serial { core: 0 });
+        m.assign("B", Partition::Serial { core: 1 });
+        m.assign("C", Partition::Serial { core: 2 });
+        assert!(m.edge_shares_l2(&arch, "A", "B"));
+        assert!(!m.edge_shares_l2(&arch, "A", "C"));
+        assert!(!m.edge_shares_l2(&arch, "A", "missing"));
+    }
+
+    #[test]
+    fn striped_edge_requires_all_pairs_shared() {
+        let arch = ArchModel::default();
+        let mut m = Mapping::new();
+        m.assign("A", Partition::Striped { cores: vec![0, 1] });
+        m.assign("B", Partition::Serial { core: 0 });
+        assert!(m.edge_shares_l2(&arch, "A", "B"));
+        m.assign("B", Partition::Serial { core: 2 });
+        assert!(!m.edge_shares_l2(&arch, "A", "B"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-frame execution traces.
+//!
+//! The experiments record one [`FrameRecord`] per processed frame — task
+//! times, scenario, effective latency — and derive the summary statistics
+//! reported in the paper (latency band, jitter, worst-vs-average gap).
+
+/// Execution record of one frame.
+#[derive(Debug, Clone)]
+pub struct FrameRecord {
+    /// Frame index.
+    pub frame: usize,
+    /// Scenario identifier (which switch combination ran), `0..8`.
+    pub scenario: u8,
+    /// Per-task execution times, `(task, ms)`.
+    pub task_times: Vec<(&'static str, f64)>,
+    /// Effective output latency of the frame, ms.
+    pub latency_ms: f64,
+}
+
+impl FrameRecord {
+    /// Sum of all task times (the serial computation time of the frame).
+    pub fn total_task_time(&self) -> f64 {
+        self.task_times.iter().map(|(_, t)| t).sum()
+    }
+
+    /// Time of one task if it ran this frame.
+    pub fn task_time(&self, task: &str) -> Option<f64> {
+        self.task_times.iter().find(|(n, _)| *n == task).map(|&(_, t)| t)
+    }
+}
+
+/// Latency summary of a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of frames.
+    pub frames: usize,
+    /// Mean latency, ms.
+    pub mean: f64,
+    /// Standard deviation (jitter), ms.
+    pub std: f64,
+    /// Minimum latency, ms.
+    pub min: f64,
+    /// Maximum latency, ms.
+    pub max: f64,
+    /// `(max - mean) / mean`: the worst-vs-average-case gap the paper
+    /// reports (85% straightforward vs. 20% semi-automatic).
+    pub worst_vs_avg: f64,
+}
+
+/// A log of frame records with summary helpers.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    records: Vec<FrameRecord>,
+}
+
+impl TraceLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, r: FrameRecord) {
+        self.records.push(r);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[FrameRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Latency series.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.latency_ms).collect()
+    }
+
+    /// Per-task time series (frames where the task did not run are skipped).
+    pub fn task_series(&self, task: &str) -> Vec<f64> {
+        self.records.iter().filter_map(|r| r.task_time(task)).collect()
+    }
+
+    /// Scenario occupancy: how many frames ran each scenario id.
+    pub fn scenario_histogram(&self) -> [usize; 8] {
+        let mut h = [0usize; 8];
+        for r in &self.records {
+            h[(r.scenario as usize) % 8] += 1;
+        }
+        h
+    }
+
+    /// Latency summary of the log.
+    pub fn latency_summary(&self) -> LatencySummary {
+        summary_of(&self.latencies())
+    }
+}
+
+/// Summary statistics of an arbitrary latency series.
+pub fn summary_of(xs: &[f64]) -> LatencySummary {
+    if xs.is_empty() {
+        return LatencySummary { frames: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0, worst_vs_avg: 0.0 };
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    LatencySummary {
+        frames: xs.len(),
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+        worst_vs_avg: if mean > 0.0 { (max - mean) / mean } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(frame: usize, scenario: u8, latency: f64) -> FrameRecord {
+        FrameRecord {
+            frame,
+            scenario,
+            task_times: vec![("RDG", latency * 0.6), ("MKX", latency * 0.4)],
+            latency_ms: latency,
+        }
+    }
+
+    #[test]
+    fn record_totals_and_lookup() {
+        let r = rec(0, 1, 10.0);
+        assert!((r.total_task_time() - 10.0).abs() < 1e-12);
+        assert!((r.task_time("RDG").unwrap() - 6.0).abs() < 1e-12);
+        assert!(r.task_time("ZOOM").is_none());
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = summary_of(&[10.0, 20.0, 30.0]);
+        assert_eq!(s.frames, 3);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 30.0);
+        assert!((s.worst_vs_avg - 0.5).abs() < 1e-12);
+        assert!((s.std - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = summary_of(&[]);
+        assert_eq!(s.frames, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn log_accumulates_and_summarizes() {
+        let mut log = TraceLog::new();
+        for i in 0..10 {
+            log.push(rec(i, (i % 3) as u8, 10.0 + i as f64));
+        }
+        assert_eq!(log.len(), 10);
+        let s = log.latency_summary();
+        assert_eq!(s.frames, 10);
+        assert!((s.mean - 14.5).abs() < 1e-12);
+        let hist = log.scenario_histogram();
+        assert_eq!(hist[0], 4);
+        assert_eq!(hist[1], 3);
+        assert_eq!(hist[2], 3);
+        assert_eq!(hist[3..].iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn task_series_skips_missing() {
+        let mut log = TraceLog::new();
+        log.push(rec(0, 0, 10.0));
+        log.push(FrameRecord { frame: 1, scenario: 0, task_times: vec![], latency_ms: 5.0 });
+        log.push(rec(2, 0, 20.0));
+        let series = log.task_series("RDG");
+        assert_eq!(series.len(), 2);
+        assert!((series[1] - 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,24 @@
+//! # triplec-runtime
+//!
+//! Semi-automatic parallelization (Section 6 of the paper): a resource
+//! manager consumes Triple-C predictions and repartitions the flow graph
+//! at runtime so the output latency stays pinned near the average-case
+//! budget instead of a conservative worst-case reservation.
+//!
+//! * [`budget`] — latency budgets (initialized close to average case);
+//! * [`adaptation`] — the repartitioning policy (stripe-count selection);
+//! * [`manager`] — the initialization / adaptation / profiling loop;
+//! * [`qos`] — quality degradation when the budget is infeasible;
+//! * [`run`] — the managed closed-loop sequence executor.
+
+pub mod adaptation;
+pub mod budget;
+pub mod manager;
+pub mod qos;
+pub mod run;
+
+pub use adaptation::{choose_policy, predicted_latency, CostPrediction, STRIPE_EFFICIENCY};
+pub use budget::LatencyBudget;
+pub use manager::{ManagerConfig, Plan, ResourceManager};
+pub use qos::{QosController, QosLevel};
+pub use run::{run_managed_sequence, run_managed_sequence_qos, ManagedRun, QosManagedRun};

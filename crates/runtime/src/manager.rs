@@ -1,0 +1,311 @@
+//! The resource manager: Triple-C predictions → runtime repartitioning.
+//!
+//! Implements the three-step approach of Section 6: **initialization**
+//! (the first frame sets the average-case latency budget),
+//! **runtime adaptation** (per-frame repartitioning from the predictions)
+//! and **profiling** (predicted-vs-actual bookkeeping, feeding online
+//! model training and the accuracy reports of Section 7).
+
+use crate::adaptation::{choose_policy, CostPrediction};
+use crate::budget::LatencyBudget;
+use pipeline::executor::{ExecutionPolicy, FrameOutput};
+use triplec::accuracy::AccuracyReport;
+use triplec::predictor::PredictContext;
+use triplec::scenario::Scenario;
+use triplec::triple::TripleC;
+
+/// Manager configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManagerConfig {
+    /// Modelled core count.
+    pub cores: usize,
+    /// Budget headroom fraction.
+    pub headroom: f64,
+    /// Budget initialization: `first_frame_serial_latency * factor`
+    /// ("close to average case").
+    pub budget_factor: f64,
+    /// Planning quantile: 0.5 plans on the expected cost; higher values
+    /// plan conservatively on the cost distribution's upper tail,
+    /// trading average parallelism for fewer budget overruns ("without
+    /// affecting the reliability", Section 6).
+    pub planning_quantile: f64,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self { cores: 8, headroom: 0.15, budget_factor: 0.75, planning_quantile: 0.5 }
+    }
+}
+
+/// One planned frame: the policy to execute and the prediction backing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// Execution policy for the frame.
+    pub policy: ExecutionPolicy,
+    /// Predicted scenario.
+    pub scenario: Scenario,
+    /// Predicted serial computation time, ms.
+    pub predicted_total_ms: f64,
+    /// Whether the budget was achievable (false = QoS intervention needed).
+    pub feasible: bool,
+}
+
+/// The runtime resource manager.
+pub struct ResourceManager {
+    model: TripleC,
+    cfg: ManagerConfig,
+    budget: Option<LatencyBudget>,
+    last_scenario: Scenario,
+    last_plan: Option<Plan>,
+    /// `(predicted, actual)` serial frame times.
+    frame_pairs: Vec<(f64, f64)>,
+    infeasible_frames: usize,
+}
+
+impl ResourceManager {
+    /// Creates a manager around a trained model.
+    pub fn new(model: TripleC, cfg: ManagerConfig) -> Self {
+        Self {
+            model,
+            cfg,
+            budget: None,
+            last_scenario: Scenario::worst_case(),
+            last_plan: None,
+            frame_pairs: Vec::new(),
+            infeasible_frames: 0,
+        }
+    }
+
+    /// The current latency budget (None until the first frame completed).
+    pub fn budget(&self) -> Option<LatencyBudget> {
+        self.budget
+    }
+
+    /// Overrides the budget (for experiments with a fixed target).
+    pub fn set_budget(&mut self, budget: LatencyBudget) {
+        self.budget = Some(budget);
+    }
+
+    /// Frames whose budget was not achievable even fully parallel.
+    pub fn infeasible_frames(&self) -> usize {
+        self.infeasible_frames
+    }
+
+    /// Plans the upcoming frame: predicts the scenario and per-task costs,
+    /// then chooses the minimal partitioning that holds the budget.
+    ///
+    /// `roi_kpixels` is the ROI the frame will process (known from the
+    /// tracking state). Before initialization the frame runs serial.
+    pub fn plan(&mut self, roi_kpixels: f64) -> Plan {
+        let scenario = self.model.predict_next_scenario(self.last_scenario);
+        let ctx = PredictContext { roi_kpixels };
+        // planning costs (optionally a conservative quantile) and the
+        // point prediction (recorded for the accuracy bookkeeping)
+        let conservative = (self.cfg.planning_quantile - 0.5).abs() > 1e-9;
+        let mut stripable_ms = 0.0;
+        let mut serial_ms = 0.0;
+        let mut predicted_total_ms = 0.0;
+        for task in scenario.active_tasks() {
+            let point = self.model.predict_task(task, &ctx).unwrap_or(0.0);
+            predicted_total_ms += point;
+            let planning = if conservative {
+                self.model
+                    .predict_task_quantile(task, &ctx, self.cfg.planning_quantile)
+                    .unwrap_or(0.0)
+            } else {
+                point
+            };
+            if pipeline::executor::STRIPABLE_TASKS.contains(&task) {
+                stripable_ms += planning;
+            } else {
+                serial_ms += planning;
+            }
+        }
+
+        let plan = match self.budget {
+            None => Plan {
+                policy: ExecutionPolicy { rdg_stripes: 1, aux_stripes: 1, cores: self.cfg.cores },
+                scenario,
+                predicted_total_ms,
+                feasible: true,
+            },
+            Some(budget) => {
+                let cost = CostPrediction { stripable_ms, serial_ms };
+                let (policy, feasible) = choose_policy(&cost, &budget, self.cfg.cores);
+                if !feasible {
+                    self.infeasible_frames += 1;
+                }
+                Plan { policy, scenario, predicted_total_ms, feasible }
+            }
+        };
+        self.last_plan = Some(plan);
+        plan
+    }
+
+    /// Absorbs a completed frame: initializes the budget on the first
+    /// frame, records prediction accuracy, and feeds the measured task
+    /// times back into the model.
+    pub fn absorb(&mut self, out: &FrameOutput) {
+        let actual_total = out.record.total_task_time();
+        if self.budget.is_none() {
+            self.budget = Some(LatencyBudget::from_first_frame(
+                actual_total,
+                self.cfg.budget_factor,
+                self.cfg.headroom,
+            ));
+        }
+        if let Some(plan) = self.last_plan.take() {
+            self.frame_pairs.push((plan.predicted_total_ms, actual_total));
+        }
+        let ctx = PredictContext { roi_kpixels: out.roi_kpixels };
+        for &(task, ms) in &out.record.task_times {
+            self.model.observe_task(task, ms, &ctx);
+        }
+        self.last_scenario = out.scenario;
+    }
+
+    /// Frame-level prediction accuracy so far (Section 7 metric).
+    pub fn accuracy(&self) -> AccuracyReport {
+        triplec::accuracy::evaluate(&self.frame_pairs)
+    }
+
+    /// The `(predicted, actual)` pairs (for the Fig. 7 prediction curve).
+    pub fn prediction_pairs(&self) -> &[(f64, f64)] {
+        &self.frame_pairs
+    }
+
+    /// Read access to the model.
+    pub fn model(&self) -> &TripleC {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platform::trace::FrameRecord;
+    use triplec::training::TaskSeries;
+    use triplec::triple::TripleCConfig;
+
+    fn model() -> TripleC {
+        let series = vec![
+            TaskSeries::new("RDG_FULL", vec![40.0; 100]),
+            TaskSeries::new("MKX_EXT", vec![2.5; 100]),
+            TaskSeries::new("CPLS_SEL", vec![1.5; 100]),
+            TaskSeries::new("REG", vec![2.0; 100]),
+            TaskSeries::new("ENH", vec![24.0; 100]),
+            TaskSeries::new("ZOOM", vec![12.5; 100]),
+        ];
+        let scenarios = vec![5u8; 100]; // RDG on, ROI off, REG on
+        TripleC::train(&series, &scenarios, TripleCConfig::default())
+    }
+
+    fn fake_output(scenario: Scenario, task_times: Vec<(&'static str, f64)>) -> FrameOutput {
+        let latency = task_times.iter().map(|&(_, t)| t).sum();
+        FrameOutput {
+            record: FrameRecord { frame: 0, scenario: scenario.id(), task_times, latency_ms: latency },
+            scenario,
+            roi: None,
+            roi_kpixels: 1000.0,
+            couple_found: true,
+            display: None,
+        }
+    }
+
+    #[test]
+    fn first_frame_runs_serial_then_budget_set() {
+        let mut m = ResourceManager::new(model(), ManagerConfig::default());
+        let plan = m.plan(1000.0);
+        assert_eq!(plan.policy.rdg_stripes, 1);
+        assert!(m.budget().is_none());
+        m.absorb(&fake_output(
+            Scenario::from_id(5),
+            vec![("RDG_FULL", 40.0), ("MKX_EXT", 2.5), ("CPLS_SEL", 1.5), ("REG", 2.0), ("ENH", 24.0), ("ZOOM", 12.5)],
+        ));
+        let b = m.budget().expect("budget initialized");
+        // 82.5 ms serial * 0.75 ≈ 61.9 ms
+        assert!((b.target_ms - 61.875).abs() < 0.01, "budget {}", b.target_ms);
+    }
+
+    #[test]
+    fn manager_stripes_when_budget_tight() {
+        let mut m = ResourceManager::new(model(), ManagerConfig::default());
+        m.set_budget(LatencyBudget::new(60.0, 0.15));
+        let plan = m.plan(1000.0);
+        // predicted: RDG 40 + serial 42.5 = 82.5 > 51 target -> striping
+        assert!(plan.policy.rdg_stripes >= 2, "stripes {}", plan.policy.rdg_stripes);
+    }
+
+    #[test]
+    fn accuracy_tracks_prediction_quality() {
+        let mut m = ResourceManager::new(model(), ManagerConfig::default());
+        for _ in 0..5 {
+            let plan = m.plan(1000.0);
+            // actual == predicted -> perfect accuracy
+            let times: Vec<(&'static str, f64)> = plan
+                .scenario
+                .active_tasks()
+                .iter()
+                .map(|&t| (t, m.model().predict_task(t, &PredictContext { roi_kpixels: 1000.0 }).unwrap_or(0.0)))
+                .collect();
+            m.absorb(&fake_output(plan.scenario, times));
+        }
+        let report = m.accuracy();
+        assert_eq!(report.count, 5);
+        assert!(report.mean_accuracy > 0.99, "accuracy {}", report.mean_accuracy);
+    }
+
+    #[test]
+    fn infeasible_budget_counted() {
+        let mut m = ResourceManager::new(model(), ManagerConfig { cores: 2, ..Default::default() });
+        m.set_budget(LatencyBudget::new(10.0, 0.1));
+        let plan = m.plan(1000.0);
+        assert!(!plan.feasible);
+        assert_eq!(m.infeasible_frames(), 1);
+        assert_eq!(plan.policy.rdg_stripes, 2, "maxed out");
+    }
+
+    #[test]
+    fn conservative_planning_stripes_at_least_as_much() {
+        // a model with real spread so the 0.9 quantile exceeds the mean
+        let mut rng_vals = Vec::new();
+        for i in 0..200 {
+            rng_vals.push(35.0 + ((i * 7) % 13) as f64);
+        }
+        let series = vec![
+            TaskSeries::new("RDG_FULL", rng_vals),
+            TaskSeries::new("MKX_EXT", vec![2.5; 200]),
+            TaskSeries::new("CPLS_SEL", vec![1.5; 200]),
+            TaskSeries::new("REG", vec![2.0; 200]),
+        ];
+        let scenarios = vec![1u8; 200];
+        let mk = |q: f64| {
+            let model = TripleC::train(&series, &scenarios, TripleCConfig::default());
+            let mut m = ResourceManager::new(
+                model,
+                ManagerConfig { planning_quantile: q, ..Default::default() },
+            );
+            m.set_budget(crate::budget::LatencyBudget::new(20.0, 0.1));
+            // warm the predictor state
+            m.plan(1000.0)
+        };
+        let mean_plan = mk(0.5);
+        let cons_plan = mk(0.9);
+        assert!(
+            cons_plan.policy.rdg_stripes >= mean_plan.policy.rdg_stripes,
+            "conservative {} < mean {}",
+            cons_plan.policy.rdg_stripes,
+            mean_plan.policy.rdg_stripes
+        );
+        // the recorded point prediction must be identical either way
+        assert!((cons_plan.predicted_total_ms - mean_plan.predicted_total_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scenario_prediction_follows_chain() {
+        let mut m = ResourceManager::new(model(), ManagerConfig::default());
+        let plan = m.plan(1000.0);
+        // the training sequence is all scenario 5
+        assert_eq!(plan.scenario.id(), 5);
+    }
+}

@@ -1,0 +1,201 @@
+//! Managed sequence execution: the closed loop of prediction, planning,
+//! execution and observation (the Fig. 7 experiment machinery).
+
+use crate::manager::ResourceManager;
+use pipeline::app::{AppConfig, AppState};
+use pipeline::executor::process_frame;
+use platform::trace::TraceLog;
+use xray::{SequenceConfig, SequenceGenerator};
+
+/// Result of a managed run.
+#[derive(Debug)]
+pub struct ManagedRun {
+    /// Per-frame execution records (latency = adaptive-parallel effective).
+    pub trace: TraceLog,
+    /// Per-frame predicted serial computation time, ms (the "Prediction
+    /// model" curve of Fig. 7).
+    pub predictions: Vec<f64>,
+    /// Stripe count chosen per frame.
+    pub stripes: Vec<usize>,
+}
+
+/// Runs one sequence under the resource manager's control.
+pub fn run_managed_sequence(
+    seq: SequenceConfig,
+    app: &AppConfig,
+    manager: &mut ResourceManager,
+) -> ManagedRun {
+    let mut state = AppState::new(seq.width, seq.height);
+    let mut trace = TraceLog::new();
+    let mut predictions = Vec::with_capacity(seq.frames);
+    let mut stripes = Vec::with_capacity(seq.frames);
+
+    for frame in SequenceGenerator::new(seq) {
+        // the ROI the next frame will process is known from tracking state
+        let roi_kpixels = state
+            .current_roi
+            .map(|r| r.area() as f64 / 1000.0)
+            .unwrap_or_else(|| (frame.image.width() * frame.image.height()) as f64 / 1000.0);
+        let plan = manager.plan(roi_kpixels);
+        predictions.push(plan.predicted_total_ms);
+        stripes.push(plan.policy.rdg_stripes);
+
+        let out = process_frame(frame.index, &frame.image, &mut state, app, &plan.policy);
+        manager.absorb(&out);
+        trace.push(out.record);
+    }
+    ManagedRun { trace, predictions, stripes }
+}
+
+/// Result of a QoS-managed run.
+#[derive(Debug)]
+pub struct QosManagedRun {
+    /// The managed-run trace.
+    pub inner: ManagedRun,
+    /// Quality level per frame.
+    pub levels: Vec<crate::qos::QosLevel>,
+}
+
+/// Runs one sequence under both the resource manager and the QoS
+/// controller: when the latency budget is infeasible even fully parallel,
+/// algorithmic quality degrades (fewer RDG scales, reduced zoom) instead
+/// of latency; sustained comfort restores quality.
+pub fn run_managed_sequence_qos(
+    seq: SequenceConfig,
+    base_app: &AppConfig,
+    manager: &mut ResourceManager,
+    controller: &mut crate::qos::QosController,
+) -> QosManagedRun {
+    let mut state = AppState::new(seq.width, seq.height);
+    let mut trace = TraceLog::new();
+    let mut predictions = Vec::with_capacity(seq.frames);
+    let mut stripes = Vec::with_capacity(seq.frames);
+    let mut levels = Vec::with_capacity(seq.frames);
+    let mut app = controller.level().apply(base_app);
+
+    for frame in SequenceGenerator::new(seq) {
+        let roi_kpixels = state
+            .current_roi
+            .map(|r| r.area() as f64 / 1000.0)
+            .unwrap_or_else(|| (frame.image.width() * frame.image.height()) as f64 / 1000.0);
+        let plan = manager.plan(roi_kpixels);
+        predictions.push(plan.predicted_total_ms);
+        stripes.push(plan.policy.rdg_stripes);
+
+        let out = process_frame(frame.index, &frame.image, &mut state, &app, &plan.policy);
+
+        let comfortable = manager
+            .budget()
+            .map(|b| out.record.latency_ms < 0.6 * b.target_ms)
+            .unwrap_or(false);
+        let before = controller.level();
+        let level = controller.update(plan.feasible, comfortable);
+        if level != before {
+            app = level.apply(base_app);
+        }
+        levels.push(level);
+
+        manager.absorb(&out);
+        trace.push(out.record);
+    }
+    QosManagedRun { inner: ManagedRun { trace, predictions, stripes }, levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ManagerConfig;
+    use pipeline::executor::ExecutionPolicy;
+    use pipeline::runner::run_sequence;
+    use triplec::triple::{TripleC, TripleCConfig};
+    use xray::NoiseConfig;
+
+    fn seq(seed: u64, frames: usize) -> SequenceConfig {
+        SequenceConfig {
+            width: 128,
+            height: 128,
+            frames,
+            seed,
+            noise: NoiseConfig { quantum_scale: 0.3, electronic_std: 2.0 },
+            ..Default::default()
+        }
+    }
+
+    fn trained_model() -> TripleC {
+        // train on a short profiled run so the managed loop has real models
+        let profile = run_sequence(seq(100, 12), &AppConfig::default(), &ExecutionPolicy::default());
+        let cfg = TripleCConfig {
+            geometry: triplec::FrameGeometry { width: 128, height: 128 },
+            ..Default::default()
+        };
+        TripleC::train(&profile.task_series(), &profile.scenarios, cfg)
+    }
+
+    #[test]
+    fn managed_run_completes_all_frames() {
+        let mut mgr = ResourceManager::new(trained_model(), ManagerConfig::default());
+        let run = run_managed_sequence(seq(101, 8), &AppConfig::default(), &mut mgr);
+        assert_eq!(run.trace.len(), 8);
+        assert_eq!(run.predictions.len(), 8);
+        assert_eq!(run.stripes.len(), 8);
+        assert!(mgr.budget().is_some());
+    }
+
+    #[test]
+    fn predictions_are_positive_after_warmup() {
+        let mut mgr = ResourceManager::new(trained_model(), ManagerConfig::default());
+        let run = run_managed_sequence(seq(102, 8), &AppConfig::default(), &mut mgr);
+        for (i, &p) in run.predictions.iter().enumerate().skip(1) {
+            assert!(p > 0.0, "frame {i} predicted {p}");
+        }
+    }
+
+    #[test]
+    fn accuracy_report_available_after_run() {
+        let mut mgr = ResourceManager::new(trained_model(), ManagerConfig::default());
+        let _ = run_managed_sequence(seq(103, 8), &AppConfig::default(), &mut mgr);
+        let report = mgr.accuracy();
+        assert_eq!(report.count, 8);
+        assert!(report.mean_accuracy > 0.0);
+    }
+
+    #[test]
+    fn qos_run_stays_at_full_quality_with_generous_budget() {
+        let mut mgr = ResourceManager::new(trained_model(), ManagerConfig::default());
+        mgr.set_budget(crate::budget::LatencyBudget::new(10_000.0, 0.1));
+        let mut ctrl = crate::qos::QosController::new(2, 4);
+        let run = run_managed_sequence_qos(seq(105, 8), &AppConfig::default(), &mut mgr, &mut ctrl);
+        assert_eq!(run.inner.trace.len(), 8);
+        assert!(run.levels.iter().all(|&l| l == crate::qos::QosLevel::Full), "{:?}", run.levels);
+    }
+
+    #[test]
+    fn qos_run_degrades_under_impossible_budget() {
+        let mut mgr = ResourceManager::new(trained_model(), ManagerConfig::default());
+        // unreachable budget: every frame is infeasible
+        mgr.set_budget(crate::budget::LatencyBudget::new(0.001, 0.1));
+        let mut ctrl = crate::qos::QosController::new(2, 100);
+        let run = run_managed_sequence_qos(seq(106, 10), &AppConfig::default(), &mut mgr, &mut ctrl);
+        assert!(
+            run.levels.iter().any(|&l| l != crate::qos::QosLevel::Full),
+            "controller never degraded: {:?}",
+            run.levels
+        );
+    }
+
+    #[test]
+    fn managed_latency_no_worse_than_serial_on_average() {
+        let app = AppConfig::default();
+        // serial baseline
+        let baseline = run_sequence(seq(104, 10), &app, &ExecutionPolicy::default());
+        let serial_mean = baseline.trace.latency_summary().mean;
+        // managed
+        let mut mgr = ResourceManager::new(trained_model(), ManagerConfig::default());
+        let managed = run_managed_sequence(seq(104, 10), &app, &mut mgr);
+        let managed_mean = managed.trace.latency_summary().mean;
+        assert!(
+            managed_mean <= serial_mean * 1.15,
+            "managed {managed_mean} vs serial {serial_mean}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Cardiac and respiratory motion model.
+//!
+//! During a live angioplasty procedure the coronary anatomy moves with the
+//! heart beat (~70 bpm) and breathing (~15/min), plus small table/patient
+//! jitter. The model produces a per-frame rigid displacement and rotation
+//! that the renderer applies to all scene geometry, and that the
+//! registration stage of the pipeline must compensate.
+
+use rand::Rng;
+
+/// Parameters of the composite motion model.
+#[derive(Debug, Clone)]
+pub struct MotionConfig {
+    /// Frame rate, Hz (the paper's application runs at 30 Hz).
+    pub frame_rate: f64,
+    /// Cardiac frequency, Hz (~1.2 Hz = 72 bpm).
+    pub cardiac_hz: f64,
+    /// Cardiac displacement amplitude, pixels.
+    pub cardiac_amp: f64,
+    /// Respiratory frequency, Hz (~0.25 Hz = 15/min).
+    pub respiratory_hz: f64,
+    /// Respiratory displacement amplitude, pixels.
+    pub respiratory_amp: f64,
+    /// Standard deviation of frame-to-frame jitter, pixels.
+    pub jitter_std: f64,
+    /// Amplitude of cardiac rotation, radians.
+    pub rotation_amp: f64,
+}
+
+impl Default for MotionConfig {
+    fn default() -> Self {
+        Self {
+            frame_rate: 30.0,
+            cardiac_hz: 1.2,
+            cardiac_amp: 6.0,
+            respiratory_hz: 0.25,
+            respiratory_amp: 10.0,
+            jitter_std: 0.4,
+            rotation_amp: 0.03,
+        }
+    }
+}
+
+/// Rigid scene motion of one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MotionState {
+    /// Scene translation, pixels.
+    pub dx: f64,
+    pub dy: f64,
+    /// Scene rotation about the frame center, radians.
+    pub rot: f64,
+}
+
+impl MotionState {
+    /// No motion.
+    pub fn zero() -> Self {
+        Self { dx: 0.0, dy: 0.0, rot: 0.0 }
+    }
+
+    /// Displacement magnitude.
+    pub fn magnitude(&self) -> f64 {
+        (self.dx * self.dx + self.dy * self.dy).sqrt()
+    }
+}
+
+/// Evaluates the motion model at frame index `frame`, drawing jitter from
+/// `rng` (callers seed it deterministically per frame).
+pub fn motion_at(cfg: &MotionConfig, frame: usize, rng: &mut impl Rng) -> MotionState {
+    let t = frame as f64 / cfg.frame_rate;
+    let cardiac = (2.0 * std::f64::consts::PI * cfg.cardiac_hz * t).sin();
+    // second harmonic gives the sharp systolic kick of real cardiac motion
+    let cardiac2 = (4.0 * std::f64::consts::PI * cfg.cardiac_hz * t + 0.8).sin();
+    let resp = (2.0 * std::f64::consts::PI * cfg.respiratory_hz * t).sin();
+    let jx: f64 = rng.gen_range(-1.0..1.0) * cfg.jitter_std;
+    let jy: f64 = rng.gen_range(-1.0..1.0) * cfg.jitter_std;
+    MotionState {
+        dx: cfg.cardiac_amp * (0.7 * cardiac + 0.3 * cardiac2) + jx,
+        dy: cfg.respiratory_amp * resp + 0.4 * cfg.cardiac_amp * cardiac + jy,
+        rot: cfg.rotation_amp * cardiac,
+    }
+}
+
+/// Applies the motion to a point about the given center.
+pub fn apply_motion(m: &MotionState, x: f64, y: f64, cx: f64, cy: f64) -> (f64, f64) {
+    let (s, c) = m.rot.sin_cos();
+    let dx = x - cx;
+    let dy = y - cy;
+    (c * dx - s * dy + cx + m.dx, s * dx + c * dy + cy + m.dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn motion_is_bounded_by_amplitudes() {
+        let cfg = MotionConfig::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for f in 0..300 {
+            let m = motion_at(&cfg, f, &mut rng);
+            let bound = cfg.cardiac_amp + cfg.respiratory_amp + 3.0 * cfg.jitter_std + 1.0;
+            assert!(m.magnitude() < 2.0 * bound, "frame {f}: {:?}", m);
+            assert!(m.rot.abs() <= cfg.rotation_amp + 1e-9);
+        }
+    }
+
+    #[test]
+    fn motion_is_periodic_without_jitter() {
+        let cfg = MotionConfig { jitter_std: 0.0, ..Default::default() };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        // cardiac 1.2 Hz at 30 fps: period 25 frames; respiratory 0.25 Hz:
+        // period 120 frames; common period 600 frames
+        let a = motion_at(&cfg, 10, &mut rng);
+        let b = motion_at(&cfg, 610, &mut rng);
+        assert!((a.dx - b.dx).abs() < 1e-9);
+        assert!((a.dy - b.dy).abs() < 1e-9);
+        assert!((a.rot - b.rot).abs() < 1e-9);
+    }
+
+    #[test]
+    fn motion_actually_moves() {
+        let cfg = MotionConfig::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let states: Vec<MotionState> = (0..60).map(|f| motion_at(&cfg, f, &mut rng)).collect();
+        let max = states.iter().map(|m| m.magnitude()).fold(0.0, f64::max);
+        assert!(max > 3.0, "max displacement {}", max);
+    }
+
+    #[test]
+    fn apply_motion_translation_only() {
+        let m = MotionState { dx: 3.0, dy: -2.0, rot: 0.0 };
+        let (x, y) = apply_motion(&m, 10.0, 10.0, 50.0, 50.0);
+        assert!((x - 13.0).abs() < 1e-12);
+        assert!((y - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_motion_rotation_about_center() {
+        let m = MotionState { dx: 0.0, dy: 0.0, rot: std::f64::consts::FRAC_PI_2 };
+        let (x, y) = apply_motion(&m, 60.0, 50.0, 50.0, 50.0);
+        assert!((x - 50.0).abs() < 1e-9, "x {}", x);
+        assert!((y - 60.0).abs() < 1e-9, "y {}", y);
+        // center is a fixed point
+        let (cx, cy) = apply_motion(&m, 50.0, 50.0, 50.0, 50.0);
+        assert!((cx - 50.0).abs() < 1e-12 && (cy - 50.0).abs() < 1e-12);
+    }
+}

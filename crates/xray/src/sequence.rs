@@ -1,0 +1,285 @@
+//! Synthetic angiography sequence generation.
+//!
+//! Composes the phantom, device, motion, scenario and noise models into a
+//! deterministic per-seed frame stream with ground truth, substituting for
+//! the clinical X-ray sequences the paper trained on.
+
+use crate::canvas::Canvas;
+use crate::device::{render_device, DeviceConfig};
+use crate::motion::{motion_at, MotionConfig, MotionState};
+use crate::noise::{add_noise, NoiseConfig};
+use crate::phantom::{generate_tree, PhantomConfig, Vessel};
+use crate::scenario::{ContentState, ScenarioConfig, ScenarioProcess};
+use imaging::image::ImageU16;
+use rand::{Rng, SeedableRng};
+
+/// Full configuration of one synthetic sequence.
+#[derive(Debug, Clone)]
+pub struct SequenceConfig {
+    /// Frame width, pixels (the paper uses 1024).
+    pub width: usize,
+    /// Frame height, pixels.
+    pub height: usize,
+    /// Number of frames.
+    pub frames: usize,
+    /// Master seed; every frame derives its own deterministic sub-seed.
+    pub seed: u64,
+    /// Detector background level (counts).
+    pub background: f32,
+    /// Vessel-tree parameters.
+    pub phantom: PhantomConfig,
+    /// Device geometry. A zero `center` is replaced by the frame center.
+    pub device: DeviceConfig,
+    /// Motion model.
+    pub motion: MotionConfig,
+    /// Noise model.
+    pub noise: NoiseConfig,
+    /// Content script.
+    pub scenario: ScenarioConfig,
+}
+
+impl Default for SequenceConfig {
+    fn default() -> Self {
+        Self {
+            width: 256,
+            height: 256,
+            frames: 52,
+            seed: 1,
+            background: 2200.0,
+            phantom: PhantomConfig::default(),
+            device: DeviceConfig::default(),
+            motion: MotionConfig::default(),
+            noise: NoiseConfig::default(),
+            scenario: ScenarioConfig::default(),
+        }
+    }
+}
+
+/// Ground truth attached to each generated frame.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// True position of marker A (if the device is visible).
+    pub marker_a: Option<(f64, f64)>,
+    /// True position of marker B.
+    pub marker_b: Option<(f64, f64)>,
+    /// Content state of the frame.
+    pub content: ContentState,
+    /// Motion state (including panning).
+    pub motion: MotionState,
+}
+
+/// One generated frame.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame index within the sequence.
+    pub index: usize,
+    /// The rendered detector image.
+    pub image: ImageU16,
+    /// Ground truth for verification and accuracy experiments.
+    pub truth: GroundTruth,
+}
+
+/// Streaming frame generator (implements [`Iterator`]).
+pub struct SequenceGenerator {
+    cfg: SequenceConfig,
+    vessels: Vec<Vessel>,
+    scenario: ScenarioProcess,
+    next_frame: usize,
+}
+
+impl SequenceGenerator {
+    /// Builds the generator (synthesizes the per-sequence vessel tree).
+    pub fn new(mut cfg: SequenceConfig) -> Self {
+        if cfg.device.center == (0.0, 0.0) {
+            cfg.device.center = (cfg.width as f64 / 2.0, cfg.height as f64 / 2.0);
+        }
+        let mut tree_rng = rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9));
+        let vessels = generate_tree(cfg.width, cfg.height, &cfg.phantom, &mut tree_rng);
+        let scenario = ScenarioProcess::new(cfg.scenario.clone());
+        Self { cfg, vessels, scenario, next_frame: 0 }
+    }
+
+    /// The effective configuration (with the resolved device center).
+    pub fn config(&self) -> &SequenceConfig {
+        &self.cfg
+    }
+
+    /// The static vessel tree of this sequence.
+    pub fn vessels(&self) -> &[Vessel] {
+        &self.vessels
+    }
+
+    /// Renders frame `index` given a content state (exposed for tests).
+    fn render(&self, index: usize, content: &ContentState, rng: &mut impl Rng) -> Frame {
+        let cfg = &self.cfg;
+        let mut motion = motion_at(&cfg.motion, index, rng);
+        motion.dx += content.pan_dx;
+
+        let mut canvas = Canvas::new(cfg.width, cfg.height, cfg.background);
+        canvas.add_shading(120.0, 250.0);
+
+        // vessels, scaled by the frame's contrast factor
+        let frame_center = (cfg.width as f64 / 2.0, cfg.height as f64 / 2.0);
+        for vessel in &self.vessels {
+            let moved: Vec<(f64, f64)> = vessel
+                .path
+                .iter()
+                .map(|&(x, y)| crate::motion::apply_motion(&motion, x, y, frame_center.0, frame_center.1))
+                .collect();
+            let depth = vessel.depth * content.vessel_contrast as f32;
+            if depth > 1.0 {
+                canvas.draw_polyline(&moved, depth, vessel.sigma);
+            }
+        }
+
+        // device
+        let (marker_a, marker_b) = if content.device_visible {
+            let (a, b) = render_device(&mut canvas, &cfg.device, &motion);
+            (Some(a), Some(b))
+        } else {
+            (None, None)
+        };
+
+        add_noise(canvas.raw_mut(), &cfg.noise, rng);
+        let image = canvas.to_u16();
+        Frame {
+            index,
+            image,
+            truth: GroundTruth { marker_a, marker_b, content: *content, motion },
+        }
+    }
+}
+
+impl Iterator for SequenceGenerator {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        if self.next_frame >= self.cfg.frames {
+            return None;
+        }
+        let index = self.next_frame;
+        self.next_frame += 1;
+        // deterministic per-frame RNG derived from the master seed
+        let mut rng = rand::rngs::StdRng::seed_from_u64(
+            self.cfg.seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(index as u64),
+        );
+        let content = self.scenario.step(index, &mut rng);
+        Some(self.render(index, &content, &mut rng))
+    }
+}
+
+impl ExactSizeIterator for SequenceGenerator {
+    fn len(&self) -> usize {
+        self.cfg.frames - self.next_frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::HiddenEpisode;
+
+    fn small_cfg(seed: u64) -> SequenceConfig {
+        SequenceConfig { width: 128, height: 128, frames: 6, seed, ..Default::default() }
+    }
+
+    #[test]
+    fn yields_requested_frame_count() {
+        let frames: Vec<Frame> = SequenceGenerator::new(small_cfg(1)).collect();
+        assert_eq!(frames.len(), 6);
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.index, i);
+            assert_eq!(f.image.dims(), (128, 128));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<Frame> = SequenceGenerator::new(small_cfg(5)).collect();
+        let b: Vec<Frame> = SequenceGenerator::new(small_cfg(5)).collect();
+        for (fa, fb) in a.iter().zip(&b) {
+            assert_eq!(fa.image, fb.image);
+        }
+        let c: Vec<Frame> = SequenceGenerator::new(small_cfg(6)).collect();
+        assert_ne!(a[0].image, c[0].image);
+    }
+
+    #[test]
+    fn markers_are_dark_spots_at_truth_positions() {
+        let cfg = SequenceConfig {
+            noise: NoiseConfig { quantum_scale: 0.0, electronic_std: 0.0 },
+            ..small_cfg(2)
+        };
+        let frame = SequenceGenerator::new(cfg).next().unwrap();
+        let (ax, ay) = frame.truth.marker_a.unwrap();
+        let marker_val = frame.image.get(ax.round() as usize, ay.round() as usize) as f64;
+        // background nearby (20 px off-axis)
+        let bg_val = frame.image.get((ax + 20.0).round() as usize, ay.round() as usize) as f64;
+        assert!(marker_val < bg_val - 300.0, "marker {marker_val} bg {bg_val}");
+    }
+
+    #[test]
+    fn hidden_device_has_no_truth_markers() {
+        let cfg = SequenceConfig {
+            scenario: ScenarioConfig {
+                hidden: vec![HiddenEpisode { start: 0, len: 2 }],
+                ..Default::default()
+            },
+            ..small_cfg(3)
+        };
+        let frames: Vec<Frame> = SequenceGenerator::new(cfg).collect();
+        assert!(frames[0].truth.marker_a.is_none());
+        assert!(frames[2].truth.marker_a.is_some());
+    }
+
+    #[test]
+    fn device_center_resolves_to_frame_center() {
+        let gen = SequenceGenerator::new(small_cfg(4));
+        assert_eq!(gen.config().device.center, (64.0, 64.0));
+    }
+
+    #[test]
+    fn exact_size_iterator_counts_down() {
+        let mut gen = SequenceGenerator::new(small_cfg(1));
+        assert_eq!(gen.len(), 6);
+        gen.next();
+        assert_eq!(gen.len(), 5);
+    }
+
+    #[test]
+    fn bolus_frames_have_more_vessel_signal() {
+        let mk = |bolus: bool| {
+            let cfg = SequenceConfig {
+                noise: NoiseConfig { quantum_scale: 0.0, electronic_std: 0.0 },
+                scenario: ScenarioConfig {
+                    ar_std: 0.0,
+                    drift_amp: 0.0,
+                    bolus: if bolus { vec![HiddenEpisode { start: 0, len: 2 }] } else { vec![] },
+                    ..Default::default()
+                },
+                ..small_cfg(7)
+            };
+            let frame = SequenceGenerator::new(cfg).next().unwrap();
+            frame.image.mean()
+        };
+        // more contrast agent = more absorption = darker mean
+        assert!(mk(true) < mk(false) - 1.0);
+    }
+
+    #[test]
+    fn motion_moves_markers_between_frames() {
+        let frames: Vec<Frame> = SequenceGenerator::new(SequenceConfig {
+            frames: 20,
+            ..small_cfg(8)
+        })
+        .collect();
+        let mut max_move = 0.0f64;
+        for w in frames.windows(2) {
+            if let (Some(a0), Some(a1)) = (w[0].truth.marker_a, w[1].truth.marker_a) {
+                let d = ((a1.0 - a0.0).powi(2) + (a1.1 - a0.1).powi(2)).sqrt();
+                max_move = max_move.max(d);
+            }
+        }
+        assert!(max_move > 0.5, "markers never moved: {max_move}");
+    }
+}

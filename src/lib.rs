@@ -1,0 +1,24 @@
+//! # triple-c
+//!
+//! Umbrella crate of the Triple-C reproduction (Albers, Suijs, de With,
+//! *"Triple-C: Resource-usage prediction for semi-automatic parallelization
+//! of groups of dynamic image-processing tasks"*, IPDPS 2009).
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`triplec`] — the prediction models (the paper's contribution);
+//! * [`imaging`] — the image-processing task substrate;
+//! * [`xray`] — synthetic angiography sequences with ground truth;
+//! * [`platform`] — the modelled multiprocessor platform;
+//! * [`pipeline`] — the dynamic flow-graph engine;
+//! * [`runtime`] — the semi-automatic parallelization manager.
+//!
+//! See `examples/quickstart.rs` for the end-to-end tour and DESIGN.md /
+//! EXPERIMENTS.md for the experiment index.
+
+pub use imaging;
+pub use platform;
+pub use pipeline;
+pub use runtime;
+pub use triplec;
+pub use xray;

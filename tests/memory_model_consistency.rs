@@ -1,0 +1,66 @@
+//! Pins the `triplec::memory_model` per-pixel formulas against the actual
+//! buffer allocations of `triplec-imaging`, so the Table-1 model cannot
+//! silently drift from the implementation.
+
+use triple_c::imaging::enhance::EnhState;
+use triple_c::imaging::markers::MkxBuffers;
+use triple_c::imaging::ridge::{rdg_full, RdgBuffers, RdgConfig};
+use triple_c::imaging::image::Image;
+use triple_c::triplec::memory_model::{implementation_table, lookup, per_pixel, FrameGeometry};
+
+const W: usize = 128;
+const H: usize = 96;
+
+#[test]
+fn rdg_intermediate_formula_matches_actual_buffers() {
+    let bufs = RdgBuffers::new(W, H);
+    assert_eq!(
+        bufs.byte_size(),
+        W * H * per_pixel::RDG_INTERMEDIATE,
+        "RDG intermediate formula drifted from RdgBuffers"
+    );
+}
+
+#[test]
+fn rdg_output_formula_matches_actual_output() {
+    let frame = Image::from_fn(W, H, |x, y| {
+        let d = (x as f32 - y as f32).abs();
+        (2000.0 - 500.0 * (-d * d / 4.0).exp()) as u16
+    });
+    let out = rdg_full(&frame, &RdgConfig::default(), &mut RdgBuffers::new(W, H));
+    assert_eq!(
+        out.byte_size(),
+        W * H * per_pixel::RDG_OUTPUT,
+        "RDG output formula drifted from RdgOutput"
+    );
+}
+
+#[test]
+fn mkx_intermediate_formula_tracks_buffers_plus_scale_map() {
+    let bufs = MkxBuffers::new(W, H);
+    // MKX allocates the Hessian buffers plus a per-pixel best-scale map
+    // inside mkx_extract (4 B/px); the model accounts for both.
+    let scale_map = W * H * 4;
+    assert_eq!(
+        bufs.byte_size() + scale_map,
+        W * H * per_pixel::MKX_INTERMEDIATE,
+        "MKX intermediate formula drifted"
+    );
+}
+
+#[test]
+fn enh_intermediate_formula_matches_state() {
+    let state = EnhState::new(W, H);
+    assert_eq!(state.byte_size(), W * H * per_pixel::ENH_INTERMEDIATE);
+}
+
+#[test]
+fn table_rows_use_the_pinned_formulas() {
+    let geom = FrameGeometry { width: W, height: H };
+    let table = implementation_table(geom, 64);
+    let rdg = lookup(&table, "RDG_FULL", true).unwrap();
+    assert_eq!(rdg.intermediate, RdgBuffers::new(W, H).byte_size());
+    assert_eq!(rdg.input, W * H * 2);
+    let enh = lookup(&table, "ENH", true).unwrap();
+    assert_eq!(enh.intermediate, EnhState::new(W, H).byte_size());
+}

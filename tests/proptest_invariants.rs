@@ -1,0 +1,175 @@
+//! Property-based tests of the core data-structure invariants.
+
+use proptest::prelude::*;
+use triple_c::imaging::image::Roi;
+use triple_c::imaging::registration::RigidTransform;
+use triple_c::pipeline::latency::DelayLine;
+use triple_c::platform::cache::CacheSim;
+use triple_c::platform::arch::CacheGeometry;
+use triple_c::triplec::accuracy::accuracy;
+use triple_c::triplec::ewma::Ewma;
+use triple_c::triplec::markov::MarkovChain;
+use triple_c::triplec::quantize::Quantizer;
+use triple_c::triplec::scenario::Scenario;
+
+proptest! {
+    /// Eq. 2 estimation always yields a row-stochastic matrix.
+    #[test]
+    fn markov_rows_always_stochastic(seq in prop::collection::vec(0usize..6, 2..200)) {
+        let chain = MarkovChain::estimate(&seq, 6);
+        prop_assert!(chain.is_row_stochastic(1e-9));
+    }
+
+    /// The expected next value under any chain lies within the value range
+    /// of the representatives.
+    #[test]
+    fn markov_expectation_bounded(seq in prop::collection::vec(0usize..4, 2..100)) {
+        let chain = MarkovChain::estimate(&seq, 4);
+        let reps = [1.0, 2.0, 3.0, 4.0];
+        for i in 0..4 {
+            let e = chain.expected_next(i, |j| reps[j]);
+            prop_assert!((1.0..=4.0).contains(&e), "state {i}: {e}");
+        }
+    }
+
+    /// The quantizer maps every real number to a valid state and
+    /// reconstruction is idempotent.
+    #[test]
+    fn quantizer_total_and_idempotent(
+        samples in prop::collection::vec(-1e6f64..1e6, 1..300),
+        probe in -2e6f64..2e6,
+        states in 1usize..16,
+    ) {
+        let q = Quantizer::train(&samples, states);
+        let s = q.state_of(probe);
+        prop_assert!(s < q.states());
+        let r = q.reconstruct(probe);
+        prop_assert_eq!(q.reconstruct(r), r);
+    }
+
+    /// The equal-mass property: no interval holds more than ~3x its share
+    /// of distinct-valued training data.
+    #[test]
+    fn quantizer_roughly_equal_mass(n in 50usize..400, states in 2usize..10) {
+        let samples: Vec<f64> = (0..n).map(|i| (i as f64 * 0.737).sin() * 100.0 + i as f64 * 0.01).collect();
+        let q = Quantizer::train(&samples, states);
+        let mut counts = vec![0usize; q.states()];
+        for &s in &samples {
+            counts[q.state_of(s)] += 1;
+        }
+        let share = n / q.states();
+        for (i, &c) in counts.iter().enumerate() {
+            prop_assert!(c <= share * 3 + 3, "state {i}: {c} of share {share}");
+        }
+    }
+
+    /// EWMA output is always within the min..max envelope of its inputs.
+    #[test]
+    fn ewma_bounded_by_input_envelope(
+        xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+        alpha in 0.01f64..1.0,
+    ) {
+        let mut e = Ewma::new(alpha);
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in &xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+            let y = e.update(x);
+            prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9, "y {y} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// ROI intersection is contained in both operands; union contains both.
+    #[test]
+    fn roi_algebra(
+        ax in 0usize..100, ay in 0usize..100, aw in 1usize..50, ah in 1usize..50,
+        bx in 0usize..100, by in 0usize..100, bw in 1usize..50, bh in 1usize..50,
+    ) {
+        let a = Roi::new(ax, ay, aw, ah);
+        let b = Roi::new(bx, by, bw, bh);
+        let i = a.intersect(&b);
+        let u = a.union(&b);
+        if !i.is_empty() {
+            prop_assert!(i.x >= a.x && i.right() <= a.right());
+            prop_assert!(i.y >= b.y.min(a.y).max(i.y));
+            prop_assert!(i.area() <= a.area() && i.area() <= b.area());
+        }
+        prop_assert!(u.x <= a.x && u.right() >= a.right());
+        prop_assert!(u.x <= b.x && u.right() >= b.right());
+        prop_assert!(u.area() >= a.area().max(b.area()));
+    }
+
+    /// Stripes tile the ROI exactly, in order, without overlap.
+    #[test]
+    fn stripes_partition_roi(w in 1usize..200, h in 1usize..200, n in 1usize..12) {
+        let roi = Roi::new(3, 5, w, h);
+        let stripes = roi.stripes(n);
+        let mut y = roi.y;
+        let mut area = 0;
+        for s in &stripes {
+            prop_assert_eq!(s.y, y);
+            prop_assert_eq!(s.x, roi.x);
+            prop_assert_eq!(s.width, roi.width);
+            y += s.height;
+            area += s.area();
+        }
+        prop_assert_eq!(y, roi.bottom());
+        prop_assert_eq!(area, roi.area());
+    }
+
+    /// Rigid transforms round-trip through their inverse.
+    #[test]
+    fn rigid_transform_inverse_round_trip(
+        theta in -3.0f64..3.0, cx in -100.0f64..100.0, cy in -100.0f64..100.0,
+        tx in -50.0f64..50.0, ty in -50.0f64..50.0,
+        px in -200.0f64..200.0, py in -200.0f64..200.0,
+    ) {
+        let t = RigidTransform { theta, cx, cy, tx, ty };
+        let (fx, fy) = t.apply(px, py);
+        let (bx, by) = t.apply_inverse(fx, fy);
+        prop_assert!((bx - px).abs() < 1e-6 && (by - py).abs() < 1e-6);
+    }
+
+    /// Delay-line output is monotone in the completion time and never
+    /// below the budget.
+    #[test]
+    fn delay_line_monotone(budget in 1.0f64..100.0, a in 0.0f64..200.0, b in 0.0f64..200.0) {
+        let d = DelayLine::new(budget);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(d.output_latency(lo) <= d.output_latency(hi));
+        prop_assert!(d.output_latency(lo) >= budget);
+    }
+
+    /// Accuracy is always in [0, 1] and symmetric around perfect.
+    #[test]
+    fn accuracy_bounded(p in 0.0f64..1e4, a in 0.001f64..1e4) {
+        let acc = accuracy(p, a);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((accuracy(a, a) - 1.0).abs() < 1e-12);
+    }
+
+    /// Scenario ids round-trip and the task sets only mention known tasks.
+    #[test]
+    fn scenario_roundtrip(id in 0u8..8) {
+        let s = Scenario::from_id(id);
+        prop_assert_eq!(s.id(), id);
+        for t in s.active_tasks() {
+            prop_assert!(triple_c::triplec::TASKS.contains(&t));
+        }
+    }
+
+    /// Cache simulation conserves counts: misses <= accesses and
+    /// writebacks <= misses (a line must have been filled to be evicted).
+    #[test]
+    fn cache_stats_conserve(addrs in prop::collection::vec((0u64..1u64<<16, any::<bool>()), 1..500)) {
+        let mut sim = CacheSim::new(CacheGeometry { capacity: 1024, line_size: 64, ways: 2 });
+        for &(a, w) in &addrs {
+            sim.access(a, w);
+        }
+        let s = sim.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!(s.writebacks <= s.misses);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the prediction models' behavioural contracts.
+
+use proptest::prelude::*;
+use triple_c::triplec::linear::LinearModel;
+use triple_c::triplec::predictor::{
+    ConstantPredictor, EwmaMarkovPredictor, PredictContext, Predictor,
+};
+use triple_c::triplec::training::{select_model, ModelKind, TaskSeries, TrainingConfig};
+
+fn ctx() -> PredictContext {
+    PredictContext::default()
+}
+
+proptest! {
+    /// EWMA+Markov predictions stay within (a modest expansion of) the
+    /// training-value envelope, no matter what is observed afterwards.
+    #[test]
+    fn ewma_markov_predictions_bounded(
+        train in prop::collection::vec(1.0f64..100.0, 10..120),
+        observe in prop::collection::vec(1.0f64..100.0, 0..40),
+    ) {
+        let mut p = EwmaMarkovPredictor::train(&train, 0.2, 16, "T");
+        for &x in &observe {
+            p.observe(x, &ctx());
+        }
+        let lo = train.iter().chain(&observe).copied().fold(f64::INFINITY, f64::min);
+        let hi = train.iter().chain(&observe).copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1.0);
+        let pred = p.predict(&ctx());
+        prop_assert!(pred >= 0.0);
+        prop_assert!(
+            pred >= lo - span && pred <= hi + span,
+            "prediction {pred} outside [{lo}, {hi}] +- {span}"
+        );
+    }
+
+    /// A constant predictor is invariant under observation.
+    #[test]
+    fn constant_predictor_is_stateless(v in 0.1f64..1e3, obs in prop::collection::vec(0.0f64..1e3, 0..20)) {
+        let mut p = ConstantPredictor::new(v);
+        for &x in &obs {
+            p.observe(x, &ctx());
+        }
+        prop_assert_eq!(p.predict(&ctx()), v);
+    }
+
+    /// Least-squares fitting is exact on noiseless lines and the residuals
+    /// of the fit sum to ~zero.
+    #[test]
+    fn linear_fit_exact_and_centered(
+        slope in -10.0f64..10.0,
+        intercept in -100.0f64..100.0,
+        n in 3usize..50,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| {
+            let x = i as f64;
+            (x, slope * x + intercept)
+        }).collect();
+        let m = LinearModel::fit(&pts);
+        prop_assert!((m.slope - slope).abs() < 1e-6, "slope {} vs {}", m.slope, slope);
+        prop_assert!((m.intercept - intercept).abs() < 1e-5);
+        let res = m.residuals(&pts);
+        let sum: f64 = res.iter().sum();
+        prop_assert!(sum.abs() < 1e-6);
+    }
+
+    /// Model selection is total: any non-empty series yields a model that
+    /// trains without panicking and predicts a finite value.
+    #[test]
+    fn training_is_total(samples in prop::collection::vec(0.01f64..1e3, 2..100)) {
+        let series = TaskSeries::new("X", samples);
+        let cfg = TrainingConfig::default();
+        let kind = select_model(&series, &cfg);
+        let (k2, mut p) = triple_c::triplec::training::train_auto(&series, &cfg);
+        prop_assert_eq!(kind, k2);
+        let v = p.predict(&ctx());
+        prop_assert!(v.is_finite() && v >= 0.0);
+        p.observe(1.0, &ctx());
+        prop_assert!(p.predict(&ctx()).is_finite());
+    }
+
+    /// A strictly constant series always selects the constant model.
+    #[test]
+    fn constant_series_selects_constant(v in 0.1f64..1e3, n in 5usize..100) {
+        let series = TaskSeries::new("X", vec![v; n]);
+        prop_assert_eq!(select_model(&series, &TrainingConfig::default()), ModelKind::Constant);
+    }
+}
