@@ -23,7 +23,10 @@ fn bench_cache_sim(c: &mut Criterion) {
 }
 
 fn bench_models(c: &mut Criterion) {
-    let geom = FrameGeometry { width: 512, height: 512 };
+    let geom = FrameGeometry {
+        width: 512,
+        height: 512,
+    };
     let model = rdg_access_model(geom, 3);
     c.bench_function("spacetime_predict_rdg", |b| {
         b.iter(|| predict_traffic(&model, 4 * MB));

@@ -1,0 +1,74 @@
+//! Separable-convolution micro-benchmarks: cache-aware passes vs the
+//! straight per-pixel reference, plus the full serial RDG frame they feed.
+//!
+//! The optimized passes are bit-identical to the reference (asserted by
+//! unit tests in `imaging::kernel`); this bench quantifies the speedup.
+//! `BENCH_convolve.json` is produced by running with
+//! `CRITERION_JSON=BENCH_convolve.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imaging::image::{Image, ImageF32, Roi};
+use imaging::kernel::{
+    convolve_cols, convolve_cols_reference, convolve_rows, convolve_rows_reference, Kernel1D,
+};
+use imaging::ridge::{rdg_full, RdgBuffers, RdgConfig};
+
+const SIZE: usize = 1024;
+
+fn synthetic_f32(w: usize, h: usize) -> ImageF32 {
+    Image::from_fn(w, h, |x, y| {
+        let d = (x as f32 - y as f32).abs() / 2.0;
+        2000.0 - 700.0 * (-d * d / 8.0).exp() + ((x * 7 + y * 13) % 32) as f32
+    })
+}
+
+fn synthetic_u16(w: usize, h: usize) -> imaging::image::ImageU16 {
+    Image::from_fn(w, h, |x, y| {
+        let d = (x as f32 - y as f32).abs() / 1.5;
+        (2000.0 - 900.0 * (-d * d / 2.0).exp()) as u16
+    })
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let src = synthetic_f32(SIZE, SIZE);
+    let mut dst = ImageF32::new(SIZE, SIZE);
+    let roi = Roi::full(SIZE, SIZE);
+    let k = Kernel1D::gaussian(2.5);
+
+    let mut group = c.benchmark_group("convolve");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("rows_reference", SIZE), &SIZE, |b, _| {
+        b.iter(|| convolve_rows_reference(&src, &mut dst, roi, &k))
+    });
+    group.bench_with_input(BenchmarkId::new("rows_optimized", SIZE), &SIZE, |b, _| {
+        b.iter(|| convolve_rows(&src, &mut dst, roi, &k))
+    });
+    group.bench_with_input(BenchmarkId::new("cols_reference", SIZE), &SIZE, |b, _| {
+        b.iter(|| convolve_cols_reference(&src, &mut dst, roi, &k))
+    });
+    group.bench_with_input(BenchmarkId::new("cols_optimized", SIZE), &SIZE, |b, _| {
+        b.iter(|| convolve_cols(&src, &mut dst, roi, &k))
+    });
+    group.finish();
+}
+
+fn bench_rdg_frame(c: &mut Criterion) {
+    let frame = synthetic_u16(SIZE, SIZE);
+    let cfg = RdgConfig::default();
+    let mut bufs = RdgBuffers::new(SIZE, SIZE);
+
+    let mut group = c.benchmark_group("rdg_serial");
+    group.sample_size(5);
+    group.bench_with_input(BenchmarkId::new("full_frame", SIZE), &SIZE, |b, _| {
+        b.iter(|| {
+            let out = rdg_full(&frame, &cfg, &mut bufs);
+            let pixels = out.ridge_pixels;
+            bufs.recycle(out);
+            pixels
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_passes, bench_rdg_frame);
+criterion_main!(benches);

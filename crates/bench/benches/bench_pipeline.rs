@@ -13,7 +13,13 @@ use xray::{Frame, SequenceConfig, SequenceGenerator};
 const SIZE: usize = 192;
 
 fn frames(n: usize, seed: u64) -> Vec<Frame> {
-    let seq = SequenceConfig { width: SIZE, height: SIZE, frames: n, seed, ..Default::default() };
+    let seq = SequenceConfig {
+        width: SIZE,
+        height: SIZE,
+        frames: n,
+        seed,
+        ..Default::default()
+    };
     SequenceGenerator::new(seq).collect()
 }
 
@@ -23,16 +29,24 @@ fn bench_process_frame(c: &mut Criterion) {
     let mut group = c.benchmark_group("process_frame");
     group.sample_size(10);
     for stripes in [1usize, 2, 4] {
-        group.bench_with_input(BenchmarkId::new("stripes", stripes), &stripes, |b, &stripes| {
-            let policy = ExecutionPolicy { rdg_stripes: stripes, aux_stripes: stripes, cores: 8 };
-            let mut state = AppState::new(SIZE, SIZE);
-            let mut i = 0;
-            b.iter(|| {
-                let f = &fs[i % fs.len()];
-                i += 1;
-                process_frame(f.index, &f.image, &mut state, &app, &policy)
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("stripes", stripes),
+            &stripes,
+            |b, &stripes| {
+                let policy = ExecutionPolicy {
+                    rdg_stripes: stripes,
+                    aux_stripes: stripes,
+                    cores: 8,
+                };
+                let mut state = AppState::new(SIZE, SIZE);
+                let mut i = 0;
+                b.iter(|| {
+                    let f = &fs[i % fs.len()];
+                    i += 1;
+                    process_frame(f.index, &f.image, &mut state, &app, &policy)
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -40,10 +54,19 @@ fn bench_process_frame(c: &mut Criterion) {
 fn bench_manager_plan(c: &mut Criterion) {
     // train a model once from a short profiled run
     let app = AppConfig::default();
-    let seq = SequenceConfig { width: SIZE, height: SIZE, frames: 12, seed: 12, ..Default::default() };
+    let seq = SequenceConfig {
+        width: SIZE,
+        height: SIZE,
+        frames: 12,
+        seed: 12,
+        ..Default::default()
+    };
     let profile = run_sequence(seq, &app, &ExecutionPolicy::default());
     let cfg = TripleCConfig {
-        geometry: triplec::FrameGeometry { width: SIZE, height: SIZE },
+        geometry: triplec::FrameGeometry {
+            width: SIZE,
+            height: SIZE,
+        },
         ..Default::default()
     };
     let model = TripleC::train(&profile.task_series(), &profile.scenarios, cfg);

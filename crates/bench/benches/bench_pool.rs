@@ -1,0 +1,98 @@
+//! Stripe-dispatch benchmarks of the persistent worker pool.
+//!
+//! Measures (a) the fixed per-batch dispatch cost of `StripePool` against
+//! spawning scoped threads per frame — the overhead the pool eliminates —
+//! and (b) that per-frame dispatch latency stays flat as a sequence runs
+//! longer (the pool does no per-frame setup, so processing N frames costs
+//! N times one frame).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use imaging::image::{Image, ImageU16, Roi};
+use imaging::parallel::{for_each_stripe_on, rdg_parallel_pooled, ParallelRdgBuffers, StripePool};
+use imaging::ridge::RdgConfig;
+
+const STRIPES: usize = 4;
+
+fn busy_work(stripe: Roi) -> f64 {
+    let mut acc = 0.0f64;
+    for y in stripe.y..stripe.bottom() {
+        for x in stripe.x..stripe.right() {
+            acc += ((x * 31 + y * 17) % 101) as f64;
+        }
+    }
+    acc
+}
+
+/// Per-frame dispatch cost: persistent pool vs scoped spawn, tiny jobs so
+/// the overhead dominates the measurement.
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    let pool = StripePool::new(STRIPES);
+    let roi = Roi::full(64, 64);
+
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    group.bench_function("pool", |b| {
+        b.iter(|| for_each_stripe_on(&pool, roi, STRIPES, busy_work))
+    });
+    group.bench_function("spawn_per_frame", |b| {
+        b.iter(|| {
+            let parts = roi.stripes(STRIPES);
+            let mut results = vec![0.0f64; parts.len()];
+            std::thread::scope(|s| {
+                for (slot, &part) in results.iter_mut().zip(&parts) {
+                    s.spawn(move || *slot = busy_work(part));
+                }
+            });
+            results
+        })
+    });
+    group.finish();
+}
+
+/// Dispatch latency must not grow with sequence length: the ns/frame of an
+/// N-frame striped-RDG run is flat in N (no per-frame thread or buffer
+/// setup once warm).
+fn bench_latency_flat_across_frames(c: &mut Criterion) {
+    let size = 256usize;
+    let frame: ImageU16 = Image::from_fn(size, size, |x, y| {
+        let d = (x as f32 - y as f32).abs() / 1.5;
+        (2000.0 - 900.0 * (-d * d / 2.0).exp()) as u16
+    });
+    let cfg = RdgConfig::default();
+    let pool = StripePool::new(STRIPES);
+    let mut bufs = ParallelRdgBuffers::new();
+    // warm the buffer pools so every measured frame is steady state
+    let out = rdg_parallel_pooled(&pool, &frame, frame.full_roi(), &cfg, STRIPES, &mut bufs);
+    bufs.recycle(out);
+
+    let mut group = c.benchmark_group("pool_frames");
+    group.sample_size(5);
+    for frames in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("rdg_striped", frames), &frames, |b, &n| {
+            b.iter(|| {
+                let mut pixels = 0usize;
+                for _ in 0..n {
+                    let out = rdg_parallel_pooled(
+                        &pool,
+                        &frame,
+                        frame.full_roi(),
+                        &cfg,
+                        STRIPES,
+                        &mut bufs,
+                    );
+                    pixels += out.ridge_pixels;
+                    bufs.recycle(out);
+                }
+                black_box(pixels)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dispatch_overhead,
+    bench_latency_flat_across_frames
+);
+criterion_main!(benches);

@@ -74,7 +74,10 @@ fn bench_facade(c: &mut Criterion) {
     let series = vec![
         TaskSeries::new("RDG_FULL", ar_series(1000, 3)),
         TaskSeries::new("MKX_EXT", vec![2.5; 1000]),
-        TaskSeries::new("CPLS_SEL", ar_series(1000, 4).iter().map(|v| v / 20.0).collect()),
+        TaskSeries::new(
+            "CPLS_SEL",
+            ar_series(1000, 4).iter().map(|v| v / 20.0).collect(),
+        ),
         TaskSeries::new("REG", vec![2.0; 1000]),
         TaskSeries::new("ENH", vec![24.0; 1000]),
         TaskSeries::new("ZOOM", vec![12.5; 1000]),

@@ -15,7 +15,13 @@ use xray::{SequenceConfig, SequenceGenerator};
 const SIZE: usize = 256;
 
 fn test_frame() -> imaging::image::ImageU16 {
-    let seq = SequenceConfig { width: SIZE, height: SIZE, frames: 1, seed: 7, ..Default::default() };
+    let seq = SequenceConfig {
+        width: SIZE,
+        height: SIZE,
+        frames: 1,
+        seed: 7,
+        ..Default::default()
+    };
     SequenceGenerator::new(seq).next().unwrap().image
 }
 
@@ -59,7 +65,11 @@ fn bench_features(c: &mut Criterion) {
             scale: 2.0,
         })
         .collect();
-    let cfg = CplsConfig { expected_distance: 40.0, distance_tolerance: 5.0, ..Default::default() };
+    let cfg = CplsConfig {
+        expected_distance: 40.0,
+        distance_tolerance: 5.0,
+        ..Default::default()
+    };
     c.bench_function("cpls_select_24_candidates", |b| {
         b.iter(|| cpls_select(&markers, None, &cfg));
     });
@@ -69,8 +79,18 @@ fn bench_features(c: &mut Criterion) {
         (100.0 * (-d * d / 8.0).exp()) as f32
     });
     let couple = imaging::couples::Couple {
-        a: Marker { x: 40.0, y: 40.0, strength: 1.0, scale: 2.0 },
-        b: Marker { x: 180.0, y: 180.0, strength: 1.0, scale: 2.0 },
+        a: Marker {
+            x: 40.0,
+            y: 40.0,
+            strength: 1.0,
+            scale: 2.0,
+        },
+        b: Marker {
+            x: 180.0,
+            y: 180.0,
+            strength: 1.0,
+            scale: 2.0,
+        },
         score: 0.0,
     };
     c.bench_function("gw_extract_140px", |b| {
@@ -81,7 +101,13 @@ fn bench_features(c: &mut Criterion) {
 fn bench_enh_zoom(c: &mut Criterion) {
     let frame = test_frame();
     let mut state = EnhState::new(SIZE, SIZE);
-    let t = RigidTransform { theta: 0.01, cx: 128.0, cy: 128.0, tx: 1.5, ty: -0.5 };
+    let t = RigidTransform {
+        theta: 0.01,
+        cx: 128.0,
+        cy: 128.0,
+        tx: 1.5,
+        ty: -0.5,
+    };
     let roi = Roi::new(64, 64, 128, 128);
     let mut group = c.benchmark_group("enh_zoom");
     group.sample_size(10);
@@ -89,11 +115,21 @@ fn bench_enh_zoom(c: &mut Criterion) {
         b.iter(|| enh_integrate(&frame, &t, roi, &EnhConfig::default(), &mut state));
     });
     group.bench_function("zoom_roi_to_256", |b| {
-        let cfg = ZoomConfig { out_width: 256, out_height: 256, ..Default::default() };
+        let cfg = ZoomConfig {
+            out_width: 256,
+            out_height: 256,
+            ..Default::default()
+        };
         b.iter(|| zoom(&frame, roi, &cfg));
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_rdg, bench_mkx, bench_features, bench_enh_zoom);
+criterion_group!(
+    benches,
+    bench_rdg,
+    bench_mkx,
+    bench_features,
+    bench_enh_zoom
+);
 criterion_main!(benches);

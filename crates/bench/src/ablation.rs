@@ -59,8 +59,15 @@ pub fn alpha_sweep(cfg: &ExperimentConfig) -> (Vec<(f64, f64)>, String) {
         .map(|&(a, acc)| vec![format!("{a:.2}"), format!("{:.1}%", acc * 100.0)])
         .collect();
     out.push_str(&table(&["alpha", "one-step accuracy"], &rows));
-    let best = results.iter().cloned().fold((0.0, 0.0), |b, r| if r.1 > b.1 { r } else { b });
-    out.push_str(&format!("\nbest alpha {:.2} at {:.1}% accuracy\n", best.0, best.1 * 100.0));
+    let best = results
+        .iter()
+        .cloned()
+        .fold((0.0, 0.0), |b, r| if r.1 > b.1 { r } else { b });
+    out.push_str(&format!(
+        "\nbest alpha {:.2} at {:.1}% accuracy\n",
+        best.0,
+        best.1 * 100.0
+    ));
     (results, out)
 }
 
@@ -73,10 +80,8 @@ pub fn state_sweep(cfg: &ExperimentConfig) -> (Vec<(usize, f64)>, String) {
 
     // the paper heuristic applied to the residuals
     let (_, residuals) = triplec::ewma::decompose(train, 0.2);
-    let heuristic = Quantizer::paper_state_count(
-        &residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(),
-        64,
-    );
+    let heuristic =
+        Quantizer::paper_state_count(&residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(), 64);
 
     let counts = [1usize, 2, 4, 8, 16, 32, 64];
     let mut results = Vec::with_capacity(counts.len());
@@ -180,11 +185,9 @@ pub fn quantization(cfg: &ExperimentConfig) -> (Vec<(&'static str, f64)>, String
     let (train, test) = series.split_at(split);
 
     let (_, residuals) = triplec::ewma::decompose(train, 0.2);
-    let states = Quantizer::paper_state_count(
-        &residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(),
-        24,
-    )
-    .max(2);
+    let states =
+        Quantizer::paper_state_count(&residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(), 24)
+            .max(2);
 
     let eval_quantizer = |q: &Quantizer| {
         // evaluate via residual round-trip + chain prediction
@@ -211,8 +214,7 @@ pub fn quantization(cfg: &ExperimentConfig) -> (Vec<(&'static str, f64)>, String
     let adaptive = eval_quantizer(&Quantizer::train(&residuals, states));
     let uniform = eval_quantizer(&Quantizer::train_uniform(&residuals, states));
 
-    let results =
-        vec![("equal-mass (paper)", adaptive), ("uniform-width", uniform)];
+    let results = vec![("equal-mass (paper)", adaptive), ("uniform-width", uniform)];
     let mut out = String::new();
     out.push_str(&format!(
         "Ablation — quantization intervals ({states} states)\n\n"
@@ -236,11 +238,9 @@ pub fn order_sweep(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64, f64)>, Stri
 
     // quantize on the EWMA residuals as the real model does
     let (_, residuals) = triplec::ewma::decompose(train, 0.2);
-    let states = Quantizer::paper_state_count(
-        &residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(),
-        16,
-    )
-    .max(4);
+    let states =
+        Quantizer::paper_state_count(&residuals.iter().map(|r| r.abs()).collect::<Vec<_>>(), 16)
+            .max(4);
     let q = Quantizer::train(&residuals, states);
     let train_states: Vec<usize> = residuals.iter().map(|&r| q.state_of(r)).collect();
 
@@ -266,7 +266,12 @@ pub fn order_sweep(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64, f64)>, Stri
             })
             .collect();
         let acc = evaluate(&pairs).mean_accuracy;
-        results.push((order, acc, chain.context_coverage(), chain.samples_per_context()));
+        results.push((
+            order,
+            acc,
+            chain.context_coverage(),
+            chain.samples_per_context(),
+        ));
     }
 
     let mut out = String::new();
@@ -283,7 +288,12 @@ pub fn order_sweep(cfg: &ExperimentConfig) -> (Vec<(usize, f64, f64, f64)>, Stri
         })
         .collect();
     out.push_str(&table(
-        &["order", "one-step accuracy", "context coverage", "samples/context"],
+        &[
+            "order",
+            "one-step accuracy",
+            "context coverage",
+            "samples/context",
+        ],
         &rows,
     ));
     out.push_str(
@@ -344,7 +354,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { size: 96, fig3_frames: 60, ..Default::default() }
+        ExperimentConfig {
+            size: 96,
+            fig3_frames: 60,
+            ..Default::default()
+        }
     }
 
     #[test]

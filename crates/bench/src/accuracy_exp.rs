@@ -7,11 +7,11 @@ use crate::report::table;
 use crate::table2::profile_training_corpus;
 use pipeline::app::{AppConfig, AppState};
 use pipeline::executor::{process_frame, ExecutionPolicy};
+use std::collections::BTreeMap;
 use triplec::accuracy::{evaluate, AccuracyReport};
 use triplec::predictor::PredictContext;
 use triplec::triple::{TripleC, TripleCConfig};
 use xray::{test_corpus, SequenceGenerator};
-use std::collections::BTreeMap;
 
 /// Structured accuracy result.
 #[derive(Debug, Clone)]
@@ -27,7 +27,10 @@ pub struct AccuracyResult {
 pub fn run(cfg: &ExperimentConfig) -> (AccuracyResult, String) {
     let app = AppConfig::default();
     let profile = profile_training_corpus(cfg, &app);
-    let tc_cfg = TripleCConfig { geometry: cfg.geometry(), ..Default::default() };
+    let tc_cfg = TripleCConfig {
+        geometry: cfg.geometry(),
+        ..Default::default()
+    };
     let mut model = TripleC::train(&profile.task_series(), &profile.scenarios, tc_cfg);
 
     // evaluation: run the pipeline over the test corpus; before each task
@@ -72,8 +75,10 @@ pub fn run(cfg: &ExperimentConfig) -> (AccuracyResult, String) {
         }
     }
 
-    let per_task: Vec<(&'static str, AccuracyReport)> =
-        task_pairs.iter().map(|(&t, pairs)| (t, evaluate(pairs))).collect();
+    let per_task: Vec<(&'static str, AccuracyReport)> = task_pairs
+        .iter()
+        .map(|(&t, pairs)| (t, evaluate(pairs)))
+        .collect();
     let frame_level = evaluate(&frame_pairs);
 
     let mut out = String::new();
@@ -94,7 +99,13 @@ pub fn run(cfg: &ExperimentConfig) -> (AccuracyResult, String) {
         })
         .collect();
     out.push_str(&table(
-        &["task", "samples", "mean accuracy", "max error", "frames >20% err"],
+        &[
+            "task",
+            "samples",
+            "mean accuracy",
+            "max error",
+            "frames >20% err",
+        ],
         &rows,
     ));
     out.push_str(&format!(
@@ -105,7 +116,13 @@ pub fn run(cfg: &ExperimentConfig) -> (AccuracyResult, String) {
     ));
     out.push_str("paper: 97% average accuracy, sporadic excursions up to 20-30%\n");
 
-    (AccuracyResult { per_task, frame_level }, out)
+    (
+        AccuracyResult {
+            per_task,
+            frame_level,
+        },
+        out,
+    )
 }
 
 #[cfg(test)]
@@ -113,13 +130,21 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { size: 128, corpus_scale: 0.06, ..Default::default() }
+        ExperimentConfig {
+            size: 128,
+            corpus_scale: 0.06,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn evaluation_produces_pairs() {
         let (r, text) = run(&tiny());
-        assert!(r.frame_level.count >= 5, "only {} frames", r.frame_level.count);
+        assert!(
+            r.frame_level.count >= 5,
+            "only {} frames",
+            r.frame_level.count
+        );
         assert!(!r.per_task.is_empty());
         assert!(text.contains("mean accuracy"));
     }

@@ -29,12 +29,22 @@ pub fn run() -> (BandwidthAccuracyResult, String) {
     let mut cases: Vec<(String, u64, u64)> = Vec::new();
     let l2_sizes = [2 * MB, 4 * MB, 8 * MB];
     let geoms = [
-        FrameGeometry { width: 512, height: 512 },
-        FrameGeometry { width: 1024, height: 1024 },
+        FrameGeometry {
+            width: 512,
+            height: 512,
+        },
+        FrameGeometry {
+            width: 1024,
+            height: 1024,
+        },
     ];
     for &geom in &geoms {
         for &cap in &l2_sizes {
-            let cache = CacheGeometry { capacity: cap, line_size: 64, ways: 16 };
+            let cache = CacheGeometry {
+                capacity: cap,
+                line_size: 64,
+                ways: 16,
+            };
             for scales in [1usize, 3] {
                 let m = rdg_access_model(geom, scales);
                 let p = intra_task_traffic(&m, cap).total_bytes();
@@ -66,8 +76,10 @@ pub fn run() -> (BandwidthAccuracyResult, String) {
         }
     }
 
-    let pairs: Vec<(f64, f64)> =
-        cases.iter().map(|&(_, p, s)| (p as f64, s as f64)).collect();
+    let pairs: Vec<(f64, f64)> = cases
+        .iter()
+        .map(|&(_, p, s)| (p as f64, s as f64))
+        .collect();
     let report = evaluate(&pairs);
 
     let mut out = String::new();

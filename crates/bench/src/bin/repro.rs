@@ -22,7 +22,10 @@ fn main() {
         .map(|d| export::CsvExporter::new(&d).expect("create csv dir"));
 
     let run_one = |name: &str| {
-        println!("=== {name} {}", "=".repeat(60_usize.saturating_sub(name.len())));
+        println!(
+            "=== {name} {}",
+            "=".repeat(60_usize.saturating_sub(name.len()))
+        );
         match name {
             "fig2" => println!("{}", fig2::run(0.1).1),
             "fig3" => {
@@ -33,7 +36,12 @@ fn main() {
                     let p = e
                         .write_columns(
                             "fig3",
-                            &[("frame", &frames), ("rdg_ms", &r.series), ("lpf", &r.lpf), ("hpf", &r.hpf)],
+                            &[
+                                ("frame", &frames),
+                                ("rdg_ms", &r.series),
+                                ("lpf", &r.lpf),
+                                ("hpf", &r.hpf),
+                            ],
                         )
                         .expect("write csv");
                     println!("csv: {}", p.display());
@@ -52,8 +60,10 @@ fn main() {
                             r.points.iter().map(|p| p.latency_ms[vi]).collect(),
                         ));
                     }
-                    let col_refs: Vec<(&str, &[f64])> =
-                        cols.iter().map(|(n, v)| (n.as_str(), v.as_slice())).collect();
+                    let col_refs: Vec<(&str, &[f64])> = cols
+                        .iter()
+                        .map(|(n, v)| (n.as_str(), v.as_slice()))
+                        .collect();
                     let p = e.write_columns("fig6", &col_refs).expect("write csv");
                     println!("csv: {}", p.display());
                 }

@@ -80,7 +80,10 @@ impl ExperimentConfig {
 
     /// The triplec geometry for model configuration at the experiment size.
     pub fn geometry(&self) -> triplec::FrameGeometry {
-        triplec::FrameGeometry { width: self.size, height: self.size }
+        triplec::FrameGeometry {
+            width: self.size,
+            height: self.size,
+        }
     }
 }
 

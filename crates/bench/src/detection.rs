@@ -37,7 +37,10 @@ pub fn run(cfg: &ExperimentConfig) -> (Vec<DetectionPoint>, String) {
             height: cfg.size,
             frames,
             seed: 2025,
-            noise: NoiseConfig { quantum_scale: noise_scale, electronic_std: 4.0 },
+            noise: NoiseConfig {
+                quantum_scale: noise_scale,
+                electronic_std: 4.0,
+            },
             ..Default::default()
         };
         let mut bufs = MkxBuffers::new(cfg.size, cfg.size);
@@ -86,7 +89,11 @@ pub fn run(cfg: &ExperimentConfig) -> (Vec<DetectionPoint>, String) {
             } else {
                 true_selected as f64 / selected as f64
             },
-            mean_error_px: if err_n == 0 { f64::NAN } else { err_sum / err_n as f64 },
+            mean_error_px: if err_n == 0 {
+                f64::NAN
+            } else {
+                err_sum / err_n as f64
+            },
         });
     }
 
@@ -107,7 +114,12 @@ pub fn run(cfg: &ExperimentConfig) -> (Vec<DetectionPoint>, String) {
         })
         .collect();
     out.push_str(&table(
-        &["noise scale", "marker recall", "couple precision", "mean error px"],
+        &[
+            "noise scale",
+            "marker recall",
+            "couple precision",
+            "mean error px",
+        ],
         &rows,
     ));
     out.push_str(
@@ -123,21 +135,38 @@ mod tests {
 
     #[test]
     fn detection_solid_at_corpus_noise() {
-        let cfg = ExperimentConfig { size: 128, ..Default::default() };
+        let cfg = ExperimentConfig {
+            size: 128,
+            ..Default::default()
+        };
         let (r, _) = run(&cfg);
-        let at_default = r.iter().find(|p| (p.noise_scale - 1.2).abs() < 1e-6).unwrap();
-        assert!(at_default.recall > 0.7, "recall {:.2} at corpus noise", at_default.recall);
+        let at_default = r
+            .iter()
+            .find(|p| (p.noise_scale - 1.2).abs() < 1e-6)
+            .unwrap();
+        assert!(
+            at_default.recall > 0.7,
+            "recall {:.2} at corpus noise",
+            at_default.recall
+        );
         assert!(
             at_default.precision > 0.7,
             "precision {:.2} at corpus noise",
             at_default.precision
         );
-        assert!(at_default.mean_error_px < 1.5, "error {:.2} px", at_default.mean_error_px);
+        assert!(
+            at_default.mean_error_px < 1.5,
+            "error {:.2} px",
+            at_default.mean_error_px
+        );
     }
 
     #[test]
     fn low_noise_is_at_least_as_good_as_high_noise() {
-        let cfg = ExperimentConfig { size: 128, ..Default::default() };
+        let cfg = ExperimentConfig {
+            size: 128,
+            ..Default::default()
+        };
         let (r, _) = run(&cfg);
         let lo = r.first().unwrap();
         let hi = r.last().unwrap();

@@ -16,7 +16,9 @@ impl CsvExporter {
     /// Creates the exporter (and the directory).
     pub fn new(dir: &Path) -> io::Result<Self> {
         std::fs::create_dir_all(dir)?;
-        Ok(Self { dir: dir.to_path_buf() })
+        Ok(Self {
+            dir: dir.to_path_buf(),
+        })
     }
 
     /// Writes named columns of equal length as `<name>.csv`. Shorter
@@ -39,7 +41,12 @@ impl CsvExporter {
     }
 
     /// Writes string rows as `<name>.csv` with the given header.
-    pub fn write_rows(&self, name: &str, header: &[&str], rows: &[Vec<String>]) -> io::Result<PathBuf> {
+    pub fn write_rows(
+        &self,
+        name: &str,
+        header: &[&str],
+        rows: &[Vec<String>],
+    ) -> io::Result<PathBuf> {
         let path = self.dir.join(format!("{name}.csv"));
         let mut f = io::BufWriter::new(std::fs::File::create(&path)?);
         writeln!(f, "{}", header.join(","))?;
@@ -98,7 +105,10 @@ mod tests {
 
     #[test]
     fn csv_flag_parsed() {
-        let args: Vec<String> = ["fig7", "--csv", "/tmp/x"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["fig7", "--csv", "/tmp/x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(csv_dir_from_args(&args), Some(PathBuf::from("/tmp/x")));
         assert_eq!(csv_dir_from_args(&["fig7".to_string()]), None);
     }

@@ -31,7 +31,9 @@ pub fn run(cfg: &ExperimentConfig, alpha: f64) -> (Fig3Result, String) {
     let series = profile_rdg_direct(seq, &AppConfig::default());
 
     let (lpf, hpf) = decompose(&series, alpha);
-    let skip = (series.len() / 10).max(5).min(series.len().saturating_sub(2));
+    let skip = (series.len() / 10)
+        .max(5)
+        .min(series.len().saturating_sub(2));
     let acf = autocorrelation(&hpf[skip..], 12);
     let fit = fit_exponential_decay(&acf);
 
@@ -61,9 +63,7 @@ pub fn run(cfg: &ExperimentConfig, alpha: f64) -> (Fig3Result, String) {
         "HPF autocorrelation decay: lambda {:.2}, rmse {:.2} -> Markov-suitable: {}\n",
         fit.lambda, fit.rmse, fit.markov_suitable
     ));
-    out.push_str(
-        "(paper: the same decomposition on its platform, 1,750 frames, 35-55 ms band)\n",
-    );
+    out.push_str("(paper: the same decomposition on its platform, 1,750 frames, 35-55 ms band)\n");
 
     (
         Fig3Result {
@@ -82,7 +82,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { size: 96, fig3_frames: 40, ..Default::default() }
+        ExperimentConfig {
+            size: 96,
+            fig3_frames: 40,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -106,6 +110,9 @@ mod tests {
         let (r, _) = run(&tiny(), 0.2);
         let s_std = triplec::stats::std_dev(&r.series);
         let h_std = triplec::stats::std_dev(&r.hpf);
-        assert!(h_std <= s_std * 1.5, "hpf std {h_std} vs series std {s_std}");
+        assert!(
+            h_std <= s_std * 1.5,
+            "hpf std {h_std} vs series std {s_std}"
+        );
     }
 }

@@ -78,17 +78,34 @@ pub fn run() -> (Fig5Result, String) {
             name.to_string(),
             mbs(p.total_bytes() as f64),
             mbs(s.total_bytes() as f64),
-            format!("{:.1}%", triplec::accuracy(p.total_bytes() as f64, s.total_bytes() as f64) * 100.0),
+            format!(
+                "{:.1}%",
+                triplec::accuracy(p.total_bytes() as f64, s.total_bytes() as f64) * 100.0
+            ),
             mbs(p.bandwidth(FRAME_RATE_HZ)),
         ]);
     }
     out.push_str("\nOther tasks exceeding the L2 (Section 5):\n");
     out.push_str(&table(
-        &["task", "pred MB/frame", "sim MB/frame", "accuracy", "BW MB/s @30Hz"],
+        &[
+            "task",
+            "pred MB/frame",
+            "sim MB/frame",
+            "accuracy",
+            "BW MB/s @30Hz",
+        ],
         &rows,
     ));
 
-    (Fig5Result { rdg_predicted, rdg_simulated, rdg_accuracy, rdg_bandwidth }, out)
+    (
+        Fig5Result {
+            rdg_predicted,
+            rdg_simulated,
+            rdg_accuracy,
+            rdg_bandwidth,
+        },
+        out,
+    )
 }
 
 #[cfg(test)]
@@ -100,7 +117,11 @@ mod tests {
         let (r, _) = run();
         // RDG intermediates are ~28 MB at 1024^2: far beyond 4 MB L2, so
         // swap traffic must exceed the compulsory input+output (~8 MB)
-        assert!(r.rdg_predicted > 20 * 1024 * 1024, "predicted {}", r.rdg_predicted);
+        assert!(
+            r.rdg_predicted > 20 * 1024 * 1024,
+            "predicted {}",
+            r.rdg_predicted
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ pub fn run(cfg: &ExperimentConfig) -> (Fig6Result, String) {
                     .enumerate()
                     .map(|(ci, s)| {
                         let (_, ms) = time_ms(|| rdg_stripe(&frame, s, &rdg_cfg));
-                        VirtualJob { core: ci, duration_ms: ms }
+                        VirtualJob {
+                            core: ci,
+                            duration_ms: ms,
+                        }
                     })
                     .collect();
                 stage_makespan(8, &jobs)
@@ -87,7 +90,11 @@ pub fn run(cfg: &ExperimentConfig) -> (Fig6Result, String) {
         if stripes.first() == Some(&1) {
             serial_points.push((kpx, latencies[0]));
         }
-        points.push(SweepPoint { roi_kpixels: kpx, latency_ms: latencies, variants: stripes.len() });
+        points.push(SweepPoint {
+            roi_kpixels: kpx,
+            latency_ms: latencies,
+            variants: stripes.len(),
+        });
     }
 
     let serial_fit = LinearModel::fit(&serial_points);
@@ -142,7 +149,15 @@ pub fn run(cfg: &ExperimentConfig) -> (Fig6Result, String) {
         ));
     }
 
-    (Fig6Result { points, serial_fit, r_squared, two_stripe_speedup }, out)
+    (
+        Fig6Result {
+            points,
+            serial_fit,
+            r_squared,
+            two_stripe_speedup,
+        },
+        out,
+    )
 }
 
 #[cfg(test)]
@@ -150,7 +165,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { size: 128, fig6_stripes: vec![1, 2], ..Default::default() }
+        ExperimentConfig {
+            size: 128,
+            fig6_stripes: vec![1, 2],
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -178,6 +197,10 @@ mod tests {
         let (r, _) = run(&tiny());
         // the Fig. 6 separation of the two curves: virtual makespan of two
         // half-size stripes beats serial
-        assert!(r.two_stripe_speedup > 1.2, "speedup {}", r.two_stripe_speedup);
+        assert!(
+            r.two_stripe_speedup > 1.2,
+            "speedup {}",
+            r.two_stripe_speedup
+        );
     }
 }

@@ -45,10 +45,19 @@ fn dynamic_sequence(size: usize, frames: usize, seed: u64) -> SequenceConfig {
             drift_amp: 0.25,
             drift_period: (frames as f64 / 3.0).max(30.0),
             bolus: vec![
-                HiddenEpisode { start: frames / 6, len: frames / 8 },
-                HiddenEpisode { start: 2 * frames / 3, len: frames / 8 },
+                HiddenEpisode {
+                    start: frames / 6,
+                    len: frames / 8,
+                },
+                HiddenEpisode {
+                    start: 2 * frames / 3,
+                    len: frames / 8,
+                },
             ],
-            panning: vec![HiddenEpisode { start: frames / 2, len: 3 }],
+            panning: vec![HiddenEpisode {
+                start: frames / 2,
+                len: 3,
+            }],
             ..Default::default()
         },
         ..Default::default()
@@ -61,7 +70,10 @@ pub fn train_model(cfg: &ExperimentConfig, app: &AppConfig) -> TripleC {
         .map(|i| dynamic_sequence(cfg.size, 52, 9000 + i))
         .collect();
     let profile = run_corpus(corpus, app, &ExecutionPolicy::default());
-    let tc_cfg = TripleCConfig { geometry: cfg.geometry(), ..Default::default() };
+    let tc_cfg = TripleCConfig {
+        geometry: cfg.geometry(),
+        ..Default::default()
+    };
     TripleC::train(&profile.task_series(), &profile.scenarios, tc_cfg)
 }
 
@@ -88,8 +100,11 @@ pub fn run(cfg: &ExperimentConfig) -> (Fig7Result, String) {
     // summaries.
     let budget = manager.budget().expect("budget initialized after the run");
     let delay = DelayLine::new(budget.target_ms);
-    let managed_output: Vec<f64> =
-        managed.iter().skip(1).map(|&c| delay.output_latency(c)).collect();
+    let managed_output: Vec<f64> = managed
+        .iter()
+        .skip(1)
+        .map(|&c| delay.output_latency(c))
+        .collect();
 
     let s_sum = platform::trace::summary_of(&straightforward);
     let m_sum = platform::trace::summary_of(&managed_output);
@@ -145,7 +160,11 @@ pub fn run(cfg: &ExperimentConfig) -> (Fig7Result, String) {
         accuracy.mean_accuracy * 100.0,
         accuracy.max_error * 100.0
     ));
-    let overruns = managed.iter().skip(1).filter(|&&c| delay.overruns(c)).count();
+    let overruns = managed
+        .iter()
+        .skip(1)
+        .filter(|&&c| delay.overruns(c))
+        .count();
     out.push_str(&format!(
         "budget overruns: {} of {} frames\n",
         overruns,
@@ -185,7 +204,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { size: 128, fig7_frames: 40, ..Default::default() }
+        ExperimentConfig {
+            size: 128,
+            fig7_frames: 40,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -232,6 +255,10 @@ mod tests {
     #[test]
     fn prediction_accuracy_is_reasonable_even_tiny() {
         let (r, _) = run(&tiny());
-        assert!(r.prediction_accuracy > 0.5, "accuracy {}", r.prediction_accuracy);
+        assert!(
+            r.prediction_accuracy > 0.5,
+            "accuracy {}",
+            r.prediction_accuracy
+        );
     }
 }

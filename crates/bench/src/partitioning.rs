@@ -56,9 +56,7 @@ pub fn run(cfg: &ExperimentConfig) -> (PartitioningResult, String) {
         .map(|r| {
             STAGES
                 .iter()
-                .map(|stage| {
-                    stage.iter().filter_map(|t| r.task_time(t)).sum::<f64>()
-                })
+                .map(|stage| stage.iter().filter_map(|t| r.task_time(t)).sum::<f64>())
                 .collect()
         })
         .collect();
@@ -88,7 +86,10 @@ pub fn run(cfg: &ExperimentConfig) -> (PartitioningResult, String) {
                 .map(|&(_, ms)| ms)
                 .sum();
             let jobs: Vec<VirtualJob> = (0..4)
-                .map(|c| VirtualJob { core: c, duration_ms: stripable / (4.0 * 0.9) })
+                .map(|c| VirtualJob {
+                    core: c,
+                    duration_ms: stripable / (4.0 * 0.9),
+                })
                 .collect();
             stage_makespan(8, &jobs) + serial
         })
@@ -114,11 +115,26 @@ pub fn run(cfg: &ExperimentConfig) -> (PartitioningResult, String) {
         cfg.size
     ));
     let rows = vec![
-        vec!["serial".into(), format!("{serial_mean:.2}"), format!("{serial_fps:.1}")],
-        vec!["data-parallel (4-stripe)".into(), format!("{data_mean:.2}"), format!("{data_fps:.1}")],
-        vec!["function-parallel (4-stage pipe)".into(), format!("{func_mean:.2}"), format!("{func_fps:.1}")],
+        vec![
+            "serial".into(),
+            format!("{serial_mean:.2}"),
+            format!("{serial_fps:.1}"),
+        ],
+        vec![
+            "data-parallel (4-stripe)".into(),
+            format!("{data_mean:.2}"),
+            format!("{data_fps:.1}"),
+        ],
+        vec![
+            "function-parallel (4-stage pipe)".into(),
+            format!("{func_mean:.2}"),
+            format!("{func_fps:.1}"),
+        ],
     ];
-    out.push_str(&table(&["partitioning", "mean latency ms", "throughput fps"], &rows));
+    out.push_str(&table(
+        &["partitioning", "mean latency ms", "throughput fps"],
+        &rows,
+    ));
     out.push_str(
         "\nshape (van der Tol et al., the paper's [17]): functional partitioning\n\
          raises throughput but not single-frame latency; data partitioning cuts\n\
@@ -140,7 +156,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { size: 128, ..Default::default() }
+        ExperimentConfig {
+            size: 128,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub fn run(cfg: &ExperimentConfig) -> (Vec<QosPoint>, String) {
         frames,
         seed: 777,
         scenario: ScenarioConfig {
-            bolus: vec![HiddenEpisode { start: frames / 4, len: frames / 3 }],
+            bolus: vec![HiddenEpisode {
+                start: frames / 4,
+                len: frames / 3,
+            }],
             ..Default::default()
         },
         ..Default::default()
@@ -50,8 +53,13 @@ pub fn run(cfg: &ExperimentConfig) -> (Vec<QosPoint>, String) {
     let mut reference_budget = None;
     for &cores in &[8usize, 4, 2, 1] {
         let model = model_template();
-        let mut manager =
-            ResourceManager::new(model, ManagerConfig { cores, ..Default::default() });
+        let mut manager = ResourceManager::new(
+            model,
+            ManagerConfig {
+                cores,
+                ..Default::default()
+            },
+        );
         if let Some(b) = reference_budget {
             manager.set_budget(b);
         }
@@ -89,7 +97,12 @@ pub fn run(cfg: &ExperimentConfig) -> (Vec<QosPoint>, String) {
         })
         .collect();
     out.push_str(&table(
-        &["cores", "mean latency ms", "frames below full quality", "infeasible plans"],
+        &[
+            "cores",
+            "mean latency ms",
+            "frames below full quality",
+            "infeasible plans",
+        ],
         &rows,
     ));
     out.push_str(
@@ -107,7 +120,11 @@ mod tests {
 
     #[test]
     fn pressure_sweep_produces_all_points() {
-        let cfg = ExperimentConfig { size: 128, fig7_frames: 24, ..Default::default() };
+        let cfg = ExperimentConfig {
+            size: 128,
+            fig7_frames: 24,
+            ..Default::default()
+        };
         let (r, text) = run(&cfg);
         assert_eq!(r.len(), 4);
         assert!(text.contains("cores"));

@@ -35,7 +35,12 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Renders a numeric series as a coarse ASCII strip chart (one row per
 /// sample bucket), used for the Fig. 3 / Fig. 7 trace visualizations.
-pub fn strip_chart(title: &str, series: &[(&str, &[f64])], height: usize, buckets: usize) -> String {
+pub fn strip_chart(
+    title: &str,
+    series: &[(&str, &[f64])],
+    height: usize,
+    buckets: usize,
+) -> String {
     let mut out = format!("{title}\n");
     let all: Vec<f64> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();
     if all.is_empty() || buckets == 0 || height == 0 {
@@ -73,7 +78,11 @@ pub fn strip_chart(title: &str, series: &[(&str, &[f64])], height: usize, bucket
                 }
             }
         }
-        out.push_str(&format!("{:>9.2} |{}\n", level, line.iter().collect::<String>()));
+        out.push_str(&format!(
+            "{:>9.2} |{}\n",
+            level,
+            line.iter().collect::<String>()
+        ));
     }
     out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(buckets)));
     let legend: Vec<String> = series
@@ -112,7 +121,10 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["task", "ms"],
-            &[vec!["RDG".into(), "40.0".into()], vec!["MKX_EXT".into(), "2.5".into()]],
+            &[
+                vec!["RDG".into(), "40.0".into()],
+                vec!["MKX_EXT".into(), "2.5".into()],
+            ],
         );
         assert!(t.contains("| task    | ms   |"), "table:\n{t}");
         assert!(t.contains("| RDG     | 40.0 |"));
@@ -133,7 +145,9 @@ mod tests {
 
     #[test]
     fn strip_chart_renders_without_panic() {
-        let a: Vec<f64> = (0..100).map(|i| 50.0 + (i as f64 / 10.0).sin() * 10.0).collect();
+        let a: Vec<f64> = (0..100)
+            .map(|i| 50.0 + (i as f64 / 10.0).sin() * 10.0)
+            .collect();
         let b: Vec<f64> = (0..100).map(|i| 60.0 + (i % 5) as f64).collect();
         let chart = strip_chart("latency", &[("serial", &a), ("managed", &b)], 10, 40);
         assert!(chart.contains("serial"));

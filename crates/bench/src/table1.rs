@@ -35,9 +35,15 @@ pub fn run() -> (Table1Result, String) {
     let mut out = String::new();
     out.push_str("Table 1 — per-task memory requirements (KB) at 1024x1024, 2 B/px\n\n");
     out.push_str("This implementation (f32 intermediates, hence larger than the paper's):\n");
-    out.push_str(&table(&["Task", "RDG sel", "Input", "Intermediate", "Output"], &rows(&ours)));
+    out.push_str(&table(
+        &["Task", "RDG sel", "Input", "Intermediate", "Output"],
+        &rows(&ours),
+    ));
     out.push_str("\nPaper's published Table 1 (reference implementation):\n");
-    out.push_str(&table(&["Task", "RDG sel", "Input", "Intermediate", "Output"], &rows(&paper)));
+    out.push_str(&table(
+        &["Task", "RDG sel", "Input", "Intermediate", "Output"],
+        &rows(&paper),
+    ));
     out.push_str(
         "\nShape checks: MKX input grows when RDG is selected; RDG/ENH intermediates\n\
          exceed the 4 MB L2 (driving the Fig. 5 swap traffic) in both tables.\n",

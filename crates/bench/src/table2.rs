@@ -67,28 +67,31 @@ pub fn run(cfg: &ExperimentConfig) -> (Table2Result, String) {
     rdg_series.extend(profile.series_of("RDG_ROI"));
     assert!(!rdg_series.is_empty(), "corpus produced no RDG samples");
     let rdg_quantizer = Quantizer::train(&rdg_series, 10);
-    let seq: Vec<usize> = rdg_series.iter().map(|&v| rdg_quantizer.state_of(v)).collect();
+    let seq: Vec<usize> = rdg_series
+        .iter()
+        .map(|&v| rdg_quantizer.state_of(v))
+        .collect();
     let rdg_chain = MarkovChain::estimate(&seq, rdg_quantizer.states());
 
     // (b): trained model summary
-    let tc_cfg = TripleCConfig { geometry: cfg.geometry(), ..Default::default() };
+    let tc_cfg = TripleCConfig {
+        geometry: cfg.geometry(),
+        ..Default::default()
+    };
     let model = TripleC::train(&profile.task_series(), &profile.scenarios, tc_cfg);
     let summary = model.model_summary();
 
     let mut out = String::new();
     out.push_str(&format!(
         "Table 2 — trained on {} frames ({} sequences scale {:.2}) at {}x{}\n\n",
-        frames,
-        37,
-        cfg.corpus_scale,
-        cfg.size,
-        cfg.size
+        frames, 37, cfg.corpus_scale, cfg.size, cfg.size
     ));
 
     out.push_str("(a) RDG Markov transition matrix (equal-mass states, paper shows 10x10):\n");
     let n = rdg_chain.states();
-    let headers: Vec<String> =
-        std::iter::once("".to_string()).chain((0..n).map(|j| format!("s{j}"))).collect();
+    let headers: Vec<String> = std::iter::once("".to_string())
+        .chain((0..n).map(|j| format!("s{j}")))
+        .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     let rows: Vec<Vec<String>> = (0..n)
         .map(|i| {
@@ -105,7 +108,11 @@ pub fn run(cfg: &ExperimentConfig) -> (Table2Result, String) {
         .map(|(task, kind, name)| {
             let series = profile.series_of(task);
             let m = triplec::stats::mean(&series);
-            let cv = if m > 0.0 { triplec::stats::std_dev(&series) / m } else { 0.0 };
+            let cv = if m > 0.0 {
+                triplec::stats::std_dev(&series) / m
+            } else {
+                0.0
+            };
             let lag1 = triplec::stats::autocorrelation(&series, 1)
                 .get(1)
                 .copied()
@@ -121,7 +128,14 @@ pub fn run(cfg: &ExperimentConfig) -> (Table2Result, String) {
         })
         .collect();
     out.push_str(&table(
-        &["Task", "Kind", "Prediction model [ms]", "mean ms", "CV", "lag-1 ACF"],
+        &[
+            "Task",
+            "Kind",
+            "Prediction model [ms]",
+            "mean ms",
+            "CV",
+            "lag-1 ACF",
+        ],
         &rows,
     ));
     out.push_str(
@@ -129,7 +143,15 @@ pub fn run(cfg: &ExperimentConfig) -> (Table2Result, String) {
          MKX 2.5, REG 2, ROI EST 1, ENH 24, ZOOM 12.5 (constants in ms on its platform)\n",
     );
 
-    (Table2Result { rdg_chain, rdg_quantizer, summary, frames }, out)
+    (
+        Table2Result {
+            rdg_chain,
+            rdg_quantizer,
+            summary,
+            frames,
+        },
+        out,
+    )
 }
 
 #[cfg(test)]
@@ -137,7 +159,11 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExperimentConfig {
-        ExperimentConfig { size: 128, corpus_scale: 0.06, ..Default::default() }
+        ExperimentConfig {
+            size: 128,
+            corpus_scale: 0.06,
+            ..Default::default()
+        }
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub fn accuracy(predicted: f64, actual: f64) -> f64 {
 /// Relative error of a single prediction (unclamped).
 pub fn relative_error(predicted: f64, actual: f64) -> f64 {
     if actual.abs() < 1e-12 {
-        return if predicted.abs() < 1e-12 { 0.0 } else { f64::INFINITY };
+        return if predicted.abs() < 1e-12 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     (predicted - actual).abs() / actual.abs()
 }

@@ -30,36 +30,92 @@ pub fn scenario_edges(scenario: Scenario, geom: FrameGeometry, roi_fraction: f64
     let mut edges = Vec::new();
     if scenario.rdg_active {
         if scenario.roi_estimated {
-            edges.push(Edge { from: "INPUT", to: "RDG_ROI", bytes_per_frame: frame });
-            edges.push(Edge { from: "RDG_ROI", to: "MKX_EXT", bytes_per_frame: rdg_out_roi });
+            edges.push(Edge {
+                from: "INPUT",
+                to: "RDG_ROI",
+                bytes_per_frame: frame,
+            });
+            edges.push(Edge {
+                from: "RDG_ROI",
+                to: "MKX_EXT",
+                bytes_per_frame: rdg_out_roi,
+            });
         } else {
-            edges.push(Edge { from: "INPUT", to: "RDG_FULL", bytes_per_frame: frame });
-            edges.push(Edge { from: "RDG_FULL", to: "MKX_EXT", bytes_per_frame: rdg_out });
+            edges.push(Edge {
+                from: "INPUT",
+                to: "RDG_FULL",
+                bytes_per_frame: frame,
+            });
+            edges.push(Edge {
+                from: "RDG_FULL",
+                to: "MKX_EXT",
+                bytes_per_frame: rdg_out,
+            });
         }
     } else {
         // RDG skipped: the (ROI of the) raw frame goes straight to MKX
-        let bytes = if scenario.roi_estimated { roi_frame } else { frame };
-        edges.push(Edge { from: "INPUT", to: "MKX_EXT", bytes_per_frame: bytes });
+        let bytes = if scenario.roi_estimated {
+            roi_frame
+        } else {
+            frame
+        };
+        edges.push(Edge {
+            from: "INPUT",
+            to: "MKX_EXT",
+            bytes_per_frame: bytes,
+        });
     }
     // features to couples selection: negligible array traffic ("tasks that
     // operate on a subset or feature data are negligible", Section 5.1) —
     // modelled as a small fixed record stream.
-    edges.push(Edge { from: "MKX_EXT", to: "CPLS_SEL", bytes_per_frame: 4096 });
-    edges.push(Edge { from: "CPLS_SEL", to: "REG", bytes_per_frame: 512 });
+    edges.push(Edge {
+        from: "MKX_EXT",
+        to: "CPLS_SEL",
+        bytes_per_frame: 4096,
+    });
+    edges.push(Edge {
+        from: "CPLS_SEL",
+        to: "REG",
+        bytes_per_frame: 512,
+    });
     // registration needs the current and reference frames (temporal diff)
-    edges.push(Edge { from: "INPUT", to: "REG", bytes_per_frame: frame });
+    edges.push(Edge {
+        from: "INPUT",
+        to: "REG",
+        bytes_per_frame: frame,
+    });
     if scenario.roi_estimated {
-        edges.push(Edge { from: "REG", to: "ROI_EST", bytes_per_frame: 512 });
+        edges.push(Edge {
+            from: "REG",
+            to: "ROI_EST",
+            bytes_per_frame: 512,
+        });
         // guide-wire extraction reads the ridge map inside the ROI
         let gw_in = ((px as f64 * roi_fraction) as usize) * 4;
-        edges.push(Edge { from: "ROI_EST", to: "GW_EXT", bytes_per_frame: gw_in });
+        edges.push(Edge {
+            from: "ROI_EST",
+            to: "GW_EXT",
+            bytes_per_frame: gw_in,
+        });
     }
     if scenario.reg_successful {
         // enhancement integrates the registered ROI of the input frame
-        edges.push(Edge { from: "INPUT", to: "ENH", bytes_per_frame: roi_frame });
-        edges.push(Edge { from: "ENH", to: "ZOOM", bytes_per_frame: roi_frame });
+        edges.push(Edge {
+            from: "INPUT",
+            to: "ENH",
+            bytes_per_frame: roi_frame,
+        });
+        edges.push(Edge {
+            from: "ENH",
+            to: "ZOOM",
+            bytes_per_frame: roi_frame,
+        });
         // zoomed output to display (half-frame display buffer)
-        edges.push(Edge { from: "ZOOM", to: "OUTPUT", bytes_per_frame: frame / 2 });
+        edges.push(Edge {
+            from: "ZOOM",
+            to: "OUTPUT",
+            bytes_per_frame: frame / 2,
+        });
     }
     edges
 }
@@ -82,25 +138,76 @@ pub fn scenario_inter_task_bandwidth(
 pub fn rdg_access_model(geom: FrameGeometry, scales: usize) -> TaskAccessModel {
     let px = geom.pixels();
     let buffers = vec![
-        BufferSpec { name: "input u16", bytes: px * 2 },     // 0
-        BufferSpec { name: "src f32", bytes: px * 4 },       // 1 (A)
-        BufferSpec { name: "scratch", bytes: px * 4 },       // 2
-        BufferSpec { name: "Ixx", bytes: px * 4 },           // 3 (B)
-        BufferSpec { name: "Iyy", bytes: px * 4 },           // 4
-        BufferSpec { name: "Ixy", bytes: px * 4 },           // 5
-        BufferSpec { name: "acc", bytes: px * 4 },           // 6 (C)
-        BufferSpec { name: "filtered u16", bytes: px * 2 },  // 7
-        BufferSpec { name: "ridgeness f32", bytes: px * 4 }, // 8
+        BufferSpec {
+            name: "input u16",
+            bytes: px * 2,
+        }, // 0
+        BufferSpec {
+            name: "src f32",
+            bytes: px * 4,
+        }, // 1 (A)
+        BufferSpec {
+            name: "scratch",
+            bytes: px * 4,
+        }, // 2
+        BufferSpec {
+            name: "Ixx",
+            bytes: px * 4,
+        }, // 3 (B)
+        BufferSpec {
+            name: "Iyy",
+            bytes: px * 4,
+        }, // 4
+        BufferSpec {
+            name: "Ixy",
+            bytes: px * 4,
+        }, // 5
+        BufferSpec {
+            name: "acc",
+            bytes: px * 4,
+        }, // 6 (C)
+        BufferSpec {
+            name: "filtered u16",
+            bytes: px * 2,
+        }, // 7
+        BufferSpec {
+            name: "ridgeness f32",
+            bytes: px * 4,
+        }, // 8
     ];
-    let mut passes = vec![PassSpec { label: "A: convert", reads: vec![0], writes: vec![1] }];
+    let mut passes = vec![PassSpec {
+        label: "A: convert",
+        reads: vec![0],
+        writes: vec![1],
+    }];
     for _ in 0..scales {
         // each scale: three separable convolutions + response accumulation
-        passes.push(PassSpec { label: "B: Ixx", reads: vec![1, 2], writes: vec![2, 3] });
-        passes.push(PassSpec { label: "B: Iyy", reads: vec![1, 2], writes: vec![2, 4] });
-        passes.push(PassSpec { label: "B: Ixy", reads: vec![1, 2], writes: vec![2, 5] });
-        passes.push(PassSpec { label: "B: response", reads: vec![3, 4, 5], writes: vec![6] });
+        passes.push(PassSpec {
+            label: "B: Ixx",
+            reads: vec![1, 2],
+            writes: vec![2, 3],
+        });
+        passes.push(PassSpec {
+            label: "B: Iyy",
+            reads: vec![1, 2],
+            writes: vec![2, 4],
+        });
+        passes.push(PassSpec {
+            label: "B: Ixy",
+            reads: vec![1, 2],
+            writes: vec![2, 5],
+        });
+        passes.push(PassSpec {
+            label: "B: response",
+            reads: vec![3, 4, 5],
+            writes: vec![6],
+        });
     }
-    passes.push(PassSpec { label: "C: threshold+suppress", reads: vec![0, 6], writes: vec![7, 8] });
+    passes.push(PassSpec {
+        label: "C: threshold+suppress",
+        reads: vec![0, 6],
+        writes: vec![7, 8],
+    });
     TaskAccessModel { buffers, passes }
 }
 
@@ -111,27 +218,58 @@ pub fn enh_access_model(geom: FrameGeometry, roi_fraction: f64) -> TaskAccessMod
     let roi_px = (px as f64 * roi_fraction) as usize;
     TaskAccessModel {
         buffers: vec![
-            BufferSpec { name: "input u16", bytes: px * 2 },
-            BufferSpec { name: "accumulator f32", bytes: px * 4 },
-            BufferSpec { name: "enhanced u16", bytes: roi_px * 2 },
+            BufferSpec {
+                name: "input u16",
+                bytes: px * 2,
+            },
+            BufferSpec {
+                name: "accumulator f32",
+                bytes: px * 4,
+            },
+            BufferSpec {
+                name: "enhanced u16",
+                bytes: roi_px * 2,
+            },
         ],
         passes: vec![
-            PassSpec { label: "integrate", reads: vec![0, 1], writes: vec![1] },
-            PassSpec { label: "readout", reads: vec![1], writes: vec![2] },
+            PassSpec {
+                label: "integrate",
+                reads: vec![0, 1],
+                writes: vec![1],
+            },
+            PassSpec {
+                label: "readout",
+                reads: vec![1],
+                writes: vec![2],
+            },
         ],
     }
 }
 
 /// The ZOOM access model: reads the ROI, writes the display buffer.
-pub fn zoom_access_model(geom: FrameGeometry, roi_fraction: f64, out_pixels: usize) -> TaskAccessModel {
+pub fn zoom_access_model(
+    geom: FrameGeometry,
+    roi_fraction: f64,
+    out_pixels: usize,
+) -> TaskAccessModel {
     let px = geom.pixels();
     let roi_px = (px as f64 * roi_fraction) as usize;
     TaskAccessModel {
         buffers: vec![
-            BufferSpec { name: "roi u16", bytes: roi_px * 2 },
-            BufferSpec { name: "display u16", bytes: out_pixels * 2 },
+            BufferSpec {
+                name: "roi u16",
+                bytes: roi_px * 2,
+            },
+            BufferSpec {
+                name: "display u16",
+                bytes: out_pixels * 2,
+            },
         ],
-        passes: vec![PassSpec { label: "interpolate", reads: vec![0], writes: vec![1] }],
+        passes: vec![PassSpec {
+            label: "interpolate",
+            reads: vec![0],
+            writes: vec![1],
+        }],
     }
 }
 
@@ -151,7 +289,11 @@ pub fn scenario_intra_task_bandwidth(
 ) -> f64 {
     let mut total = 0.0;
     if scenario.rdg_active {
-        let frac = if scenario.roi_estimated { roi_fraction } else { 1.0 };
+        let frac = if scenario.roi_estimated {
+            roi_fraction
+        } else {
+            1.0
+        };
         let scaled = FrameGeometry {
             width: geom.width,
             height: ((geom.height as f64) * frac) as usize,
@@ -193,15 +335,26 @@ mod tests {
     fn input_edge_matches_fig2_magnitude() {
         // Fig. 2 annotates the input stream at 60 MB/s (2 MB x 30 Hz)
         let edges = scenario_edges(Scenario::worst_case(), GEOM, 1.0);
-        let input = edges.iter().find(|e| e.from == "INPUT" && e.to == "RDG_FULL").unwrap();
+        let input = edges
+            .iter()
+            .find(|e| e.from == "INPUT" && e.to == "RDG_FULL")
+            .unwrap();
         let mbs = input.bandwidth(FRAME_RATE_HZ) / 1e6;
         assert!((mbs - 62.9).abs() < 1.0, "input edge {mbs} MB/s");
     }
 
     #[test]
     fn roi_granularity_cuts_bandwidth() {
-        let s = Scenario { rdg_active: true, roi_estimated: true, reg_successful: true };
-        let full = Scenario { rdg_active: true, roi_estimated: false, reg_successful: true };
+        let s = Scenario {
+            rdg_active: true,
+            roi_estimated: true,
+            reg_successful: true,
+        };
+        let full = Scenario {
+            rdg_active: true,
+            roi_estimated: false,
+            reg_successful: true,
+        };
         let bw_roi = scenario_inter_task_bandwidth(s, GEOM, 0.1);
         let bw_full = scenario_inter_task_bandwidth(full, GEOM, 0.1);
         assert!(bw_roi < bw_full, "roi {bw_roi:.2e} full {bw_full:.2e}");

@@ -26,7 +26,10 @@ pub struct Ewma {
 impl Ewma {
     /// Creates a filter with smoothing factor `alpha` in `(0, 1]`.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
         Self { alpha, value: None }
     }
 

@@ -18,7 +18,10 @@ pub struct LinearModel {
 impl LinearModel {
     /// The paper's published RDG growth function (Eq. 3), for reference
     /// output in the experiment tables. `x` is the ROI size in kilopixels.
-    pub const PAPER_RDG: LinearModel = LinearModel { slope: 0.067, intercept: 20.6 };
+    pub const PAPER_RDG: LinearModel = LinearModel {
+        slope: 0.067,
+        intercept: 20.6,
+    };
 
     /// Evaluates the model.
     pub fn eval(&self, x: f64) -> f64 {
@@ -98,7 +101,11 @@ mod tests {
             .collect();
         let m = LinearModel::fit(&pts);
         assert!((m.slope - 0.067).abs() < 0.005, "slope {}", m.slope);
-        assert!((m.intercept - 20.6).abs() < 1.5, "intercept {}", m.intercept);
+        assert!(
+            (m.intercept - 20.6).abs() < 1.5,
+            "intercept {}",
+            m.intercept
+        );
         assert!(m.r_squared(&pts) > 0.9);
     }
 
@@ -112,7 +119,12 @@ mod tests {
     #[test]
     fn residuals_are_zero_mean_for_ls_fit() {
         let pts: Vec<(f64, f64)> = (0..50)
-            .map(|i| (i as f64, 2.0 * i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 }))
+            .map(|i| {
+                (
+                    i as f64,
+                    2.0 * i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 },
+                )
+            })
             .collect();
         let m = LinearModel::fit(&pts);
         let res = m.residuals(&pts);

@@ -35,7 +35,11 @@ impl MarkovChain {
             assert!(i < states && j < states, "state out of range: {i} -> {j}");
             counts[i * states + j] += 1;
         }
-        let mut chain = Self { states, p: vec![0.0; states * states], counts };
+        let mut chain = Self {
+            states,
+            p: vec![0.0; states * states],
+            counts,
+        };
         chain.renormalize();
         chain
     }
@@ -86,7 +90,11 @@ impl MarkovChain {
 
     /// Expected value of `f(next_state)` from state `i`.
     pub fn expected_next(&self, i: usize, f: impl Fn(usize) -> f64) -> f64 {
-        self.row(i).iter().enumerate().map(|(j, &pj)| pj * f(j)).sum()
+        self.row(i)
+            .iter()
+            .enumerate()
+            .map(|(j, &pj)| pj * f(j))
+            .sum()
     }
 
     /// Records an observed transition and refreshes the affected row
@@ -218,7 +226,11 @@ mod tests {
         let n = 20000;
         let ones = (0..n).filter(|_| c.sample_next(0, &mut rng) == 1).count();
         let p = ones as f64 / n as f64;
-        assert!((p - c.prob(0, 1)).abs() < 0.02, "sampled {p} expected {}", c.prob(0, 1));
+        assert!(
+            (p - c.prob(0, 1)).abs() < 0.02,
+            "sampled {p} expected {}",
+            c.prob(0, 1)
+        );
     }
 
     #[test]

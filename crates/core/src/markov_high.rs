@@ -37,11 +37,21 @@ impl HigherOrderChain {
         for w in sequence.windows(order + 1) {
             let (ctx, next) = w.split_at(order);
             let next = next[0];
-            assert!(next < states && ctx.iter().all(|&s| s < states), "state out of range");
-            counts.entry(ctx.to_vec()).or_insert_with(|| vec![0; states])[next] += 1;
+            assert!(
+                next < states && ctx.iter().all(|&s| s < states),
+                "state out of range"
+            );
+            counts
+                .entry(ctx.to_vec())
+                .or_insert_with(|| vec![0; states])[next] += 1;
             marginal[next] += 1;
         }
-        Self { order, states, counts, marginal }
+        Self {
+            order,
+            states,
+            counts,
+            marginal,
+        }
     }
 
     /// The chain's order.
@@ -90,7 +100,11 @@ impl HigherOrderChain {
     /// (most recent last). Unseen contexts fall back to the marginal
     /// distribution; an all-zero marginal falls back to uniform.
     pub fn prob(&self, context: &[usize], next: usize) -> f64 {
-        assert_eq!(context.len(), self.order, "context length must equal the order");
+        assert_eq!(
+            context.len(),
+            self.order,
+            "context length must equal the order"
+        );
         let row = self.counts.get(context);
         match row {
             Some(row) => {
@@ -150,7 +164,9 @@ mod tests {
         // sequence where the next state depends on the last TWO states:
         // after (0,0) -> 1; after (0,1) -> 1; after (1,1) -> 0; after (1,0) -> 0
         // i.e. 0 0 1 1 0 0 1 1 ... period 4
-        let seq: Vec<usize> = (0..400).map(|i| usize::from(i % 4 == 2 || i % 4 == 3)).collect();
+        let seq: Vec<usize> = (0..400)
+            .map(|i| usize::from(i % 4 == 2 || i % 4 == 3))
+            .collect();
         let o2 = HigherOrderChain::estimate(&seq, 2, 2);
         assert!(o2.prob(&[0, 0], 1) > 0.95);
         assert!(o2.prob(&[0, 1], 1) > 0.95);
@@ -158,7 +174,11 @@ mod tests {
         assert!(o2.prob(&[1, 0], 0) > 0.95);
         // a first-order chain cannot: from state 0 both 0 and 1 follow
         let o1 = HigherOrderChain::estimate(&seq, 2, 1);
-        assert!((o1.prob(&[0], 1) - 0.5).abs() < 0.05, "{}", o1.prob(&[0], 1));
+        assert!(
+            (o1.prob(&[0], 1) - 0.5).abs() < 0.05,
+            "{}",
+            o1.prob(&[0], 1)
+        );
     }
 
     #[test]
@@ -177,7 +197,11 @@ mod tests {
         let seq: Vec<usize> = (0..2000).map(|_| rng.gen_range(0..8)).collect();
         let c1 = HigherOrderChain::estimate(&seq, 8, 1);
         let c3 = HigherOrderChain::estimate(&seq, 8, 3);
-        assert!(c1.context_coverage() > 0.9, "order-1 coverage {}", c1.context_coverage());
+        assert!(
+            c1.context_coverage() > 0.9,
+            "order-1 coverage {}",
+            c1.context_coverage()
+        );
         assert!(
             c3.context_coverage() < c1.context_coverage(),
             "order-3 coverage {} not below order-1 {}",

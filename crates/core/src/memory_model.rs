@@ -22,7 +22,10 @@ pub struct FrameGeometry {
 
 impl FrameGeometry {
     /// The paper's geometry: 1024x1024 pixels.
-    pub const PAPER: FrameGeometry = FrameGeometry { width: 1024, height: 1024 };
+    pub const PAPER: FrameGeometry = FrameGeometry {
+        width: 1024,
+        height: 1024,
+    };
 
     /// Pixels per frame.
     pub fn pixels(&self) -> usize {
@@ -68,28 +71,81 @@ const KB: usize = 1024;
 /// The paper's Table 1 (bytes; the paper prints KB).
 pub fn paper_table1() -> Vec<TaskMemory> {
     vec![
-        TaskMemory { task: "RDG_FULL", rdg_selected: None, input: 2048 * KB, intermediate: 7168 * KB, output: 5120 * KB },
-        TaskMemory { task: "RDG_ROI", rdg_selected: None, input: 2048 * KB, intermediate: 5120 * KB, output: 5120 * KB },
-        TaskMemory { task: "MKX_FULL", rdg_selected: Some(false), input: 512 * KB, intermediate: 512 * KB, output: 2560 * KB },
-        TaskMemory { task: "MKX_ROI", rdg_selected: Some(false), input: 512 * KB, intermediate: 512 * KB, output: 2560 * KB },
-        TaskMemory { task: "MKX_FULL", rdg_selected: Some(true), input: 4608 * KB, intermediate: 512 * KB, output: 2560 * KB },
-        TaskMemory { task: "MKX_ROI", rdg_selected: Some(true), input: 4608 * KB, intermediate: 512 * KB, output: 2560 * KB },
-        TaskMemory { task: "ENH", rdg_selected: None, input: 2048 * KB, intermediate: 8192 * KB, output: 1024 * KB },
-        TaskMemory { task: "ZOOM", rdg_selected: None, input: 1024 * KB, intermediate: 4096 * KB, output: 4096 * KB },
+        TaskMemory {
+            task: "RDG_FULL",
+            rdg_selected: None,
+            input: 2048 * KB,
+            intermediate: 7168 * KB,
+            output: 5120 * KB,
+        },
+        TaskMemory {
+            task: "RDG_ROI",
+            rdg_selected: None,
+            input: 2048 * KB,
+            intermediate: 5120 * KB,
+            output: 5120 * KB,
+        },
+        TaskMemory {
+            task: "MKX_FULL",
+            rdg_selected: Some(false),
+            input: 512 * KB,
+            intermediate: 512 * KB,
+            output: 2560 * KB,
+        },
+        TaskMemory {
+            task: "MKX_ROI",
+            rdg_selected: Some(false),
+            input: 512 * KB,
+            intermediate: 512 * KB,
+            output: 2560 * KB,
+        },
+        TaskMemory {
+            task: "MKX_FULL",
+            rdg_selected: Some(true),
+            input: 4608 * KB,
+            intermediate: 512 * KB,
+            output: 2560 * KB,
+        },
+        TaskMemory {
+            task: "MKX_ROI",
+            rdg_selected: Some(true),
+            input: 4608 * KB,
+            intermediate: 512 * KB,
+            output: 2560 * KB,
+        },
+        TaskMemory {
+            task: "ENH",
+            rdg_selected: None,
+            input: 2048 * KB,
+            intermediate: 8192 * KB,
+            output: 1024 * KB,
+        },
+        TaskMemory {
+            task: "ZOOM",
+            rdg_selected: None,
+            input: 1024 * KB,
+            intermediate: 4096 * KB,
+            output: 4096 * KB,
+        },
     ]
 }
 
 /// Per-pixel byte costs of this repository's implementation. These mirror
 /// the buffer allocations in `triplec-imaging` exactly:
 ///
-/// * RDG/MKX intermediates: `src_f32` (4) + Hessian Ixx/Iyy/Ixy (12) +
-///   convolution scratch a/b (8) + response accumulator (4) = 28 B/px
-///   (MKX adds a 4 B/px best-scale map).
+/// * RDG intermediate: `src_f32` (4) + Hessian Ixx/Iyy/Ixy (12) +
+///   convolution scratch a/b (8) + response accumulator (4) + hysteresis
+///   visited mask (4, generation-stamped u32) = 32 B/px. Recycled output
+///   images parked in the buffer pools and cached derivative-kernel taps
+///   add to the measured `byte_size()` once warm but are excluded from the
+///   per-pixel constant, which describes the freshly-allocated state.
+/// * MKX intermediate: the Hessian buffers without the visited mask
+///   (28 B/px) + a 4 B/px best-scale map = 32 B/px.
 /// * RDG output: filtered u16 (2) + ridgeness f32 (4) = 6 B/px.
 /// * ENH intermediate: the f32 temporal accumulator = 4 B/px.
 pub mod per_pixel {
     /// RDG intermediate bytes/pixel.
-    pub const RDG_INTERMEDIATE: usize = 28;
+    pub const RDG_INTERMEDIATE: usize = 32;
     /// RDG output bytes/pixel (filtered + ridgeness).
     pub const RDG_OUTPUT: usize = 6;
     /// MKX intermediate bytes/pixel (RDG buffers + best-scale map).
@@ -177,7 +233,11 @@ pub fn lookup<'a>(
     table
         .iter()
         .find(|m| m.task == task && m.rdg_selected == Some(rdg_selected))
-        .or_else(|| table.iter().find(|m| m.task == task && m.rdg_selected.is_none()))
+        .or_else(|| {
+            table
+                .iter()
+                .find(|m| m.task == task && m.rdg_selected.is_none())
+        })
 }
 
 #[cfg(test)]
@@ -206,8 +266,20 @@ mod tests {
 
     #[test]
     fn implementation_table_scales_with_geometry() {
-        let small = implementation_table(FrameGeometry { width: 256, height: 256 }, 128);
-        let large = implementation_table(FrameGeometry { width: 512, height: 512 }, 128);
+        let small = implementation_table(
+            FrameGeometry {
+                width: 256,
+                height: 256,
+            },
+            128,
+        );
+        let large = implementation_table(
+            FrameGeometry {
+                width: 512,
+                height: 512,
+            },
+            128,
+        );
         let s = lookup(&small, "RDG_FULL", true).unwrap();
         let l = lookup(&large, "RDG_FULL", true).unwrap();
         assert_eq!(l.input, 4 * s.input);
@@ -235,7 +307,9 @@ mod tests {
         let p = paper_table1();
         assert!(lookup(&p, "RDG_FULL", true).unwrap().overflows(4 * KB * KB));
         assert!(lookup(&p, "ENH", true).unwrap().overflows(4 * KB * KB));
-        assert!(!lookup(&p, "MKX_FULL", false).unwrap().overflows(4 * KB * KB));
+        assert!(!lookup(&p, "MKX_FULL", false)
+            .unwrap()
+            .overflows(4 * KB * KB));
     }
 
     #[test]
@@ -248,7 +322,13 @@ mod tests {
 
     #[test]
     fn totals_sum_components() {
-        let m = TaskMemory { task: "X", rdg_selected: None, input: 1, intermediate: 2, output: 3 };
+        let m = TaskMemory {
+            task: "X",
+            rdg_selected: None,
+            input: 1,
+            intermediate: 2,
+            output: 3,
+        };
         assert_eq!(m.total(), 6);
     }
 }

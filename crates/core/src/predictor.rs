@@ -56,7 +56,9 @@ impl ConstantPredictor {
 
     /// Fits the constant as the mean of a training series.
     pub fn train(series: &[f64]) -> Self {
-        Self { value_ms: crate::stats::mean(series) }
+        Self {
+            value_ms: crate::stats::mean(series),
+        }
     }
 }
 
@@ -109,7 +111,14 @@ impl EwmaMarkovPredictor {
         let quantizer = Quantizer::train(&residuals, states);
         let seq: Vec<usize> = residuals.iter().map(|&r| quantizer.state_of(r)).collect();
         let chain = MarkovChain::estimate(&seq, quantizer.states());
-        Self { ewma: Ewma::new(alpha), quantizer, chain, last_state: None, online: false, label }
+        Self {
+            ewma: Ewma::new(alpha),
+            quantizer,
+            chain,
+            last_state: None,
+            online: false,
+            label,
+        }
     }
 
     /// Enables online adaptation of the transition matrix.
@@ -133,7 +142,9 @@ impl Predictor for EwmaMarkovPredictor {
     fn predict(&self, _ctx: &PredictContext) -> f64 {
         let base = self.ewma.value_or(0.0);
         let fluctuation = match self.last_state {
-            Some(s) => self.chain.expected_next(s, |j| self.quantizer.representative(j)),
+            Some(s) => self
+                .chain
+                .expected_next(s, |j| self.quantizer.representative(j)),
             None => 0.0,
         };
         (base + fluctuation).max(0.0)
@@ -142,7 +153,9 @@ impl Predictor for EwmaMarkovPredictor {
     fn predict_quantile(&self, _ctx: &PredictContext, q: f64) -> f64 {
         let base = self.ewma.value_or(0.0);
         let fluctuation = match self.last_state {
-            Some(s) => self.chain.quantile_next(s, q, |j| self.quantizer.representative(j)),
+            Some(s) => self
+                .chain
+                .quantile_next(s, q, |j| self.quantizer.representative(j)),
             None => 0.0,
         };
         (base + fluctuation).max(0.0)
@@ -192,7 +205,14 @@ impl LinearMarkovPredictor {
         let quantizer = Quantizer::train(&residuals, states);
         let seq: Vec<usize> = residuals.iter().map(|&r| quantizer.state_of(r)).collect();
         let chain = MarkovChain::estimate(&seq, quantizer.states());
-        Self { model, quantizer, chain, last_state: None, online: false, label }
+        Self {
+            model,
+            quantizer,
+            chain,
+            last_state: None,
+            online: false,
+            label,
+        }
     }
 
     /// Enables online adaptation.
@@ -211,7 +231,9 @@ impl Predictor for LinearMarkovPredictor {
     fn predict(&self, ctx: &PredictContext) -> f64 {
         let base = self.model.eval(ctx.roi_kpixels);
         let fluctuation = match self.last_state {
-            Some(s) => self.chain.expected_next(s, |j| self.quantizer.representative(j)),
+            Some(s) => self
+                .chain
+                .expected_next(s, |j| self.quantizer.representative(j)),
             None => 0.0,
         };
         (base + fluctuation).max(0.0)
@@ -220,7 +242,9 @@ impl Predictor for LinearMarkovPredictor {
     fn predict_quantile(&self, ctx: &PredictContext, q: f64) -> f64 {
         let base = self.model.eval(ctx.roi_kpixels);
         let fluctuation = match self.last_state {
-            Some(s) => self.chain.quantile_next(s, q, |j| self.quantizer.representative(j)),
+            Some(s) => self
+                .chain
+                .quantile_next(s, q, |j| self.quantizer.representative(j)),
             None => 0.0,
         };
         (base + fluctuation).max(0.0)
@@ -323,7 +347,11 @@ mod tests {
         let p = LinearMarkovPredictor::train(&points, 16, "RDG");
         let g = p.growth();
         assert!((g.slope - 0.07).abs() < 0.01, "slope {}", g.slope);
-        assert!((g.intercept - 20.0).abs() < 2.0, "intercept {}", g.intercept);
+        assert!(
+            (g.intercept - 20.0).abs() < 2.0,
+            "intercept {}",
+            g.intercept
+        );
         // prediction at a known ROI lands near the line
         let pred = p.predict(&PredictContext { roi_kpixels: 100.0 });
         assert!((pred - 27.0).abs() < 3.0, "pred {pred}");

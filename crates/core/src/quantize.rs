@@ -80,7 +80,10 @@ impl Quantizer {
         // representatives: mean of samples per interval
         let mut sums = vec![0.0f64; states];
         let mut counts = vec![0usize; states];
-        let tmp = Self { bounds: bounds.clone(), reps: vec![0.0; states] };
+        let tmp = Self {
+            bounds: bounds.clone(),
+            reps: vec![0.0; states],
+        };
         for &s in &sorted {
             let st = tmp.state_of(s);
             sums[st] += s;
@@ -109,7 +112,10 @@ impl Quantizer {
         let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if hi - lo <= 1e-12 {
-            return Self { bounds: vec![f64::INFINITY], reps: vec![lo] };
+            return Self {
+                bounds: vec![f64::INFINITY],
+                reps: vec![lo],
+            };
         }
         let width = (hi - lo) / states as f64;
         let mut bounds: Vec<f64> = (1..states).map(|i| lo + width * i as f64).collect();
@@ -117,7 +123,10 @@ impl Quantizer {
         let n = bounds.len();
         let mut sums = vec![0.0f64; n];
         let mut counts = vec![0usize; n];
-        let tmp = Self { bounds: bounds.clone(), reps: vec![0.0; n] };
+        let tmp = Self {
+            bounds: bounds.clone(),
+            reps: vec![0.0; n],
+        };
         for &s in samples {
             let st = tmp.state_of(s);
             sums[st] += s;
@@ -147,7 +156,7 @@ impl Quantizer {
     pub fn state_of(&self, x: f64) -> usize {
         // binary search over upper bounds
         match self.bounds.binary_search_by(|b| b.total_cmp(&x)) {
-            Ok(i) => i,  // exactly on a bound: interval is (lo, bound]
+            Ok(i) => i, // exactly on a bound: interval is (lo, bound]
             Err(i) => i.min(self.bounds.len() - 1),
         }
     }

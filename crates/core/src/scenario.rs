@@ -13,8 +13,9 @@
 use crate::markov::MarkovChain;
 
 /// The names of the application tasks (Fig. 2).
-pub const TASKS: [&str; 9] =
-    ["RDG_FULL", "RDG_ROI", "MKX_EXT", "CPLS_SEL", "REG", "ROI_EST", "GW_EXT", "ENH", "ZOOM"];
+pub const TASKS: [&str; 9] = [
+    "RDG_FULL", "RDG_ROI", "MKX_EXT", "CPLS_SEL", "REG", "ROI_EST", "GW_EXT", "ENH", "ZOOM",
+];
 
 /// One switch combination.
 ///
@@ -63,14 +64,22 @@ impl Scenario {
     /// The worst-case scenario for bandwidth: full-frame granularity, RDG
     /// active, registration successful (Section 5).
     pub fn worst_case() -> Self {
-        Self { rdg_active: true, roi_estimated: false, reg_successful: true }
+        Self {
+            rdg_active: true,
+            roi_estimated: false,
+            reg_successful: true,
+        }
     }
 
     /// The best-case scenario for bandwidth: ROI granularity, no RDG, no
     /// registration success ("the algorithm will not output a satisfying
     /// result", Section 5).
     pub fn best_case() -> Self {
-        Self { rdg_active: false, roi_estimated: true, reg_successful: false }
+        Self {
+            rdg_active: false,
+            roi_estimated: true,
+            reg_successful: false,
+        }
     }
 
     /// The state table: which tasks run under this scenario.
@@ -83,7 +92,11 @@ impl Scenario {
     pub fn active_tasks(&self) -> Vec<&'static str> {
         let mut tasks = Vec::with_capacity(9);
         if self.rdg_active {
-            tasks.push(if self.roi_estimated { "RDG_ROI" } else { "RDG_FULL" });
+            tasks.push(if self.roi_estimated {
+                "RDG_ROI"
+            } else {
+                "RDG_FULL"
+            });
         }
         tasks.push("MKX_EXT");
         tasks.push("CPLS_SEL");
@@ -117,7 +130,9 @@ impl ScenarioChain {
     /// Estimates the chain from an observed scenario-id sequence.
     pub fn estimate(sequence: &[u8]) -> Self {
         let seq: Vec<usize> = sequence.iter().map(|&s| s as usize).collect();
-        Self { chain: MarkovChain::estimate(&seq, 8) }
+        Self {
+            chain: MarkovChain::estimate(&seq, 8),
+        }
     }
 
     /// Most likely next scenario.
@@ -132,7 +147,8 @@ impl ScenarioChain {
 
     /// Expected value of `f(next_scenario)` (e.g. predicted frame cost).
     pub fn expected_next(&self, current: Scenario, f: impl Fn(Scenario) -> f64) -> f64 {
-        self.chain.expected_next(current.id() as usize, |j| f(Scenario::from_id(j as u8)))
+        self.chain
+            .expected_next(current.id() as usize, |j| f(Scenario::from_id(j as u8)))
     }
 
     /// Long-run scenario occupancy.
@@ -160,8 +176,7 @@ mod tests {
 
     #[test]
     fn eight_distinct_scenarios() {
-        let ids: std::collections::BTreeSet<u8> =
-            Scenario::all().iter().map(|s| s.id()).collect();
+        let ids: std::collections::BTreeSet<u8> = Scenario::all().iter().map(|s| s.id()).collect();
         assert_eq!(ids.len(), 8);
     }
 
@@ -195,8 +210,16 @@ mod tests {
 
     #[test]
     fn rdg_granularity_follows_roi_switch() {
-        let full = Scenario { rdg_active: true, roi_estimated: false, reg_successful: false };
-        let roi = Scenario { rdg_active: true, roi_estimated: true, reg_successful: false };
+        let full = Scenario {
+            rdg_active: true,
+            roi_estimated: false,
+            reg_successful: false,
+        };
+        let roi = Scenario {
+            rdg_active: true,
+            roi_estimated: true,
+            reg_successful: false,
+        };
         assert!(full.runs("RDG_FULL") && !full.runs("RDG_ROI"));
         assert!(roi.runs("RDG_ROI") && !roi.runs("RDG_FULL"));
     }

@@ -81,7 +81,11 @@ pub fn fit_exponential_decay(acf: &[f64]) -> DecayFit {
     if ks.len() < 2 {
         // decays immediately (white noise): trivially Markov-suitable with
         // a fast decay
-        return DecayFit { lambda: f64::INFINITY, rmse: 0.0, markov_suitable: true };
+        return DecayFit {
+            lambda: f64::INFINITY,
+            rmse: 0.0,
+            markov_suitable: true,
+        };
     }
     // least squares through the origin: ln acf = -lambda k
     let num: f64 = ks.iter().zip(&logs).map(|(k, l)| k * l).sum();
@@ -97,7 +101,11 @@ pub fn fit_exponential_decay(acf: &[f64]) -> DecayFit {
         .sum::<f64>()
         / ks.len() as f64)
         .sqrt();
-    DecayFit { lambda, rmse, markov_suitable: lambda > 0.0 && rmse < 0.8 }
+    DecayFit {
+        lambda,
+        rmse,
+        markov_suitable: lambda > 0.0 && rmse < 0.8,
+    }
 }
 
 #[cfg(test)]
@@ -150,7 +158,11 @@ mod tests {
         }
         let fit = fit_exponential_decay(&acf);
         assert!(fit.markov_suitable);
-        assert!((fit.lambda - (-pole.ln())).abs() < 0.1, "lambda {}", fit.lambda);
+        assert!(
+            (fit.lambda - (-pole.ln())).abs() < 0.1,
+            "lambda {}",
+            fit.lambda
+        );
     }
 
     #[test]

@@ -5,9 +5,7 @@
 //! pipeline profiles each task's execution times; this module turns those
 //! series into the per-task predictors of Table 2(b).
 
-use crate::predictor::{
-    ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, Predictor,
-};
+use crate::predictor::{ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, Predictor};
 use crate::stats::{autocorrelation, fit_exponential_decay, mean, std_dev};
 
 /// A profiled computation-time series of one task.
@@ -25,13 +23,25 @@ pub struct TaskSeries {
 impl TaskSeries {
     /// Creates a series without covariates.
     pub fn new(task: &'static str, samples: Vec<f64>) -> Self {
-        Self { task, samples, roi_kpixels: Vec::new() }
+        Self {
+            task,
+            samples,
+            roi_kpixels: Vec::new(),
+        }
     }
 
     /// Creates a series with ROI covariates (must be the same length).
     pub fn with_roi(task: &'static str, samples: Vec<f64>, roi_kpixels: Vec<f64>) -> Self {
-        assert_eq!(samples.len(), roi_kpixels.len(), "covariate length mismatch");
-        Self { task, samples, roi_kpixels }
+        assert_eq!(
+            samples.len(),
+            roi_kpixels.len(),
+            "covariate length mismatch"
+        );
+        Self {
+            task,
+            samples,
+            roi_kpixels,
+        }
     }
 }
 
@@ -128,7 +138,11 @@ pub fn select_model(series: &TaskSeries, cfg: &TrainingConfig) -> ModelKind {
 }
 
 /// Trains a predictor of the given kind.
-pub fn train_kind(series: &TaskSeries, kind: ModelKind, cfg: &TrainingConfig) -> Box<dyn Predictor> {
+pub fn train_kind(
+    series: &TaskSeries,
+    kind: ModelKind,
+    cfg: &TrainingConfig,
+) -> Box<dyn Predictor> {
     match kind {
         ModelKind::Constant => Box::new(ConstantPredictor::train(&series.samples)),
         ModelKind::EwmaMarkov => Box::new(EwmaMarkovPredictor::train(
@@ -144,7 +158,11 @@ pub fn train_kind(series: &TaskSeries, kind: ModelKind, cfg: &TrainingConfig) ->
                 .zip(&series.samples)
                 .map(|(&r, &t)| (r, t))
                 .collect();
-            Box::new(LinearMarkovPredictor::train(&points, cfg.max_states, series.task))
+            Box::new(LinearMarkovPredictor::train(
+                &points,
+                cfg.max_states,
+                series.task,
+            ))
         }
     }
 }
@@ -181,8 +199,10 @@ mod tests {
     fn roi_correlated_series_selects_linear() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(12);
         let rois: Vec<f64> = (0..500).map(|i| 50.0 + (i % 200) as f64).collect();
-        let times: Vec<f64> =
-            rois.iter().map(|&r| 0.07 * r + 20.0 + rng.gen_range(-1.0..1.0)).collect();
+        let times: Vec<f64> = rois
+            .iter()
+            .map(|&r| 0.07 * r + 20.0 + rng.gen_range(-1.0..1.0))
+            .collect();
         let s = TaskSeries::with_roi("RDG_ROI", times, rois);
         assert_eq!(select_model(&s, &cfg()), ModelKind::LinearMarkov);
     }

@@ -91,7 +91,11 @@ impl TripleC {
             predictors.insert(s.task, (kind, p));
         }
         let scenario_chain = ScenarioChain::estimate(scenario_sequence);
-        Self { cfg, predictors, scenario_chain }
+        Self {
+            cfg,
+            predictors,
+            scenario_chain,
+        }
     }
 
     /// The configuration in use.
@@ -107,7 +111,9 @@ impl TripleC {
     /// Conservative `q`-quantile prediction of one task's computation
     /// time (falls back to the point prediction for constant models).
     pub fn predict_task_quantile(&self, task: &str, ctx: &PredictContext, q: f64) -> Option<f64> {
-        self.predictors.get(task).map(|(_, p)| p.predict_quantile(ctx, q))
+        self.predictors
+            .get(task)
+            .map(|(_, p)| p.predict_quantile(ctx, q))
     }
 
     /// Feeds a measured execution time back into the task's predictor.
@@ -128,7 +134,12 @@ impl TripleC {
     }
 
     /// Full per-frame resource prediction.
-    pub fn predict_frame(&self, scenario: Scenario, ctx: &PredictContext, roi_fraction: f64) -> FramePrediction {
+    pub fn predict_frame(
+        &self,
+        scenario: Scenario,
+        ctx: &PredictContext,
+        roi_fraction: f64,
+    ) -> FramePrediction {
         let task_times: Vec<(&'static str, f64)> = scenario
             .active_tasks()
             .iter()
@@ -203,7 +214,10 @@ mod tests {
         let series = vec![
             TaskSeries::new("RDG_FULL", rdg),
             TaskSeries::new("MKX_EXT", vec![2.5; 600]),
-            TaskSeries::new("CPLS_SEL", (0..600).map(|i| 1.0 + 0.5 * ((i % 7) as f64)).collect()),
+            TaskSeries::new(
+                "CPLS_SEL",
+                (0..600).map(|i| 1.0 + 0.5 * ((i % 7) as f64)).collect(),
+            ),
             TaskSeries::new("REG", vec![2.0; 600]),
             TaskSeries::new("ROI_EST", vec![1.0; 600]),
             TaskSeries::new("GW_EXT", (0..600).map(|i| 3.0 + ((i % 5) as f64)).collect()),

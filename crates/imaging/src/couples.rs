@@ -119,7 +119,10 @@ pub fn cpls_select(
             }
         }
     }
-    CplsOutput { couple: best, pairs_scored }
+    CplsOutput {
+        couple: best,
+        pairs_scored,
+    }
 }
 
 #[cfg(test)]
@@ -127,12 +130,21 @@ mod tests {
     use super::*;
 
     fn mk(x: f64, y: f64, strength: f32) -> Marker {
-        Marker { x, y, strength, scale: 2.0 }
+        Marker {
+            x,
+            y,
+            strength,
+            scale: 2.0,
+        }
     }
 
     #[test]
     fn selects_pair_at_expected_distance() {
-        let cfg = CplsConfig { expected_distance: 20.0, distance_tolerance: 4.0, ..Default::default() };
+        let cfg = CplsConfig {
+            expected_distance: 20.0,
+            distance_tolerance: 4.0,
+            ..Default::default()
+        };
         let cands = vec![
             mk(10.0, 10.0, 100.0),
             mk(30.0, 10.0, 100.0), // 20 px from first: perfect
@@ -146,7 +158,11 @@ mod tests {
 
     #[test]
     fn rejects_when_no_pair_in_tolerance() {
-        let cfg = CplsConfig { expected_distance: 20.0, distance_tolerance: 2.0, ..Default::default() };
+        let cfg = CplsConfig {
+            expected_distance: 20.0,
+            distance_tolerance: 2.0,
+            ..Default::default()
+        };
         let cands = vec![mk(0.0, 0.0, 100.0), mk(50.0, 0.0, 100.0)];
         let out = cpls_select(&cands, None, &cfg);
         assert!(out.couple.is_none());
@@ -155,7 +171,12 @@ mod tests {
 
     #[test]
     fn stronger_pair_wins_at_equal_distance() {
-        let cfg = CplsConfig { expected_distance: 20.0, distance_tolerance: 4.0, w_temporal: 0.0, ..Default::default() };
+        let cfg = CplsConfig {
+            expected_distance: 20.0,
+            distance_tolerance: 4.0,
+            w_temporal: 0.0,
+            ..Default::default()
+        };
         let cands = vec![
             mk(0.0, 0.0, 50.0),
             mk(20.0, 0.0, 50.0),
@@ -176,7 +197,11 @@ mod tests {
             w_temporal: 2.0,
             ..Default::default()
         };
-        let prev = Couple { a: mk(0.0, 0.0, 100.0), b: mk(20.0, 0.0, 100.0), score: 0.0 };
+        let prev = Couple {
+            a: mk(0.0, 0.0, 100.0),
+            b: mk(20.0, 0.0, 100.0),
+            score: 0.0,
+        };
         let cands = vec![
             mk(1.0, 1.0, 100.0),
             mk(21.0, 1.0, 100.0), // near previous center
@@ -190,7 +215,11 @@ mod tests {
 
     #[test]
     fn pairs_scored_grows_quadratically() {
-        let cfg = CplsConfig { expected_distance: 10.0, distance_tolerance: 1e9, ..Default::default() };
+        let cfg = CplsConfig {
+            expected_distance: 10.0,
+            distance_tolerance: 1e9,
+            ..Default::default()
+        };
         let few: Vec<Marker> = (0..4).map(|i| mk(i as f64, 0.0, 10.0)).collect();
         let many: Vec<Marker> = (0..16).map(|i| mk(i as f64, 0.0, 10.0)).collect();
         let a = cpls_select(&few, None, &cfg).pairs_scored;
@@ -203,16 +232,26 @@ mod tests {
     fn empty_and_single_candidate_yield_none() {
         let cfg = CplsConfig::default();
         assert!(cpls_select(&[], None, &cfg).couple.is_none());
-        assert!(cpls_select(&[mk(0.0, 0.0, 1.0)], None, &cfg).couple.is_none());
+        assert!(cpls_select(&[mk(0.0, 0.0, 1.0)], None, &cfg)
+            .couple
+            .is_none());
     }
 
     #[test]
     fn couple_geometry_helpers() {
-        let c = Couple { a: mk(0.0, 0.0, 1.0), b: mk(10.0, 0.0, 1.0), score: 0.0 };
+        let c = Couple {
+            a: mk(0.0, 0.0, 1.0),
+            b: mk(10.0, 0.0, 1.0),
+            score: 0.0,
+        };
         assert_eq!(c.center(), (5.0, 0.0));
         assert!((c.length() - 10.0).abs() < 1e-12);
         assert!(c.angle().abs() < 1e-12);
-        let d = Couple { a: mk(0.0, 0.0, 1.0), b: mk(0.0, 5.0, 1.0), score: 0.0 };
+        let d = Couple {
+            a: mk(0.0, 0.0, 1.0),
+            b: mk(0.0, 5.0, 1.0),
+            score: 0.0,
+        };
         assert!((d.angle() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
     }
 }

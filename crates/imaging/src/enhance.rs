@@ -23,7 +23,10 @@ pub struct EnhConfig {
 
 impl Default for EnhConfig {
     fn default() -> Self {
-        Self { alpha: 0.2, gain: 1.0 }
+        Self {
+            alpha: 0.2,
+            gain: 1.0,
+        }
     }
 }
 
@@ -38,7 +41,10 @@ pub struct EnhState {
 impl EnhState {
     /// Creates an integrator for `width x height` frames.
     pub fn new(width: usize, height: usize) -> Self {
-        Self { acc: ImageF32::new(width, height), frames_integrated: 0 }
+        Self {
+            acc: ImageF32::new(width, height),
+            frames_integrated: 0,
+        }
     }
 
     /// Number of frames integrated so far.
@@ -46,9 +52,10 @@ impl EnhState {
         self.frames_integrated
     }
 
-    /// Resets the integrator (e.g. after a registration loss).
+    /// Resets the integrator (e.g. after a registration loss) in place,
+    /// without reallocating the accumulator.
     pub fn reset(&mut self) {
-        self.acc = ImageF32::new(self.acc.width(), self.acc.height());
+        self.acc.fill(0.0);
         self.frames_integrated = 0;
     }
 
@@ -79,7 +86,11 @@ impl EnhState {
         region: Roi,
         weight: f32,
     ) {
-        assert_eq!(frame.dims(), self.acc.dims(), "state geometry must match the frame");
+        assert_eq!(
+            frame.dims(),
+            self.acc.dims(),
+            "state geometry must match the frame"
+        );
         let region = region.clamp_to(frame.width(), frame.height());
         for y in region.y..region.bottom() {
             for x in region.x..region.right() {
@@ -102,13 +113,27 @@ impl EnhState {
     pub fn readout(&self, roi: Roi, gain: f32) -> ImageU16 {
         let roi = roi.clamp_to(self.acc.width(), self.acc.height());
         let mut out = ImageU16::new(roi.width, roi.height);
+        self.readout_into(roi, gain, &mut out);
+        out
+    }
+
+    /// [`EnhState::readout`] into a caller-owned buffer (which must match
+    /// the clamped ROI geometry), so sequence runners can reuse one image
+    /// across frames instead of allocating per readout.
+    pub fn readout_into(&self, roi: Roi, gain: f32, out: &mut ImageU16) {
+        let roi = roi.clamp_to(self.acc.width(), self.acc.height());
+        assert_eq!(
+            out.dims(),
+            (roi.width, roi.height),
+            "readout buffer geometry mismatch"
+        );
         for y in 0..roi.height {
-            for x in 0..roi.width {
-                let v = self.acc.get(roi.x + x, roi.y + y) * gain;
-                out.set(x, y, v.clamp(0.0, u16::MAX as f32) as u16);
+            let acc_row = &self.acc.row(roi.y + y)[roi.x..roi.x + roi.width];
+            let out_row = out.row_mut(y);
+            for (o, &a) in out_row.iter_mut().zip(acc_row) {
+                *o = (a * gain).clamp(0.0, u16::MAX as f32) as u16;
             }
         }
-        out
     }
 }
 
@@ -207,7 +232,9 @@ mod tests {
             });
             last = enh_integrate(&frame, &RigidTransform::identity(), roi, &cfg, &mut state);
         }
-        let single = Image::from_fn(32, 32, |_, _| (1000.0 + rng.gen_range(-200.0..200.0)) as u16);
+        let single = Image::from_fn(32, 32, |_, _| {
+            (1000.0 + rng.gen_range(-200.0..200.0)) as u16
+        });
         let noisy = region_std(&single, roi);
         let enhanced = region_std(&last, roi);
         assert!(
@@ -223,11 +250,23 @@ mod tests {
         let frame = ImageU16::filled(16, 16, 4000);
         let mut state = EnhState::new(16, 16);
         let cfg = EnhConfig::default();
-        enh_integrate(&frame, &RigidTransform::identity(), frame.full_roi(), &cfg, &mut state);
+        enh_integrate(
+            &frame,
+            &RigidTransform::identity(),
+            frame.full_roi(),
+            &cfg,
+            &mut state,
+        );
         state.reset();
         assert_eq!(state.frames_integrated(), 0);
         let dark = ImageU16::filled(16, 16, 100);
-        let out = enh_integrate(&dark, &RigidTransform::identity(), dark.full_roi(), &cfg, &mut state);
+        let out = enh_integrate(
+            &dark,
+            &RigidTransform::identity(),
+            dark.full_roi(),
+            &cfg,
+            &mut state,
+        );
         assert_eq!(out.get(8, 8), 100);
     }
 
@@ -236,19 +275,42 @@ mod tests {
         // a bright dot moves by (3, 0) in frame 2; the transform maps frame-2
         // coordinates back onto the reference, so the integrated dot stays put.
         let dot = |cx: usize| {
-            Image::from_fn(32, 32, move |x, y| if x == cx && y == 16 { 4000u16 } else { 100 })
+            Image::from_fn(
+                32,
+                32,
+                move |x, y| if x == cx && y == 16 { 4000u16 } else { 100 },
+            )
         };
         let f1 = dot(10);
         let f2 = dot(13);
         let mut state = EnhState::new(32, 32);
-        let cfg = EnhConfig { alpha: 0.5, ..Default::default() };
-        enh_integrate(&f1, &RigidTransform::identity(), f1.full_roi(), &cfg, &mut state);
+        let cfg = EnhConfig {
+            alpha: 0.5,
+            ..Default::default()
+        };
+        enh_integrate(
+            &f1,
+            &RigidTransform::identity(),
+            f1.full_roi(),
+            &cfg,
+            &mut state,
+        );
         // transform: current (13,16) maps to reference (10,16)
-        let t = RigidTransform { theta: 0.0, cx: 0.0, cy: 0.0, tx: -3.0, ty: 0.0 };
+        let t = RigidTransform {
+            theta: 0.0,
+            cx: 0.0,
+            cy: 0.0,
+            tx: -3.0,
+            ty: 0.0,
+        };
         let out = enh_integrate(&f2, &t, f2.full_roi(), &cfg, &mut state);
         // the dot energy accumulates at x=10, not split between 10 and 13
         assert!(out.get(10, 16) > 3000, "registered dot {}", out.get(10, 16));
-        assert!(out.get(13, 16) < 500, "ghost at original position {}", out.get(13, 16));
+        assert!(
+            out.get(13, 16) < 500,
+            "ghost at original position {}",
+            out.get(13, 16)
+        );
     }
 
     #[test]
@@ -256,8 +318,13 @@ mod tests {
         let frame = ImageU16::filled(32, 32, 1000);
         let mut state = EnhState::new(32, 32);
         let roi = Roi::new(8, 8, 8, 8);
-        let out =
-            enh_integrate(&frame, &RigidTransform::identity(), roi, &EnhConfig::default(), &mut state);
+        let out = enh_integrate(
+            &frame,
+            &RigidTransform::identity(),
+            roi,
+            &EnhConfig::default(),
+            &mut state,
+        );
         assert_eq!(out.dims(), (8, 8));
         // accumulator outside ROI untouched
         assert_eq!(state.acc.get(0, 0), 0.0);
@@ -268,8 +335,17 @@ mod tests {
     fn gain_scales_output() {
         let frame = ImageU16::filled(8, 8, 1000);
         let mut state = EnhState::new(8, 8);
-        let cfg = EnhConfig { alpha: 0.2, gain: 2.0 };
-        let out = enh_integrate(&frame, &RigidTransform::identity(), frame.full_roi(), &cfg, &mut state);
+        let cfg = EnhConfig {
+            alpha: 0.2,
+            gain: 2.0,
+        };
+        let out = enh_integrate(
+            &frame,
+            &RigidTransform::identity(),
+            frame.full_roi(),
+            &cfg,
+            &mut state,
+        );
         assert_eq!(out.get(4, 4), 2000);
     }
 

@@ -56,6 +56,31 @@ pub struct GwOutput {
     pub cells_evaluated: usize,
 }
 
+/// Reusable working memory of the DP path search, so steady-state frames
+/// perform no per-frame heap allocation (the corridor geometry is stable
+/// while tracking, so the vectors keep their capacity).
+#[derive(Debug, Default)]
+pub struct GwScratch {
+    resp: Vec<f32>,
+    best: Vec<f32>,
+    back: Vec<usize>,
+    offsets: Vec<usize>,
+}
+
+impl GwScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch bytes currently held (memory accounting).
+    pub fn byte_size(&self) -> usize {
+        self.resp.capacity() * std::mem::size_of::<f32>()
+            + self.best.capacity() * std::mem::size_of::<f32>()
+            + self.back.capacity() * std::mem::size_of::<usize>()
+            + self.offsets.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
 /// Samples the ridge map with bilinear interpolation.
 fn sample_bilinear(map: &ImageF32, x: f64, y: f64) -> f32 {
     let (w, h) = map.dims();
@@ -79,12 +104,30 @@ fn sample_bilinear(map: &ImageF32, x: f64, y: f64) -> f32 {
 
 /// Searches for the guide wire joining the two markers of `couple` in the
 /// ridge-response map produced by RDG.
+///
+/// Convenience wrapper over [`gw_extract_with`] with one-shot scratch;
+/// per-frame callers should hold a [`GwScratch`] and reuse it.
 pub fn gw_extract(ridgeness: &ImageF32, couple: &Couple, cfg: &GwConfig) -> GwOutput {
+    gw_extract_with(ridgeness, couple, cfg, &mut GwScratch::new())
+}
+
+/// [`gw_extract`] with caller-owned reusable scratch.
+pub fn gw_extract_with(
+    ridgeness: &ImageF32,
+    couple: &Couple,
+    cfg: &GwConfig,
+    scratch: &mut GwScratch,
+) -> GwOutput {
     let (ax, ay) = (couple.a.x, couple.a.y);
     let (bx, by) = (couple.b.x, couple.b.y);
     let len = couple.length();
     if len < 1e-9 {
-        return GwOutput { wire_found: false, path: Vec::new(), mean_response: 0.0, cells_evaluated: 0 };
+        return GwOutput {
+            wire_found: false,
+            path: Vec::new(),
+            mean_response: 0.0,
+            cells_evaluated: 0,
+        };
     }
     // unit vectors along and across the axis
     let ux = (bx - ax) / len;
@@ -94,8 +137,22 @@ pub fn gw_extract(ridgeness: &ImageF32, couple: &Couple, cfg: &GwConfig) -> GwOu
     let n_along = ((len / cfg.along_step).ceil() as usize).max(2);
     let n_lat = 2 * cfg.corridor_half_width + 1;
 
-    // sample corridor responses
-    let mut resp = vec![0.0f32; n_along * n_lat];
+    // sample corridor responses (every cell is overwritten before being
+    // read, so the resized scratch carries no stale data)
+    let GwScratch {
+        resp,
+        best,
+        back,
+        offsets,
+    } = scratch;
+    resp.clear();
+    resp.resize(n_along * n_lat, 0.0);
+    best.clear();
+    best.resize(n_along * n_lat, 0.0);
+    back.clear();
+    back.resize(n_along * n_lat, 0);
+    offsets.clear();
+    offsets.resize(n_along, 0);
     let mut peak = 0.0f32;
     for i in 0..n_along {
         let t = i as f64 / (n_along - 1) as f64;
@@ -110,8 +167,6 @@ pub fn gw_extract(ridgeness: &ImageF32, couple: &Couple, cfg: &GwConfig) -> GwOu
     }
 
     // DP: best[i][j] = resp[i][j] + max over |j'-j|<=max_kink of best[i-1][j']
-    let mut best = vec![0.0f32; n_along * n_lat];
-    let mut back = vec![0usize; n_along * n_lat];
     best[..n_lat].copy_from_slice(&resp[..n_lat]);
     let mut cells_evaluated = n_lat;
     for i in 1..n_along {
@@ -138,7 +193,6 @@ pub fn gw_extract(ridgeness: &ImageF32, couple: &Couple, cfg: &GwConfig) -> GwOu
     // of the corridor (offset 0), so trace back from the center cell.
     let center = cfg.corridor_half_width;
     let mut j = center;
-    let mut offsets = vec![0usize; n_along];
     offsets[n_along - 1] = j;
     for i in (1..n_along).rev() {
         j = back[i * n_lat + j];
@@ -158,7 +212,12 @@ pub fn gw_extract(ridgeness: &ImageF32, couple: &Couple, cfg: &GwConfig) -> GwOu
     let mean_response = sum / n_along as f32;
     let wire_found = peak > 0.0 && mean_response >= cfg.min_mean_rel * peak;
 
-    GwOutput { wire_found, path, mean_response, cells_evaluated }
+    GwOutput {
+        wire_found,
+        path,
+        mean_response,
+        cells_evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -169,8 +228,18 @@ mod tests {
 
     fn couple(ax: f64, ay: f64, bx: f64, by: f64) -> Couple {
         Couple {
-            a: Marker { x: ax, y: ay, strength: 1.0, scale: 2.0 },
-            b: Marker { x: bx, y: by, strength: 1.0, scale: 2.0 },
+            a: Marker {
+                x: ax,
+                y: ay,
+                strength: 1.0,
+                scale: 2.0,
+            },
+            b: Marker {
+                x: bx,
+                y: by,
+                strength: 1.0,
+                scale: 2.0,
+            },
             score: 0.0,
         }
     }
@@ -219,7 +288,10 @@ mod tests {
             }
         });
         let c = couple(10.0, 32.0, 54.0, 32.0);
-        let cfg = GwConfig { min_mean_rel: 0.5, ..Default::default() };
+        let cfg = GwConfig {
+            min_mean_rel: 0.5,
+            ..Default::default()
+        };
         let out = gw_extract(&map, &c, &cfg);
         assert!(!out.wire_found, "mean {}", out.mean_response);
     }
@@ -255,6 +327,27 @@ mod tests {
         let out = gw_extract(&map, &c, &GwConfig::default());
         assert!(!out.wire_found);
         assert!(out.path.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // reused scratch (including across corridor-geometry changes) must
+        // give bit-identical results to one-shot extraction
+        let map = line_map(128, 64, 32.0);
+        let mut scratch = GwScratch::new();
+        let long = couple(10.0, 32.0, 120.0, 32.0);
+        let short = couple(30.0, 32.0, 60.0, 32.0);
+        for c in [&long, &short, &long] {
+            let reused = gw_extract_with(&map, c, &GwConfig::default(), &mut scratch);
+            let fresh = gw_extract(&map, c, &GwConfig::default());
+            assert_eq!(reused.wire_found, fresh.wire_found);
+            assert_eq!(
+                reused.mean_response.to_bits(),
+                fresh.mean_response.to_bits()
+            );
+            assert_eq!(reused.cells_evaluated, fresh.cells_evaluated);
+            assert_eq!(reused.path, fresh.path);
+        }
     }
 
     #[test]

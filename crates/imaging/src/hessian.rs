@@ -19,23 +19,58 @@ pub struct HessianImages {
 
 /// Scratch buffers for a Hessian computation, reusable across frames so the
 /// per-frame allocation count stays zero (the buffers are exactly the
-/// "intermediate" storage accounted in Table 1).
+/// "intermediate" storage accounted in Table 1). Derivative kernels are
+/// cached per scale, so steady-state frames build no tap vectors either.
 #[derive(Debug)]
 pub struct HessianScratch {
     a: ImageF32,
     b: ImageF32,
+    /// Per-sigma kernel cache: `(sigma, G, G', G'')`.
+    kernels: Vec<(f32, Kernel1D, Kernel1D, Kernel1D)>,
 }
 
 impl HessianScratch {
     /// Allocates scratch for `width x height` images.
     pub fn new(width: usize, height: usize) -> Self {
-        Self { a: ImageF32::new(width, height), b: ImageF32::new(width, height) }
+        Self {
+            a: ImageF32::new(width, height),
+            b: ImageF32::new(width, height),
+            kernels: Vec::new(),
+        }
     }
 
     /// Total scratch bytes (for memory accounting).
     pub fn byte_size(&self) -> usize {
-        self.a.byte_size() + self.b.byte_size()
+        let taps: usize = self
+            .kernels
+            .iter()
+            .map(|(_, g, d1, d2)| {
+                (g.taps().len() + d1.taps().len() + d2.taps().len()) * std::mem::size_of::<f32>()
+            })
+            .sum();
+        self.a.byte_size() + self.b.byte_size() + taps
     }
+}
+
+/// Looks up (building on first use) the kernel triple for `sigma`.
+fn kernels_for(
+    cache: &mut Vec<(f32, Kernel1D, Kernel1D, Kernel1D)>,
+    sigma: f32,
+) -> (&Kernel1D, &Kernel1D, &Kernel1D) {
+    let idx = match cache.iter().position(|e| e.0.to_bits() == sigma.to_bits()) {
+        Some(i) => i,
+        None => {
+            cache.push((
+                sigma,
+                Kernel1D::gaussian(sigma),
+                Kernel1D::gaussian_d1(sigma),
+                Kernel1D::gaussian_d2(sigma),
+            ));
+            cache.len() - 1
+        }
+    };
+    let e = &cache[idx];
+    (&e.1, &e.2, &e.3)
 }
 
 /// Computes the scale-normalized Hessian of `src` at scale `sigma`,
@@ -50,21 +85,20 @@ pub fn hessian_at_scale(
     roi: Roi,
     sigma: f32,
 ) {
-    let g = Kernel1D::gaussian(sigma);
-    let d1 = Kernel1D::gaussian_d1(sigma);
-    let d2 = Kernel1D::gaussian_d2(sigma);
+    let HessianScratch { a, b, kernels } = scratch;
+    let (g, d1, d2) = kernels_for(kernels, sigma);
     let halo = g.radius().max(d2.radius());
     let row_roi = roi.inflate(halo, src.width(), src.height());
 
     // Ixx: d2 along x, smooth along y
-    convolve_rows(src, &mut scratch.a, row_roi, &d2);
-    convolve_cols(&scratch.a, &mut out.ixx, roi, &g);
+    convolve_rows(src, a, row_roi, d2);
+    convolve_cols(a, &mut out.ixx, roi, g);
     // Iyy: smooth along x, d2 along y
-    convolve_rows(src, &mut scratch.b, row_roi, &g);
-    convolve_cols(&scratch.b, &mut out.iyy, roi, &d2);
+    convolve_rows(src, b, row_roi, g);
+    convolve_cols(b, &mut out.iyy, roi, d2);
     // Ixy: d1 along x, d1 along y
-    convolve_rows(src, &mut scratch.a, row_roi, &d1);
-    convolve_cols(&scratch.a, &mut out.ixy, roi, &d1);
+    convolve_rows(src, a, row_roi, d1);
+    convolve_cols(a, &mut out.ixy, roi, d1);
 }
 
 /// Eigenvalues of the 2x2 symmetric matrix `[ixx ixy; ixy iyy]`,
@@ -115,10 +149,14 @@ pub fn accumulate_max_response(
 ) {
     let roi = roi.clamp_to(acc.width(), acc.height());
     for y in roi.y..roi.bottom() {
-        for x in roi.x..roi.right() {
-            let r = response(h.ixx.get(x, y), h.iyy.get(x, y), h.ixy.get(x, y));
-            if r > acc.get(x, y) {
-                acc.set(x, y, r);
+        let ixx = &h.ixx.row(y)[roi.x..roi.right()];
+        let iyy = &h.iyy.row(y)[roi.x..roi.right()];
+        let ixy = &h.ixy.row(y)[roi.x..roi.right()];
+        let out = &mut acc.row_mut(y)[roi.x..roi.right()];
+        for i in 0..out.len() {
+            let r = response(ixx[i], iyy[i], ixy[i]);
+            if r > out[i] {
+                out[i] = r;
             }
         }
     }
@@ -217,7 +255,11 @@ mod tests {
         let mut ridge = ImageF32::new(w, w);
         accumulate_max_response(&h, &mut ridge, src.full_roi(), ridge_response);
 
-        assert!(blob.get(16, 16) > 50.0, "blob response {}", blob.get(16, 16));
+        assert!(
+            blob.get(16, 16) > 50.0,
+            "blob response {}",
+            blob.get(16, 16)
+        );
         assert!(
             blob.get(16, 16) > 3.0 * ridge.get(16, 16),
             "blob {} should beat ridge {}",

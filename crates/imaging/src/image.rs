@@ -25,12 +25,22 @@ pub struct Roi {
 impl Roi {
     /// Creates a new ROI.
     pub const fn new(x: usize, y: usize, width: usize, height: usize) -> Self {
-        Self { x, y, width, height }
+        Self {
+            x,
+            y,
+            width,
+            height,
+        }
     }
 
     /// ROI spanning a full `width x height` image.
     pub const fn full(width: usize, height: usize) -> Self {
-        Self { x: 0, y: 0, width, height }
+        Self {
+            x: 0,
+            y: 0,
+            width,
+            height,
+        }
     }
 
     /// Number of pixels covered.
@@ -151,14 +161,22 @@ pub type ImageF32 = Image<f32>;
 impl<T: Copy + Default> Image<T> {
     /// Creates an image filled with `T::default()`.
     pub fn new(width: usize, height: usize) -> Self {
-        Self { width, height, data: vec![T::default(); width * height] }
+        Self {
+            width,
+            height,
+            data: vec![T::default(); width * height],
+        }
     }
 }
 
 impl<T: Copy> Image<T> {
     /// Creates an image filled with `value`.
     pub fn filled(width: usize, height: usize, value: T) -> Self {
-        Self { width, height, data: vec![value; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![value; width * height],
+        }
     }
 
     /// Creates an image from a generator function `f(x, y)`.
@@ -169,13 +187,25 @@ impl<T: Copy> Image<T> {
                 data.push(f(x, y));
             }
         }
-        Self { width, height, data }
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Wraps an existing row-major buffer. Panics if the length mismatches.
     pub fn from_vec(width: usize, height: usize, data: Vec<T>) -> Self {
-        assert_eq!(data.len(), width * height, "buffer length must be width*height");
-        Self { width, height, data }
+        assert_eq!(
+            data.len(),
+            width * height,
+            "buffer length must be width*height"
+        );
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     /// Image width in pixels.
@@ -253,6 +283,22 @@ impl<T: Copy> Image<T> {
         &mut self.data
     }
 
+    /// Overwrites every pixel with `value`.
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+
+    /// Overwrites this image with `src`'s pixels (same geometry required);
+    /// lets pooled buffers be refreshed without reallocating.
+    pub fn copy_from(&mut self, src: &Image<T>) {
+        assert_eq!(
+            self.dims(),
+            src.dims(),
+            "copy_from requires matching geometry"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Copies the ROI into a new, tightly packed image.
     pub fn crop(&self, roi: Roi) -> Image<T> {
         let roi = roi.clamp_to(self.width, self.height);
@@ -260,7 +306,11 @@ impl<T: Copy> Image<T> {
         for y in roi.y..roi.bottom() {
             data.extend_from_slice(&self.row(y)[roi.x..roi.right()]);
         }
-        Image { width: roi.width, height: roi.height, data }
+        Image {
+            width: roi.width,
+            height: roi.height,
+            data,
+        }
     }
 
     /// Pastes `src` with its top-left corner at `(x, y)`, clipping at the

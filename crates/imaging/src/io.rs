@@ -11,7 +11,11 @@ use std::path::Path;
 
 /// Writes a u16 image as an 8-bit binary PGM, windowed to `[lo, hi]`
 /// (values outside clamp). Returns the window used.
-pub fn write_pgm8(path: &Path, img: &ImageU16, window: Option<(u16, u16)>) -> io::Result<(u16, u16)> {
+pub fn write_pgm8(
+    path: &Path,
+    img: &ImageU16,
+    window: Option<(u16, u16)>,
+) -> io::Result<(u16, u16)> {
     let (lo, hi) = window.unwrap_or_else(|| img.min_max());
     let hi = hi.max(lo + 1);
     let mut f = BufWriter::new(std::fs::File::create(path)?);
@@ -73,16 +77,23 @@ pub fn read_pgm(path: &Path) -> io::Result<ImageU16> {
 
     let magic = read_token(&mut reader)?;
     if magic != "P5" {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, format!("not a binary PGM: {magic}")));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("not a binary PGM: {magic}"),
+        ));
     }
     let parse = |t: String| -> io::Result<usize> {
-        t.parse().map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {e}")))
+        t.parse()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad header: {e}")))
     };
     let width = parse(read_token(&mut reader)?)?;
     let height = parse(read_token(&mut reader)?)?;
     let maxval = parse(read_token(&mut reader)?)?;
     if width == 0 || height == 0 || width * height > 1 << 28 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "implausible dimensions"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible dimensions",
+        ));
     }
 
     let n = width * height;
@@ -93,9 +104,14 @@ pub fn read_pgm(path: &Path) -> io::Result<ImageU16> {
     } else if maxval <= 65535 {
         let mut raw = vec![0u8; n * 2];
         reader.read_exact(&mut raw)?;
-        raw.chunks_exact(2).map(|c| u16::from_be_bytes([c[0], c[1]])).collect()
+        raw.chunks_exact(2)
+            .map(|c| u16::from_be_bytes([c[0], c[1]]))
+            .collect()
     } else {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "maxval too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "maxval too large",
+        ));
     };
     Ok(Image::from_vec(width, height, data))
 }

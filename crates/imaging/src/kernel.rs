@@ -17,7 +17,10 @@ pub struct Kernel1D {
 impl Kernel1D {
     /// Builds a kernel from raw taps. Panics if the length is even or zero.
     pub fn new(taps: Vec<f32>) -> Self {
-        assert!(!taps.is_empty() && taps.len() % 2 == 1, "kernel length must be odd");
+        assert!(
+            !taps.is_empty() && taps.len() % 2 == 1,
+            "kernel length must be odd"
+        );
         Self { taps }
     }
 
@@ -100,8 +103,59 @@ impl Kernel1D {
 /// coordinates. Pixels outside the image are border-replicated; pixels
 /// outside the ROI but inside the image are read normally, so stripe
 /// processing with halos is exact.
-#[allow(clippy::needless_range_loop)] // ROI-offset indexing is clearer here
+///
+/// Each row is split once into (left boundary | interior | right boundary)
+/// segments, so the interior runs taps-outer over contiguous stride-1 slices
+/// — a vectorizable elementwise FMA instead of a per-pixel horizontal
+/// reduction. The per-pixel accumulation order (`0 + t0*s0 + t1*s1 + ...`)
+/// is unchanged, so results are bit-identical to [`convolve_rows_reference`].
 pub fn convolve_rows(src: &ImageF32, dst: &mut ImageF32, roi: Roi, k: &Kernel1D) {
+    assert_eq!(src.dims(), dst.dims(), "src/dst dims must match");
+    let roi = roi.clamp_to(src.width(), src.height());
+    if roi.is_empty() {
+        return;
+    }
+    let r = k.radius();
+    let taps = k.taps();
+    let w = src.width();
+    // x is interior iff x - r >= 0 and x + r < w.
+    let int_lo = r.min(w);
+    let int_hi = w.saturating_sub(r);
+    let (lo, hi) = (roi.x, roi.right());
+    let bl_end = lo.max(hi.min(int_lo));
+    let ii_end = bl_end.max(hi.min(int_hi));
+    for y in roi.y..roi.bottom() {
+        let row = src.row(y);
+        let out = dst.row_mut(y);
+        for seg in [lo..bl_end, ii_end..hi] {
+            for x in seg {
+                let mut acc = 0.0f32;
+                for (j, &t) in taps.iter().enumerate() {
+                    let sx = (x + j).saturating_sub(r).min(w - 1);
+                    acc += t * row[sx];
+                }
+                out[x] = acc;
+            }
+        }
+        if bl_end < ii_end {
+            let out_seg = &mut out[bl_end..ii_end];
+            out_seg.fill(0.0);
+            for (j, &t) in taps.iter().enumerate() {
+                let src_seg = &row[bl_end + j - r..ii_end + j - r];
+                for (o, &s) in out_seg.iter_mut().zip(src_seg) {
+                    *o += t * s;
+                }
+            }
+        }
+    }
+}
+
+/// Reference (pre-optimisation) row convolution: per-pixel tap-inner loop
+/// with the boundary test inside the hot loop. Kept as the bit-exactness
+/// oracle for [`convolve_rows`] and as the "before" side of `bench_convolve`.
+#[doc(hidden)]
+#[allow(clippy::needless_range_loop)] // ROI-offset indexing is clearer here
+pub fn convolve_rows_reference(src: &ImageF32, dst: &mut ImageF32, roi: Roi, k: &Kernel1D) {
     assert_eq!(src.dims(), dst.dims(), "src/dst dims must match");
     let roi = roi.clamp_to(src.width(), src.height());
     let r = k.radius() as isize;
@@ -132,8 +186,41 @@ pub fn convolve_rows(src: &ImageF32, dst: &mut ImageF32, roi: Roi, k: &Kernel1D)
 
 /// Convolves the columns of `src` within `roi`, writing into `dst`.
 /// Iterates row-major over the output so memory access stays streaming.
-#[allow(clippy::needless_range_loop)] // ROI-offset indexing is clearer here
+///
+/// Runs taps-outer for every output row: the source row index is clamped
+/// once per (y, tap) — a no-op for interior rows — so the inner loop is
+/// always a contiguous stride-1 accumulate over row slices and boundary
+/// rows vectorize identically to interior ones. Per-pixel accumulation
+/// order matches [`convolve_cols_reference`] bit for bit.
 pub fn convolve_cols(src: &ImageF32, dst: &mut ImageF32, roi: Roi, k: &Kernel1D) {
+    assert_eq!(src.dims(), dst.dims(), "src/dst dims must match");
+    let roi = roi.clamp_to(src.width(), src.height());
+    if roi.is_empty() {
+        return;
+    }
+    let r = k.radius();
+    let taps = k.taps();
+    let h = src.height();
+    let (lo, hi) = (roi.x, roi.right());
+    for y in roi.y..roi.bottom() {
+        let out_seg = &mut dst.row_mut(y)[lo..hi];
+        out_seg.fill(0.0);
+        for (j, &t) in taps.iter().enumerate() {
+            let sy = (y + j).saturating_sub(r).min(h - 1);
+            let src_seg = &src.row(sy)[lo..hi];
+            for (o, &s) in out_seg.iter_mut().zip(src_seg) {
+                *o += t * s;
+            }
+        }
+    }
+}
+
+/// Reference (pre-optimisation) column convolution: taps-outer on interior
+/// rows, per-pixel gather on boundary rows. Kept as the bit-exactness
+/// oracle for [`convolve_cols`] and as the "before" side of `bench_convolve`.
+#[doc(hidden)]
+#[allow(clippy::needless_range_loop)] // ROI-offset indexing is clearer here
+pub fn convolve_cols_reference(src: &ImageF32, dst: &mut ImageF32, roi: Roi, k: &Kernel1D) {
     assert_eq!(src.dims(), dst.dims(), "src/dst dims must match");
     let roi = roi.clamp_to(src.width(), src.height());
     let r = k.radius() as isize;
@@ -203,7 +290,12 @@ mod tests {
     fn gaussian_is_normalized_and_symmetric() {
         for &sigma in &[0.8f32, 1.5, 3.0] {
             let k = Kernel1D::gaussian(sigma);
-            assert!(close(k.sum(), 1.0, 1e-5), "sum {} for sigma {}", k.sum(), sigma);
+            assert!(
+                close(k.sum(), 1.0, 1e-5),
+                "sum {} for sigma {}",
+                k.sum(),
+                sigma
+            );
             let taps = k.taps();
             let n = taps.len();
             for i in 0..n / 2 {
@@ -251,7 +343,11 @@ mod tests {
         convolve_separable(&src, &mut dst, &mut scratch, src.full_roi(), &g, &g);
         for y in 0..16 {
             for x in 0..16 {
-                assert!(close(dst.get(x, y), 42.0, 1e-3), "pixel ({x},{y}) = {}", dst.get(x, y));
+                assert!(
+                    close(dst.get(x, y), 42.0, 1e-3),
+                    "pixel ({x},{y}) = {}",
+                    dst.get(x, y)
+                );
             }
         }
     }
@@ -298,6 +394,63 @@ mod tests {
         assert!(close(dst.get(5, 5), 1.0, 1e-4));
         assert_eq!(dst.get(0, 0), -1.0);
         assert_eq!(dst.get(12, 12), -1.0);
+    }
+
+    #[test]
+    fn optimized_convolution_bit_identical_to_reference() {
+        // The cache-aware rewrite must not change a single bit: per-pixel
+        // FP accumulation order is preserved, so optimized and reference
+        // paths agree exactly — including borders, narrow images (width or
+        // height below the kernel support) and off-centre ROIs.
+        let kernels = [
+            Kernel1D::gaussian(0.8),
+            Kernel1D::gaussian(2.5),
+            Kernel1D::gaussian_d1(1.5),
+            Kernel1D::gaussian_d2(4.0),
+        ];
+        let shapes = [(64usize, 48usize), (7, 64), (64, 7), (5, 5), (33, 1)];
+        for k in &kernels {
+            for &(w, h) in &shapes {
+                let src =
+                    Image::from_fn(w, h, |x, y| ((x * 31 + y * 17) % 101) as f32 * 0.37 - 12.5);
+                let rois = [
+                    src.full_roi(),
+                    Roi::new(0, 0, (w / 2).max(1), (h / 2).max(1)),
+                    Roi::new(w / 3, h / 3, (w / 2).max(1), (h / 2).max(1)),
+                ];
+                for &roi in &rois {
+                    let mut a: ImageF32 = Image::filled(w, h, f32::NAN);
+                    let mut b: ImageF32 = Image::filled(w, h, f32::NAN);
+                    convolve_rows(&src, &mut a, roi, k);
+                    convolve_rows_reference(&src, &mut b, roi, k);
+                    let roi_c = roi.clamp_to(w, h);
+                    for y in roi_c.y..roi_c.bottom() {
+                        for x in roi_c.x..roi_c.right() {
+                            assert_eq!(
+                                a.get(x, y).to_bits(),
+                                b.get(x, y).to_bits(),
+                                "rows {w}x{h} roi {roi:?} at ({x},{y}): {} vs {}",
+                                a.get(x, y),
+                                b.get(x, y)
+                            );
+                        }
+                    }
+                    convolve_cols(&src, &mut a, roi, k);
+                    convolve_cols_reference(&src, &mut b, roi, k);
+                    for y in roi_c.y..roi_c.bottom() {
+                        for x in roi_c.x..roi_c.right() {
+                            assert_eq!(
+                                a.get(x, y).to_bits(),
+                                b.get(x, y).to_bits(),
+                                "cols {w}x{h} roi {roi:?} at ({x},{y}): {} vs {}",
+                                a.get(x, y),
+                                b.get(x, y)
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

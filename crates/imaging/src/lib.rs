@@ -31,8 +31,8 @@ pub mod hessian;
 pub mod image;
 pub mod io;
 pub mod kernel;
-pub mod metrics;
 pub mod markers;
+pub mod metrics;
 pub mod overlay;
 pub mod parallel;
 pub mod registration;
@@ -45,9 +45,9 @@ pub use enhance::{enh_integrate, EnhConfig, EnhState};
 pub use guidewire::{gw_extract, GwConfig, GwOutput};
 pub use image::{Image, ImageF32, ImageU16, Pixel, Roi};
 pub use io::{read_pgm, write_pgm16, write_pgm8};
+pub use markers::{mkx_extract, Marker, MkxBuffers, MkxConfig, MkxOutput};
 pub use metrics::{cnr, mad, psnr, region_mean};
 pub use overlay::{draw_couple, draw_cross, draw_roi};
-pub use markers::{mkx_extract, Marker, MkxBuffers, MkxConfig, MkxOutput};
 pub use registration::{register, RegConfig, RegOutput, RigidTransform};
 pub use ridge::{rdg_full, rdg_roi, RdgBuffers, RdgConfig, RdgOutput};
 pub use roi_est::{estimate_roi, RoiEstConfig};

@@ -46,7 +46,12 @@ pub struct MkxConfig {
 
 impl Default for MkxConfig {
     fn default() -> Self {
-        Self { scales: vec![1.5, 2.5], threshold_rel: 0.25, min_separation: 6.0, max_candidates: 32 }
+        Self {
+            scales: vec![1.5, 2.5],
+            threshold_rel: 0.25,
+            min_separation: 6.0,
+            max_candidates: 32,
+        }
     }
 }
 
@@ -96,17 +101,19 @@ pub struct MkxOutput {
 }
 
 /// Extracts candidate markers inside `roi`.
-pub fn mkx_extract(
-    src: &ImageU16,
-    roi: Roi,
-    cfg: &MkxConfig,
-    bufs: &mut MkxBuffers,
-) -> MkxOutput {
-    assert_eq!(src.dims(), bufs.src_f32.dims(), "buffer geometry must match the frame");
+pub fn mkx_extract(src: &ImageU16, roi: Roi, cfg: &MkxConfig, bufs: &mut MkxBuffers) -> MkxOutput {
+    assert_eq!(
+        src.dims(),
+        bufs.src_f32.dims(),
+        "buffer geometry must match the frame"
+    );
     assert!(!cfg.scales.is_empty(), "at least one scale required");
     let roi = roi.clamp_to(src.width(), src.height());
     if roi.is_empty() {
-        return MkxOutput { candidates: Vec::new(), raw_maxima: 0 };
+        return MkxOutput {
+            candidates: Vec::new(),
+            raw_maxima: 0,
+        };
     }
 
     let halo = cfg
@@ -130,7 +137,13 @@ pub fn mkx_extract(
     // strongest scale per pixel; remember which scale won
     let mut best_scale = vec![cfg.scales[0]; src.width() * src.height()];
     for &sigma in &cfg.scales {
-        hessian_at_scale(&bufs.src_f32, &mut bufs.hessian, &mut bufs.scratch, roi, sigma);
+        hessian_at_scale(
+            &bufs.src_f32,
+            &mut bufs.hessian,
+            &mut bufs.scratch,
+            roi,
+            sigma,
+        );
         for y in roi.y..roi.bottom() {
             for x in roi.x..roi.right() {
                 let r = blob_response(
@@ -173,7 +186,9 @@ pub fn mkx_extract(
                         if dx == 0 && dy == 0 {
                             continue;
                         }
-                        let n = bufs.acc.get((x as i64 + dx) as usize, (y as i64 + dy) as usize);
+                        let n = bufs
+                            .acc
+                            .get((x as i64 + dx) as usize, (y as i64 + dy) as usize);
                         if n > v {
                             is_max = false;
                             break 'nb;
@@ -201,12 +216,18 @@ pub fn mkx_extract(
         if candidates.len() >= cfg.max_candidates {
             break;
         }
-        if candidates.iter().all(|c| c.distance(&m) >= cfg.min_separation) {
+        if candidates
+            .iter()
+            .all(|c| c.distance(&m) >= cfg.min_separation)
+        {
             candidates.push(m);
         }
     }
 
-    MkxOutput { candidates, raw_maxima }
+    MkxOutput {
+        candidates,
+        raw_maxima,
+    }
 }
 
 /// Parabolic sub-pixel refinement of a local maximum.
@@ -253,7 +274,12 @@ mod tests {
     #[test]
     fn finds_two_markers_near_truth() {
         let src = frame_with_blobs(64, 64, &[(20.0, 20.0, 1100.0), (44.0, 44.0, 1000.0)]);
-        let out = mkx_extract(&src, src.full_roi(), &MkxConfig::default(), &mut MkxBuffers::new(64, 64));
+        let out = mkx_extract(
+            &src,
+            src.full_roi(),
+            &MkxConfig::default(),
+            &mut MkxBuffers::new(64, 64),
+        );
         assert!(out.candidates.len() >= 2, "found {}", out.candidates.len());
         let near = |tx: f64, ty: f64| {
             out.candidates
@@ -267,7 +293,12 @@ mod tests {
     #[test]
     fn strongest_marker_first() {
         let src = frame_with_blobs(64, 64, &[(20.0, 20.0, 600.0), (44.0, 44.0, 1400.0)]);
-        let out = mkx_extract(&src, src.full_roi(), &MkxConfig::default(), &mut MkxBuffers::new(64, 64));
+        let out = mkx_extract(
+            &src,
+            src.full_roi(),
+            &MkxConfig::default(),
+            &mut MkxBuffers::new(64, 64),
+        );
         assert!(out.candidates.len() >= 2);
         let first = &out.candidates[0];
         assert!((first.x - 44.0).abs() < 2.0 && (first.y - 44.0).abs() < 2.0);
@@ -276,7 +307,12 @@ mod tests {
     #[test]
     fn empty_frame_yields_no_candidates() {
         let src: ImageU16 = Image::filled(64, 64, 2000);
-        let out = mkx_extract(&src, src.full_roi(), &MkxConfig::default(), &mut MkxBuffers::new(64, 64));
+        let out = mkx_extract(
+            &src,
+            src.full_roi(),
+            &MkxConfig::default(),
+            &mut MkxBuffers::new(64, 64),
+        );
         assert!(out.candidates.is_empty(), "{:?}", out.candidates);
     }
 
@@ -290,13 +326,20 @@ mod tests {
             &mut MkxBuffers::new(64, 64),
         );
         assert!(!out.candidates.is_empty());
-        assert!(out.candidates.iter().all(|m| m.x < 32.0 && m.y < 32.0), "{:?}", out.candidates);
+        assert!(
+            out.candidates.iter().all(|m| m.x < 32.0 && m.y < 32.0),
+            "{:?}",
+            out.candidates
+        );
     }
 
     #[test]
     fn min_separation_merges_close_maxima() {
         let src = frame_with_blobs(64, 64, &[(30.0, 30.0, 1100.0), (33.0, 30.0, 1000.0)]);
-        let cfg = MkxConfig { min_separation: 8.0, ..Default::default() };
+        let cfg = MkxConfig {
+            min_separation: 8.0,
+            ..Default::default()
+        };
         let out = mkx_extract(&src, src.full_roi(), &cfg, &mut MkxBuffers::new(64, 64));
         // the two blobs are 3 px apart, below separation: only one survives
         let close: Vec<_> = out
@@ -313,7 +356,10 @@ mod tests {
             .flat_map(|i| (0..6).map(move |j| (8.0 + i as f32 * 9.0, 8.0 + j as f32 * 9.0, 900.0)))
             .collect();
         let src = frame_with_blobs(64, 64, &blobs);
-        let cfg = MkxConfig { max_candidates: 5, ..Default::default() };
+        let cfg = MkxConfig {
+            max_candidates: 5,
+            ..Default::default()
+        };
         let out = mkx_extract(&src, src.full_roi(), &cfg, &mut MkxBuffers::new(64, 64));
         assert!(out.candidates.len() <= 5);
         assert!(out.raw_maxima >= out.candidates.len());
@@ -322,7 +368,12 @@ mod tests {
     #[test]
     fn subpixel_position_close_to_fractional_truth() {
         let src = frame_with_blobs(64, 64, &[(30.4, 25.7, 1200.0)]);
-        let out = mkx_extract(&src, src.full_roi(), &MkxConfig::default(), &mut MkxBuffers::new(64, 64));
+        let out = mkx_extract(
+            &src,
+            src.full_roi(),
+            &MkxConfig::default(),
+            &mut MkxBuffers::new(64, 64),
+        );
         assert!(!out.candidates.is_empty());
         let m = &out.candidates[0];
         assert!((m.x - 30.4).abs() < 0.75, "x {}", m.x);
@@ -331,8 +382,18 @@ mod tests {
 
     #[test]
     fn marker_distance_is_euclidean() {
-        let a = Marker { x: 0.0, y: 0.0, strength: 1.0, scale: 1.0 };
-        let b = Marker { x: 3.0, y: 4.0, strength: 1.0, scale: 1.0 };
+        let a = Marker {
+            x: 0.0,
+            y: 0.0,
+            strength: 1.0,
+            scale: 1.0,
+        };
+        let b = Marker {
+            x: 3.0,
+            y: 4.0,
+            strength: 1.0,
+            scale: 1.0,
+        };
         assert!((a.distance(&b) - 5.0).abs() < 1e-12);
     }
 }

@@ -172,7 +172,10 @@ mod tests {
         let single = render(&mut rng);
         let cnr1 = cnr(&single, feature, bg);
 
-        let cfg = EnhConfig { alpha: 0.01, gain: 1.0 }; // ~true running mean
+        let cfg = EnhConfig {
+            alpha: 0.01,
+            gain: 1.0,
+        }; // ~true running mean
         let mut state = EnhState::new(48, 48);
         let mut out = single.clone();
         for _ in 0..16 {

@@ -103,8 +103,18 @@ mod tests {
     fn couple_line_connects_markers() {
         let mut img: ImageU16 = Image::new(32, 32);
         let c = Couple {
-            a: Marker { x: 4.0, y: 4.0, strength: 1.0, scale: 2.0 },
-            b: Marker { x: 24.0, y: 24.0, strength: 1.0, scale: 2.0 },
+            a: Marker {
+                x: 4.0,
+                y: 4.0,
+                strength: 1.0,
+                scale: 2.0,
+            },
+            b: Marker {
+                x: 24.0,
+                y: 24.0,
+                strength: 1.0,
+                scale: 2.0,
+            },
             score: 0.0,
         };
         draw_couple(&mut img, &c, 100);

@@ -1,4 +1,4 @@
-//! Data-parallel (striped) task execution.
+//! Data-parallel (striped) task execution on a persistent worker pool.
 //!
 //! The RDG tasks have a streaming nature and can be data-partitioned
 //! (Section 6): the frame is split into horizontal stripes and each stripe
@@ -6,16 +6,177 @@
 //! halo exact). Feature-level tasks (CPLS SEL, GW EXT) are partitioned
 //! functionally instead, because they operate on extracted features rather
 //! than image data.
+//!
+//! Earlier revisions spawned fresh `std::thread::scope` workers for every
+//! stripe of every frame; at 30 Hz that is hundreds of thread spawns per
+//! second on the hottest path the paper models. [`StripePool`] keeps a set
+//! of long-lived workers fed over crossbeam channels, so a whole sequence
+//! run creates threads exactly once and per-frame dispatch is two channel
+//! hops per stripe.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
 
 use crate::image::{ImageF32, ImageU16, Roi};
-use crate::ridge::{assemble_stripes, rdg_stripe, RdgConfig, RdgOutput};
+use crate::ridge::{assemble_stripes, rdg_roi, rdg_stripe, RdgBuffers, RdgConfig, RdgOutput};
 
-/// Runs `work` once per stripe of `roi` on scoped worker threads and
+/// A lifetime-erased unit of work executed on a pool worker.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Item {
+    job: Task,
+    done: Sender<bool>,
+}
+
+/// A persistent pool of stripe workers.
+///
+/// Workers are spawned once (per pool) and live until the pool is dropped;
+/// jobs are round-robined over per-worker channels. [`StripePool::run`]
+/// accepts non-`'static` closures: it blocks until every submitted job has
+/// signalled completion, so borrows held by the jobs cannot outlive the
+/// call (the same guarantee `std::thread::scope` gives, without the
+/// per-call thread spawn/join).
+pub struct StripePool {
+    workers: Vec<Sender<Item>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    panics: std::sync::Arc<Mutex<Vec<String>>>,
+}
+
+impl StripePool {
+    /// Spawns a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let panics = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let mut workers = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx) = unbounded::<Item>();
+            let panics = std::sync::Arc::clone(&panics);
+            let handle = std::thread::Builder::new()
+                .name(format!("stripe-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(Item { job, done }) = rx.recv() {
+                        let result = catch_unwind(AssertUnwindSafe(job));
+                        let panicked = result.is_err();
+                        if let Err(payload) = result {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".into());
+                            panics.lock().push(msg);
+                        }
+                        // The dispatcher may have given up (itself panicked);
+                        // a dead done-channel is not an error for the worker.
+                        let _ = done.send(panicked);
+                    }
+                })
+                .expect("spawn stripe worker");
+            workers.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            workers,
+            handles,
+            panics,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The process-wide shared pool, sized to the available hardware
+    /// parallelism and spawned on first use.
+    pub fn global() -> &'static StripePool {
+        static GLOBAL: OnceLock<StripePool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            StripePool::new(threads)
+        })
+    }
+
+    /// Runs `jobs[i]` on worker `i % threads`, blocking until all complete.
+    ///
+    /// If any job panics, the panic message is re-raised here after the
+    /// whole batch has drained (workers survive and stay reusable).
+    pub fn run<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        self.run_on(jobs.into_iter().enumerate().collect());
+    }
+
+    /// Like [`StripePool::run`], with an explicit worker index per job
+    /// (wrapped modulo the pool size). Jobs given the same index always
+    /// run on the same worker thread, which models per-core assignment.
+    pub fn run_on<'scope>(&self, jobs: Vec<(usize, Box<dyn FnOnce() + Send + 'scope>)>) {
+        let n = jobs.len();
+        if n == 0 {
+            return;
+        }
+        let (done_tx, done_rx) = unbounded::<bool>();
+        for (i, job) in jobs {
+            // SAFETY: the loop below blocks until every job has signalled
+            // completion (the done sender is dropped only after the job ran
+            // or was dropped unexecuted by a dying worker), so all 'scope
+            // borrows captured by the job strictly outlive its execution.
+            let job: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(job) };
+            self.workers[i % self.workers.len()]
+                .send(Item {
+                    job,
+                    done: done_tx.clone(),
+                })
+                .expect("stripe worker alive");
+        }
+        drop(done_tx);
+        let mut panicked = false;
+        for _ in 0..n {
+            match done_rx.recv() {
+                Ok(flag) => panicked |= flag,
+                // A worker died without running the job (only possible if
+                // its thread was torn down); treat as a panic.
+                Err(_) => panicked = true,
+            }
+        }
+        if panicked {
+            let msgs = std::mem::take(&mut *self.panics.lock());
+            panic!("stripe worker panicked: {}", msgs.join("; "));
+        }
+    }
+}
+
+impl Drop for StripePool {
+    fn drop(&mut self) {
+        // Closing the channels ends the worker loops.
+        self.workers.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Runs `work` once per stripe of `roi` on the shared worker pool and
 /// collects the results in stripe order.
 ///
 /// With `stripes == 1` the work runs inline on the calling thread, so the
 /// serial and parallel paths share one code path.
 pub fn for_each_stripe<R: Send>(
+    roi: Roi,
+    stripes: usize,
+    work: impl Fn(Roi) -> R + Sync,
+) -> Vec<R> {
+    for_each_stripe_on(StripePool::global(), roi, stripes, work)
+}
+
+/// [`for_each_stripe`] on an explicit pool.
+pub fn for_each_stripe_on<R: Send>(
+    pool: &StripePool,
     roi: Roi,
     stripes: usize,
     work: impl Fn(Roi) -> R + Sync,
@@ -27,16 +188,154 @@ pub fn for_each_stripe<R: Send>(
     }
     let mut results: Vec<Option<R>> = Vec::with_capacity(parts.len());
     results.resize_with(parts.len(), || None);
-    std::thread::scope(|scope| {
-        for (slot, part) in results.iter_mut().zip(parts.iter()) {
+    let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = results
+        .iter_mut()
+        .zip(parts.iter())
+        .map(|(slot, &part)| {
             let work = &work;
-            let part = *part;
-            scope.spawn(move || {
+            Box::new(move || {
                 *slot = Some(work(part));
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run(jobs);
+    results
+        .into_iter()
+        .map(|r| r.expect("stripe worker completed"))
+        .collect()
+}
+
+/// Per-stripe reusable working set of the pooled parallel RDG path.
+struct StripeScratch {
+    /// The stripe's halo-extended sub-frame (copied from the source frame).
+    sub: ImageU16,
+    /// Full RDG working buffers sized to the sub-frame.
+    bufs: RdgBuffers,
+}
+
+/// Frame-persistent buffers of [`rdg_parallel_pooled`]: per-stripe scratch
+/// plus recycled full-frame output images. After the first frame of a
+/// steady-state sequence no heap allocation happens on this path.
+#[derive(Default)]
+pub struct ParallelRdgBuffers {
+    scratches: Vec<Option<StripeScratch>>,
+    filtered_pool: Vec<ImageU16>,
+    ridgeness_pool: Vec<ImageF32>,
+    stripe_ms: Vec<f64>,
+    allocations: usize,
+}
+
+impl ParallelRdgBuffers {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wall-clock milliseconds each stripe of the most recent
+    /// [`rdg_parallel_pooled`] call spent inside its worker, in stripe
+    /// order. Feeds the executor's virtual schedule.
+    pub fn stripe_times_ms(&self) -> &[f64] {
+        &self.stripe_ms
+    }
+
+    /// Number of image allocations this buffer set has performed; constant
+    /// across frames once warmed up (asserted by tests).
+    pub fn allocations(&self) -> usize {
+        self.allocations
+    }
+
+    /// Total bytes held (scratch + pooled outputs) — the data-parallel
+    /// side of the Table 1 "intermediate" storage accounting.
+    pub fn byte_size(&self) -> usize {
+        let scratch: usize = self
+            .scratches
+            .iter()
+            .flatten()
+            .map(|s| s.sub.byte_size() + s.bufs.byte_size())
+            .sum();
+        let pooled: usize = self
+            .filtered_pool
+            .iter()
+            .map(|i| i.byte_size())
+            .sum::<usize>()
+            + self
+                .ridgeness_pool
+                .iter()
+                .map(|i| i.byte_size())
+                .sum::<usize>();
+        scratch + pooled
+    }
+
+    /// Returns a finished output's images to the pool for reuse.
+    pub fn recycle(&mut self, out: RdgOutput) {
+        if self.filtered_pool.len() < 2 {
+            self.filtered_pool.push(out.filtered);
+        }
+        if self.ridgeness_pool.len() < 2 {
+            self.ridgeness_pool.push(out.ridgeness);
+        }
+    }
+
+    fn take_filtered(&mut self, src: &ImageU16) -> ImageU16 {
+        match self.filtered_pool.pop() {
+            Some(mut img) if img.dims() == src.dims() => {
+                img.copy_from(src);
+                img
+            }
+            _ => {
+                self.allocations += 1;
+                src.clone()
+            }
+        }
+    }
+
+    fn take_ridgeness(&mut self, width: usize, height: usize) -> ImageF32 {
+        match self.ridgeness_pool.pop() {
+            Some(mut img) if img.dims() == (width, height) => {
+                img.fill(0.0);
+                img
+            }
+            _ => {
+                self.allocations += 1;
+                ImageF32::new(width, height)
+            }
+        }
+    }
+
+    /// Ensures stripe `i`'s scratch matches the halo-extended dims,
+    /// (re)allocating only when the geometry changes.
+    fn ensure_scratch(&mut self, i: usize, ext: Roi) -> &mut StripeScratch {
+        if self.scratches.len() <= i {
+            self.scratches.resize_with(i + 1, || None);
+        }
+        let slot = &mut self.scratches[i];
+        let fits = matches!(slot, Some(s) if s.sub.dims() == (ext.width, ext.height));
+        if !fits {
+            self.allocations += 1;
+            *slot = Some(StripeScratch {
+                sub: ImageU16::new(ext.width, ext.height),
+                bufs: RdgBuffers::new(ext.width, ext.height),
             });
         }
-    });
-    results.into_iter().map(|r| r.expect("stripe worker completed")).collect()
+        slot.as_mut().expect("scratch just ensured")
+    }
+}
+
+/// Splits `data` (a `width`-pixel-per-row image buffer) into one disjoint
+/// mutable row band per stripe, so workers can write their results straight
+/// into the shared full-frame output without crops or pastes.
+fn row_bands<'a, T>(data: &'a mut [T], width: usize, parts: &[Roi]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(parts.len());
+    let mut consumed = 0usize;
+    let mut rest = data;
+    for p in parts {
+        let start = p.y * width;
+        let (_, tail) = rest.split_at_mut(start - consumed);
+        let (band, tail) = tail.split_at_mut(p.height * width);
+        out.push(band);
+        rest = tail;
+        consumed = (p.y + p.height) * width;
+    }
+    out
 }
 
 /// Data-parallel ridge detection: `stripes`-way striped RDG over `roi`.
@@ -44,11 +343,168 @@ pub fn for_each_stripe<R: Send>(
 /// Equivalent to [`crate::ridge::rdg_roi`] up to the per-stripe threshold
 /// statistics; the ridge-response map is bit-identical to the full-frame
 /// computation (verified by tests).
+///
+/// Convenience wrapper over [`rdg_parallel_pooled`] with one-shot buffers;
+/// sequence runners should hold a [`ParallelRdgBuffers`] instead and reuse
+/// it across frames.
 pub fn rdg_parallel(src: &ImageU16, roi: Roi, cfg: &RdgConfig, stripes: usize) -> RdgOutput {
+    let mut bufs = ParallelRdgBuffers::new();
+    rdg_parallel_pooled(StripePool::global(), src, roi, cfg, stripes, &mut bufs)
+}
+
+/// Data-parallel ridge detection on an explicit pool with reusable buffers.
+///
+/// Stripe workers write their filtered/ridgeness results directly into
+/// disjoint row bands of pooled full-frame outputs — no per-frame crop,
+/// paste or image allocation once `bufs` is warm. Per-stripe wall-clock
+/// times are recorded in `bufs` (see
+/// [`ParallelRdgBuffers::stripe_times_ms`]).
+pub fn rdg_parallel_pooled(
+    pool: &StripePool,
+    src: &ImageU16,
+    roi: Roi,
+    cfg: &RdgConfig,
+    stripes: usize,
+    bufs: &mut ParallelRdgBuffers,
+) -> RdgOutput {
+    assert!(stripes > 0, "stripe count must be positive");
+    let roi = roi.clamp_to(src.width(), src.height());
+    let width = src.width();
+    let parts = roi.stripes(stripes);
+
+    let halo = rdg_halo(cfg);
+    let mut filtered = bufs.take_filtered(src);
+    let mut ridgeness = bufs.take_ridgeness(src.width(), src.height());
+
+    {
+        let exts: Vec<Roi> = parts
+            .iter()
+            .map(|p| p.inflate(halo, src.width(), src.height()))
+            .collect();
+        bufs.stripe_ms.clear();
+        bufs.stripe_ms.resize(parts.len(), 0.0);
+        for (i, &ext) in exts.iter().enumerate() {
+            bufs.ensure_scratch(i, ext);
+        }
+
+        let filtered_bands = row_bands(filtered.as_mut_slice(), width, &parts);
+        let ridgeness_bands = row_bands(ridgeness.as_mut_slice(), width, &parts);
+
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(parts.len());
+        for ((((&stripe, &ext), fband), rband), (scratch, ms)) in parts
+            .iter()
+            .zip(exts.iter())
+            .zip(filtered_bands)
+            .zip(ridgeness_bands)
+            .zip(
+                bufs.scratches
+                    .iter_mut()
+                    .flatten()
+                    .zip(bufs.stripe_ms.iter_mut()),
+            )
+        {
+            jobs.push(Box::new(move || {
+                let t0 = Instant::now();
+                let StripeScratch { sub, bufs } = scratch;
+                for (i, y) in (ext.y..ext.bottom()).enumerate() {
+                    sub.row_mut(i)
+                        .copy_from_slice(&src.row(y)[ext.x..ext.right()]);
+                }
+                let local = Roi::new(
+                    stripe.x - ext.x,
+                    stripe.y - ext.y,
+                    stripe.width,
+                    stripe.height,
+                );
+                let out = rdg_roi(sub, local, cfg, bufs);
+                for row in 0..stripe.height {
+                    let sy = local.y + row;
+                    let dst = row * width + stripe.x;
+                    fband[dst..dst + stripe.width]
+                        .copy_from_slice(&out.filtered.row(sy)[local.x..local.right()]);
+                    rband[dst..dst + stripe.width]
+                        .copy_from_slice(&out.ridgeness.row(sy)[local.x..local.right()]);
+                }
+                bufs.recycle(out);
+                *ms = t0.elapsed().as_secs_f64() * 1e3;
+            }));
+        }
+        if jobs.len() <= 1 {
+            // Single stripe: run inline, sharing the code path.
+            for job in jobs {
+                job();
+            }
+        } else {
+            pool.run(jobs);
+        }
+    }
+
+    // Global threshold hint from the assembled response keeps the pixel
+    // count comparable with the serial path. Iterating the assembled map in
+    // row order reproduces the accumulation order of the historical
+    // per-stripe estimate exactly.
+    let threshold_hint = estimate_threshold_map(&ridgeness, roi, cfg.threshold_factor);
+    let mut ridge_pixels = 0usize;
+    for y in roi.y..roi.bottom() {
+        for &v in &ridgeness.row(y)[roi.x..roi.right()] {
+            if v > threshold_hint {
+                ridge_pixels += 1;
+            }
+        }
+    }
+
+    RdgOutput {
+        filtered,
+        ridgeness,
+        ridge_pixels,
+        segments: 0,
+    }
+}
+
+/// Halo width needed by the active scale set (3 sigma of the largest).
+fn rdg_halo(cfg: &RdgConfig) -> usize {
+    cfg.scales
+        .iter()
+        .chain(if cfg.fine_enabled {
+            cfg.fine_scales.iter()
+        } else {
+            [].iter()
+        })
+        .map(|&s| (3.0 * s).ceil() as usize)
+        .max()
+        .unwrap_or(0)
+}
+
+fn estimate_threshold_map(ridgeness: &ImageF32, roi: Roi, factor: f32) -> f32 {
+    let mut sum = 0.0f64;
+    let mut sum2 = 0.0f64;
+    let n = roi.area();
+    if n == 0 {
+        return 0.0;
+    }
+    for y in roi.y..roi.bottom() {
+        for &v in &ridgeness.row(y)[roi.x..roi.right()] {
+            sum += v as f64;
+            sum2 += (v as f64) * (v as f64);
+        }
+    }
+    let mean = sum / n as f64;
+    let std = ((sum2 / n as f64 - mean * mean).max(0.0)).sqrt();
+    (mean + factor as f64 * std) as f32
+}
+
+/// Legacy assembling parallel RDG built on [`rdg_stripe`] crops; kept for
+/// comparison benchmarks and as the reference for the pooled direct-write
+/// path.
+#[doc(hidden)]
+pub fn rdg_parallel_assembling(
+    src: &ImageU16,
+    roi: Roi,
+    cfg: &RdgConfig,
+    stripes: usize,
+) -> RdgOutput {
     let roi = roi.clamp_to(src.width(), src.height());
     let parts = for_each_stripe(roi, stripes, |stripe| rdg_stripe(src, stripe, cfg));
-    // A global threshold hint from the assembled response keeps the pixel
-    // count comparable with the serial path.
     let threshold_hint = estimate_threshold(&parts, cfg.threshold_factor);
     assemble_stripes(src, parts, threshold_hint)
 }
@@ -78,6 +534,7 @@ fn estimate_threshold(parts: &[(Roi, ImageU16, ImageF32)], factor: f32) -> f32 {
 mod tests {
     use super::*;
     use crate::image::Image;
+    use crate::ridge::rdg_full;
 
     #[test]
     fn for_each_stripe_covers_roi_in_order() {
@@ -110,16 +567,67 @@ mod tests {
     }
 
     #[test]
-    fn parallel_rdg_response_matches_serial() {
-        let src = Image::from_fn(96, 96, |x, y| {
+    fn pool_reuses_threads_across_batches() {
+        let pool = StripePool::new(2);
+        for round in 0..50 {
+            let roi = Roi::new(0, 0, 4, 8);
+            let r = for_each_stripe_on(&pool, roi, 4, |s| s.y + round);
+            assert_eq!(r.len(), 4);
+        }
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn pool_propagates_worker_panic_and_survives() {
+        let pool = StripePool::new(2);
+        let roi = Roi::new(0, 0, 4, 4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            for_each_stripe_on(&pool, roi, 4, |s| {
+                if s.y == 2 {
+                    panic!("boom in stripe {}", s.y);
+                }
+                s.y
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the dispatcher");
+        // the pool stays usable after a job panic
+        let ok = for_each_stripe_on(&pool, roi, 4, |s| s.y);
+        assert_eq!(ok, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pool_runs_borrowed_state_jobs() {
+        // run() accepts non-'static closures that borrow caller state
+        let pool = StripePool::new(3);
+        let data: Vec<u64> = (0..64).collect();
+        let mut sums = [0u64; 4];
+        let chunks: Vec<&[u64]> = data.chunks(16).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = sums
+            .iter_mut()
+            .zip(chunks)
+            .map(|(slot, chunk)| {
+                Box::new(move || *slot = chunk.iter().sum()) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(jobs);
+        assert_eq!(sums.iter().sum::<u64>(), (0..64).sum());
+    }
+
+    fn wire_frame(w: usize, h: usize) -> ImageU16 {
+        Image::from_fn(w, h, |x, y| {
             let mut v = 2000.0f32;
             let d = (x as f32 - y as f32).abs() / 1.5;
             v -= 900.0 * (-d * d / 2.0).exp();
             v as u16
-        });
+        })
+    }
+
+    #[test]
+    fn parallel_rdg_response_matches_serial() {
+        let src = wire_frame(96, 96);
         let cfg = RdgConfig::default();
-        let mut bufs = crate::ridge::RdgBuffers::new(96, 96);
-        let serial = crate::ridge::rdg_full(&src, &cfg, &mut bufs);
+        let mut bufs = RdgBuffers::new(96, 96);
+        let serial = rdg_full(&src, &cfg, &mut bufs);
         for stripes in [2usize, 3, 4] {
             let par = rdg_parallel(&src, src.full_roi(), &cfg, stripes);
             for y in 0..96 {
@@ -136,6 +644,81 @@ mod tests {
     }
 
     #[test]
+    fn parallel_rdg_bit_identical_to_serial() {
+        // The pooled stripe path must reproduce the serial ridge response
+        // bit for bit for every stripe count: the halo gives each stripe
+        // the exact same input neighbourhood the full-frame filter sees.
+        let src = wire_frame(96, 96);
+        let cfg = RdgConfig::default();
+        let serial = rdg_full(&src, &cfg, &mut RdgBuffers::new(96, 96));
+        let pool = StripePool::new(4);
+        for stripes in [1usize, 2, 4, 7] {
+            let mut bufs = ParallelRdgBuffers::new();
+            let par = rdg_parallel_pooled(&pool, &src, src.full_roi(), &cfg, stripes, &mut bufs);
+            for y in 0..96 {
+                for x in 0..96 {
+                    assert_eq!(
+                        serial.ridgeness.get(x, y).to_bits(),
+                        par.ridgeness.get(x, y).to_bits(),
+                        "{stripes} stripes: ridgeness differs at ({x},{y}): {} vs {}",
+                        serial.ridgeness.get(x, y),
+                        par.ridgeness.get(x, y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_rdg_is_deterministic_across_frames() {
+        // Reusing the same ParallelRdgBuffers for consecutive frames must
+        // not leak state between frames: 3 runs on the same input produce
+        // identical outputs, and the warm path performs no new allocations.
+        let src = wire_frame(96, 96);
+        let cfg = RdgConfig::default();
+        let pool = StripePool::new(3);
+        let mut bufs = ParallelRdgBuffers::new();
+        // `first` is held for comparison (not recycled), so frame 2 must
+        // allocate one more output pair; from frame 3 on the pool is warm
+        // and the allocation count stays flat.
+        let first = rdg_parallel_pooled(&pool, &src, src.full_roi(), &cfg, 3, &mut bufs);
+        let mut warm_allocs = None;
+        for frame in 1..4 {
+            let out = rdg_parallel_pooled(&pool, &src, src.full_roi(), &cfg, 3, &mut bufs);
+            assert_eq!(out.ridge_pixels, first.ridge_pixels, "frame {frame}");
+            assert_eq!(
+                out.filtered, first.filtered,
+                "frame {frame}: filtered differs"
+            );
+            assert_eq!(
+                out.ridgeness, first.ridgeness,
+                "frame {frame}: ridgeness differs"
+            );
+            bufs.recycle(out);
+            match warm_allocs {
+                None => warm_allocs = Some(bufs.allocations()),
+                Some(warm) => assert_eq!(
+                    bufs.allocations(),
+                    warm,
+                    "steady-state frame {frame} must not allocate"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn stripe_times_are_recorded() {
+        let src = wire_frame(64, 64);
+        let cfg = RdgConfig::default();
+        let pool = StripePool::new(2);
+        let mut bufs = ParallelRdgBuffers::new();
+        let out = rdg_parallel_pooled(&pool, &src, src.full_roi(), &cfg, 4, &mut bufs);
+        assert_eq!(bufs.stripe_times_ms().len(), 4);
+        assert!(bufs.stripe_times_ms().iter().all(|&t| t >= 0.0));
+        bufs.recycle(out);
+    }
+
+    #[test]
     fn parallel_rdg_pixel_count_close_to_serial() {
         let src = Image::from_fn(96, 96, |x, y| {
             let mut v = 2000.0f32;
@@ -146,7 +729,7 @@ mod tests {
             v as u16
         });
         let cfg = RdgConfig::default();
-        let serial = crate::ridge::rdg_full(&src, &cfg, &mut crate::ridge::RdgBuffers::new(96, 96));
+        let serial = rdg_full(&src, &cfg, &mut RdgBuffers::new(96, 96));
         let par = rdg_parallel(&src, src.full_roi(), &cfg, 3);
         // serial counts hysteresis-expanded (weak-threshold) pixels while
         // the assembled count uses the strong threshold only, so allow a

@@ -26,7 +26,13 @@ pub struct RigidTransform {
 impl RigidTransform {
     /// Identity transform about the origin.
     pub fn identity() -> Self {
-        Self { theta: 0.0, cx: 0.0, cy: 0.0, tx: 0.0, ty: 0.0 }
+        Self {
+            theta: 0.0,
+            cx: 0.0,
+            cy: 0.0,
+            tx: 0.0,
+            ty: 0.0,
+        }
     }
 
     /// Applies the transform to a point.
@@ -34,7 +40,10 @@ impl RigidTransform {
         let (s, c) = self.theta.sin_cos();
         let dx = x - self.cx;
         let dy = y - self.cy;
-        (c * dx - s * dy + self.cx + self.tx, s * dx + c * dy + self.cy + self.ty)
+        (
+            c * dx - s * dy + self.cx + self.tx,
+            s * dx + c * dy + self.cy + self.ty,
+        )
     }
 
     /// Applies the inverse transform to a point (for inverse warping).
@@ -69,7 +78,12 @@ pub struct RegConfig {
 
 impl Default for RegConfig {
     fn default() -> Self {
-        Self { max_motion: 40.0, max_residual: 6.0, max_temporal_diff: 220.0, probe_step: 8 }
+        Self {
+            max_motion: 40.0,
+            max_residual: 6.0,
+            max_temporal_diff: 220.0,
+            probe_step: 8,
+        }
     }
 }
 
@@ -98,7 +112,11 @@ pub fn estimate_transform(current: &Couple, reference: &Couple) -> (RigidTransfo
     // minimizes total endpoint distance.
     let direct = current.a.distance(&reference.a) + current.b.distance(&reference.b);
     let swapped = current.a.distance(&reference.b) + current.b.distance(&reference.a);
-    let (ca, cb) = if direct <= swapped { (current.a, current.b) } else { (current.b, current.a) };
+    let (ca, cb) = if direct <= swapped {
+        (current.a, current.b)
+    } else {
+        (current.b, current.a)
+    };
 
     let cur_angle = (cb.y - ca.y).atan2(cb.x - ca.x);
     let ref_angle = (reference.b.y - reference.a.y).atan2(reference.b.x - reference.a.x);
@@ -113,7 +131,13 @@ pub fn estimate_transform(current: &Couple, reference: &Couple) -> (RigidTransfo
 
     let (ccx, ccy) = ((ca.x + cb.x) * 0.5, (ca.y + cb.y) * 0.5);
     let (rcx, rcy) = reference.center();
-    let t = RigidTransform { theta, cx: ccx, cy: ccy, tx: rcx - ccx, ty: rcy - ccy };
+    let t = RigidTransform {
+        theta,
+        cx: ccx,
+        cy: ccy,
+        tx: rcx - ccx,
+        ty: rcy - ccy,
+    };
 
     // residual: how far the transformed current markers land from reference
     let (ax, ay) = t.apply(ca.x, ca.y);
@@ -166,12 +190,22 @@ pub fn register(
     cfg: &RegConfig,
 ) -> RegOutput {
     let (transform, residual) = estimate_transform(current, reference);
-    let temporal_diff =
-        temporal_difference(current_frame, reference_frame, &transform, roi, cfg.probe_step);
+    let temporal_diff = temporal_difference(
+        current_frame,
+        reference_frame,
+        &transform,
+        roi,
+        cfg.probe_step,
+    );
     let success = residual <= cfg.max_residual
         && transform.translation_magnitude() <= cfg.max_motion
         && temporal_diff <= cfg.max_temporal_diff;
-    RegOutput { transform, success, residual, temporal_diff }
+    RegOutput {
+        transform,
+        success,
+        residual,
+        temporal_diff,
+    }
 }
 
 #[cfg(test)]
@@ -181,11 +215,20 @@ mod tests {
     use crate::markers::Marker;
 
     fn mk(x: f64, y: f64) -> Marker {
-        Marker { x, y, strength: 100.0, scale: 2.0 }
+        Marker {
+            x,
+            y,
+            strength: 100.0,
+            scale: 2.0,
+        }
     }
 
     fn couple(ax: f64, ay: f64, bx: f64, by: f64) -> Couple {
-        Couple { a: mk(ax, ay), b: mk(bx, by), score: 0.0 }
+        Couple {
+            a: mk(ax, ay),
+            b: mk(bx, by),
+            score: 0.0,
+        }
     }
 
     #[test]
@@ -215,7 +258,11 @@ mod tests {
         // rotate by 90 degrees about origin
         let refc = couple(0.0, -10.0, 0.0, 10.0);
         let (t, residual) = estimate_transform(&cur, &refc);
-        assert!((t.theta.abs() - std::f64::consts::FRAC_PI_2).abs() < 1e-9, "theta {}", t.theta);
+        assert!(
+            (t.theta.abs() - std::f64::consts::FRAC_PI_2).abs() < 1e-9,
+            "theta {}",
+            t.theta
+        );
         assert!(residual < 1e-9);
     }
 
@@ -230,7 +277,13 @@ mod tests {
 
     #[test]
     fn inverse_round_trips() {
-        let t = RigidTransform { theta: 0.3, cx: 50.0, cy: 40.0, tx: 7.0, ty: -3.0 };
+        let t = RigidTransform {
+            theta: 0.3,
+            cx: 50.0,
+            cy: 40.0,
+            tx: 7.0,
+            ty: -3.0,
+        };
         let (x, y) = t.apply(12.0, 34.0);
         let (bx, by) = t.apply_inverse(x, y);
         assert!((bx - 12.0).abs() < 1e-9 && (by - 34.0).abs() < 1e-9);
@@ -248,7 +301,14 @@ mod tests {
     fn registration_succeeds_on_consistent_frames() {
         let img = Image::from_fn(64, 64, |x, y| ((x * 3 + y * 5) % 997) as u16);
         let cur = couple(20.0, 20.0, 40.0, 20.0);
-        let out = register(&img, &img, &cur, &cur, img.full_roi(), &RegConfig::default());
+        let out = register(
+            &img,
+            &img,
+            &cur,
+            &cur,
+            img.full_roi(),
+            &RegConfig::default(),
+        );
         assert!(out.success);
         assert!(out.temporal_diff < 1.0);
     }
@@ -258,7 +318,10 @@ mod tests {
         let img = Image::from_fn(64, 64, |x, y| ((x + y) % 100) as u16);
         let cur = couple(0.0, 0.0, 20.0, 0.0);
         let refc = couple(100.0, 100.0, 120.0, 100.0);
-        let cfg = RegConfig { max_motion: 10.0, ..Default::default() };
+        let cfg = RegConfig {
+            max_motion: 10.0,
+            ..Default::default()
+        };
         let out = register(&img, &img, &cur, &refc, img.full_roi(), &cfg);
         assert!(!out.success);
     }
@@ -268,7 +331,10 @@ mod tests {
         let a = Image::from_fn(64, 64, |_, _| 0u16);
         let b = Image::from_fn(64, 64, |_, _| 4000u16);
         let cur = couple(20.0, 20.0, 40.0, 20.0);
-        let cfg = RegConfig { max_temporal_diff: 100.0, ..Default::default() };
+        let cfg = RegConfig {
+            max_temporal_diff: 100.0,
+            ..Default::default()
+        };
         let out = register(&a, &b, &cur, &cur, a.full_roi(), &cfg);
         assert!(!out.success);
         assert!(out.temporal_diff > 1000.0);

@@ -76,6 +76,19 @@ pub struct RdgBuffers {
     scratch: HessianScratch,
     /// C: the multi-scale ridge-response accumulator.
     acc: ImageF32,
+    /// Generation-stamped visited mask of the tracing pass: a pixel counts
+    /// as visited when its stamp equals `visit_gen`, so clearing between
+    /// frames is a counter bump instead of a full rewrite.
+    visited: Vec<u32>,
+    visit_gen: u32,
+    /// Reusable flood-fill work stack of the tracing pass.
+    trace_stack: Vec<(usize, usize)>,
+    /// Recycled output images (see [`RdgBuffers::recycle`]).
+    u16_pool: Vec<ImageU16>,
+    f32_pool: Vec<ImageF32>,
+    /// Image allocations performed by the output pool; stays constant once
+    /// the pool is warm (asserted by tests).
+    allocations: usize,
 }
 
 impl RdgBuffers {
@@ -90,10 +103,17 @@ impl RdgBuffers {
             },
             scratch: HessianScratch::new(width, height),
             acc: ImageF32::new(width, height),
+            visited: vec![0; width * height],
+            visit_gen: 0,
+            trace_stack: Vec::new(),
+            u16_pool: Vec::new(),
+            f32_pool: Vec::new(),
+            allocations: 0,
         }
     }
 
-    /// Total intermediate storage in bytes (Table 1 accounting).
+    /// Total intermediate storage in bytes (Table 1 accounting), including
+    /// any recycled output images currently parked in the pool.
     pub fn byte_size(&self) -> usize {
         self.src_f32.byte_size()
             + self.hessian.ixx.byte_size()
@@ -101,10 +121,58 @@ impl RdgBuffers {
             + self.hessian.ixy.byte_size()
             + self.scratch.byte_size()
             + self.acc.byte_size()
+            + self.visited.len() * std::mem::size_of::<u32>()
+            + self.u16_pool.iter().map(|i| i.byte_size()).sum::<usize>()
+            + self.f32_pool.iter().map(|i| i.byte_size()).sum::<usize>()
+    }
+
+    /// Returns a finished output's images for reuse by the next frame: the
+    /// steady-state sequence path performs zero per-frame heap allocation.
+    pub fn recycle(&mut self, out: RdgOutput) {
+        if self.u16_pool.len() < 2 {
+            self.u16_pool.push(out.filtered);
+        }
+        if self.f32_pool.len() < 2 {
+            self.f32_pool.push(out.ridgeness);
+        }
+    }
+
+    /// Number of output-image allocations performed so far; a warmed-up
+    /// buffer set stops allocating (asserted by tests).
+    pub fn allocations(&self) -> usize {
+        self.allocations
     }
 
     fn dims(&self) -> (usize, usize) {
         self.src_f32.dims()
+    }
+
+    /// A pooled copy of `src` for the filtered output.
+    fn take_filtered(&mut self, src: &ImageU16) -> ImageU16 {
+        match self.u16_pool.pop() {
+            Some(mut img) if img.dims() == src.dims() => {
+                img.copy_from(src);
+                img
+            }
+            _ => {
+                self.allocations += 1;
+                src.clone()
+            }
+        }
+    }
+
+    /// A pooled zeroed ridgeness image.
+    fn take_ridgeness(&mut self, width: usize, height: usize) -> ImageF32 {
+        match self.f32_pool.pop() {
+            Some(mut img) if img.dims() == (width, height) => {
+                img.fill(0.0);
+                img
+            }
+            _ => {
+                self.allocations += 1;
+                ImageF32::new(width, height)
+            }
+        }
     }
 }
 
@@ -136,7 +204,11 @@ pub fn rdg_full(src: &ImageU16, cfg: &RdgConfig, bufs: &mut RdgBuffers) -> RdgOu
 /// Runs ridge detection restricted to `roi`. Pixels outside the ROI pass
 /// through unfiltered with zero ridgeness.
 pub fn rdg_roi(src: &ImageU16, roi: Roi, cfg: &RdgConfig, bufs: &mut RdgBuffers) -> RdgOutput {
-    assert_eq!(src.dims(), bufs.dims(), "buffer geometry must match the frame");
+    assert_eq!(
+        src.dims(),
+        bufs.dims(),
+        "buffer geometry must match the frame"
+    );
     assert!(!cfg.scales.is_empty(), "at least one scale required");
     let roi = roi.clamp_to(src.width(), src.height());
 
@@ -144,7 +216,11 @@ pub fn rdg_roi(src: &ImageU16, roi: Roi, cfg: &RdgConfig, bufs: &mut RdgBuffers)
     let active_scales: Vec<f32> = cfg
         .scales
         .iter()
-        .chain(if cfg.fine_enabled { cfg.fine_scales.iter() } else { [].iter() })
+        .chain(if cfg.fine_enabled {
+            cfg.fine_scales.iter()
+        } else {
+            [].iter()
+        })
         .copied()
         .collect();
     let halo = active_scales
@@ -166,7 +242,13 @@ pub fn rdg_roi(src: &ImageU16, roi: Roi, cfg: &RdgConfig, bufs: &mut RdgBuffers)
         bufs.acc.row_mut(y)[roi.x..roi.right()].fill(0.0);
     }
     for &sigma in &active_scales {
-        hessian_at_scale(&bufs.src_f32, &mut bufs.hessian, &mut bufs.scratch, roi, sigma);
+        hessian_at_scale(
+            &bufs.src_f32,
+            &mut bufs.hessian,
+            &mut bufs.scratch,
+            roi,
+            sigma,
+        );
         accumulate_max_response(&bufs.hessian, &mut bufs.acc, roi, ridge_response);
     }
 
@@ -176,11 +258,25 @@ pub fn rdg_roi(src: &ImageU16, roi: Roi, cfg: &RdgConfig, bufs: &mut RdgBuffers)
     let (mean, std) = response_stats(&bufs.acc, roi);
     let weak_threshold = (mean + cfg.weak_factor * std).max(cfg.response_floor);
     let threshold = (mean + cfg.threshold_factor * std).max(weak_threshold);
-    let (ridge_pixels, segments) =
-        trace_segments(&bufs.acc, roi, threshold, weak_threshold);
+    // Bump the visited generation (clearing the mask only on counter wrap),
+    // so the tracing pass needs no per-frame mask allocation or reset.
+    bufs.visit_gen = bufs.visit_gen.wrapping_add(1);
+    if bufs.visit_gen == 0 {
+        bufs.visited.fill(0);
+        bufs.visit_gen = 1;
+    }
+    let (ridge_pixels, segments) = trace_segments(
+        &bufs.acc,
+        roi,
+        threshold,
+        weak_threshold,
+        &mut bufs.visited,
+        bufs.visit_gen,
+        &mut bufs.trace_stack,
+    );
 
-    let mut filtered = src.clone();
-    let mut ridgeness = ImageF32::new(src.width(), src.height());
+    let mut filtered = bufs.take_filtered(src);
+    let mut ridgeness = bufs.take_ridgeness(src.width(), src.height());
     for y in roi.y..roi.bottom() {
         let acc_row = bufs.acc.row(y);
         let out_row = filtered.row_mut(y);
@@ -196,7 +292,12 @@ pub fn rdg_roi(src: &ImageU16, roi: Roi, cfg: &RdgConfig, bufs: &mut RdgBuffers)
         }
     }
 
-    RdgOutput { filtered, ridgeness, ridge_pixels, segments }
+    RdgOutput {
+        filtered,
+        ridgeness,
+        ridge_pixels,
+        segments,
+    }
 }
 
 /// Mean and standard deviation of the response inside `roi`.
@@ -282,22 +383,31 @@ fn local_coherence(acc: &ImageF32, cx: usize, cy: usize, half_window: isize) -> 
 /// wires costs far more than a quiet frame, which is the "structural
 /// fluctuation caused by the dependency of the processing time on the video
 /// content" that the paper's EWMA + Markov decomposition targets.
-fn trace_segments(acc: &ImageF32, roi: Roi, threshold: f32, weak: f32) -> (usize, usize) {
+fn trace_segments(
+    acc: &ImageF32,
+    roi: Roi,
+    threshold: f32,
+    weak: f32,
+    visited: &mut [u32],
+    gen: u32,
+    stack: &mut Vec<(usize, usize)>,
+) -> (usize, usize) {
     let weak = weak.min(threshold);
     let (w, h) = acc.dims();
-    let mut visited = vec![false; w * h];
+    debug_assert_eq!(visited.len(), w * h);
+    let _ = h;
     let mut ridge_pixels = 0usize;
     let mut segments = 0usize;
-    let mut stack: Vec<(usize, usize)> = Vec::new();
+    stack.clear();
     let mut coherence = 0.0f32;
     for y in roi.y..roi.bottom() {
         for x in roi.x..roi.right() {
-            if visited[y * w + x] || acc.get(x, y) <= threshold {
+            if visited[y * w + x] == gen || acc.get(x, y) <= threshold {
                 continue;
             }
             segments += 1;
             stack.push((x, y));
-            visited[y * w + x] = true;
+            visited[y * w + x] = gen;
             while let Some((cx, cy)) = stack.pop() {
                 ridge_pixels += 1;
                 coherence += local_coherence(acc, cx, cy, 4);
@@ -317,8 +427,8 @@ fn trace_segments(acc: &ImageF32, roi: Roi, threshold: f32, weak: f32) -> (usize
                             continue;
                         }
                         let (nx, ny) = (nx as usize, ny as usize);
-                        if !visited[ny * w + nx] && acc.get(nx, ny) > weak {
-                            visited[ny * w + nx] = true;
+                        if visited[ny * w + nx] != gen && acc.get(nx, ny) > weak {
+                            visited[ny * w + nx] = gen;
                             stack.push((nx, ny));
                         }
                     }
@@ -376,7 +486,11 @@ pub fn rdg_stripe(src: &ImageU16, stripe: Roi, cfg: &RdgConfig) -> (Roi, ImageU1
     let halo = cfg
         .scales
         .iter()
-        .chain(if cfg.fine_enabled { cfg.fine_scales.iter() } else { [].iter() })
+        .chain(if cfg.fine_enabled {
+            cfg.fine_scales.iter()
+        } else {
+            [].iter()
+        })
         .map(|&s| (3.0 * s).ceil() as usize)
         .max()
         .unwrap_or(0);
@@ -384,7 +498,12 @@ pub fn rdg_stripe(src: &ImageU16, stripe: Roi, cfg: &RdgConfig) -> (Roi, ImageU1
     let sub = src.crop(ext);
     let mut bufs = RdgBuffers::new(sub.width(), sub.height());
     // The stripe's position inside the cropped sub-image.
-    let local = Roi::new(stripe.x - ext.x, stripe.y - ext.y, stripe.width, stripe.height);
+    let local = Roi::new(
+        stripe.x - ext.x,
+        stripe.y - ext.y,
+        stripe.width,
+        stripe.height,
+    );
     let out = rdg_roi(&sub, local, cfg, &mut bufs);
     (stripe, out.filtered.crop(local), out.ridgeness.crop(local))
 }
@@ -411,7 +530,12 @@ pub fn assemble_stripes(
             }
         }
     }
-    RdgOutput { filtered, ridgeness, ridge_pixels, segments: 0 }
+    RdgOutput {
+        filtered,
+        ridgeness,
+        ridge_pixels,
+        segments: 0,
+    }
 }
 
 #[cfg(test)]
@@ -427,7 +551,10 @@ mod tests {
             let d = (x as f32 - y as f32).abs() / 1.5;
             v -= 900.0 * (-d * d / 2.0).exp();
             // two blobs
-            for &(cx, cy) in &[(w as f32 * 0.25, h as f32 * 0.75), (w as f32 * 0.75, h as f32 * 0.25)] {
+            for &(cx, cy) in &[
+                (w as f32 * 0.25, h as f32 * 0.75),
+                (w as f32 * 0.75, h as f32 * 0.25),
+            ] {
                 let dx = x as f32 - cx;
                 let dy = y as f32 - cy;
                 v -= 1100.0 * (-(dx * dx + dy * dy) / 8.0).exp();
@@ -447,7 +574,12 @@ mod tests {
         // the wire center must be brightened (suppressed)
         let before = src.get(32, 32);
         let after = out.filtered.get(32, 32);
-        assert!(after > before, "wire not suppressed: {} -> {}", before, after);
+        assert!(
+            after > before,
+            "wire not suppressed: {} -> {}",
+            before,
+            after
+        );
     }
 
     #[test]
@@ -458,14 +590,24 @@ mod tests {
         let before = src.get(bx, by) as i64;
         let after = out.filtered.get(bx, by) as i64;
         // blob brightening must stay small relative to its depth (~1100)
-        assert!((after - before).abs() < 550, "blob altered too much: {} -> {}", before, after);
+        assert!(
+            (after - before).abs() < 550,
+            "blob altered too much: {} -> {}",
+            before,
+            after
+        );
     }
 
     #[test]
     fn rdg_roi_leaves_outside_untouched() {
         let src = test_frame(64, 64);
         let roi = Roi::new(16, 16, 32, 32);
-        let out = rdg_roi(&src, roi, &RdgConfig::default(), &mut RdgBuffers::new(64, 64));
+        let out = rdg_roi(
+            &src,
+            roi,
+            &RdgConfig::default(),
+            &mut RdgBuffers::new(64, 64),
+        );
         assert_eq!(out.filtered.get(0, 0), src.get(0, 0));
         assert_eq!(out.ridgeness.get(0, 0), 0.0);
         assert_eq!(out.filtered.get(63, 63), src.get(63, 63));
@@ -523,6 +665,32 @@ mod tests {
     }
 
     #[test]
+    fn warm_buffers_do_not_allocate_per_frame() {
+        // The output pool must make the steady-state RDG path allocation
+        // free: after the first frame warms the pool, the image-allocation
+        // count stays constant no matter how many frames run.
+        let src = test_frame(64, 64);
+        let cfg = RdgConfig::default();
+        let mut bufs = RdgBuffers::new(64, 64);
+        let first = rdg_full(&src, &cfg, &mut bufs);
+        bufs.recycle(first);
+        let warm = bufs.allocations();
+        assert_eq!(
+            warm, 2,
+            "first frame allocates exactly filtered + ridgeness"
+        );
+        for _ in 0..3 {
+            let out = rdg_full(&src, &cfg, &mut bufs);
+            bufs.recycle(out);
+        }
+        assert_eq!(
+            bufs.allocations(),
+            warm,
+            "steady-state frames must not allocate"
+        );
+    }
+
+    #[test]
     fn buffer_accounting_scales_with_geometry() {
         let small = RdgBuffers::new(64, 64).byte_size();
         let large = RdgBuffers::new(128, 128).byte_size();
@@ -548,6 +716,11 @@ mod tests {
         let cfg = RdgConfig::default();
         let q = rdg_full(&quiet, &cfg, &mut RdgBuffers::new(64, 64));
         let b = rdg_full(&busy, &cfg, &mut RdgBuffers::new(64, 64));
-        assert!(b.ridge_pixels > q.ridge_pixels, "busy {} quiet {}", b.ridge_pixels, q.ridge_pixels);
+        assert!(
+            b.ridge_pixels > q.ridge_pixels,
+            "busy {} quiet {}",
+            b.ridge_pixels,
+            q.ridge_pixels
+        );
     }
 }

@@ -69,8 +69,18 @@ mod tests {
 
     fn couple(ax: f64, ay: f64, bx: f64, by: f64) -> Couple {
         Couple {
-            a: Marker { x: ax, y: ay, strength: 1.0, scale: 2.0 },
-            b: Marker { x: bx, y: by, strength: 1.0, scale: 2.0 },
+            a: Marker {
+                x: ax,
+                y: ay,
+                strength: 1.0,
+                scale: 2.0,
+            },
+            b: Marker {
+                x: bx,
+                y: by,
+                strength: 1.0,
+                scale: 2.0,
+            },
             score: 0.0,
         }
     }
@@ -121,7 +131,11 @@ mod tests {
 
     #[test]
     fn roi_respects_min_and_max_size() {
-        let cfg = RoiEstConfig { min_size: 100, max_size: 120, ..Default::default() };
+        let cfg = RoiEstConfig {
+            min_size: 100,
+            max_size: 120,
+            ..Default::default()
+        };
         let tiny = estimate_roi(&couple(256.0, 256.0, 258.0, 256.0), 0.0, 512, 512, &cfg);
         assert!(tiny.width >= 100, "width {}", tiny.width);
         let huge = estimate_roi(&couple(100.0, 256.0, 400.0, 256.0), 50.0, 512, 512, &cfg);

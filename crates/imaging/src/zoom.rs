@@ -30,7 +30,11 @@ pub struct ZoomConfig {
 
 impl Default for ZoomConfig {
     fn default() -> Self {
-        Self { out_width: 512, out_height: 512, filter: ZoomFilter::Bilinear }
+        Self {
+            out_width: 512,
+            out_height: 512,
+            filter: ZoomFilter::Bilinear,
+        }
     }
 }
 
@@ -66,7 +70,11 @@ pub fn zoom_band(
     y0: usize,
     y1: usize,
 ) {
-    assert_eq!(out.dims(), (cfg.out_width, cfg.out_height), "output geometry mismatch");
+    assert_eq!(
+        out.dims(),
+        (cfg.out_width, cfg.out_height),
+        "output geometry mismatch"
+    );
     let roi = roi.clamp_to(src.width(), src.height());
     if roi.is_empty() || cfg.out_width == 0 || cfg.out_height == 0 {
         return;
@@ -119,7 +127,11 @@ mod tests {
     #[test]
     fn identity_zoom_copies() {
         let src = Image::from_fn(16, 16, |x, y| (x * 16 + y) as u16);
-        let cfg = ZoomConfig { out_width: 16, out_height: 16, filter: ZoomFilter::Bilinear };
+        let cfg = ZoomConfig {
+            out_width: 16,
+            out_height: 16,
+            filter: ZoomFilter::Bilinear,
+        };
         let out = zoom(&src, src.full_roi(), &cfg);
         for y in 0..16 {
             for x in 0..16 {
@@ -132,12 +144,20 @@ mod tests {
     fn constant_region_stays_constant() {
         let src = ImageU16::filled(32, 32, 1234);
         for filter in [ZoomFilter::Bilinear, ZoomFilter::Bicubic] {
-            let cfg = ZoomConfig { out_width: 64, out_height: 64, filter };
+            let cfg = ZoomConfig {
+                out_width: 64,
+                out_height: 64,
+                filter,
+            };
             let out = zoom(&src, Roi::new(4, 4, 16, 16), &cfg);
             for y in 0..64 {
                 for x in 0..64 {
                     let v = out.get(x, y);
-                    assert!((v as i32 - 1234).abs() <= 1, "({x},{y}) = {v} with {:?}", filter);
+                    assert!(
+                        (v as i32 - 1234).abs() <= 1,
+                        "({x},{y}) = {v} with {:?}",
+                        filter
+                    );
                 }
             }
         }
@@ -146,11 +166,18 @@ mod tests {
     #[test]
     fn upscale_preserves_gradient_direction() {
         let src = Image::from_fn(16, 16, |x, _| (x * 100) as u16);
-        let cfg = ZoomConfig { out_width: 64, out_height: 64, filter: ZoomFilter::Bilinear };
+        let cfg = ZoomConfig {
+            out_width: 64,
+            out_height: 64,
+            filter: ZoomFilter::Bilinear,
+        };
         let out = zoom(&src, src.full_roi(), &cfg);
         for y in 0..64 {
             for x in 1..64 {
-                assert!(out.get(x, y) >= out.get(x - 1, y), "not monotone at ({x},{y})");
+                assert!(
+                    out.get(x, y) >= out.get(x - 1, y),
+                    "not monotone at ({x},{y})"
+                );
             }
         }
     }
@@ -161,7 +188,11 @@ mod tests {
         // range must be at least as wide as bilinear's
         let src = Image::from_fn(16, 16, |x, _| if x < 8 { 100u16 } else { 2000 });
         let mk = |filter| {
-            let cfg = ZoomConfig { out_width: 64, out_height: 16, filter };
+            let cfg = ZoomConfig {
+                out_width: 64,
+                out_height: 16,
+                filter,
+            };
             zoom(&src, src.full_roi(), &cfg)
         };
         let (lin_lo, lin_hi) = mk(ZoomFilter::Bilinear).min_max();
@@ -173,7 +204,11 @@ mod tests {
     #[test]
     fn empty_roi_yields_black() {
         let src = ImageU16::filled(8, 8, 500);
-        let cfg = ZoomConfig { out_width: 4, out_height: 4, filter: ZoomFilter::Bilinear };
+        let cfg = ZoomConfig {
+            out_width: 4,
+            out_height: 4,
+            filter: ZoomFilter::Bilinear,
+        };
         let out = zoom(&src, Roi::new(0, 0, 0, 0), &cfg);
         assert_eq!(out.min_max(), (0, 0));
     }

@@ -2,9 +2,10 @@
 
 use imaging::couples::{Couple, CplsConfig};
 use imaging::enhance::{EnhConfig, EnhState};
-use imaging::guidewire::GwConfig;
+use imaging::guidewire::{GwConfig, GwScratch};
 use imaging::image::{ImageU16, Roi};
 use imaging::markers::{MkxBuffers, MkxConfig};
+use imaging::parallel::ParallelRdgBuffers;
 use imaging::registration::RegConfig;
 use imaging::ridge::{RdgBuffers, RdgConfig};
 use imaging::roi_est::RoiEstConfig;
@@ -97,10 +98,22 @@ pub fn structure_probe(frame: &ImageU16, block: usize) -> f64 {
 pub struct AppState {
     /// RDG working buffers (frame-sized, reused).
     pub rdg_bufs: RdgBuffers,
+    /// Striped-RDG buffers (per-stripe scratch + recycled outputs) of the
+    /// main detection pass.
+    pub par_rdg: ParallelRdgBuffers,
+    /// Striped-RDG buffers of the guide-wire verification pass (kept
+    /// separate: its ROI geometry differs from the detection pass, and
+    /// sharing one set would reallocate the stripe scratch every frame).
+    pub par_gw: ParallelRdgBuffers,
     /// MKX working buffers.
     pub mkx_bufs: MkxBuffers,
     /// Temporal-integration state of ENH.
     pub enh_state: EnhState,
+    /// Guide-wire DP scratch, reused across frames.
+    pub gw_scratch: GwScratch,
+    /// Reusable ENH readout image (re-created only when the ROI geometry
+    /// changes).
+    pub enh_view: Option<ImageU16>,
     /// Reference frame for registration (set on couple acquisition).
     pub reference_frame: Option<ImageU16>,
     /// Reference marker couple.
@@ -123,8 +136,12 @@ impl AppState {
     pub fn new(width: usize, height: usize) -> Self {
         Self {
             rdg_bufs: RdgBuffers::new(width, height),
+            par_rdg: ParallelRdgBuffers::new(),
+            par_gw: ParallelRdgBuffers::new(),
             mkx_bufs: MkxBuffers::new(width, height),
             enh_state: EnhState::new(width, height),
+            gw_scratch: GwScratch::new(),
+            enh_view: None,
             reference_frame: None,
             reference_couple: None,
             prev_couple: None,

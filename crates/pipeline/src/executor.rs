@@ -10,11 +10,12 @@
 use crate::app::{structure_probe, AppConfig, AppState};
 use imaging::couples::cpls_select;
 
-use imaging::guidewire::gw_extract;
+use imaging::guidewire::gw_extract_with;
 use imaging::image::{ImageU16, Roi};
 use imaging::markers::mkx_extract;
+use imaging::parallel::{rdg_parallel_pooled, StripePool};
 use imaging::registration::register;
-use imaging::ridge::{rdg_roi, rdg_stripe, RdgOutput};
+use imaging::ridge::{rdg_roi, RdgOutput};
 use imaging::roi_est::estimate_roi;
 use imaging::zoom::zoom_band;
 use platform::profile::time_ms;
@@ -36,7 +37,11 @@ pub struct ExecutionPolicy {
 
 impl Default for ExecutionPolicy {
     fn default() -> Self {
-        Self { rdg_stripes: 1, aux_stripes: 1, cores: 8 }
+        Self {
+            rdg_stripes: 1,
+            aux_stripes: 1,
+            cores: 8,
+        }
     }
 }
 
@@ -96,6 +101,7 @@ pub fn process_frame(
     let roi_kpixels = work_roi.area() as f64 / 1000.0;
 
     // --- RDG ------------------------------------------------------------
+    let rdg_striped = rdg_active && policy.rdg_stripes.max(1) > 1;
     let rdg_out: Option<RdgOutput> = if rdg_active {
         let task: &'static str = if roi_estimated { "RDG_ROI" } else { "RDG_FULL" };
         let stripes = policy.rdg_stripes.max(1);
@@ -105,21 +111,29 @@ pub fn process_frame(
             schedule.serial(0, ms);
             Some(out)
         } else {
-            // striped: measure each stripe's work, schedule them in
-            // parallel on distinct cores, then assemble
-            let mut parts = Vec::with_capacity(stripes);
+            // striped: dispatch to the persistent worker pool, then
+            // schedule the per-stripe worker times measured inside the
+            // pool on distinct cores
+            let out = rdg_parallel_pooled(
+                StripePool::global(),
+                frame,
+                work_roi,
+                &rdg_cfg,
+                stripes,
+                &mut state.par_rdg,
+            );
             let mut jobs = Vec::with_capacity(stripes);
             let mut serial_ms = 0.0;
-            for (i, stripe) in work_roi.stripes(stripes).into_iter().enumerate() {
-                let (part, ms) = time_ms(|| rdg_stripe(frame, stripe, &rdg_cfg));
+            for (i, &ms) in state.par_rdg.stripe_times_ms().iter().enumerate() {
                 serial_ms += ms;
-                jobs.push(VirtualJob { core: i, duration_ms: ms });
-                parts.push(part);
+                jobs.push(VirtualJob {
+                    core: i,
+                    duration_ms: ms,
+                });
             }
             task_times.push((task, serial_ms));
             schedule.stage(&jobs);
-            let threshold = 0.0; // pixel counting not used on this path
-            Some(imaging::ridge::assemble_stripes(frame, parts, threshold))
+            Some(out)
         }
     } else {
         None
@@ -141,12 +155,15 @@ pub fn process_frame(
     // --- REG ---------------------------------------------------------------
     let mut reg_successful = false;
     let mut transform = imaging::registration::RigidTransform::identity();
-    let (reg_result, ms) = time_ms(|| {
-        match (&couple, &state.reference_couple, &state.reference_frame) {
-            (Some(c), Some(rc), Some(rf)) => Some(register(frame, rf, c, rc, work_roi, &cfg.reg)),
-            _ => None,
-        }
-    });
+    let (reg_result, ms) =
+        time_ms(
+            || match (&couple, &state.reference_couple, &state.reference_frame) {
+                (Some(c), Some(rc), Some(rf)) => {
+                    Some(register(frame, rf, c, rc, work_roi, &cfg.reg))
+                }
+                _ => None,
+            },
+        );
     task_times.push(("REG", ms));
     schedule.serial(0, ms);
     match reg_result {
@@ -189,25 +206,39 @@ pub fn process_frame(
             // DP path search.
             let gw_stripes = policy.aux_stripes.max(1);
             let mut gw_serial_ms = 0.0;
-            let ridgeness = if gw_stripes == 1 {
-                let (out, ms) =
-                    time_ms(|| rdg_roi(frame, roi, &cfg.rdg, &mut state.rdg_bufs).ridgeness);
+            let gw_striped = gw_stripes > 1;
+            let gw_rdg = if !gw_striped {
+                let (out, ms) = time_ms(|| rdg_roi(frame, roi, &cfg.rdg, &mut state.rdg_bufs));
                 gw_serial_ms += ms;
                 schedule.serial(0, ms);
                 out
             } else {
-                let mut parts = Vec::with_capacity(gw_stripes);
+                let out = rdg_parallel_pooled(
+                    StripePool::global(),
+                    frame,
+                    roi,
+                    &cfg.rdg,
+                    gw_stripes,
+                    &mut state.par_gw,
+                );
                 let mut jobs = Vec::with_capacity(gw_stripes);
-                for (i, stripe) in roi.stripes(gw_stripes).into_iter().enumerate() {
-                    let (part, ms) = time_ms(|| rdg_stripe(frame, stripe, &cfg.rdg));
+                for (i, &ms) in state.par_gw.stripe_times_ms().iter().enumerate() {
                     gw_serial_ms += ms;
-                    jobs.push(VirtualJob { core: i, duration_ms: ms });
-                    parts.push(part);
+                    jobs.push(VirtualJob {
+                        core: i,
+                        duration_ms: ms,
+                    });
                 }
                 schedule.stage(&jobs);
-                imaging::ridge::assemble_stripes(frame, parts, 0.0).ridgeness
+                out
             };
-            let (gw, ms) = time_ms(|| gw_extract(&ridgeness, c, &cfg.gw));
+            let (gw, ms) =
+                time_ms(|| gw_extract_with(&gw_rdg.ridgeness, c, &cfg.gw, &mut state.gw_scratch));
+            if gw_striped {
+                state.par_gw.recycle(gw_rdg);
+            } else {
+                state.rdg_bufs.recycle(gw_rdg);
+            }
             gw_serial_ms += ms;
             schedule.serial(0, ms);
             task_times.push(("GW_EXT", gw_serial_ms));
@@ -226,7 +257,8 @@ pub fn process_frame(
     if reg_successful {
         let enh_roi = next_roi
             .or(state.current_roi)
-            .unwrap_or_else(|| frame.full_roi());
+            .unwrap_or_else(|| frame.full_roi())
+            .clamp_to(w, h);
         let stripes = policy.aux_stripes.max(1);
 
         // ENH: the accumulation is data-partitionable over disjoint rows;
@@ -234,22 +266,41 @@ pub fn process_frame(
         let weight = state.enh_state.next_weight(&cfg.enh);
         let mut enh_serial_ms = 0.0;
         if stripes == 1 {
-            let (_, ms) =
-                time_ms(|| state.enh_state.accumulate(frame, &transform, enh_roi, weight));
+            let (_, ms) = time_ms(|| {
+                state
+                    .enh_state
+                    .accumulate(frame, &transform, enh_roi, weight)
+            });
             enh_serial_ms += ms;
             schedule.serial(0, ms);
         } else {
             let mut jobs = Vec::with_capacity(stripes);
             for (i, stripe) in enh_roi.stripes(stripes).into_iter().enumerate() {
-                let (_, ms) =
-                    time_ms(|| state.enh_state.accumulate(frame, &transform, stripe, weight));
+                let (_, ms) = time_ms(|| {
+                    state
+                        .enh_state
+                        .accumulate(frame, &transform, stripe, weight)
+                });
                 enh_serial_ms += ms;
-                jobs.push(VirtualJob { core: i, duration_ms: ms });
+                jobs.push(VirtualJob {
+                    core: i,
+                    duration_ms: ms,
+                });
             }
             schedule.stage(&jobs);
         }
         state.enh_state.commit();
-        let (enhanced, ms) = time_ms(|| state.enh_state.readout(enh_roi, cfg.enh.gain));
+        // pooled readout buffer: re-created only when the ROI geometry
+        // changes, so steady-state tracking frames allocate nothing here
+        let mut enhanced = match state.enh_view.take() {
+            Some(img) if img.dims() == (enh_roi.width, enh_roi.height) => img,
+            _ => ImageU16::new(enh_roi.width, enh_roi.height),
+        };
+        let (_, ms) = time_ms(|| {
+            state
+                .enh_state
+                .readout_into(enh_roi, cfg.enh.gain, &mut enhanced)
+        });
         enh_serial_ms += ms;
         schedule.serial(0, ms);
         task_times.push(("ENH", enh_serial_ms));
@@ -260,7 +311,14 @@ pub fn process_frame(
         let mut zoom_serial_ms = 0.0;
         if stripes == 1 {
             let (_, ms) = time_ms(|| {
-                zoom_band(&enhanced, src_roi, &cfg.zoom, &mut out_img, 0, cfg.zoom.out_height)
+                zoom_band(
+                    &enhanced,
+                    src_roi,
+                    &cfg.zoom,
+                    &mut out_img,
+                    0,
+                    cfg.zoom.out_height,
+                )
             });
             zoom_serial_ms += ms;
             schedule.serial(0, ms);
@@ -276,15 +334,28 @@ pub fn process_frame(
                 let (_, ms) =
                     time_ms(|| zoom_band(&enhanced, src_roi, &cfg.zoom, &mut out_img, y0, y1));
                 zoom_serial_ms += ms;
-                jobs.push(VirtualJob { core: i, duration_ms: ms });
+                jobs.push(VirtualJob {
+                    core: i,
+                    duration_ms: ms,
+                });
             }
             schedule.stage(&jobs);
         }
         task_times.push(("ZOOM", zoom_serial_ms));
+        state.enh_view = Some(enhanced);
         display = Some(out_img);
     }
 
     // --- bookkeeping -----------------------------------------------------
+    // Return the RDG output images to the pool they came from, so the next
+    // frame's detection pass runs allocation free.
+    if let Some(out) = rdg_out {
+        if rdg_striped {
+            state.par_rdg.recycle(out);
+        } else {
+            state.rdg_bufs.recycle(out);
+        }
+    }
     state.prev_couple = couple;
     if couple.is_none() || state.reg_failures > cfg.max_reg_failures {
         state.lose_tracking();
@@ -292,10 +363,19 @@ pub fn process_frame(
         state.current_roi = next_roi;
     }
 
-    let scenario = Scenario { rdg_active, roi_estimated, reg_successful };
+    let scenario = Scenario {
+        rdg_active,
+        roi_estimated,
+        reg_successful,
+    };
     let latency_ms = schedule.now();
     FrameOutput {
-        record: FrameRecord { frame: frame_index, scenario: scenario.id(), task_times, latency_ms },
+        record: FrameRecord {
+            frame: frame_index,
+            scenario: scenario.id(),
+            task_times,
+            latency_ms,
+        },
         scenario,
         roi: state.current_roi,
         roi_kpixels,
@@ -315,7 +395,10 @@ mod tests {
             height: 160,
             frames,
             seed,
-            noise: NoiseConfig { quantum_scale: 0.3, electronic_std: 2.0 },
+            noise: NoiseConfig {
+                quantum_scale: 0.3,
+                electronic_std: 2.0,
+            },
             ..Default::default()
         })
     }
@@ -345,7 +428,10 @@ mod tests {
         let outs = run(12, 43, ExecutionPolicy::default());
         let successes = outs.iter().filter(|o| o.scenario.reg_successful).count();
         assert!(successes >= 3, "registration succeeded {successes} times");
-        assert!(outs.iter().any(|o| o.display.is_some()), "no display output");
+        assert!(
+            outs.iter().any(|o| o.display.is_some()),
+            "no display output"
+        );
     }
 
     #[test]
@@ -364,9 +450,14 @@ mod tests {
         let outs = run(12, 45, ExecutionPolicy::default());
         for o in &outs {
             let s = o.scenario;
-            assert_eq!(o.record.task_time("ENH").is_some(), s.reg_successful, "frame {}", o.record.frame);
-            let ran_rdg = o.record.task_time("RDG_FULL").is_some()
-                || o.record.task_time("RDG_ROI").is_some();
+            assert_eq!(
+                o.record.task_time("ENH").is_some(),
+                s.reg_successful,
+                "frame {}",
+                o.record.frame
+            );
+            let ran_rdg =
+                o.record.task_time("RDG_FULL").is_some() || o.record.task_time("RDG_ROI").is_some();
             assert_eq!(ran_rdg, s.rdg_active, "frame {}", o.record.frame);
         }
     }
@@ -391,8 +482,24 @@ mod tests {
 
     #[test]
     fn striped_rdg_lowers_effective_latency() {
-        let serial = run(8, 47, ExecutionPolicy { rdg_stripes: 1, aux_stripes: 1, cores: 8 });
-        let striped = run(8, 47, ExecutionPolicy { rdg_stripes: 4, aux_stripes: 4, cores: 8 });
+        let serial = run(
+            8,
+            47,
+            ExecutionPolicy {
+                rdg_stripes: 1,
+                aux_stripes: 1,
+                cores: 8,
+            },
+        );
+        let striped = run(
+            8,
+            47,
+            ExecutionPolicy {
+                rdg_stripes: 4,
+                aux_stripes: 4,
+                cores: 8,
+            },
+        );
         // compare frames where full-frame RDG ran in both runs
         let mut pairs = 0;
         let mut faster = 0;
@@ -414,7 +521,15 @@ mod tests {
 
     #[test]
     fn latency_at_most_sum_of_task_times_plus_overhead() {
-        for o in run(6, 48, ExecutionPolicy { rdg_stripes: 2, aux_stripes: 2, cores: 8 }) {
+        for o in run(
+            6,
+            48,
+            ExecutionPolicy {
+                rdg_stripes: 2,
+                aux_stripes: 2,
+                cores: 8,
+            },
+        ) {
             let serial_sum = o.record.total_task_time();
             assert!(
                 o.record.latency_ms <= serial_sum + 1.0,

@@ -49,23 +49,91 @@ pub fn flow_graph() -> Vec<GraphEdge> {
     use Node::*;
     use SwitchKind::*;
     vec![
-        GraphEdge { from: Input, to: Switch(RdgDetection), conditions: vec![] },
-        GraphEdge { from: Switch(RdgDetection), to: Task("RDG_FULL"), conditions: vec![(RdgDetection, true), (RoiEstimated, false)] },
-        GraphEdge { from: Switch(RdgDetection), to: Task("RDG_ROI"), conditions: vec![(RdgDetection, true), (RoiEstimated, true)] },
-        GraphEdge { from: Switch(RdgDetection), to: Task("MKX_EXT"), conditions: vec![(RdgDetection, false)] },
-        GraphEdge { from: Task("RDG_FULL"), to: Task("MKX_EXT"), conditions: vec![(RdgDetection, true), (RoiEstimated, false)] },
-        GraphEdge { from: Task("RDG_ROI"), to: Task("MKX_EXT"), conditions: vec![(RdgDetection, true), (RoiEstimated, true)] },
-        GraphEdge { from: Task("MKX_EXT"), to: Task("CPLS_SEL"), conditions: vec![] },
-        GraphEdge { from: Task("CPLS_SEL"), to: Task("REG"), conditions: vec![] },
-        GraphEdge { from: Task("REG"), to: Switch(RoiEstimated), conditions: vec![] },
-        GraphEdge { from: Switch(RoiEstimated), to: Task("ROI_EST"), conditions: vec![(RoiEstimated, true)] },
-        GraphEdge { from: Task("ROI_EST"), to: Task("GW_EXT"), conditions: vec![(RoiEstimated, true)] },
-        GraphEdge { from: Task("GW_EXT"), to: Switch(RegSuccessful), conditions: vec![(RoiEstimated, true)] },
-        GraphEdge { from: Switch(RoiEstimated), to: Switch(RegSuccessful), conditions: vec![(RoiEstimated, false)] },
-        GraphEdge { from: Switch(RegSuccessful), to: Task("ENH"), conditions: vec![(RegSuccessful, true)] },
-        GraphEdge { from: Task("ENH"), to: Task("ZOOM"), conditions: vec![(RegSuccessful, true)] },
-        GraphEdge { from: Task("ZOOM"), to: Output, conditions: vec![(RegSuccessful, true)] },
-        GraphEdge { from: Switch(RegSuccessful), to: Output, conditions: vec![(RegSuccessful, false)] },
+        GraphEdge {
+            from: Input,
+            to: Switch(RdgDetection),
+            conditions: vec![],
+        },
+        GraphEdge {
+            from: Switch(RdgDetection),
+            to: Task("RDG_FULL"),
+            conditions: vec![(RdgDetection, true), (RoiEstimated, false)],
+        },
+        GraphEdge {
+            from: Switch(RdgDetection),
+            to: Task("RDG_ROI"),
+            conditions: vec![(RdgDetection, true), (RoiEstimated, true)],
+        },
+        GraphEdge {
+            from: Switch(RdgDetection),
+            to: Task("MKX_EXT"),
+            conditions: vec![(RdgDetection, false)],
+        },
+        GraphEdge {
+            from: Task("RDG_FULL"),
+            to: Task("MKX_EXT"),
+            conditions: vec![(RdgDetection, true), (RoiEstimated, false)],
+        },
+        GraphEdge {
+            from: Task("RDG_ROI"),
+            to: Task("MKX_EXT"),
+            conditions: vec![(RdgDetection, true), (RoiEstimated, true)],
+        },
+        GraphEdge {
+            from: Task("MKX_EXT"),
+            to: Task("CPLS_SEL"),
+            conditions: vec![],
+        },
+        GraphEdge {
+            from: Task("CPLS_SEL"),
+            to: Task("REG"),
+            conditions: vec![],
+        },
+        GraphEdge {
+            from: Task("REG"),
+            to: Switch(RoiEstimated),
+            conditions: vec![],
+        },
+        GraphEdge {
+            from: Switch(RoiEstimated),
+            to: Task("ROI_EST"),
+            conditions: vec![(RoiEstimated, true)],
+        },
+        GraphEdge {
+            from: Task("ROI_EST"),
+            to: Task("GW_EXT"),
+            conditions: vec![(RoiEstimated, true)],
+        },
+        GraphEdge {
+            from: Task("GW_EXT"),
+            to: Switch(RegSuccessful),
+            conditions: vec![(RoiEstimated, true)],
+        },
+        GraphEdge {
+            from: Switch(RoiEstimated),
+            to: Switch(RegSuccessful),
+            conditions: vec![(RoiEstimated, false)],
+        },
+        GraphEdge {
+            from: Switch(RegSuccessful),
+            to: Task("ENH"),
+            conditions: vec![(RegSuccessful, true)],
+        },
+        GraphEdge {
+            from: Task("ENH"),
+            to: Task("ZOOM"),
+            conditions: vec![(RegSuccessful, true)],
+        },
+        GraphEdge {
+            from: Task("ZOOM"),
+            to: Output,
+            conditions: vec![(RegSuccessful, true)],
+        },
+        GraphEdge {
+            from: Switch(RegSuccessful),
+            to: Output,
+            conditions: vec![(RegSuccessful, false)],
+        },
     ]
 }
 
@@ -103,7 +171,9 @@ mod tests {
     fn graph_has_all_nine_tasks() {
         let edges = flow_graph();
         for t in triplec::TASKS {
-            let present = edges.iter().any(|e| e.to == Node::Task(t) || e.from == Node::Task(t));
+            let present = edges
+                .iter()
+                .any(|e| e.to == Node::Task(t) || e.from == Node::Task(t));
             assert!(present, "task {t} missing from graph");
         }
     }

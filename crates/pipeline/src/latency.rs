@@ -47,20 +47,34 @@ pub struct JitterReport {
 /// Computes jitter metrics.
 pub fn jitter(latencies: &[f64]) -> JitterReport {
     if latencies.is_empty() {
-        return JitterReport { peak_to_peak: 0.0, std: 0.0, mean_delta: 0.0 };
+        return JitterReport {
+            peak_to_peak: 0.0,
+            std: 0.0,
+            mean_delta: 0.0,
+        };
     }
     let min = latencies.iter().copied().fold(f64::INFINITY, f64::min);
     let max = latencies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
-    let var =
-        latencies.iter().map(|l| (l - mean) * (l - mean)).sum::<f64>() / latencies.len() as f64;
+    let var = latencies
+        .iter()
+        .map(|l| (l - mean) * (l - mean))
+        .sum::<f64>()
+        / latencies.len() as f64;
     let mean_delta = if latencies.len() < 2 {
         0.0
     } else {
-        latencies.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>()
+        latencies
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
             / (latencies.len() - 1) as f64
     };
-    JitterReport { peak_to_peak: max - min, std: var.sqrt(), mean_delta }
+    JitterReport {
+        peak_to_peak: max - min,
+        std: var.sqrt(),
+        mean_delta,
+    }
 }
 
 /// Relative jitter reduction between two runs (`1 - after/before`), using
@@ -98,7 +112,9 @@ mod tests {
 
     #[test]
     fn jitter_metrics_on_alternating_series() {
-        let xs: Vec<f64> = (0..10).map(|i| if i % 2 == 0 { 40.0 } else { 60.0 }).collect();
+        let xs: Vec<f64> = (0..10)
+            .map(|i| if i % 2 == 0 { 40.0 } else { 60.0 })
+            .collect();
         let j = jitter(&xs);
         assert_eq!(j.peak_to_peak, 20.0);
         assert_eq!(j.mean_delta, 20.0);

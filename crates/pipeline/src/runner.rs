@@ -33,7 +33,10 @@ impl ProfileRun {
     /// Appends one frame's output.
     pub fn absorb(&mut self, out: FrameOutput) {
         for &(task, ms) in &out.record.task_times {
-            self.samples.entry(task).or_default().push((ms, out.roi_kpixels));
+            self.samples
+                .entry(task)
+                .or_default()
+                .push((ms, out.roi_kpixels));
         }
         self.scenarios.push(out.scenario.id());
         self.trace.push(out.record);
@@ -107,7 +110,11 @@ pub fn run_sequence(cfg: SequenceConfig, app: &AppConfig, policy: &ExecutionPoli
 
 /// Runs a whole corpus (e.g. the 37-sequence training set), resetting the
 /// pipeline state between sequences and concatenating the profiles.
-pub fn run_corpus(corpus: Vec<SequenceConfig>, app: &AppConfig, policy: &ExecutionPolicy) -> ProfileRun {
+pub fn run_corpus(
+    corpus: Vec<SequenceConfig>,
+    app: &AppConfig,
+    policy: &ExecutionPolicy,
+) -> ProfileRun {
     let mut run = ProfileRun::new();
     for cfg in corpus {
         let sub = run_sequence(cfg, app, policy);
@@ -133,14 +140,21 @@ mod tests {
             height: 128,
             frames,
             seed,
-            noise: NoiseConfig { quantum_scale: 0.3, electronic_std: 2.0 },
+            noise: NoiseConfig {
+                quantum_scale: 0.3,
+                electronic_std: 2.0,
+            },
             ..Default::default()
         }
     }
 
     #[test]
     fn profile_collects_all_frames() {
-        let run = run_sequence(small(1, 8), &AppConfig::default(), &ExecutionPolicy::default());
+        let run = run_sequence(
+            small(1, 8),
+            &AppConfig::default(),
+            &ExecutionPolicy::default(),
+        );
         assert_eq!(run.trace.len(), 8);
         assert_eq!(run.scenarios.len(), 8);
         assert!(!run.samples.is_empty());
@@ -148,7 +162,11 @@ mod tests {
 
     #[test]
     fn core_tasks_have_full_series() {
-        let run = run_sequence(small(2, 8), &AppConfig::default(), &ExecutionPolicy::default());
+        let run = run_sequence(
+            small(2, 8),
+            &AppConfig::default(),
+            &ExecutionPolicy::default(),
+        );
         assert_eq!(run.series_of("MKX_EXT").len(), 8);
         assert_eq!(run.series_of("CPLS_SEL").len(), 8);
         assert!(run.series_of("NOPE").is_empty());
@@ -156,7 +174,11 @@ mod tests {
 
     #[test]
     fn task_series_carry_roi_covariates_for_rdg() {
-        let run = run_sequence(small(3, 10), &AppConfig::default(), &ExecutionPolicy::default());
+        let run = run_sequence(
+            small(3, 10),
+            &AppConfig::default(),
+            &ExecutionPolicy::default(),
+        );
         let series = run.task_series();
         for s in &series {
             if s.task.starts_with("RDG") {

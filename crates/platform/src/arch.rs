@@ -67,8 +67,16 @@ impl Default for ArchModel {
         Self {
             cores: 8,
             clock_hz: 2.327e9,
-            l1: CacheGeometry { capacity: 32 * KB, line_size: 64, ways: 8 },
-            l2: CacheGeometry { capacity: 4 * MB, line_size: 64, ways: 16 },
+            l1: CacheGeometry {
+                capacity: 32 * KB,
+                line_size: 64,
+                ways: 8,
+            },
+            l2: CacheGeometry {
+                capacity: 4 * MB,
+                line_size: 64,
+                ways: 16,
+            },
             cores_per_l2: 2,
             dram_bytes: 4 * GB,
             bus_cpu_cache: 72.0e9,
@@ -129,10 +137,18 @@ mod tests {
 
     #[test]
     fn cache_geometry_derives_sets_and_lines() {
-        let g = CacheGeometry { capacity: 32 * KB, line_size: 64, ways: 8 };
+        let g = CacheGeometry {
+            capacity: 32 * KB,
+            line_size: 64,
+            ways: 8,
+        };
         assert_eq!(g.lines(), 512);
         assert_eq!(g.sets(), 64);
-        let l2 = CacheGeometry { capacity: 4 * MB, line_size: 64, ways: 16 };
+        let l2 = CacheGeometry {
+            capacity: 4 * MB,
+            line_size: 64,
+            ways: 16,
+        };
         assert_eq!(l2.lines(), 65536);
         assert_eq!(l2.sets(), 4096);
     }

@@ -43,7 +43,10 @@ impl BusLoad {
 
     /// Utilization fractions against the architecture limits.
     pub fn utilization(&self, arch: &ArchModel) -> (f64, f64) {
-        (self.cache_bus / arch.bus_cache, self.memory_bus / arch.bus_memory)
+        (
+            self.cache_bus / arch.bus_cache,
+            self.memory_bus / arch.bus_memory,
+        )
     }
 
     /// Whether both buses are within their limits.
@@ -86,14 +89,26 @@ mod tests {
 
     fn edges() -> Vec<Edge> {
         vec![
-            Edge { from: "RDG", to: "MKX", bytes_per_frame: 5 * MB },
-            Edge { from: "MKX", to: "CPLS", bytes_per_frame: MB / 2 },
+            Edge {
+                from: "RDG",
+                to: "MKX",
+                bytes_per_frame: 5 * MB,
+            },
+            Edge {
+                from: "MKX",
+                to: "CPLS",
+                bytes_per_frame: MB / 2,
+            },
         ]
     }
 
     #[test]
     fn edge_bandwidth_is_bytes_times_rate() {
-        let e = Edge { from: "A", to: "B", bytes_per_frame: MB };
+        let e = Edge {
+            from: "A",
+            to: "B",
+            bytes_per_frame: MB,
+        };
         assert!((e.bandwidth(30.0) - 30.0 * MB as f64).abs() < 1.0);
     }
 
@@ -128,9 +143,15 @@ mod tests {
     #[test]
     fn feasibility_against_paper_limits() {
         let arch = ArchModel::default();
-        let ok = BusLoad { cache_bus: 10.0e9, memory_bus: 5.0e9 };
+        let ok = BusLoad {
+            cache_bus: 10.0e9,
+            memory_bus: 5.0e9,
+        };
         assert!(ok.feasible(&arch));
-        let too_much = BusLoad { cache_bus: 10.0e9, memory_bus: 40.0e9 };
+        let too_much = BusLoad {
+            cache_bus: 10.0e9,
+            memory_bus: 40.0e9,
+        };
         assert!(!too_much.feasible(&arch));
         let (c, m) = ok.utilization(&arch);
         assert!((c - 10.0 / 48.0).abs() < 1e-9);
@@ -139,7 +160,10 @@ mod tests {
 
     #[test]
     fn total_sums_buses() {
-        let l = BusLoad { cache_bus: 1.0, memory_bus: 2.0 };
+        let l = BusLoad {
+            cache_bus: 1.0,
+            memory_bus: 2.0,
+        };
         assert_eq!(l.total(), 3.0);
     }
 }

@@ -66,7 +66,10 @@ impl CacheSim {
     pub fn new(geometry: CacheGeometry) -> Self {
         let sets = geometry.sets();
         assert!(sets > 0, "cache must have at least one set");
-        assert!(geometry.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            geometry.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let n = sets * geometry.ways;
         Self {
             geometry,
@@ -172,7 +175,11 @@ mod tests {
 
     fn small_cache() -> CacheSim {
         // 1 KB, 64 B lines, 2-way: 8 sets
-        CacheSim::new(CacheGeometry { capacity: KB, line_size: 64, ways: 2 })
+        CacheSim::new(CacheGeometry {
+            capacity: KB,
+            line_size: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -221,12 +228,19 @@ mod tests {
         c.linear_scan(0, 4 * KB, false);
         let second = c.linear_scan(0, 4 * KB, false);
         // LRU + streaming: everything evicted before reuse
-        assert_eq!(second.misses, second.accesses, "streaming buffer must thrash");
+        assert_eq!(
+            second.misses, second.accesses,
+            "streaming buffer must thrash"
+        );
     }
 
     #[test]
     fn traffic_accounts_fills_and_writebacks() {
-        let s = CacheStats { accesses: 100, misses: 10, writebacks: 4 };
+        let s = CacheStats {
+            accesses: 100,
+            misses: 10,
+            writebacks: 4,
+        };
         assert_eq!(s.traffic_bytes(64), 14 * 64);
         assert!((s.miss_ratio() - 0.1).abs() < 1e-12);
     }

@@ -4,70 +4,42 @@
 //! fixed pool of worker threads (one per modelled core), so per-frame
 //! thread-spawn overhead does not pollute the computation-time statistics
 //! that the prediction models are trained on.
+//!
+//! The thread machinery itself lives in [`imaging::parallel::StripePool`]
+//! (the same pool the striped image tasks dispatch to); `CorePool` adapts
+//! it to the platform's core-indexed batch interface and adds wall-clock
+//! batch timing.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::thread::JoinHandle;
+use imaging::parallel::StripePool;
 use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-enum Message {
-    Run(Job),
-    Shutdown,
-}
-
 /// A fixed-size pool of worker threads ("cores").
 pub struct CorePool {
-    senders: Vec<Sender<Message>>,
-    done_rx: Receiver<usize>,
-    handles: Vec<JoinHandle<()>>,
+    pool: StripePool,
 }
 
 impl CorePool {
     /// Spawns `cores` workers.
     pub fn new(cores: usize) -> Self {
         assert!(cores > 0, "pool needs at least one core");
-        let (done_tx, done_rx) = unbounded::<usize>();
-        let mut senders = Vec::with_capacity(cores);
-        let mut handles = Vec::with_capacity(cores);
-        for core in 0..cores {
-            let (tx, rx) = unbounded::<Message>();
-            let done = done_tx.clone();
-            senders.push(tx);
-            handles.push(std::thread::spawn(move || {
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        Message::Run(job) => {
-                            job();
-                            // the pool owns done_rx for the lifetime of the
-                            // workers, so send cannot fail during operation
-                            let _ = done.send(core);
-                        }
-                        Message::Shutdown => break,
-                    }
-                }
-            }));
+        Self {
+            pool: StripePool::new(cores),
         }
-        Self { senders, done_rx, handles }
     }
 
     /// Number of cores in the pool.
     pub fn cores(&self) -> usize {
-        self.senders.len()
+        self.pool.threads()
     }
 
     /// Runs a batch of `(core, job)` pairs and blocks until all complete.
     /// Returns the wall-clock duration of the whole batch in milliseconds.
+    /// Jobs with the same core index always run on the same worker thread.
     pub fn run_batch(&self, jobs: Vec<(usize, Job)>) -> f64 {
-        let n = jobs.len();
         let start = Instant::now();
-        for (core, job) in jobs {
-            let core = core % self.senders.len();
-            self.senders[core].send(Message::Run(job)).expect("worker alive");
-        }
-        for _ in 0..n {
-            self.done_rx.recv().expect("worker alive");
-        }
+        self.pool.run_on(jobs);
         start.elapsed().as_secs_f64() * 1e3
     }
 
@@ -89,17 +61,6 @@ impl CorePool {
     }
 }
 
-impl Drop for CorePool {
-    fn drop(&mut self) {
-        for tx in &self.senders {
-            let _ = tx.send(Message::Shutdown);
-        }
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,9 +74,12 @@ mod tests {
         let jobs: Vec<(usize, Job)> = (0..16)
             .map(|i| {
                 let c = Arc::clone(&counter);
-                (i % 4, Box::new(move || {
-                    c.fetch_add(1, Ordering::SeqCst);
-                }) as Job)
+                (
+                    i % 4,
+                    Box::new(move || {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    }) as Job,
+                )
             })
             .collect();
         let ms = pool.run_batch(jobs);
@@ -142,9 +106,13 @@ mod tests {
             let jobs: Vec<(usize, Job)> = (0..4)
                 .map(|core| {
                     let seen = Arc::clone(&seen);
-                    (core, Box::new(move || {
-                        seen.lock().push((core, format!("{:?}", std::thread::current().id())));
-                    }) as Job)
+                    (
+                        core,
+                        Box::new(move || {
+                            seen.lock()
+                                .push((core, format!("{:?}", std::thread::current().id())));
+                        }) as Job,
+                    )
                 })
                 .collect();
             pool.run_batch(jobs);
@@ -168,7 +136,11 @@ mod tests {
     #[test]
     fn run_indexed_passes_positions() {
         let pool = CorePool::new(2);
-        let hits = Arc::new([AtomicUsize::new(0), AtomicUsize::new(0), AtomicUsize::new(0)]);
+        let hits = Arc::new([
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ]);
         let h = Arc::clone(&hits);
         pool.run_indexed(&[0, 1, 0], move |i| {
             h[i].fetch_add(1, Ordering::SeqCst);
@@ -183,9 +155,12 @@ mod tests {
         let pool = CorePool::new(2);
         let counter = Arc::new(AtomicUsize::new(0));
         let c = Arc::clone(&counter);
-        let jobs: Vec<(usize, Job)> = vec![(99, Box::new(move || {
-            c.fetch_add(1, Ordering::SeqCst);
-        }))];
+        let jobs: Vec<(usize, Job)> = vec![(
+            99,
+            Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        )];
         pool.run_batch(jobs);
         assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
@@ -196,9 +171,12 @@ mod tests {
         let counter = Arc::new(AtomicUsize::new(0));
         for _ in 0..50 {
             let c = Arc::clone(&counter);
-            pool.run_batch(vec![(0, Box::new(move || {
-                c.fetch_add(1, Ordering::SeqCst);
-            }))]);
+            pool.run_batch(vec![(
+                0,
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+            )]);
         }
         assert_eq!(counter.load(Ordering::SeqCst), 50);
     }

@@ -35,7 +35,12 @@ impl CacheHierarchy {
     pub fn new(l1: CacheGeometry, l2: CacheGeometry) -> Self {
         assert_eq!(l1.line_size, l2.line_size, "line sizes must match");
         let line = l1.line_size as u64;
-        Self { l1: CacheSim::new(l1), l2: CacheSim::new(l2), line, traffic: HierarchyTraffic::default() }
+        Self {
+            l1: CacheSim::new(l1),
+            l2: CacheSim::new(l2),
+            line,
+            traffic: HierarchyTraffic::default(),
+        }
     }
 
     /// The paper's platform hierarchy (32 KB L1 / 4 MB L2).
@@ -103,8 +108,16 @@ mod tests {
 
     fn small() -> CacheHierarchy {
         CacheHierarchy::new(
-            CacheGeometry { capacity: KB, line_size: 64, ways: 2 },
-            CacheGeometry { capacity: 8 * KB, line_size: 64, ways: 4 },
+            CacheGeometry {
+                capacity: KB,
+                line_size: 64,
+                ways: 2,
+            },
+            CacheGeometry {
+                capacity: 8 * KB,
+                line_size: 64,
+                ways: 4,
+            },
         )
     }
 
@@ -130,7 +143,10 @@ mod tests {
         h.linear_scan(0, 2 * KB, false);
         let t = h.traffic();
         assert!(t.l1_to_l2 > before.l1_to_l2, "no L1 refills recorded");
-        assert_eq!(t.l2_to_mem, before.l2_to_mem, "L2 hits must not touch memory");
+        assert_eq!(
+            t.l2_to_mem, before.l2_to_mem,
+            "L2 hits must not touch memory"
+        );
     }
 
     #[test]
@@ -140,7 +156,10 @@ mod tests {
         let before = h.traffic();
         h.linear_scan(0, 32 * KB, false);
         let t = h.traffic();
-        assert!(t.l2_to_mem > before.l2_to_mem, "L2-overflow rescan must hit memory");
+        assert!(
+            t.l2_to_mem > before.l2_to_mem,
+            "L2-overflow rescan must hit memory"
+        );
     }
 
     #[test]
@@ -164,7 +183,10 @@ mod tests {
         let before = h.traffic();
         h.linear_scan(0, 2 * 1024 * KB, false);
         let t = h.traffic();
-        assert_eq!(t.l2_to_mem, before.l2_to_mem, "second scan must be L2-resident");
+        assert_eq!(
+            t.l2_to_mem, before.l2_to_mem,
+            "second scan must be L2-resident"
+        );
         assert!(t.l1_to_l2 > before.l1_to_l2);
     }
 
@@ -172,8 +194,16 @@ mod tests {
     #[should_panic(expected = "line sizes")]
     fn mismatched_line_sizes_rejected() {
         let _ = CacheHierarchy::new(
-            CacheGeometry { capacity: KB, line_size: 32, ways: 2 },
-            CacheGeometry { capacity: 8 * KB, line_size: 64, ways: 4 },
+            CacheGeometry {
+                capacity: KB,
+                line_size: 32,
+                ways: 2,
+            },
+            CacheGeometry {
+                capacity: 8 * KB,
+                line_size: 64,
+                ways: 4,
+            },
         );
     }
 }

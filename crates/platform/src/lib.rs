@@ -29,6 +29,11 @@ pub use executor::CorePool;
 pub use hierarchy::{CacheHierarchy, HierarchyTraffic};
 pub use mapping::{Mapping, Partition};
 pub use profile::{time_ms, Profiler, TaskStats};
-pub use schedule::{pipelined_schedule, stage_makespan, PipelinedResult, VirtualJob, VirtualSchedule, DISPATCH_OVERHEAD_MS};
-pub use spacetime::{predict_traffic, simulate_traffic, BufferSpec, PassSpec, TaskAccessModel, TaskTraffic};
+pub use schedule::{
+    pipelined_schedule, stage_makespan, PipelinedResult, VirtualJob, VirtualSchedule,
+    DISPATCH_OVERHEAD_MS,
+};
+pub use spacetime::{
+    predict_traffic, simulate_traffic, BufferSpec, PassSpec, TaskAccessModel, TaskTraffic,
+};
 pub use trace::{summary_of, FrameRecord, LatencySummary, TraceLog};

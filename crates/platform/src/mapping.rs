@@ -98,9 +98,9 @@ impl Mapping {
         let (Some(p), Some(c)) = (self.get(producer), self.get(consumer)) else {
             return false;
         };
-        p.cores().iter().all(|&pc| {
-            c.cores().iter().all(|&cc| arch.share_l2(pc, cc))
-        })
+        p.cores()
+            .iter()
+            .all(|&pc| c.cores().iter().all(|&cc| arch.share_l2(pc, cc)))
     }
 }
 
@@ -113,7 +113,9 @@ mod tests {
         let s = Partition::Serial { core: 3 };
         assert_eq!(s.cores(), &[3]);
         assert_eq!(s.width(), 1);
-        let d = Partition::Striped { cores: vec![0, 1, 2, 3] };
+        let d = Partition::Striped {
+            cores: vec![0, 1, 2, 3],
+        };
         assert_eq!(d.width(), 4);
     }
 

@@ -33,7 +33,10 @@ impl VirtualSchedule {
     /// Creates an idle schedule for `cores` cores.
     pub fn new(cores: usize) -> Self {
         assert!(cores > 0, "at least one core required");
-        Self { core_free: vec![0.0; cores], now: 0.0 }
+        Self {
+            core_free: vec![0.0; cores],
+            now: 0.0,
+        }
     }
 
     /// Number of modelled cores.
@@ -137,7 +140,11 @@ pub fn pipelined_schedule(
     } else {
         0.0
     };
-    PipelinedResult { latencies, completions, throughput_fps }
+    PipelinedResult {
+        latencies,
+        completions,
+        throughput_fps,
+    }
 }
 
 #[cfg(test)]
@@ -156,8 +163,14 @@ mod tests {
     #[test]
     fn parallel_jobs_on_distinct_cores_overlap() {
         let jobs = [
-            VirtualJob { core: 0, duration_ms: 10.0 },
-            VirtualJob { core: 1, duration_ms: 12.0 },
+            VirtualJob {
+                core: 0,
+                duration_ms: 10.0,
+            },
+            VirtualJob {
+                core: 1,
+                duration_ms: 12.0,
+            },
         ];
         let end = stage_makespan(8, &jobs);
         assert!((end - 12.0 - DISPATCH_OVERHEAD_MS).abs() < EPS, "end {end}");
@@ -166,40 +179,85 @@ mod tests {
     #[test]
     fn jobs_on_same_core_serialize() {
         let jobs = [
-            VirtualJob { core: 0, duration_ms: 10.0 },
-            VirtualJob { core: 0, duration_ms: 12.0 },
+            VirtualJob {
+                core: 0,
+                duration_ms: 10.0,
+            },
+            VirtualJob {
+                core: 0,
+                duration_ms: 12.0,
+            },
         ];
         let end = stage_makespan(8, &jobs);
-        assert!((end - 22.0 - 2.0 * DISPATCH_OVERHEAD_MS).abs() < EPS, "end {end}");
+        assert!(
+            (end - 22.0 - 2.0 * DISPATCH_OVERHEAD_MS).abs() < EPS,
+            "end {end}"
+        );
     }
 
     #[test]
     fn two_stripe_parallel_halves_latency() {
         // the Fig. 6 effect: a 20 ms serial task split into two 10 ms
         // stripes on two cores completes in ~10 ms
-        let serial = stage_makespan(8, &[VirtualJob { core: 0, duration_ms: 20.0 }]);
+        let serial = stage_makespan(
+            8,
+            &[VirtualJob {
+                core: 0,
+                duration_ms: 20.0,
+            }],
+        );
         let striped = stage_makespan(
             8,
             &[
-                VirtualJob { core: 0, duration_ms: 10.0 },
-                VirtualJob { core: 1, duration_ms: 10.0 },
+                VirtualJob {
+                    core: 0,
+                    duration_ms: 10.0,
+                },
+                VirtualJob {
+                    core: 1,
+                    duration_ms: 10.0,
+                },
             ],
         );
-        assert!(striped < 0.55 * serial, "striped {striped} vs serial {serial}");
+        assert!(
+            striped < 0.55 * serial,
+            "striped {striped} vs serial {serial}"
+        );
     }
 
     #[test]
     fn stages_compose_sequentially() {
         let mut s = VirtualSchedule::new(4);
-        s.stage(&[VirtualJob { core: 0, duration_ms: 5.0 }, VirtualJob { core: 1, duration_ms: 3.0 }]);
-        let end = s.stage(&[VirtualJob { core: 2, duration_ms: 2.0 }]);
+        s.stage(&[
+            VirtualJob {
+                core: 0,
+                duration_ms: 5.0,
+            },
+            VirtualJob {
+                core: 1,
+                duration_ms: 3.0,
+            },
+        ]);
+        let end = s.stage(&[VirtualJob {
+            core: 2,
+            duration_ms: 2.0,
+        }]);
         // second stage starts only after the first completes (barrier)
-        assert!((end - (5.0 + 2.0 + 2.0 * DISPATCH_OVERHEAD_MS)).abs() < EPS, "end {end}");
+        assert!(
+            (end - (5.0 + 2.0 + 2.0 * DISPATCH_OVERHEAD_MS)).abs() < EPS,
+            "end {end}"
+        );
     }
 
     #[test]
     fn core_indices_wrap_to_pool() {
-        let end = stage_makespan(2, &[VirtualJob { core: 5, duration_ms: 4.0 }]);
+        let end = stage_makespan(
+            2,
+            &[VirtualJob {
+                core: 5,
+                duration_ms: 4.0,
+            }],
+        );
         assert!((end - 4.0 - DISPATCH_OVERHEAD_MS).abs() < EPS);
     }
 
@@ -245,15 +303,24 @@ mod tests {
         let r = pipelined_schedule(&frames, &[0, 1, 2], 8, 0.0);
         let fps = r.throughput_fps;
         assert!(fps < 51.0, "throughput {fps} exceeds the bottleneck bound");
-        assert!(fps > 40.0, "throughput {fps} far below the bottleneck bound");
+        assert!(
+            fps > 40.0,
+            "throughput {fps} far below the bottleneck bound"
+        );
     }
 
     #[test]
     fn imbalanced_stripes_bound_latency() {
         // latency follows the slowest stripe
         let jobs = [
-            VirtualJob { core: 0, duration_ms: 2.0 },
-            VirtualJob { core: 1, duration_ms: 18.0 },
+            VirtualJob {
+                core: 0,
+                duration_ms: 2.0,
+            },
+            VirtualJob {
+                core: 1,
+                duration_ms: 18.0,
+            },
         ];
         let end = stage_makespan(8, &jobs);
         assert!((end - 18.0 - DISPATCH_OVERHEAD_MS).abs() < EPS);

@@ -116,10 +116,10 @@ pub fn predict_traffic(task: &TaskAccessModel, capacity: usize) -> TaskTraffic {
         // Large streaming buffers that exceed the capacity on their own can
         // never be resident: every pass re-streams them entirely.
         let touch = |idx: usize,
-                         write: bool,
-                         resident: &mut Vec<Resident>,
-                         fetch: &mut u64,
-                         writeback: &mut u64| {
+                     write: bool,
+                     resident: &mut Vec<Resident>,
+                     fetch: &mut u64,
+                     writeback: &mut u64| {
             let bytes = task.buffers[idx].bytes;
             if bytes > capacity {
                 // Streams straight through the cache. Writes are
@@ -151,7 +151,11 @@ pub fn predict_traffic(task: &TaskAccessModel, capacity: usize) -> TaskTraffic {
                         *writeback += task.buffers[victim.buffer].bytes as u64;
                     }
                 }
-                resident.push(Resident { buffer: idx, last_use: clock, dirty: write });
+                resident.push(Resident {
+                    buffer: idx,
+                    last_use: clock,
+                    dirty: write,
+                });
             }
         };
 
@@ -161,7 +165,11 @@ pub fn predict_traffic(task: &TaskAccessModel, capacity: usize) -> TaskTraffic {
         for &idx in &pass.writes {
             touch(idx, true, &mut resident, &mut fetch, &mut writeback);
         }
-        out.push(PassTraffic { label: pass.label, fetch_bytes: fetch, writeback_bytes: writeback });
+        out.push(PassTraffic {
+            label: pass.label,
+            fetch_bytes: fetch,
+            writeback_bytes: writeback,
+        });
     }
 
     // final writeback of dirty residents (results leave the cache eventually)
@@ -242,12 +250,22 @@ mod tests {
     use super::*;
     use crate::arch::{CacheGeometry, KB, MB};
 
-    fn model(buffers: &[(&'static str, usize)], passes: &[(&'static str, &[usize], &[usize])]) -> TaskAccessModel {
+    fn model(
+        buffers: &[(&'static str, usize)],
+        passes: &[(&'static str, &[usize], &[usize])],
+    ) -> TaskAccessModel {
         TaskAccessModel {
-            buffers: buffers.iter().map(|&(name, bytes)| BufferSpec { name, bytes }).collect(),
+            buffers: buffers
+                .iter()
+                .map(|&(name, bytes)| BufferSpec { name, bytes })
+                .collect(),
             passes: passes
                 .iter()
-                .map(|&(label, r, w)| PassSpec { label, reads: r.to_vec(), writes: w.to_vec() })
+                .map(|&(label, r, w)| PassSpec {
+                    label,
+                    reads: r.to_vec(),
+                    writes: w.to_vec(),
+                })
                 .collect(),
         }
     }
@@ -264,7 +282,11 @@ mod tests {
         // write-allocate out; final writeback of dirty tmp and out.
         let total = traffic.total_bytes();
         assert_eq!(traffic.passes[0].fetch_bytes, 200 * KB as u64);
-        assert_eq!(traffic.passes[1].fetch_bytes, 100 * KB as u64, "tmp must stay resident");
+        assert_eq!(
+            traffic.passes[1].fetch_bytes,
+            100 * KB as u64,
+            "tmp must stay resident"
+        );
         assert_eq!(total, 500 * KB as u64, "total {total}");
     }
 
@@ -296,12 +318,20 @@ mod tests {
         );
         let traffic = predict_traffic(&t, 210 * KB);
         // p3 must refetch "a" (evicted in p2)
-        assert!(traffic.passes[2].fetch_bytes >= 100 * KB as u64, "{:?}", traffic.passes);
+        assert!(
+            traffic.passes[2].fetch_bytes >= 100 * KB as u64,
+            "{:?}",
+            traffic.passes
+        );
     }
 
     #[test]
     fn prediction_tracks_simulation_for_fitting_task() {
-        let geom = CacheGeometry { capacity: MB, line_size: 64, ways: 8 };
+        let geom = CacheGeometry {
+            capacity: MB,
+            line_size: 64,
+            ways: 8,
+        };
         let t = model(
             &[("in", 128 * KB), ("tmp", 128 * KB), ("out", 128 * KB)],
             &[("A", &[0], &[1]), ("B", &[1], &[2])],
@@ -314,7 +344,11 @@ mod tests {
 
     #[test]
     fn prediction_tracks_simulation_for_streaming_task() {
-        let geom = CacheGeometry { capacity: 256 * KB, line_size: 64, ways: 8 };
+        let geom = CacheGeometry {
+            capacity: 256 * KB,
+            line_size: 64,
+            ways: 8,
+        };
         // 1 MB buffers in a 256 KB cache: pure streaming
         let t = model(
             &[("in", MB), ("tmp", MB), ("out", MB)],

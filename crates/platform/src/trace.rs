@@ -25,7 +25,10 @@ impl FrameRecord {
 
     /// Time of one task if it ran this frame.
     pub fn task_time(&self, task: &str) -> Option<f64> {
-        self.task_times.iter().find(|(n, _)| *n == task).map(|&(_, t)| t)
+        self.task_times
+            .iter()
+            .find(|(n, _)| *n == task)
+            .map(|&(_, t)| t)
     }
 }
 
@@ -86,7 +89,10 @@ impl TraceLog {
 
     /// Per-task time series (frames where the task did not run are skipped).
     pub fn task_series(&self, task: &str) -> Vec<f64> {
-        self.records.iter().filter_map(|r| r.task_time(task)).collect()
+        self.records
+            .iter()
+            .filter_map(|r| r.task_time(task))
+            .collect()
     }
 
     /// Scenario occupancy: how many frames ran each scenario id.
@@ -107,7 +113,14 @@ impl TraceLog {
 /// Summary statistics of an arbitrary latency series.
 pub fn summary_of(xs: &[f64]) -> LatencySummary {
     if xs.is_empty() {
-        return LatencySummary { frames: 0, mean: 0.0, std: 0.0, min: 0.0, max: 0.0, worst_vs_avg: 0.0 };
+        return LatencySummary {
+            frames: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+            worst_vs_avg: 0.0,
+        };
     }
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;
@@ -184,7 +197,12 @@ mod tests {
     fn task_series_skips_missing() {
         let mut log = TraceLog::new();
         log.push(rec(0, 0, 10.0));
-        log.push(FrameRecord { frame: 1, scenario: 0, task_times: vec![], latency_ms: 5.0 });
+        log.push(FrameRecord {
+            frame: 1,
+            scenario: 0,
+            task_times: vec![],
+            latency_ms: 5.0,
+        });
         log.push(rec(2, 0, 20.0));
         let series = log.task_series("RDG");
         assert_eq!(series.len(), 2);

@@ -59,13 +59,24 @@ pub fn choose_policy(
     for stripes in 1..=cores {
         if predicted_latency(cost, stripes) <= target {
             return (
-                ExecutionPolicy { rdg_stripes: stripes, aux_stripes: stripes, cores },
+                ExecutionPolicy {
+                    rdg_stripes: stripes,
+                    aux_stripes: stripes,
+                    cores,
+                },
                 true,
             );
         }
     }
     // infeasible: run maximally parallel anyway
-    (ExecutionPolicy { rdg_stripes: cores, aux_stripes: cores, cores }, false)
+    (
+        ExecutionPolicy {
+            rdg_stripes: cores,
+            aux_stripes: cores,
+            cores,
+        },
+        false,
+    )
 }
 
 #[cfg(test)]
@@ -74,7 +85,10 @@ mod tests {
 
     #[test]
     fn cheap_frame_stays_serial() {
-        let cost = CostPrediction { stripable_ms: 10.0, serial_ms: 10.0 };
+        let cost = CostPrediction {
+            stripable_ms: 10.0,
+            serial_ms: 10.0,
+        };
         let budget = LatencyBudget::new(40.0, 0.1);
         let (p, ok) = choose_policy(&cost, &budget, 8);
         assert!(ok);
@@ -83,7 +97,10 @@ mod tests {
 
     #[test]
     fn expensive_frame_gets_striped() {
-        let cost = CostPrediction { stripable_ms: 60.0, serial_ms: 10.0 };
+        let cost = CostPrediction {
+            stripable_ms: 60.0,
+            serial_ms: 10.0,
+        };
         let budget = LatencyBudget::new(45.0, 0.1);
         let (p, ok) = choose_policy(&cost, &budget, 8);
         assert!(ok);
@@ -94,7 +111,10 @@ mod tests {
 
     #[test]
     fn minimal_sufficient_parallelism_chosen() {
-        let cost = CostPrediction { stripable_ms: 40.0, serial_ms: 5.0 };
+        let cost = CostPrediction {
+            stripable_ms: 40.0,
+            serial_ms: 5.0,
+        };
         let budget = LatencyBudget::new(40.0, 0.1);
         let (p, ok) = choose_policy(&cost, &budget, 8);
         assert!(ok);
@@ -106,7 +126,10 @@ mod tests {
 
     #[test]
     fn infeasible_budget_reports_false_and_maxes_out() {
-        let cost = CostPrediction { stripable_ms: 30.0, serial_ms: 100.0 };
+        let cost = CostPrediction {
+            stripable_ms: 30.0,
+            serial_ms: 100.0,
+        };
         let budget = LatencyBudget::new(50.0, 0.1);
         let (p, ok) = choose_policy(&cost, &budget, 4);
         assert!(!ok);
@@ -115,7 +138,10 @@ mod tests {
 
     #[test]
     fn latency_decreases_with_stripes() {
-        let cost = CostPrediction { stripable_ms: 80.0, serial_ms: 10.0 };
+        let cost = CostPrediction {
+            stripable_ms: 80.0,
+            serial_ms: 10.0,
+        };
         let mut prev = predicted_latency(&cost, 1);
         for k in 2..=8 {
             let cur = predicted_latency(&cost, k);
@@ -127,7 +153,10 @@ mod tests {
     #[test]
     fn striping_overhead_modelled() {
         // with tiny RDG the dispatch overhead makes striping useless
-        let cost = CostPrediction { stripable_ms: 0.2, serial_ms: 1.0 };
+        let cost = CostPrediction {
+            stripable_ms: 0.2,
+            serial_ms: 1.0,
+        };
         let l1 = predicted_latency(&cost, 1);
         let l8 = predicted_latency(&cost, 8);
         assert!(l8 > l1 - 0.15, "l1 {l1} l8 {l8}");

@@ -21,7 +21,10 @@ impl LatencyBudget {
     pub fn new(target_ms: f64, headroom: f64) -> Self {
         assert!(target_ms > 0.0, "target must be positive");
         assert!((0.0..1.0).contains(&headroom), "headroom must be in [0, 1)");
-        Self { target_ms, headroom }
+        Self {
+            target_ms,
+            headroom,
+        }
     }
 
     /// Initializes the budget close to the average case: the first frame's

@@ -33,7 +33,12 @@ pub struct ManagerConfig {
 
 impl Default for ManagerConfig {
     fn default() -> Self {
-        Self { cores: 8, headroom: 0.15, budget_factor: 0.75, planning_quantile: 0.5 }
+        Self {
+            cores: 8,
+            headroom: 0.15,
+            budget_factor: 0.75,
+            planning_quantile: 0.5,
+        }
     }
 }
 
@@ -124,18 +129,30 @@ impl ResourceManager {
 
         let plan = match self.budget {
             None => Plan {
-                policy: ExecutionPolicy { rdg_stripes: 1, aux_stripes: 1, cores: self.cfg.cores },
+                policy: ExecutionPolicy {
+                    rdg_stripes: 1,
+                    aux_stripes: 1,
+                    cores: self.cfg.cores,
+                },
                 scenario,
                 predicted_total_ms,
                 feasible: true,
             },
             Some(budget) => {
-                let cost = CostPrediction { stripable_ms, serial_ms };
+                let cost = CostPrediction {
+                    stripable_ms,
+                    serial_ms,
+                };
                 let (policy, feasible) = choose_policy(&cost, &budget, self.cfg.cores);
                 if !feasible {
                     self.infeasible_frames += 1;
                 }
-                Plan { policy, scenario, predicted_total_ms, feasible }
+                Plan {
+                    policy,
+                    scenario,
+                    predicted_total_ms,
+                    feasible,
+                }
             }
         };
         self.last_plan = Some(plan);
@@ -155,9 +172,12 @@ impl ResourceManager {
             ));
         }
         if let Some(plan) = self.last_plan.take() {
-            self.frame_pairs.push((plan.predicted_total_ms, actual_total));
+            self.frame_pairs
+                .push((plan.predicted_total_ms, actual_total));
         }
-        let ctx = PredictContext { roi_kpixels: out.roi_kpixels };
+        let ctx = PredictContext {
+            roi_kpixels: out.roi_kpixels,
+        };
         for &(task, ms) in &out.record.task_times {
             self.model.observe_task(task, ms, &ctx);
         }
@@ -203,7 +223,12 @@ mod tests {
     fn fake_output(scenario: Scenario, task_times: Vec<(&'static str, f64)>) -> FrameOutput {
         let latency = task_times.iter().map(|&(_, t)| t).sum();
         FrameOutput {
-            record: FrameRecord { frame: 0, scenario: scenario.id(), task_times, latency_ms: latency },
+            record: FrameRecord {
+                frame: 0,
+                scenario: scenario.id(),
+                task_times,
+                latency_ms: latency,
+            },
             scenario,
             roi: None,
             roi_kpixels: 1000.0,
@@ -220,11 +245,22 @@ mod tests {
         assert!(m.budget().is_none());
         m.absorb(&fake_output(
             Scenario::from_id(5),
-            vec![("RDG_FULL", 40.0), ("MKX_EXT", 2.5), ("CPLS_SEL", 1.5), ("REG", 2.0), ("ENH", 24.0), ("ZOOM", 12.5)],
+            vec![
+                ("RDG_FULL", 40.0),
+                ("MKX_EXT", 2.5),
+                ("CPLS_SEL", 1.5),
+                ("REG", 2.0),
+                ("ENH", 24.0),
+                ("ZOOM", 12.5),
+            ],
         ));
         let b = m.budget().expect("budget initialized");
         // 82.5 ms serial * 0.75 ≈ 61.9 ms
-        assert!((b.target_ms - 61.875).abs() < 0.01, "budget {}", b.target_ms);
+        assert!(
+            (b.target_ms - 61.875).abs() < 0.01,
+            "budget {}",
+            b.target_ms
+        );
     }
 
     #[test]
@@ -233,7 +269,11 @@ mod tests {
         m.set_budget(LatencyBudget::new(60.0, 0.15));
         let plan = m.plan(1000.0);
         // predicted: RDG 40 + serial 42.5 = 82.5 > 51 target -> striping
-        assert!(plan.policy.rdg_stripes >= 2, "stripes {}", plan.policy.rdg_stripes);
+        assert!(
+            plan.policy.rdg_stripes >= 2,
+            "stripes {}",
+            plan.policy.rdg_stripes
+        );
     }
 
     #[test]
@@ -246,18 +286,40 @@ mod tests {
                 .scenario
                 .active_tasks()
                 .iter()
-                .map(|&t| (t, m.model().predict_task(t, &PredictContext { roi_kpixels: 1000.0 }).unwrap_or(0.0)))
+                .map(|&t| {
+                    (
+                        t,
+                        m.model()
+                            .predict_task(
+                                t,
+                                &PredictContext {
+                                    roi_kpixels: 1000.0,
+                                },
+                            )
+                            .unwrap_or(0.0),
+                    )
+                })
                 .collect();
             m.absorb(&fake_output(plan.scenario, times));
         }
         let report = m.accuracy();
         assert_eq!(report.count, 5);
-        assert!(report.mean_accuracy > 0.99, "accuracy {}", report.mean_accuracy);
+        assert!(
+            report.mean_accuracy > 0.99,
+            "accuracy {}",
+            report.mean_accuracy
+        );
     }
 
     #[test]
     fn infeasible_budget_counted() {
-        let mut m = ResourceManager::new(model(), ManagerConfig { cores: 2, ..Default::default() });
+        let mut m = ResourceManager::new(
+            model(),
+            ManagerConfig {
+                cores: 2,
+                ..Default::default()
+            },
+        );
         m.set_budget(LatencyBudget::new(10.0, 0.1));
         let plan = m.plan(1000.0);
         assert!(!plan.feasible);
@@ -283,7 +345,10 @@ mod tests {
             let model = TripleC::train(&series, &scenarios, TripleCConfig::default());
             let mut m = ResourceManager::new(
                 model,
-                ManagerConfig { planning_quantile: q, ..Default::default() },
+                ManagerConfig {
+                    planning_quantile: q,
+                    ..Default::default()
+                },
             );
             m.set_budget(crate::budget::LatencyBudget::new(20.0, 0.1));
             // warm the predictor state

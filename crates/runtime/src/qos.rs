@@ -26,7 +26,11 @@ pub enum QosLevel {
 impl QosLevel {
     /// All levels, best first.
     pub fn all() -> [QosLevel; 3] {
-        [QosLevel::Full, QosLevel::ReducedScales, QosLevel::ReducedZoom]
+        [
+            QosLevel::Full,
+            QosLevel::ReducedScales,
+            QosLevel::ReducedZoom,
+        ]
     }
 
     /// The next lower quality level, if any.
@@ -81,7 +85,13 @@ impl QosController {
     /// Creates a controller at full quality.
     pub fn new(degrade_after: usize, improve_after: usize) -> Self {
         assert!(degrade_after > 0 && improve_after > 0);
-        Self { level: QosLevel::Full, degrade_after, improve_after, pressure: 0, comfort: 0 }
+        Self {
+            level: QosLevel::Full,
+            degrade_after,
+            improve_after,
+            pressure: 0,
+            comfort: 0,
+        }
     }
 
     /// Current level.
@@ -126,7 +136,10 @@ mod tests {
     fn levels_order_and_transitions() {
         assert_eq!(QosLevel::Full.degrade(), Some(QosLevel::ReducedScales));
         assert_eq!(QosLevel::ReducedZoom.degrade(), None);
-        assert_eq!(QosLevel::ReducedZoom.improve(), Some(QosLevel::ReducedScales));
+        assert_eq!(
+            QosLevel::ReducedZoom.improve(),
+            Some(QosLevel::ReducedScales)
+        );
         assert_eq!(QosLevel::Full.improve(), None);
     }
 

@@ -44,7 +44,11 @@ pub fn run_managed_sequence(
         manager.absorb(&out);
         trace.push(out.record);
     }
-    ManagedRun { trace, predictions, stripes }
+    ManagedRun {
+        trace,
+        predictions,
+        stripes,
+    }
 }
 
 /// Result of a QoS-managed run.
@@ -98,7 +102,14 @@ pub fn run_managed_sequence_qos(
         manager.absorb(&out);
         trace.push(out.record);
     }
-    QosManagedRun { inner: ManagedRun { trace, predictions, stripes }, levels }
+    QosManagedRun {
+        inner: ManagedRun {
+            trace,
+            predictions,
+            stripes,
+        },
+        levels,
+    }
 }
 
 #[cfg(test)]
@@ -116,16 +127,26 @@ mod tests {
             height: 128,
             frames,
             seed,
-            noise: NoiseConfig { quantum_scale: 0.3, electronic_std: 2.0 },
+            noise: NoiseConfig {
+                quantum_scale: 0.3,
+                electronic_std: 2.0,
+            },
             ..Default::default()
         }
     }
 
     fn trained_model() -> TripleC {
         // train on a short profiled run so the managed loop has real models
-        let profile = run_sequence(seq(100, 12), &AppConfig::default(), &ExecutionPolicy::default());
+        let profile = run_sequence(
+            seq(100, 12),
+            &AppConfig::default(),
+            &ExecutionPolicy::default(),
+        );
         let cfg = TripleCConfig {
-            geometry: triplec::FrameGeometry { width: 128, height: 128 },
+            geometry: triplec::FrameGeometry {
+                width: 128,
+                height: 128,
+            },
             ..Default::default()
         };
         TripleC::train(&profile.task_series(), &profile.scenarios, cfg)
@@ -166,7 +187,11 @@ mod tests {
         let mut ctrl = crate::qos::QosController::new(2, 4);
         let run = run_managed_sequence_qos(seq(105, 8), &AppConfig::default(), &mut mgr, &mut ctrl);
         assert_eq!(run.inner.trace.len(), 8);
-        assert!(run.levels.iter().all(|&l| l == crate::qos::QosLevel::Full), "{:?}", run.levels);
+        assert!(
+            run.levels.iter().all(|&l| l == crate::qos::QosLevel::Full),
+            "{:?}",
+            run.levels
+        );
     }
 
     #[test]
@@ -175,7 +200,8 @@ mod tests {
         // unreachable budget: every frame is infeasible
         mgr.set_budget(crate::budget::LatencyBudget::new(0.001, 0.1));
         let mut ctrl = crate::qos::QosController::new(2, 100);
-        let run = run_managed_sequence_qos(seq(106, 10), &AppConfig::default(), &mut mgr, &mut ctrl);
+        let run =
+            run_managed_sequence_qos(seq(106, 10), &AppConfig::default(), &mut mgr, &mut ctrl);
         assert!(
             run.levels.iter().any(|&l| l != crate::qos::QosLevel::Full),
             "controller never degraded: {:?}",

@@ -15,7 +15,9 @@ pub struct Canvas {
 impl Canvas {
     /// Creates a canvas filled with `background`.
     pub fn new(width: usize, height: usize, background: f32) -> Self {
-        Self { img: ImageF32::filled(width, height, background) }
+        Self {
+            img: ImageF32::filled(width, height, background),
+        }
     }
 
     /// Canvas width.
@@ -48,7 +50,8 @@ impl Canvas {
                 let dy = y as f64 - cy;
                 let d2 = (dx * dx + dy * dy) as f32;
                 let v = self.img.get(x as usize, y as usize);
-                self.img.set(x as usize, y as usize, v - depth * (-d2 / s2).exp());
+                self.img
+                    .set(x as usize, y as usize, v - depth * (-d2 / s2).exp());
             }
         }
     }

@@ -22,12 +22,21 @@ pub const TRAIN_FRAMES: usize = 1921;
 ///
 /// `variant` cycles through five scenario archetypes; geometry parameters
 /// are perturbed per index so every sequence differs.
-fn corpus_sequence(index: usize, frames: usize, width: usize, height: usize, seed_base: u64) -> SequenceConfig {
+fn corpus_sequence(
+    index: usize,
+    frames: usize,
+    width: usize,
+    height: usize,
+    seed_base: u64,
+) -> SequenceConfig {
     let seed = seed_base.wrapping_add(index as u64 * 7919);
     let variant = index % 5;
     let scenario = match variant {
         // quiet baseline: moderate contrast, no episodes
-        0 => ScenarioConfig { base_contrast: 0.35, ..Default::default() },
+        0 => ScenarioConfig {
+            base_contrast: 0.35,
+            ..Default::default()
+        },
         // busy: high contrast, strong drift (heavy RDG load, long-term)
         1 => ScenarioConfig {
             base_contrast: 0.65,
@@ -39,8 +48,14 @@ fn corpus_sequence(index: usize, frames: usize, width: usize, height: usize, see
         2 => ScenarioConfig {
             base_contrast: 0.3,
             bolus: vec![
-                HiddenEpisode { start: frames / 5, len: frames / 6 },
-                HiddenEpisode { start: 3 * frames / 5, len: frames / 6 },
+                HiddenEpisode {
+                    start: frames / 5,
+                    len: frames / 6,
+                },
+                HiddenEpisode {
+                    start: 3 * frames / 5,
+                    len: frames / 6,
+                },
             ],
             ..Default::default()
         },
@@ -51,14 +66,23 @@ fn corpus_sequence(index: usize, frames: usize, width: usize, height: usize, see
             base_contrast: 0.5,
             drift_amp: 0.35,
             drift_period: 90.0,
-            hidden: vec![HiddenEpisode { start: frames / 6, len: frames / 2 }],
-            bolus: vec![HiddenEpisode { start: frames / 4, len: frames / 4 }],
+            hidden: vec![HiddenEpisode {
+                start: frames / 6,
+                len: frames / 2,
+            }],
+            bolus: vec![HiddenEpisode {
+                start: frames / 4,
+                len: frames / 4,
+            }],
             ..Default::default()
         },
         // panning: registration failures
         _ => ScenarioConfig {
             base_contrast: 0.4,
-            panning: vec![HiddenEpisode { start: frames / 2, len: 4 }],
+            panning: vec![HiddenEpisode {
+                start: frames / 2,
+                len: 4,
+            }],
             pan_speed: 6.0,
             ..Default::default()
         },
@@ -99,7 +123,9 @@ pub fn training_corpus(width: usize, height: usize) -> Vec<SequenceConfig> {
 /// A held-out test corpus with disjoint seeds (default: 8 sequences of 52
 /// frames).
 pub fn test_corpus(width: usize, height: usize) -> Vec<SequenceConfig> {
-    (0..8).map(|i| corpus_sequence(i, 52, width, height, 0xBEEF_0000)).collect()
+    (0..8)
+        .map(|i| corpus_sequence(i, 52, width, height, 0xBEEF_0000))
+        .collect()
 }
 
 /// A single long sequence for the Fig. 3 trace (1,750+ frames in the
@@ -160,8 +186,10 @@ mod tests {
     #[test]
     fn geometry_varies_across_corpus() {
         let corpus = training_corpus(128, 128);
-        let distances: std::collections::BTreeSet<u64> =
-            corpus.iter().map(|c| c.device.marker_distance as u64).collect();
+        let distances: std::collections::BTreeSet<u64> = corpus
+            .iter()
+            .map(|c| c.device.marker_distance as u64)
+            .collect();
         assert!(distances.len() >= 3, "marker distances {:?}", distances);
     }
 }

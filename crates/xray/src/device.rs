@@ -137,7 +137,11 @@ mod tests {
     use super::*;
 
     fn centered(w: usize) -> DeviceConfig {
-        DeviceConfig { center: (w as f64 / 2.0, w as f64 / 2.0), angle: 0.0, ..Default::default() }
+        DeviceConfig {
+            center: (w as f64 / 2.0, w as f64 / 2.0),
+            angle: 0.0,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -151,7 +155,11 @@ mod tests {
     #[test]
     fn motion_translates_markers() {
         let cfg = centered(128);
-        let m = MotionState { dx: 5.0, dy: -3.0, rot: 0.0 };
+        let m = MotionState {
+            dx: 5.0,
+            dy: -3.0,
+            rot: 0.0,
+        };
         let (a0, _) = marker_positions(&cfg, &MotionState::zero(), (64.0, 64.0));
         let (a1, _) = marker_positions(&cfg, &m, (64.0, 64.0));
         assert!((a1.0 - a0.0 - 5.0).abs() < 1e-9);
@@ -181,7 +189,10 @@ mod tests {
         render_device(&mut with, &cfg, &MotionState::zero());
         render_device(
             &mut without,
-            &DeviceConfig { stent_deployed: false, ..cfg },
+            &DeviceConfig {
+                stent_deployed: false,
+                ..cfg
+            },
             &MotionState::zero(),
         );
         // summed absorbance between the markers must be higher with stent
@@ -201,7 +212,11 @@ mod tests {
     fn render_returns_ground_truth_positions() {
         let mut canvas = Canvas::new(128, 128, 2000.0);
         let cfg = centered(128);
-        let m = MotionState { dx: 2.0, dy: 1.0, rot: 0.0 };
+        let m = MotionState {
+            dx: 2.0,
+            dy: 1.0,
+            rot: 0.0,
+        };
         let (a, b) = render_device(&mut canvas, &cfg, &m);
         let (pa, pb) = marker_positions(&cfg, &m, (64.0, 64.0));
         assert_eq!(a, pa);

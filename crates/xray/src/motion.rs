@@ -54,7 +54,11 @@ pub struct MotionState {
 impl MotionState {
     /// No motion.
     pub fn zero() -> Self {
-        Self { dx: 0.0, dy: 0.0, rot: 0.0 }
+        Self {
+            dx: 0.0,
+            dy: 0.0,
+            rot: 0.0,
+        }
     }
 
     /// Displacement magnitude.
@@ -107,7 +111,10 @@ mod tests {
 
     #[test]
     fn motion_is_periodic_without_jitter() {
-        let cfg = MotionConfig { jitter_std: 0.0, ..Default::default() };
+        let cfg = MotionConfig {
+            jitter_std: 0.0,
+            ..Default::default()
+        };
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         // cardiac 1.2 Hz at 30 fps: period 25 frames; respiratory 0.25 Hz:
         // period 120 frames; common period 600 frames
@@ -129,7 +136,11 @@ mod tests {
 
     #[test]
     fn apply_motion_translation_only() {
-        let m = MotionState { dx: 3.0, dy: -2.0, rot: 0.0 };
+        let m = MotionState {
+            dx: 3.0,
+            dy: -2.0,
+            rot: 0.0,
+        };
         let (x, y) = apply_motion(&m, 10.0, 10.0, 50.0, 50.0);
         assert!((x - 13.0).abs() < 1e-12);
         assert!((y - 8.0).abs() < 1e-12);
@@ -137,7 +148,11 @@ mod tests {
 
     #[test]
     fn apply_motion_rotation_about_center() {
-        let m = MotionState { dx: 0.0, dy: 0.0, rot: std::f64::consts::FRAC_PI_2 };
+        let m = MotionState {
+            dx: 0.0,
+            dy: 0.0,
+            rot: std::f64::consts::FRAC_PI_2,
+        };
         let (x, y) = apply_motion(&m, 60.0, 50.0, 50.0, 50.0);
         assert!((x - 50.0).abs() < 1e-9, "x {}", x);
         assert!((y - 60.0).abs() < 1e-9, "y {}", y);

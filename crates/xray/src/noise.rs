@@ -6,8 +6,8 @@
 //! Gaussian, which is accurate for the photon counts of interest.
 
 use imaging::image::ImageF32;
-use rand::Rng;
 use rand::distributions::Distribution;
+use rand::Rng;
 
 /// Noise model parameters.
 #[derive(Debug, Clone)]
@@ -20,7 +20,10 @@ pub struct NoiseConfig {
 
 impl Default for NoiseConfig {
     fn default() -> Self {
-        Self { quantum_scale: 1.2, electronic_std: 4.0 }
+        Self {
+            quantum_scale: 1.2,
+            electronic_std: 4.0,
+        }
     }
 }
 
@@ -77,7 +80,11 @@ mod tests {
         let n = 20000;
         let samples: Vec<f32> = (0..n).map(|_| normal.sample(&mut rng)).collect();
         let mean = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
-        let var = samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&v| (v as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.03, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }
@@ -85,7 +92,10 @@ mod tests {
     #[test]
     fn noise_std_scales_with_signal() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let cfg = NoiseConfig { quantum_scale: 1.5, electronic_std: 1.0 };
+        let cfg = NoiseConfig {
+            quantum_scale: 1.5,
+            electronic_std: 1.0,
+        };
         let mut dark = ImageF32::filled(64, 64, 100.0);
         let mut bright = ImageF32::filled(64, 64, 3000.0);
         add_noise(&mut dark, &cfg, &mut rng);
@@ -122,7 +132,14 @@ mod tests {
     fn negative_input_treated_as_zero_signal() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let mut img = ImageF32::filled(32, 32, -50.0);
-        add_noise(&mut img, &NoiseConfig { quantum_scale: 2.0, electronic_std: 1.0 }, &mut rng);
+        add_noise(
+            &mut img,
+            &NoiseConfig {
+                quantum_scale: 2.0,
+                electronic_std: 1.0,
+            },
+            &mut rng,
+        );
         // only the electronic floor remains
         assert!(std_of(&img) < 2.0);
     }

@@ -37,7 +37,14 @@ pub struct PhantomConfig {
 
 impl Default for PhantomConfig {
     fn default() -> Self {
-        Self { branches: 3, fork_prob: 0.02, step: 4.0, wiggle: 0.25, sigma: 2.2, depth: 500.0 }
+        Self {
+            branches: 3,
+            fork_prob: 0.02,
+            step: 4.0,
+            wiggle: 0.25,
+            sigma: 2.2,
+            depth: 500.0,
+        }
     }
 }
 
@@ -91,7 +98,11 @@ pub fn generate_tree(
                 });
             }
         }
-        vessels.push(Vessel { path, sigma: cfg.sigma, depth: cfg.depth });
+        vessels.push(Vessel {
+            path,
+            sigma: cfg.sigma,
+            depth: cfg.depth,
+        });
     }
     vessels
 }
@@ -126,7 +137,11 @@ mod tests {
     fn branches_have_substance() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let v = generate_tree(256, 256, &PhantomConfig::default(), &mut rng);
-        assert!(total_length(&v) > 200.0, "total length {}", total_length(&v));
+        assert!(
+            total_length(&v) > 200.0,
+            "total length {}",
+            total_length(&v)
+        );
         for vessel in &v {
             assert!(vessel.path.len() >= 2);
             assert!(vessel.sigma > 0.0);
@@ -138,8 +153,24 @@ mod tests {
     fn more_branches_more_structure() {
         let mut rng1 = rand::rngs::StdRng::seed_from_u64(5);
         let mut rng2 = rand::rngs::StdRng::seed_from_u64(5);
-        let sparse = generate_tree(256, 256, &PhantomConfig { branches: 1, ..Default::default() }, &mut rng1);
-        let dense = generate_tree(256, 256, &PhantomConfig { branches: 8, ..Default::default() }, &mut rng2);
+        let sparse = generate_tree(
+            256,
+            256,
+            &PhantomConfig {
+                branches: 1,
+                ..Default::default()
+            },
+            &mut rng1,
+        );
+        let dense = generate_tree(
+            256,
+            256,
+            &PhantomConfig {
+                branches: 8,
+                ..Default::default()
+            },
+            &mut rng2,
+        );
         assert!(total_length(&dense) > total_length(&sparse));
     }
 
@@ -163,7 +194,16 @@ mod tests {
     #[test]
     fn paths_start_on_border() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-        let v = generate_tree(200, 200, &PhantomConfig { branches: 6, fork_prob: 0.0, ..Default::default() }, &mut rng);
+        let v = generate_tree(
+            200,
+            200,
+            &PhantomConfig {
+                branches: 6,
+                fork_prob: 0.0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         for vessel in &v {
             let (x, y) = vessel.path[0];
             let on_border = x.abs() < 1e-9

@@ -63,7 +63,9 @@ impl Default for ScenarioConfig {
 }
 
 fn in_episode(episodes: &[HiddenEpisode], frame: usize) -> bool {
-    episodes.iter().any(|e| frame >= e.start && frame < e.start + e.len)
+    episodes
+        .iter()
+        .any(|e| frame >= e.start && frame < e.start + e.len)
 }
 
 /// The evaluated content state of one frame.
@@ -90,7 +92,11 @@ pub struct ScenarioProcess {
 impl ScenarioProcess {
     /// Creates the process for a given script.
     pub fn new(cfg: ScenarioConfig) -> Self {
-        Self { cfg, ar_state: 0.0, accumulated_pan: 0.0 }
+        Self {
+            cfg,
+            ar_state: 0.0,
+            accumulated_pan: 0.0,
+        }
     }
 
     /// The script driving this process.
@@ -194,10 +200,17 @@ mod tests {
         // autocorrelation of the contrast series at lag 1 must be high when
         // the AR pole is high (this is the property the Markov/EWMA split
         // of the paper relies on)
-        let cfg = ScenarioConfig { ar_pole: 0.95, ar_std: 0.05, drift_amp: 0.0, ..Default::default() };
+        let cfg = ScenarioConfig {
+            ar_pole: 0.95,
+            ar_std: 0.05,
+            drift_amp: 0.0,
+            ..Default::default()
+        };
         let mut p = ScenarioProcess::new(cfg);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
-        let xs: Vec<f64> = (0..500).map(|f| p.step(f, &mut rng).vessel_contrast).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|f| p.step(f, &mut rng).vessel_contrast)
+            .collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
         let cov1 = xs

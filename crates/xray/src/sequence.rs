@@ -96,7 +96,12 @@ impl SequenceGenerator {
         let mut tree_rng = rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_mul(0x9E37_79B9));
         let vessels = generate_tree(cfg.width, cfg.height, &cfg.phantom, &mut tree_rng);
         let scenario = ScenarioProcess::new(cfg.scenario.clone());
-        Self { cfg, vessels, scenario, next_frame: 0 }
+        Self {
+            cfg,
+            vessels,
+            scenario,
+            next_frame: 0,
+        }
     }
 
     /// The effective configuration (with the resolved device center).
@@ -124,7 +129,9 @@ impl SequenceGenerator {
             let moved: Vec<(f64, f64)> = vessel
                 .path
                 .iter()
-                .map(|&(x, y)| crate::motion::apply_motion(&motion, x, y, frame_center.0, frame_center.1))
+                .map(|&(x, y)| {
+                    crate::motion::apply_motion(&motion, x, y, frame_center.0, frame_center.1)
+                })
                 .collect();
             let depth = vessel.depth * content.vessel_contrast as f32;
             if depth > 1.0 {
@@ -145,7 +152,12 @@ impl SequenceGenerator {
         Frame {
             index,
             image,
-            truth: GroundTruth { marker_a, marker_b, content: *content, motion },
+            truth: GroundTruth {
+                marker_a,
+                marker_b,
+                content: *content,
+                motion,
+            },
         }
     }
 }
@@ -161,7 +173,10 @@ impl Iterator for SequenceGenerator {
         self.next_frame += 1;
         // deterministic per-frame RNG derived from the master seed
         let mut rng = rand::rngs::StdRng::seed_from_u64(
-            self.cfg.seed.wrapping_mul(0x5851_F42D_4C95_7F2D).wrapping_add(index as u64),
+            self.cfg
+                .seed
+                .wrapping_mul(0x5851_F42D_4C95_7F2D)
+                .wrapping_add(index as u64),
         );
         let content = self.scenario.step(index, &mut rng);
         Some(self.render(index, &content, &mut rng))
@@ -180,7 +195,13 @@ mod tests {
     use crate::scenario::HiddenEpisode;
 
     fn small_cfg(seed: u64) -> SequenceConfig {
-        SequenceConfig { width: 128, height: 128, frames: 6, seed, ..Default::default() }
+        SequenceConfig {
+            width: 128,
+            height: 128,
+            frames: 6,
+            seed,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -207,15 +228,23 @@ mod tests {
     #[test]
     fn markers_are_dark_spots_at_truth_positions() {
         let cfg = SequenceConfig {
-            noise: NoiseConfig { quantum_scale: 0.0, electronic_std: 0.0 },
+            noise: NoiseConfig {
+                quantum_scale: 0.0,
+                electronic_std: 0.0,
+            },
             ..small_cfg(2)
         };
         let frame = SequenceGenerator::new(cfg).next().unwrap();
         let (ax, ay) = frame.truth.marker_a.unwrap();
         let marker_val = frame.image.get(ax.round() as usize, ay.round() as usize) as f64;
         // background nearby (20 px off-axis)
-        let bg_val = frame.image.get((ax + 20.0).round() as usize, ay.round() as usize) as f64;
-        assert!(marker_val < bg_val - 300.0, "marker {marker_val} bg {bg_val}");
+        let bg_val = frame
+            .image
+            .get((ax + 20.0).round() as usize, ay.round() as usize) as f64;
+        assert!(
+            marker_val < bg_val - 300.0,
+            "marker {marker_val} bg {bg_val}"
+        );
     }
 
     #[test]
@@ -250,11 +279,18 @@ mod tests {
     fn bolus_frames_have_more_vessel_signal() {
         let mk = |bolus: bool| {
             let cfg = SequenceConfig {
-                noise: NoiseConfig { quantum_scale: 0.0, electronic_std: 0.0 },
+                noise: NoiseConfig {
+                    quantum_scale: 0.0,
+                    electronic_std: 0.0,
+                },
                 scenario: ScenarioConfig {
                     ar_std: 0.0,
                     drift_amp: 0.0,
-                    bolus: if bolus { vec![HiddenEpisode { start: 0, len: 2 }] } else { vec![] },
+                    bolus: if bolus {
+                        vec![HiddenEpisode { start: 0, len: 2 }]
+                    } else {
+                        vec![]
+                    },
                     ..Default::default()
                 },
                 ..small_cfg(7)

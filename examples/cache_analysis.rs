@@ -42,7 +42,11 @@ fn main() {
             m.input / 1024,
             m.intermediate / 1024,
             m.output / 1024,
-            if m.overflows(arch.l2.capacity) { "OVERFLOWS L2" } else { "fits L2" }
+            if m.overflows(arch.l2.capacity) {
+                "OVERFLOWS L2"
+            } else {
+                "fits L2"
+            }
         );
     }
 

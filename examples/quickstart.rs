@@ -25,7 +25,10 @@ fn main() {
     };
 
     // 2. Profile the dynamic pipeline over it (serial execution).
-    println!("profiling {} frames of the stent-enhancement pipeline...", sequence.frames);
+    println!(
+        "profiling {} frames of the stent-enhancement pipeline...",
+        sequence.frames
+    );
     let profile = run_sequence(sequence, &AppConfig::default(), &ExecutionPolicy::default());
     let summary = profile.trace.latency_summary();
     println!(
@@ -33,11 +36,17 @@ fn main() {
         summary.mean, summary.min, summary.max
     );
     let hist = profile.trace.scenario_histogram();
-    println!("  scenario occupancy (of 8 switch combinations): {:?}", hist);
+    println!(
+        "  scenario occupancy (of 8 switch combinations): {:?}",
+        hist
+    );
 
     // 3. Train the Triple-C model on the profile.
     let cfg = TripleCConfig {
-        geometry: triple_c::triplec::FrameGeometry { width: SIZE, height: SIZE },
+        geometry: triple_c::triplec::FrameGeometry {
+            width: SIZE,
+            height: SIZE,
+        },
         ..Default::default()
     };
     let model = TripleC::train(&profile.task_series(), &profile.scenarios, cfg);
@@ -47,15 +56,23 @@ fn main() {
     }
 
     // 4. Predict the next frame's resources for the worst-case scenario.
-    let ctx = PredictContext { roi_kpixels: (SIZE * SIZE) as f64 / 1000.0 };
+    let ctx = PredictContext {
+        roi_kpixels: (SIZE * SIZE) as f64 / 1000.0,
+    };
     let prediction = model.predict_frame(Scenario::worst_case(), &ctx, 0.25);
     println!("\nworst-case scenario prediction:");
     for (task, ms) in &prediction.task_times {
         println!("  {task:<10} {ms:>7.2} ms");
     }
     println!("  total      {:>7.2} ms", prediction.total_ms);
-    println!("  inter-task bandwidth {:>8.1} MB/s", prediction.inter_task_bw / 1e6);
-    println!("  intra-task bandwidth {:>8.1} MB/s", prediction.intra_task_bw / 1e6);
+    println!(
+        "  inter-task bandwidth {:>8.1} MB/s",
+        prediction.inter_task_bw / 1e6
+    );
+    println!(
+        "  intra-task bandwidth {:>8.1} MB/s",
+        prediction.intra_task_bw / 1e6
+    );
     println!(
         "\nframe period at 30 Hz is {:.1} ms -> {}",
         model.frame_period_ms(),

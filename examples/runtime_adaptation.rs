@@ -20,8 +20,14 @@ fn dynamic_sequence(size: usize, frames: usize, seed: u64) -> SequenceConfig {
         frames,
         seed,
         scenario: ScenarioConfig {
-            bolus: vec![HiddenEpisode { start: frames / 4, len: frames / 6 }],
-            panning: vec![HiddenEpisode { start: frames / 2, len: 3 }],
+            bolus: vec![HiddenEpisode {
+                start: frames / 4,
+                len: frames / 6,
+            }],
+            panning: vec![HiddenEpisode {
+                start: frames / 2,
+                len: 3,
+            }],
             ..Default::default()
         },
         ..Default::default()
@@ -35,11 +41,15 @@ fn main() {
 
     // training corpus: same content family, disjoint seeds
     println!("training Triple-C on 3 x 40 frames...");
-    let corpus: Vec<SequenceConfig> =
-        (0..3).map(|i| dynamic_sequence(SIZE, 40, 700 + i)).collect();
+    let corpus: Vec<SequenceConfig> = (0..3)
+        .map(|i| dynamic_sequence(SIZE, 40, 700 + i))
+        .collect();
     let profile = run_corpus(corpus, &app, &ExecutionPolicy::default());
     let cfg = TripleCConfig {
-        geometry: triple_c::triplec::FrameGeometry { width: SIZE, height: SIZE },
+        geometry: triple_c::triplec::FrameGeometry {
+            width: SIZE,
+            height: SIZE,
+        },
         ..Default::default()
     };
     let model = TripleC::train(&profile.task_series(), &profile.scenarios, cfg);
@@ -60,17 +70,35 @@ fn main() {
     // line holds early frames at the budget (frame 0 initializes it)
     let budget = manager.budget().expect("budget set after first frame");
     let delay = DelayLine::new(budget.target_ms);
-    let output_lat: Vec<f64> =
-        managed_lat.iter().skip(1).map(|&c| delay.output_latency(c)).collect();
+    let output_lat: Vec<f64> = managed_lat
+        .iter()
+        .skip(1)
+        .map(|&c| delay.output_latency(c))
+        .collect();
 
     let b = platform_summary(&base_lat);
     let m = platform_summary(&output_lat);
     println!("\n                      mean      min      max   (max-mean)/mean");
-    println!("straightforward  {:>8.1} {:>8.1} {:>8.1}   {:>6.0}%", b.0, b.1, b.2, b.3 * 100.0);
-    println!("semi-auto output {:>8.1} {:>8.1} {:>8.1}   {:>6.0}%", m.0, m.1, m.2, m.3 * 100.0);
+    println!(
+        "straightforward  {:>8.1} {:>8.1} {:>8.1}   {:>6.0}%",
+        b.0,
+        b.1,
+        b.2,
+        b.3 * 100.0
+    );
+    println!(
+        "semi-auto output {:>8.1} {:>8.1} {:>8.1}   {:>6.0}%",
+        m.0,
+        m.1,
+        m.2,
+        m.3 * 100.0
+    );
 
     let red = jitter_reduction(&jitter(&base_lat), &jitter(&output_lat));
-    println!("\njitter (std) reduction: {:.0}% (paper reports ~70%)", red * 100.0);
+    println!(
+        "\njitter (std) reduction: {:.0}% (paper reports ~70%)",
+        red * 100.0
+    );
     println!(
         "prediction accuracy over the run: {:.1}% (paper reports 97%)",
         manager.accuracy().mean_accuracy * 100.0

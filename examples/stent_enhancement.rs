@@ -21,7 +21,11 @@ fn main() -> std::io::Result<()> {
     };
 
     let app = AppConfig::default();
-    let policy = ExecutionPolicy { rdg_stripes: 2, aux_stripes: 2, cores: 8 };
+    let policy = ExecutionPolicy {
+        rdg_stripes: 2,
+        aux_stripes: 2,
+        cores: 8,
+    };
     let mut state = AppState::new(SIZE, SIZE);
 
     let out_dir = std::env::temp_dir().join("triple_c_stent");
@@ -53,7 +57,11 @@ fn main() -> std::io::Result<()> {
             u8::from(out.scenario.roi_estimated),
             u8::from(out.scenario.reg_successful),
             out.record.latency_ms,
-            if out.couple_found { "  [markers locked]" } else { "" }
+            if out.couple_found {
+                "  [markers locked]"
+            } else {
+                ""
+            }
         );
     }
 
@@ -67,7 +75,10 @@ fn main() -> std::io::Result<()> {
         Some(display) => {
             let p = out_dir.join("enhanced_stent.pgm");
             write_pgm8(&p, display, None)?;
-            println!("wrote {} (motion-compensated, temporally integrated, zoomed)", p.display());
+            println!(
+                "wrote {} (motion-compensated, temporally integrated, zoomed)",
+                p.display()
+            );
         }
         None => println!("no enhanced output was produced (registration never succeeded)"),
     }

@@ -77,7 +77,11 @@ fn detect_motion_objects(
     let mut peaks = 0usize;
     for y in roi.y.max(1)..roi.bottom().min(SIZE - 1) {
         for x in roi.x.max(1)..roi.right().min(SIZE - 1) {
-            let r = blob_response(hessian.ixx.get(x, y), hessian.iyy.get(x, y), hessian.ixy.get(x, y));
+            let r = blob_response(
+                hessian.ixx.get(x, y),
+                hessian.iyy.get(x, y),
+                hessian.ixy.get(x, y),
+            );
             if r > 15.0 {
                 let mut is_max = true;
                 for dy in -1i64..=1 {
@@ -86,9 +90,15 @@ fn detect_motion_objects(
                             continue;
                         }
                         let n = blob_response(
-                            hessian.ixx.get((x as i64 + dx) as usize, (y as i64 + dy) as usize),
-                            hessian.iyy.get((x as i64 + dx) as usize, (y as i64 + dy) as usize),
-                            hessian.ixy.get((x as i64 + dx) as usize, (y as i64 + dy) as usize),
+                            hessian
+                                .ixx
+                                .get((x as i64 + dx) as usize, (y as i64 + dy) as usize),
+                            hessian
+                                .iyy
+                                .get((x as i64 + dx) as usize, (y as i64 + dy) as usize),
+                            hessian
+                                .ixy
+                                .get((x as i64 + dx) as usize, (y as i64 + dy) as usize),
                         );
                         if n > r {
                             is_max = false;

@@ -17,8 +17,8 @@
 //! EXPERIMENTS.md for the experiment index.
 
 pub use imaging;
-pub use platform;
 pub use pipeline;
+pub use platform;
 pub use runtime;
 pub use triplec;
 pub use xray;

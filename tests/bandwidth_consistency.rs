@@ -6,7 +6,10 @@ use triple_c::triplec::bandwidth_model::{scenario_edges, scenario_inter_task_ban
 use triple_c::triplec::memory_model::FrameGeometry;
 use triple_c::triplec::scenario::Scenario;
 
-const GEOM: FrameGeometry = FrameGeometry { width: 512, height: 512 };
+const GEOM: FrameGeometry = FrameGeometry {
+    width: 512,
+    height: 512,
+};
 
 /// Every bandwidth edge must connect tasks that are actually live in the
 /// scenario (INPUT/OUTPUT endpoints aside).
@@ -53,13 +56,19 @@ fn switches_monotonically_add_bandwidth() {
         let bw = scenario_inter_task_bandwidth(s, GEOM, 0.2);
         // turning REG success on adds ENH/ZOOM edges
         if !s.reg_successful {
-            let on = Scenario { reg_successful: true, ..s };
+            let on = Scenario {
+                reg_successful: true,
+                ..s
+            };
             let bw_on = scenario_inter_task_bandwidth(on, GEOM, 0.2);
             assert!(bw_on > bw, "scenario {id}: REG-on did not add bandwidth");
         }
         // turning RDG on adds the ridge edges
         if !s.rdg_active {
-            let on = Scenario { rdg_active: true, ..s };
+            let on = Scenario {
+                rdg_active: true,
+                ..s
+            };
             let bw_on = scenario_inter_task_bandwidth(on, GEOM, 0.2);
             assert!(bw_on > bw, "scenario {id}: RDG-on did not add bandwidth");
         }

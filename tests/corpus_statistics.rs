@@ -56,7 +56,10 @@ fn marker_motion_in_plausible_range() {
     let max = moves.iter().copied().fold(0.0, f64::max);
     let mean = moves.iter().sum::<f64>() / moves.len() as f64;
     assert!(mean > 0.05, "markers essentially static: mean {mean:.3}");
-    assert!(max < SIZE as f64 / 4.0, "motion implausibly large: max {max:.1}");
+    assert!(
+        max < SIZE as f64 / 4.0,
+        "motion implausibly large: max {max:.1}"
+    );
 }
 
 /// Determinism across the corpus boundary: regenerating a sequence yields
@@ -64,7 +67,9 @@ fn marker_motion_in_plausible_range() {
 #[test]
 fn corpus_sequences_regenerate_identically() {
     let cfg = training_corpus(SIZE, SIZE).into_iter().nth(2).unwrap();
-    let a: Vec<_> = SequenceGenerator::new(cfg.clone()).map(|f| f.image).collect();
+    let a: Vec<_> = SequenceGenerator::new(cfg.clone())
+        .map(|f| f.image)
+        .collect();
     let b: Vec<_> = SequenceGenerator::new(cfg).map(|f| f.image).collect();
     assert_eq!(a, b);
 }

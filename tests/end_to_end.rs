@@ -17,7 +17,10 @@ fn sequence(seed: u64, frames: usize) -> SequenceConfig {
         height: SIZE,
         frames,
         seed,
-        noise: NoiseConfig { quantum_scale: 0.3, electronic_std: 2.0 },
+        noise: NoiseConfig {
+            quantum_scale: 0.3,
+            electronic_std: 2.0,
+        },
         ..Default::default()
     }
 }
@@ -49,7 +52,10 @@ fn detected_markers_match_ground_truth() {
             checked += 1;
         }
     }
-    assert!(checked >= 4, "tracking established in only {checked} frames");
+    assert!(
+        checked >= 4,
+        "tracking established in only {checked} frames"
+    );
 }
 
 /// Training on a profile and predicting on the same distribution must give
@@ -60,7 +66,10 @@ fn trained_model_predicts_its_own_distribution() {
     let app = AppConfig::default();
     let profile = run_sequence(sequence(72, 20), &app, &ExecutionPolicy::default());
     let cfg = TripleCConfig {
-        geometry: triple_c::triplec::FrameGeometry { width: SIZE, height: SIZE },
+        geometry: triple_c::triplec::FrameGeometry {
+            width: SIZE,
+            height: SIZE,
+        },
         ..Default::default()
     };
     let model = TripleC::train(&profile.task_series(), &profile.scenarios, cfg);
@@ -86,7 +95,10 @@ fn managed_band_not_wider_than_serial() {
 
     let profile = run_sequence(sequence(74, 16), &app, &ExecutionPolicy::default());
     let cfg = TripleCConfig {
-        geometry: triple_c::triplec::FrameGeometry { width: SIZE, height: SIZE },
+        geometry: triple_c::triplec::FrameGeometry {
+            width: SIZE,
+            height: SIZE,
+        },
         ..Default::default()
     };
     let model = TripleC::train(&profile.task_series(), &profile.scenarios, cfg);

@@ -3,9 +3,9 @@
 //! silently drift from the implementation.
 
 use triple_c::imaging::enhance::EnhState;
+use triple_c::imaging::image::Image;
 use triple_c::imaging::markers::MkxBuffers;
 use triple_c::imaging::ridge::{rdg_full, RdgBuffers, RdgConfig};
-use triple_c::imaging::image::Image;
 use triple_c::triplec::memory_model::{implementation_table, lookup, per_pixel, FrameGeometry};
 
 const W: usize = 128;
@@ -56,7 +56,10 @@ fn enh_intermediate_formula_matches_state() {
 
 #[test]
 fn table_rows_use_the_pinned_formulas() {
-    let geom = FrameGeometry { width: W, height: H };
+    let geom = FrameGeometry {
+        width: W,
+        height: H,
+    };
     let table = implementation_table(geom, 64);
     let rdg = lookup(&table, "RDG_FULL", true).unwrap();
     assert_eq!(rdg.intermediate, RdgBuffers::new(W, H).byte_size());

@@ -4,13 +4,33 @@ use proptest::prelude::*;
 use triple_c::imaging::image::Roi;
 use triple_c::imaging::registration::RigidTransform;
 use triple_c::pipeline::latency::DelayLine;
-use triple_c::platform::cache::CacheSim;
 use triple_c::platform::arch::CacheGeometry;
+use triple_c::platform::cache::CacheSim;
 use triple_c::triplec::accuracy::accuracy;
 use triple_c::triplec::ewma::Ewma;
 use triple_c::triplec::markov::MarkovChain;
 use triple_c::triplec::quantize::Quantizer;
 use triple_c::triplec::scenario::Scenario;
+
+/// Historical regression pinned from `proptest_invariants.proptest-regressions`
+/// (seed `cc 37170e...`, shrunk to `samples = [0.0], probe = 0.0, states = 2`):
+/// training a 2-state quantizer on a single sample used to place a cut at the
+/// lone order statistic, producing an empty top interval whose representative
+/// broke `state_of`/`reconstruct` idempotence. Fixed by the `n < 2` guard in
+/// `Quantizer::train` (cuts need two order statistics); kept as an explicit
+/// test because the vendored offline proptest does not replay regression
+/// files.
+#[test]
+fn quantizer_single_sample_two_states_regression() {
+    let q = Quantizer::train(&[0.0], 2);
+    let s = q.state_of(0.0);
+    assert!(s < q.states());
+    let r = q.reconstruct(0.0);
+    assert_eq!(q.reconstruct(r), r);
+    // the degenerate training set collapses to a single state
+    assert_eq!(q.states(), 1);
+    assert_eq!(r, 0.0);
+}
 
 proptest! {
     /// Eq. 2 estimation always yields a row-stochastic matrix.

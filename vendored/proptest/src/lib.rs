@@ -1,0 +1,267 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! Supports the surface this workspace uses: the `proptest!` macro over
+//! functions whose arguments are `ident in strategy` bindings, range
+//! strategies for ints and floats, `any::<bool>()`, tuple strategies, and
+//! `prop::collection::vec`. Each test runs `PROPTEST_CASES` (default 64)
+//! deterministic seeded cases. Failing inputs are reported via `Debug`;
+//! there is no shrinking, and `.proptest-regressions` seed files are not
+//! replayed — regressions worth pinning are promoted to explicit unit
+//! tests instead (see `tests/proptest_invariants.rs`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+pub use rand::SeedableRng;
+
+/// A generator of values of `Value`.
+pub trait Strategy {
+    type Value: std::fmt::Debug;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy for "any value of T"; only the types the tests draw are wired.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Failure raised by `prop_assert!`/`prop_assert_eq!`; carries the message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+pub mod test_runner {
+    use super::{Strategy, TestCaseResult};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    pub struct TestRunner {
+        cases: u64,
+        seed: u64,
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            TestRunner {
+                cases,
+                // Fixed base seed: deterministic across runs and machines.
+                seed: 0x7419_13C0_DE00_0001,
+            }
+        }
+    }
+
+    impl TestRunner {
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> TestCaseResult,
+        ) -> Result<(), String> {
+            for case in 0..self.cases {
+                let mut rng =
+                    StdRng::seed_from_u64(self.seed ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+                let value = strategy.generate(&mut rng);
+                let shown = format!("{value:?}");
+                if let Err(e) = test(value) {
+                    return Err(format!(
+                        "proptest case {case}/{} failed: {}\n  input: {}",
+                        self.cases, e.0, shown
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Strategy};
+
+    /// Mirror of upstream's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Assert inside a proptest body; on failure returns a `TestCaseError`
+/// from the enclosing generated closure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block macro: wraps each `fn name(arg in strategy, ..)`
+/// into a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)+);
+                let mut runner = $crate::test_runner::TestRunner::default();
+                let result = runner.run(&strategy, |($($arg,)+)| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                });
+                if let Err(msg) = result {
+                    panic!("{}", msg);
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn vec_strategy_len(v in prop::collection::vec(0u64..1u64 << 16, 1..50)) {
+            prop_assert!(!v.is_empty() && v.len() < 50);
+            prop_assert!(v.iter().all(|&x| x < (1 << 16)));
+        }
+
+        #[test]
+        fn tuple_in_vec(addrs in prop::collection::vec((0u64..256, any::<bool>()), 1..20)) {
+            for &(a, _w) in &addrs {
+                prop_assert!(a < 256);
+            }
+            prop_assert_eq!(addrs.len(), addrs.len());
+        }
+    }
+
+    #[test]
+    fn failing_property_reports_input() {
+        let mut runner = crate::test_runner::TestRunner::default();
+        let err = runner
+            .run(&(0usize..10,), |(x,)| {
+                crate::prop_assert!(x < 5, "x = {x}");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.contains("input:"), "{err}");
+    }
+}
