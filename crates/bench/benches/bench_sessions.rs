@@ -1,0 +1,97 @@
+//! Multi-stream session benchmark: aggregate throughput and per-stream
+//! tail latency at 1, 2, 4 and 8 concurrent streams.
+//!
+//! Each stream runs the same managed closed loop (own manager + model
+//! instance) over its own synthetic sequence; the `SessionScheduler`
+//! admits them against a shared 8-core modelled budget and executes them
+//! concurrently on host threads over the shared stripe pool.
+//!
+//! Emits one JSON line per stream count:
+//! `{"name", "streams", "frames", "wall_ms", "aggregate_fps",
+//!   "mean_p99_ms", "p99_ms_per_stream"}`.
+//! `BENCH_sessions.json` is produced by running with
+//! `SESSIONS_JSON=BENCH_sessions.json`.
+
+use pipeline::app::AppConfig;
+use pipeline::executor::ExecutionPolicy;
+use pipeline::runner::run_sequence;
+use runtime::{FairnessPolicy, SessionConfig, SessionScheduler, StreamSpec};
+use std::io::Write;
+use triplec::triple::{TripleC, TripleCConfig};
+use xray::{NoiseConfig, SequenceConfig};
+
+const WIDTH: usize = 128;
+const HEIGHT: usize = 128;
+const FRAMES: usize = 10;
+
+fn seq(seed: u64) -> SequenceConfig {
+    SequenceConfig {
+        width: WIDTH,
+        height: HEIGHT,
+        frames: FRAMES,
+        seed,
+        noise: NoiseConfig {
+            quantum_scale: 0.3,
+            electronic_std: 2.0,
+        },
+        ..Default::default()
+    }
+}
+
+fn trained_model() -> TripleC {
+    let profile = run_sequence(seq(900), &AppConfig::default(), &ExecutionPolicy::default());
+    let cfg = TripleCConfig {
+        geometry: triplec::FrameGeometry {
+            width: WIDTH,
+            height: HEIGHT,
+        },
+        ..Default::default()
+    };
+    TripleC::train(&profile.task_series(), &profile.scenarios, cfg)
+}
+
+fn main() {
+    let model = trained_model();
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("# bench_sessions: {host} host core(s), {FRAMES} frames/stream");
+
+    let mut lines = Vec::new();
+    for &streams in &[1usize, 2, 4, 8] {
+        let specs: Vec<StreamSpec> = (0..streams)
+            .map(|i| StreamSpec::new(seq(1000 + i as u64), AppConfig::default(), model.clone()))
+            .collect();
+        let cfg = SessionConfig {
+            total_cores: 8,
+            fairness: FairnessPolicy::EqualShare,
+            max_concurrent: streams,
+        };
+        let report = SessionScheduler::new(cfg).run(specs);
+        let p99s: Vec<f64> = report.streams.iter().map(|s| s.p99_wall_ms()).collect();
+        let mean_p99 = p99s.iter().sum::<f64>() / p99s.len() as f64;
+        let line = format!(
+            "{{\"name\": \"sessions/streams/{streams}\", \"streams\": {streams}, \
+             \"frames\": {}, \"wall_ms\": {:.1}, \"aggregate_fps\": {:.2}, \
+             \"mean_p99_ms\": {:.2}, \"p99_ms_per_stream\": [{}]}}",
+            report.total_frames,
+            report.wall_ms,
+            report.aggregate_fps,
+            mean_p99,
+            p99s.iter()
+                .map(|p| format!("{p:.2}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        println!("{line}");
+        lines.push(line);
+    }
+
+    if let Ok(path) = std::env::var("SESSIONS_JSON") {
+        let mut f = std::fs::File::create(&path).expect("create SESSIONS_JSON file");
+        for line in &lines {
+            writeln!(f, "{line}").expect("write SESSIONS_JSON");
+        }
+        eprintln!("# wrote {path}");
+    }
+}

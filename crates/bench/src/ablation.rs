@@ -9,6 +9,7 @@ use pipeline::runner::profile_rdg_direct;
 use triplec::accuracy::evaluate;
 use triplec::ewma::Ewma;
 use triplec::markov::MarkovChain;
+use triplec::model::ResourceModel;
 use triplec::predictor::{EwmaMarkovPredictor, PredictContext, Predictor};
 use triplec::quantize::Quantizer;
 use triplec::stats::mean;
@@ -316,7 +317,8 @@ pub fn online_training(cfg: &ExperimentConfig) -> (Vec<(&'static str, f64)>, Str
     let test: Vec<f64> = test_raw.iter().map(|&x| x * 1.4).collect();
 
     let eval = |online: bool| {
-        let mut p = EwmaMarkovPredictor::train(train, 0.2, 24, "RDG").with_online_training(online);
+        let mut p = EwmaMarkovPredictor::train(train, 0.2, 24, "RDG");
+        p.set_online_training(online);
         let ctx = PredictContext::default();
         for &x in &train[train.len().saturating_sub(10)..] {
             p.observe(x, &ctx);

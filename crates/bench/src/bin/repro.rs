@@ -1,7 +1,7 @@
 //! `repro` — regenerates the paper's tables and figures.
 //!
 //! Usage:
-//!   repro <experiment> [--size N] [--frames N] [--corpus-scale X] [--stripes a,b,..]
+//!   `repro <experiment> [--size N] [--frames N] [--corpus-scale X] [--stripes a,b,..]`
 //!
 //! Experiments: fig2 fig3 fig5 fig6 fig7 table1 table2 accuracy
 //!              bandwidth-accuracy ablation-alpha ablation-states

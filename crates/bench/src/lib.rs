@@ -15,7 +15,7 @@
 //! * [`ablation`] — alpha / state-count / decomposition / quantization /
 //!   Markov order / online training;
 //! * [`partitioning`] — data- vs. function-parallel scheduling (the
-//!   paper's [17] comparison).
+//!   paper's \[17\] comparison).
 //!
 //! Run everything with `cargo run --release -p triplec-bench --bin repro -- all`.
 

@@ -1,7 +1,7 @@
 //! Data-parallel vs. function-parallel partitioning (the comparison the
-//! paper cites as [17], van der Tol et al.: "For a comparison between
+//! paper cites as \[17\], van der Tol et al.: "For a comparison between
 //! data-parallel partitioning and function-parallel partitioning, we refer
-//! to [17]", Section 6).
+//! to \[17\]", Section 6).
 //!
 //! The same measured per-frame task times are scheduled three ways:
 //! serial, data-parallel (striping the stripable tasks) and

@@ -17,14 +17,17 @@
 //! * [`linear`] — the linear ROI-growth model of Eq. 3;
 //! * [`stats`] — autocorrelation analysis validating Markov suitability;
 //! * [`predictor`] — the per-task composite predictors of Table 2(b);
+//! * [`model`] — the unified [`ResourceModel`]
+//!   lifecycle (clone / snapshot / restore / online training) the
+//!   multi-stream runtime builds on;
 //! * [`scenario`] — the eight switch scenarios and the scenario-level
 //!   Markov chain ("scenario-based Markov chains");
 //! * [`memory_model`] — the Table 1 memory requirements;
 //! * [`bandwidth_model`] — inter-task (Fig. 2) and intra-task (Fig. 5)
 //!   bandwidth prediction on top of `triplec-platform`'s space-time model;
-//! * [`accuracy`] — the 97%/90% accuracy metrics of Section 7;
+//! * [`accuracy`](mod@accuracy) — the 97%/90% accuracy metrics of Section 7;
 //! * [`training`] — model selection and corpus training;
-//! * [`triple`] — the [`TripleC`](triple::TripleC) facade used by the
+//! * [`triple`] — the [`TripleC`] facade used by the
 //!   runtime manager.
 
 pub mod accuracy;
@@ -34,6 +37,7 @@ pub mod linear;
 pub mod markov;
 pub mod markov_high;
 pub mod memory_model;
+pub mod model;
 pub mod predictor;
 pub mod quantize;
 pub mod scenario;
@@ -41,16 +45,17 @@ pub mod stats;
 pub mod training;
 pub mod triple;
 
-pub use accuracy::{accuracy, evaluate, AccuracyReport};
+pub use accuracy::{accuracy, evaluate, AccuracyReport, PredictionLog, PredictionLogHandle};
 pub use ewma::{decompose, Ewma};
 pub use linear::LinearModel;
 pub use markov::MarkovChain;
 pub use markov_high::HigherOrderChain;
 pub use memory_model::{implementation_table, paper_table1, FrameGeometry, TaskMemory};
+pub use model::{ModelSnapshot, ResourceModel};
 pub use predictor::{
     ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, PredictContext, Predictor,
 };
 pub use quantize::Quantizer;
 pub use scenario::{Scenario, ScenarioChain, TASKS};
 pub use training::{train_auto, ModelKind, TaskSeries, TrainingConfig};
-pub use triple::{FramePrediction, TripleC, TripleCConfig};
+pub use triple::{FramePrediction, TripleC, TripleCConfig, TripleCSnapshot};

@@ -1,0 +1,249 @@
+//! The unified per-task resource-model lifecycle.
+//!
+//! [`ResourceModel`] extends the bare prediction interface
+//! ([`Predictor`]) with the state lifecycle a multi-stream runtime
+//! needs: every model instance is **cloneable** (each stream owns an
+//! independent copy), **snapshottable** (prediction state can be captured
+//! and restored bit-exactly, e.g. for speculative planning or stream
+//! migration) and **independently trainable** (online adaptation is a
+//! runtime switch per instance, not a construction-time builder).
+//!
+//! The three predictor classes of Table 2(b) implement it:
+//! [`ConstantPredictor`], [`EwmaMarkovPredictor`] and
+//! [`LinearMarkovPredictor`]; the [`TripleC`](crate::triple::TripleC)
+//! facade composes them and exposes the same lifecycle at whole-model
+//! granularity.
+
+use crate::predictor::{ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, Predictor};
+
+/// An opaque capture of one model's mutable prediction state.
+///
+/// Produced by [`ResourceModel::snapshot`] and consumed by
+/// [`ResourceModel::restore`]; restoring a snapshot into a model of a
+/// different class is a programming error and panics.
+#[derive(Debug, Clone)]
+pub enum ModelSnapshot {
+    /// Snapshot of a [`ConstantPredictor`].
+    Constant(ConstantPredictor),
+    /// Snapshot of an [`EwmaMarkovPredictor`].
+    EwmaMarkov(EwmaMarkovPredictor),
+    /// Snapshot of a [`LinearMarkovPredictor`].
+    LinearMarkov(LinearMarkovPredictor),
+}
+
+impl ModelSnapshot {
+    /// Short class name (for diagnostics).
+    pub fn class(&self) -> &'static str {
+        match self {
+            ModelSnapshot::Constant(_) => "Constant",
+            ModelSnapshot::EwmaMarkov(_) => "EwmaMarkov",
+            ModelSnapshot::LinearMarkov(_) => "LinearMarkov",
+        }
+    }
+}
+
+/// A predictor with full per-stream state lifecycle.
+pub trait ResourceModel: Predictor {
+    /// Captures the complete mutable prediction state. Predictions after
+    /// [`ResourceModel::restore`] of this snapshot are bit-identical to
+    /// predictions taken right before the snapshot.
+    fn snapshot(&self) -> ModelSnapshot;
+
+    /// Restores a previously captured state. Panics if `snap` was taken
+    /// from a different model class.
+    fn restore(&mut self, snap: &ModelSnapshot);
+
+    /// Enables or disables online training ("on-line model training",
+    /// Section 6): when enabled, observed transitions keep adapting the
+    /// model at runtime. A no-op for models without trainable state.
+    fn set_online_training(&mut self, online: bool);
+
+    /// Whether online training is currently enabled.
+    fn online_training(&self) -> bool;
+
+    /// An independent copy of this model (per-stream instantiation).
+    fn clone_model(&self) -> Box<dyn ResourceModel>;
+}
+
+fn wrong_class(model: &str, snap: &ModelSnapshot) -> ! {
+    panic!(
+        "cannot restore a {} snapshot into a {model} model",
+        snap.class()
+    )
+}
+
+impl ResourceModel for ConstantPredictor {
+    fn snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::Constant(*self)
+    }
+
+    fn restore(&mut self, snap: &ModelSnapshot) {
+        match snap {
+            ModelSnapshot::Constant(p) => *self = *p,
+            other => wrong_class("Constant", other),
+        }
+    }
+
+    fn set_online_training(&mut self, _online: bool) {}
+
+    fn online_training(&self) -> bool {
+        false
+    }
+
+    fn clone_model(&self) -> Box<dyn ResourceModel> {
+        Box::new(*self)
+    }
+}
+
+impl ResourceModel for EwmaMarkovPredictor {
+    fn snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::EwmaMarkov(self.clone())
+    }
+
+    fn restore(&mut self, snap: &ModelSnapshot) {
+        match snap {
+            ModelSnapshot::EwmaMarkov(p) => *self = p.clone(),
+            other => wrong_class("EwmaMarkov", other),
+        }
+    }
+
+    fn set_online_training(&mut self, online: bool) {
+        self.set_online(online);
+    }
+
+    fn online_training(&self) -> bool {
+        self.online()
+    }
+
+    fn clone_model(&self) -> Box<dyn ResourceModel> {
+        Box::new(self.clone())
+    }
+}
+
+impl ResourceModel for LinearMarkovPredictor {
+    fn snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot::LinearMarkov(self.clone())
+    }
+
+    fn restore(&mut self, snap: &ModelSnapshot) {
+        match snap {
+            ModelSnapshot::LinearMarkov(p) => *self = p.clone(),
+            other => wrong_class("LinearMarkov", other),
+        }
+    }
+
+    fn set_online_training(&mut self, online: bool) {
+        self.set_online(online);
+    }
+
+    fn online_training(&self) -> bool {
+        self.online()
+    }
+
+    fn clone_model(&self) -> Box<dyn ResourceModel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictContext;
+
+    fn ctx() -> PredictContext {
+        PredictContext { roi_kpixels: 120.0 }
+    }
+
+    #[test]
+    fn constant_round_trip_is_identity() {
+        let mut p = ConstantPredictor::new(2.5);
+        let snap = p.snapshot();
+        let before = p.predict(&ctx());
+        p.observe(100.0, &ctx());
+        p.restore(&snap);
+        assert_eq!(p.predict(&ctx()).to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn ewma_markov_round_trip_is_bit_identical() {
+        let series: Vec<f64> = (0..200).map(|i| 40.0 + (i % 7) as f64).collect();
+        let mut p = EwmaMarkovPredictor::train(&series, 0.2, 16, "RDG");
+        p.set_online_training(true);
+        for i in 0..25 {
+            p.observe(38.0 + (i % 5) as f64, &ctx());
+        }
+        let snap = p.snapshot();
+        let before = p.predict(&ctx());
+        let before_q = p.predict_quantile(&ctx(), 0.9);
+        // diverge, then restore
+        for _ in 0..50 {
+            p.observe(90.0, &ctx());
+        }
+        assert_ne!(p.predict(&ctx()).to_bits(), before.to_bits());
+        p.restore(&snap);
+        assert_eq!(p.predict(&ctx()).to_bits(), before.to_bits());
+        assert_eq!(
+            p.predict_quantile(&ctx(), 0.9).to_bits(),
+            before_q.to_bits()
+        );
+    }
+
+    #[test]
+    fn linear_markov_round_trip_is_bit_identical() {
+        let points: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let roi = 50.0 + (i % 40) as f64;
+                (roi, 0.07 * roi + 20.0 + (i % 3) as f64)
+            })
+            .collect();
+        let mut p = LinearMarkovPredictor::train(&points, 8, "RDG_ROI");
+        for i in 0..10 {
+            p.observe(25.0 + i as f64, &ctx());
+        }
+        let snap = p.snapshot();
+        let before = p.predict(&ctx());
+        for _ in 0..30 {
+            p.observe(80.0, &ctx());
+        }
+        p.restore(&snap);
+        assert_eq!(p.predict(&ctx()).to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn clone_model_is_independent() {
+        let series: Vec<f64> = (0..100).map(|i| 10.0 + (i % 4) as f64).collect();
+        let mut a = EwmaMarkovPredictor::train(&series, 0.2, 8, "T");
+        a.observe(11.0, &ctx());
+        let mut b = a.clone_model();
+        let before = a.predict(&ctx());
+        for _ in 0..40 {
+            b.observe(99.0, &ctx());
+        }
+        // training the clone must not disturb the original
+        assert_eq!(a.predict(&ctx()).to_bits(), before.to_bits());
+        assert!(b.predict(&ctx()) > a.predict(&ctx()));
+    }
+
+    #[test]
+    fn online_training_is_a_runtime_switch() {
+        let series = vec![10.0, 12.0, 10.0, 12.0, 10.0, 12.0, 10.0, 12.0];
+        let mut p = EwmaMarkovPredictor::train(&series, 0.3, 8, "T");
+        assert!(!p.online_training());
+        p.set_online_training(true);
+        assert!(p.online_training());
+        for _ in 0..100 {
+            p.observe(20.0, &ctx());
+        }
+        let pred = p.predict(&ctx());
+        assert!((pred - 20.0).abs() < 1.5, "pred {pred}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot restore")]
+    fn cross_class_restore_rejected() {
+        let snap = ConstantPredictor::new(1.0).snapshot();
+        let series = vec![1.0, 2.0, 3.0, 4.0];
+        let mut p = EwmaMarkovPredictor::train(&series, 0.2, 4, "T");
+        p.restore(&snap);
+    }
+}

@@ -121,10 +121,15 @@ impl EwmaMarkovPredictor {
         }
     }
 
-    /// Enables online adaptation of the transition matrix.
-    pub fn with_online_training(mut self, online: bool) -> Self {
+    /// Enables or disables online adaptation of the transition matrix
+    /// (the [`crate::model::ResourceModel`] lifecycle switch).
+    pub(crate) fn set_online(&mut self, online: bool) {
         self.online = online;
-        self
+    }
+
+    /// Whether online adaptation is enabled.
+    pub(crate) fn online(&self) -> bool {
+        self.online
     }
 
     /// The residual quantizer (for inspection / the Table 2(a) report).
@@ -215,10 +220,14 @@ impl LinearMarkovPredictor {
         }
     }
 
-    /// Enables online adaptation.
-    pub fn with_online_training(mut self, online: bool) -> Self {
+    /// Enables or disables online adaptation of the transition matrix.
+    pub(crate) fn set_online(&mut self, online: bool) {
         self.online = online;
-        self
+    }
+
+    /// Whether online adaptation is enabled.
+    pub(crate) fn online(&self) -> bool {
+        self.online
     }
 
     /// The fitted growth function (compare with Eq. 3).
@@ -391,8 +400,10 @@ mod tests {
 
     #[test]
     fn online_training_updates_chain() {
+        use crate::model::ResourceModel;
         let series = vec![10.0, 12.0, 10.0, 12.0, 10.0, 12.0, 10.0, 12.0];
-        let mut p = EwmaMarkovPredictor::train(&series, 0.3, 8, "T").with_online_training(true);
+        let mut p = EwmaMarkovPredictor::train(&series, 0.3, 8, "T");
+        p.set_online_training(true);
         // feed a long run of constant values: the chain adapts to the new
         // regime and the prediction converges toward it
         for _ in 0..100 {

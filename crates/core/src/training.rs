@@ -5,7 +5,8 @@
 //! pipeline profiles each task's execution times; this module turns those
 //! series into the per-task predictors of Table 2(b).
 
-use crate::predictor::{ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, Predictor};
+use crate::model::ResourceModel;
+use crate::predictor::{ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor};
 use crate::stats::{autocorrelation, fit_exponential_decay, mean, std_dev};
 
 /// A profiled computation-time series of one task.
@@ -142,7 +143,7 @@ pub fn train_kind(
     series: &TaskSeries,
     kind: ModelKind,
     cfg: &TrainingConfig,
-) -> Box<dyn Predictor> {
+) -> Box<dyn ResourceModel> {
     match kind {
         ModelKind::Constant => Box::new(ConstantPredictor::train(&series.samples)),
         ModelKind::EwmaMarkov => Box::new(EwmaMarkovPredictor::train(
@@ -168,7 +169,10 @@ pub fn train_kind(
 }
 
 /// Selects and trains in one step.
-pub fn train_auto(series: &TaskSeries, cfg: &TrainingConfig) -> (ModelKind, Box<dyn Predictor>) {
+pub fn train_auto(
+    series: &TaskSeries,
+    cfg: &TrainingConfig,
+) -> (ModelKind, Box<dyn ResourceModel>) {
     let kind = select_model(series, cfg);
     (kind, train_kind(series, kind, cfg))
 }

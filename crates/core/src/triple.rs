@@ -10,7 +10,8 @@ use crate::bandwidth_model::{
     scenario_inter_task_bandwidth, scenario_intra_task_bandwidth, FRAME_RATE_HZ,
 };
 use crate::memory_model::{implementation_table, FrameGeometry, TaskMemory};
-use crate::predictor::{PredictContext, Predictor};
+use crate::model::{ModelSnapshot, ResourceModel};
+use crate::predictor::PredictContext;
 use crate::scenario::{Scenario, ScenarioChain};
 use crate::training::{train_auto, ModelKind, TaskSeries, TrainingConfig};
 use std::collections::BTreeMap;
@@ -74,8 +75,33 @@ pub struct FramePrediction {
 /// ```
 pub struct TripleC {
     cfg: TripleCConfig,
-    predictors: BTreeMap<&'static str, (ModelKind, Box<dyn Predictor>)>,
+    predictors: BTreeMap<&'static str, (ModelKind, Box<dyn ResourceModel>)>,
     scenario_chain: ScenarioChain,
+}
+
+impl Clone for TripleC {
+    /// An independent copy: per-stream instances share nothing, so one
+    /// stream's online training never disturbs another's predictions.
+    fn clone(&self) -> Self {
+        Self {
+            cfg: self.cfg.clone(),
+            predictors: self
+                .predictors
+                .iter()
+                .map(|(&task, (kind, p))| (task, (*kind, p.clone_model())))
+                .collect(),
+            scenario_chain: self.scenario_chain.clone(),
+        }
+    }
+}
+
+/// Captured mutable state of a whole [`TripleC`] instance: one
+/// [`ModelSnapshot`] per trained task. The scenario chain and
+/// configuration are training-time constants and are not part of the
+/// mutable state.
+#[derive(Debug, Clone)]
+pub struct TripleCSnapshot {
+    models: BTreeMap<&'static str, ModelSnapshot>,
 }
 
 impl TripleC {
@@ -117,9 +143,51 @@ impl TripleC {
     }
 
     /// Feeds a measured execution time back into the task's predictor.
-    pub fn observe_task(&mut self, task: &str, actual_ms: f64, ctx: &PredictContext) {
-        if let Some((_, p)) = self.predictors.get_mut(task) {
-            p.observe(actual_ms, ctx);
+    /// Returns whether a trained predictor absorbed the observation.
+    pub fn observe_task(&mut self, task: &str, actual_ms: f64, ctx: &PredictContext) -> bool {
+        match self.predictors.get_mut(task) {
+            Some((_, p)) => {
+                p.observe(actual_ms, ctx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enables or disables online training on every task model (replaces
+    /// the former per-predictor `with_online_training` construction-time
+    /// plumbing with a runtime switch).
+    pub fn set_online_training(&mut self, online: bool) {
+        for (_, p) in self.predictors.values_mut() {
+            p.set_online_training(online);
+        }
+    }
+
+    /// Whether any task model currently trains online.
+    pub fn online_training(&self) -> bool {
+        self.predictors.values().any(|(_, p)| p.online_training())
+    }
+
+    /// Captures the mutable prediction state of every task model.
+    pub fn snapshot(&self) -> TripleCSnapshot {
+        TripleCSnapshot {
+            models: self
+                .predictors
+                .iter()
+                .map(|(&task, (_, p))| (task, p.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot taken from this model (or a clone of it):
+    /// predictions after the restore are bit-identical to predictions
+    /// taken right before the snapshot. Tasks absent from the snapshot
+    /// are left untouched.
+    pub fn restore(&mut self, snap: &TripleCSnapshot) {
+        for (task, s) in &snap.models {
+            if let Some((_, p)) = self.predictors.get_mut(task) {
+                p.restore(s);
+            }
         }
     }
 
@@ -303,5 +371,70 @@ mod tests {
     fn frame_period_is_30hz() {
         let t = trained();
         assert!((t.frame_period_ms() - 33.333).abs() < 0.01);
+    }
+
+    #[test]
+    fn cloned_model_is_independent() {
+        let mut a = trained();
+        let ctx = PredictContext::default();
+        let mut b = a.clone();
+        a.observe_task("RDG_FULL", 50.0, &ctx);
+        let before = a.predict_task("RDG_FULL", &ctx).unwrap();
+        for _ in 0..50 {
+            b.observe_task("RDG_FULL", 90.0, &ctx);
+        }
+        assert_eq!(
+            a.predict_task("RDG_FULL", &ctx).unwrap().to_bits(),
+            before.to_bits(),
+            "training the clone disturbed the original"
+        );
+        assert!(b.predict_task("RDG_FULL", &ctx).unwrap() > before);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_is_bit_identical() {
+        let mut t = trained();
+        let ctx = PredictContext { roi_kpixels: 800.0 };
+        t.set_online_training(true);
+        for i in 0..20 {
+            t.observe_task("RDG_FULL", 40.0 + (i % 6) as f64, &ctx);
+            t.observe_task("CPLS_SEL", 1.0 + (i % 3) as f64, &ctx);
+        }
+        let snap = t.snapshot();
+        let before: Vec<(&str, u64)> = Scenario::worst_case()
+            .active_tasks()
+            .iter()
+            .map(|&task| (task, t.predict_task(task, &ctx).unwrap_or(0.0).to_bits()))
+            .collect();
+        for _ in 0..60 {
+            t.observe_task("RDG_FULL", 95.0, &ctx);
+            t.observe_task("CPLS_SEL", 9.0, &ctx);
+        }
+        t.restore(&snap);
+        for (task, bits) in before {
+            assert_eq!(
+                t.predict_task(task, &ctx).unwrap_or(0.0).to_bits(),
+                bits,
+                "{task} prediction differs after restore"
+            );
+        }
+    }
+
+    #[test]
+    fn online_training_switch_reaches_all_tasks() {
+        let mut t = trained();
+        assert!(!t.online_training());
+        t.set_online_training(true);
+        assert!(t.online_training());
+        t.set_online_training(false);
+        assert!(!t.online_training());
+    }
+
+    #[test]
+    fn observe_task_reports_trained_tasks() {
+        let mut t = trained();
+        let ctx = PredictContext::default();
+        assert!(t.observe_task("RDG_FULL", 40.0, &ctx));
+        assert!(!t.observe_task("NOPE", 40.0, &ctx));
     }
 }

@@ -13,7 +13,7 @@
 //! | ROI EST | [`roi_est`] | data-dependent region-of-interest estimation |
 //! | GW EXT | [`guidewire`] | ridge-following guide-wire verification |
 //! | ENH | [`enhance`] | motion-compensated temporal integration |
-//! | ZOOM | [`zoom`] | ROI magnification for display |
+//! | ZOOM | [`zoom`](mod@zoom) | ROI magnification for display |
 //!
 //! Supporting modules: [`image`] (buffers, ROIs, stripes), [`kernel`]
 //! (separable Gaussian-derivative convolution), [`hessian`]

@@ -340,9 +340,11 @@ fn row_bands<'a, T>(data: &'a mut [T], width: usize, parts: &[Roi]) -> Vec<&'a m
 
 /// Data-parallel ridge detection: `stripes`-way striped RDG over `roi`.
 ///
-/// Equivalent to [`crate::ridge::rdg_roi`] up to the per-stripe threshold
-/// statistics; the ridge-response map is bit-identical to the full-frame
-/// computation (verified by tests).
+/// The ridge-response map *and* the ridge-suppressed filtered image are
+/// bit-identical to [`crate::ridge::rdg_roi`] for every stripe count
+/// (verified by tests): suppression is re-synthesized from the assembled
+/// response with the global serial thresholds, so downstream pixel results
+/// never depend on the partitioning policy.
 ///
 /// Convenience wrapper over [`rdg_parallel_pooled`] with one-shot buffers;
 /// sequence runners should hold a [`ParallelRdgBuffers`] instead and reuse
@@ -439,16 +441,28 @@ pub fn rdg_parallel_pooled(
         }
     }
 
-    // Global threshold hint from the assembled response keeps the pixel
-    // count comparable with the serial path. Iterating the assembled map in
-    // row order reproduces the accumulation order of the historical
-    // per-stripe estimate exactly.
-    let threshold_hint = estimate_threshold_map(&ridgeness, roi, cfg.threshold_factor);
+    // The stripe workers suppressed with *local* per-stripe thresholds;
+    // re-synthesize the filtered output from the assembled response with
+    // the *global* threshold, using the exact serial formulas over the
+    // bit-identical assembled map. This makes the filtered image (and
+    // therefore everything downstream of marker extraction) bit-identical
+    // to the serial path no matter the stripe count.
+    let (mean, std) = crate::ridge::response_stats(&ridgeness, roi);
+    let weak_threshold = (mean + cfg.weak_factor * std).max(cfg.response_floor);
+    let threshold = (mean + cfg.threshold_factor * std).max(weak_threshold);
     let mut ridge_pixels = 0usize;
     for y in roi.y..roi.bottom() {
-        for &v in &ridgeness.row(y)[roi.x..roi.right()] {
-            if v > threshold_hint {
+        let src_row = src.row(y);
+        let rid_row = ridgeness.row(y);
+        let out_row = filtered.row_mut(y);
+        for x in roi.x..roi.right() {
+            let r = rid_row[x];
+            if r > threshold {
                 ridge_pixels += 1;
+                let v = src_row[x] as f32 + cfg.suppression * r;
+                out_row[x] = v.clamp(0.0, u16::MAX as f32) as u16;
+            } else {
+                out_row[x] = src_row[x];
             }
         }
     }
@@ -473,24 +487,6 @@ fn rdg_halo(cfg: &RdgConfig) -> usize {
         .map(|&s| (3.0 * s).ceil() as usize)
         .max()
         .unwrap_or(0)
-}
-
-fn estimate_threshold_map(ridgeness: &ImageF32, roi: Roi, factor: f32) -> f32 {
-    let mut sum = 0.0f64;
-    let mut sum2 = 0.0f64;
-    let n = roi.area();
-    if n == 0 {
-        return 0.0;
-    }
-    for y in roi.y..roi.bottom() {
-        for &v in &ridgeness.row(y)[roi.x..roi.right()] {
-            sum += v as f64;
-            sum2 += (v as f64) * (v as f64);
-        }
-    }
-    let mean = sum / n as f64;
-    let std = ((sum2 / n as f64 - mean * mean).max(0.0)).sqrt();
-    (mean + factor as f64 * std) as f32
 }
 
 /// Legacy assembling parallel RDG built on [`rdg_stripe`] crops; kept for
@@ -663,6 +659,14 @@ mod tests {
                         "{stripes} stripes: ridgeness differs at ({x},{y}): {} vs {}",
                         serial.ridgeness.get(x, y),
                         par.ridgeness.get(x, y)
+                    );
+                    // the suppressed output too: the global-threshold
+                    // re-synthesis makes the filtered image independent of
+                    // the partitioning
+                    assert_eq!(
+                        serial.filtered.get(x, y),
+                        par.filtered.get(x, y),
+                        "{stripes} stripes: filtered differs at ({x},{y})"
                     );
                 }
             }

@@ -301,7 +301,7 @@ pub fn rdg_roi(src: &ImageU16, roi: Roi, cfg: &RdgConfig, bufs: &mut RdgBuffers)
 }
 
 /// Mean and standard deviation of the response inside `roi`.
-fn response_stats(acc: &ImageF32, roi: Roi) -> (f32, f32) {
+pub(crate) fn response_stats(acc: &ImageF32, roi: Roi) -> (f32, f32) {
     let n = roi.area();
     if n == 0 {
         return (0.0, 0.0);

@@ -18,6 +18,7 @@ use imaging::registration::register;
 use imaging::ridge::{rdg_roi, RdgOutput};
 use imaging::roi_est::estimate_roi;
 use imaging::zoom::zoom_band;
+use platform::bus::{EventBus, StreamId};
 use platform::profile::time_ms;
 use platform::schedule::{VirtualJob, VirtualSchedule};
 use platform::trace::FrameRecord;
@@ -40,7 +41,8 @@ impl Default for ExecutionPolicy {
         Self {
             rdg_stripes: 1,
             aux_stripes: 1,
-            cores: 8,
+            // the modelled platform's core count, not a hard-coded 8
+            cores: platform::arch::ArchModel::default().cores,
         }
     }
 }
@@ -74,6 +76,53 @@ pub fn process_frame(
     state: &mut AppState,
     cfg: &AppConfig,
     policy: &ExecutionPolicy,
+) -> FrameOutput {
+    process_frame_inner(frame_index, frame, state, cfg, policy, &mut None)
+}
+
+/// Like [`process_frame`], additionally emitting a
+/// [`platform::bus::FrameEvent::StageExecuted`] onto `bus` for every
+/// data-parallel (striped) stage the frame runs. Pixel outputs and trace
+/// records are identical to the unobserved path.
+pub fn process_frame_observed(
+    frame_index: usize,
+    frame: &ImageU16,
+    state: &mut AppState,
+    cfg: &AppConfig,
+    policy: &ExecutionPolicy,
+    stream: StreamId,
+    bus: &mut EventBus,
+) -> FrameOutput {
+    process_frame_inner(
+        frame_index,
+        frame,
+        state,
+        cfg,
+        policy,
+        &mut Some((stream, bus)),
+    )
+}
+
+/// Runs a parallel stage, reporting it to the observer when present.
+fn run_stage(
+    schedule: &mut VirtualSchedule,
+    jobs: &[VirtualJob],
+    observer: &mut Option<(StreamId, &mut EventBus)>,
+    frame_index: usize,
+) -> f64 {
+    match observer {
+        Some((stream, bus)) => schedule.stage_observed(jobs, *stream, frame_index, bus),
+        None => schedule.stage(jobs),
+    }
+}
+
+fn process_frame_inner(
+    frame_index: usize,
+    frame: &ImageU16,
+    state: &mut AppState,
+    cfg: &AppConfig,
+    policy: &ExecutionPolicy,
+    observer: &mut Option<(StreamId, &mut EventBus)>,
 ) -> FrameOutput {
     let (w, h) = frame.dims();
     let mut task_times: Vec<(&'static str, f64)> = Vec::with_capacity(9);
@@ -132,7 +181,7 @@ pub fn process_frame(
                 });
             }
             task_times.push((task, serial_ms));
-            schedule.stage(&jobs);
+            run_stage(&mut schedule, &jobs, observer, frame_index);
             Some(out)
         }
     } else {
@@ -229,7 +278,7 @@ pub fn process_frame(
                         duration_ms: ms,
                     });
                 }
-                schedule.stage(&jobs);
+                run_stage(&mut schedule, &jobs, observer, frame_index);
                 out
             };
             let (gw, ms) =
@@ -287,7 +336,7 @@ pub fn process_frame(
                     duration_ms: ms,
                 });
             }
-            schedule.stage(&jobs);
+            run_stage(&mut schedule, &jobs, observer, frame_index);
         }
         state.enh_state.commit();
         // pooled readout buffer: re-created only when the ROI geometry
@@ -339,7 +388,7 @@ pub fn process_frame(
                     duration_ms: ms,
                 });
             }
-            schedule.stage(&jobs);
+            run_stage(&mut schedule, &jobs, observer, frame_index);
         }
         task_times.push(("ZOOM", zoom_serial_ms));
         state.enh_view = Some(enhanced);

@@ -1,0 +1,293 @@
+//! The typed frame-event bus.
+//!
+//! Every layer of the prediction→execution→management stack emits
+//! structured events onto an [`EventBus`]: the resource manager announces
+//! plans and budget violations, the pipeline executor announces executed
+//! frames, and the virtual scheduler announces partitioned stages.
+//! Subscribers observe the full event stream; the accuracy bookkeeping of
+//! Section 7 is itself just a subscriber (it replaced the manager's
+//! former internal `(predicted, actual)` vector).
+//!
+//! Event payloads are plain data (ids and numbers, no cross-crate types),
+//! so the bus can live at the bottom of the dependency graph and every
+//! layer above can emit onto it.
+
+/// Identifier of one imaging stream within a session.
+pub type StreamId = u32;
+
+/// The stream id used by single-stream runs (the classic one-sequence
+/// experiments of the paper).
+pub const DEFAULT_STREAM: StreamId = 0;
+
+/// One typed event on the frame bus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameEvent {
+    /// The resource manager issued an execution plan for an upcoming
+    /// frame (`runtime::manager`).
+    PlanIssued {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// Predicted scenario id (0..8).
+        scenario: u8,
+        /// Predicted serial computation time, ms.
+        predicted_total_ms: f64,
+        /// Chosen RDG stripe count.
+        rdg_stripes: usize,
+        /// Chosen auxiliary-task stripe count.
+        aux_stripes: usize,
+        /// Whether the latency budget was achievable.
+        feasible: bool,
+    },
+    /// A data-parallel stage ran on the virtual platform
+    /// (`platform::schedule`).
+    StageExecuted {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// Number of parallel jobs in the stage.
+        jobs: usize,
+        /// Sum of the per-job times (the serial cost), ms.
+        serial_ms: f64,
+        /// Stage makespan on the modelled cores, ms.
+        makespan_ms: f64,
+    },
+    /// A frame finished executing (`pipeline::executor` via the managed
+    /// loop): the prediction/actual pair of the Section 7 accuracy
+    /// metrics.
+    FrameExecuted {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// Executed scenario id.
+        scenario: u8,
+        /// Predicted serial computation time, ms.
+        predicted_total_ms: f64,
+        /// Measured serial computation time, ms.
+        actual_total_ms: f64,
+        /// Effective (parallel) frame latency, ms.
+        latency_ms: f64,
+    },
+    /// A frame's effective latency exceeded the stream's budget.
+    BudgetOverrun {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// Measured effective latency, ms.
+        latency_ms: f64,
+        /// The budget target it violated, ms.
+        budget_ms: f64,
+    },
+    /// The QoS controller changed the algorithmic quality level.
+    QosIntervention {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// New quality level (0 = full quality, higher = more degraded).
+        level: u8,
+    },
+    /// Measured task times were fed back into the prediction model
+    /// (Section 6 "Profiling" / on-line model training).
+    ModelRetrained {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// Number of task observations absorbed this frame.
+        observations: usize,
+    },
+}
+
+impl FrameEvent {
+    /// The stream that emitted the event.
+    pub fn stream(&self) -> StreamId {
+        match *self {
+            FrameEvent::PlanIssued { stream, .. }
+            | FrameEvent::StageExecuted { stream, .. }
+            | FrameEvent::FrameExecuted { stream, .. }
+            | FrameEvent::BudgetOverrun { stream, .. }
+            | FrameEvent::QosIntervention { stream, .. }
+            | FrameEvent::ModelRetrained { stream, .. } => stream,
+        }
+    }
+
+    /// The frame index the event refers to.
+    pub fn frame(&self) -> usize {
+        match *self {
+            FrameEvent::PlanIssued { frame, .. }
+            | FrameEvent::StageExecuted { frame, .. }
+            | FrameEvent::FrameExecuted { frame, .. }
+            | FrameEvent::BudgetOverrun { frame, .. }
+            | FrameEvent::QosIntervention { frame, .. }
+            | FrameEvent::ModelRetrained { frame, .. } => frame,
+        }
+    }
+}
+
+/// An event-bus subscriber.
+pub trait Subscriber: Send {
+    /// Observes one event. Called synchronously on the emitting thread,
+    /// in emission order.
+    fn on_event(&mut self, event: &FrameEvent);
+}
+
+/// Blanket impl so plain closures subscribe directly.
+impl<F: FnMut(&FrameEvent) + Send> Subscriber for F {
+    fn on_event(&mut self, event: &FrameEvent) {
+        self(event)
+    }
+}
+
+/// A synchronous, typed publish/subscribe bus.
+///
+/// Deliberately simple: emission walks the subscriber list in
+/// subscription order on the emitting thread, so event handling is
+/// deterministic and adds no cross-thread machinery to the frame path.
+/// Each stream (and each manager) owns its own bus; cross-stream
+/// aggregation is a subscriber's job.
+#[derive(Default)]
+pub struct EventBus {
+    subscribers: Vec<Box<dyn Subscriber>>,
+    emitted: usize,
+}
+
+impl EventBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a subscriber; it sees every event emitted from now on.
+    pub fn subscribe(&mut self, sub: Box<dyn Subscriber>) {
+        self.subscribers.push(sub);
+    }
+
+    /// Number of subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Total events emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// Emits one event to every subscriber, in subscription order.
+    pub fn emit(&mut self, event: FrameEvent) {
+        self.emitted += 1;
+        for sub in &mut self.subscribers {
+            sub.on_event(&event);
+        }
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("subscribers", &self.subscribers.len())
+            .field("emitted", &self.emitted)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn plan(stream: StreamId, frame: usize) -> FrameEvent {
+        FrameEvent::PlanIssued {
+            stream,
+            frame,
+            scenario: 5,
+            predicted_total_ms: 40.0,
+            rdg_stripes: 2,
+            aux_stripes: 1,
+            feasible: true,
+        }
+    }
+
+    #[test]
+    fn subscribers_see_events_in_order() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&log);
+        let mut bus = EventBus::new();
+        bus.subscribe(Box::new(move |e: &FrameEvent| {
+            sink.lock().unwrap().push(e.frame());
+        }));
+        for i in 0..5 {
+            bus.emit(plan(0, i));
+        }
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bus.emitted(), 5);
+    }
+
+    #[test]
+    fn multiple_subscribers_all_notified() {
+        let a = Arc::new(Mutex::new(0usize));
+        let b = Arc::new(Mutex::new(0usize));
+        let (sa, sb) = (Arc::clone(&a), Arc::clone(&b));
+        let mut bus = EventBus::new();
+        bus.subscribe(Box::new(move |_: &FrameEvent| *sa.lock().unwrap() += 1));
+        bus.subscribe(Box::new(move |_: &FrameEvent| *sb.lock().unwrap() += 1));
+        assert_eq!(bus.subscriber_count(), 2);
+        bus.emit(plan(0, 0));
+        bus.emit(plan(0, 1));
+        assert_eq!(*a.lock().unwrap(), 2);
+        assert_eq!(*b.lock().unwrap(), 2);
+    }
+
+    #[test]
+    fn emit_without_subscribers_is_cheap_and_safe() {
+        let mut bus = EventBus::new();
+        bus.emit(plan(3, 7));
+        assert_eq!(bus.emitted(), 1);
+    }
+
+    #[test]
+    fn accessors_cover_every_variant() {
+        let events = [
+            plan(1, 2),
+            FrameEvent::StageExecuted {
+                stream: 1,
+                frame: 2,
+                jobs: 4,
+                serial_ms: 40.0,
+                makespan_ms: 11.0,
+            },
+            FrameEvent::FrameExecuted {
+                stream: 1,
+                frame: 2,
+                scenario: 7,
+                predicted_total_ms: 40.0,
+                actual_total_ms: 42.0,
+                latency_ms: 12.0,
+            },
+            FrameEvent::BudgetOverrun {
+                stream: 1,
+                frame: 2,
+                latency_ms: 80.0,
+                budget_ms: 60.0,
+            },
+            FrameEvent::QosIntervention {
+                stream: 1,
+                frame: 2,
+                level: 1,
+            },
+            FrameEvent::ModelRetrained {
+                stream: 1,
+                frame: 2,
+                observations: 6,
+            },
+        ];
+        for e in events {
+            assert_eq!(e.stream(), 1);
+            assert_eq!(e.frame(), 2);
+        }
+    }
+}

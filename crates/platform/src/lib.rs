@@ -8,11 +8,13 @@
 //! buffer-occupation model of Section 5 (the "prediction" side, Fig. 5),
 //! [`bandwidth`] aggregates per-bus communication loads, [`mapping`]
 //! describes task-to-core partitionings, [`executor`] is a persistent
-//! worker pool used by the pipeline, and [`profile`]/[`trace`] collect the
+//! worker pool used by the pipeline, [`bus`] is the typed frame-event bus
+//! every layer above publishes onto, and [`profile`]/[`trace`] collect the
 //! computation-time statistics the prediction models train on.
 
 pub mod arch;
 pub mod bandwidth;
+pub mod bus;
 pub mod cache;
 pub mod executor;
 pub mod hierarchy;
@@ -24,6 +26,7 @@ pub mod trace;
 
 pub use arch::{ArchModel, CacheGeometry, GB, KB, MB};
 pub use bandwidth::{add_intra_task, inter_task_load, BusLoad, Edge};
+pub use bus::{EventBus, FrameEvent, StreamId, Subscriber, DEFAULT_STREAM};
 pub use cache::{Access, CacheSim, CacheStats};
 pub use executor::CorePool;
 pub use hierarchy::{CacheHierarchy, HierarchyTraffic};

@@ -69,6 +69,28 @@ impl VirtualSchedule {
     pub fn serial(&mut self, core: usize, duration_ms: f64) -> f64 {
         self.stage(&[VirtualJob { core, duration_ms }])
     }
+
+    /// Runs a parallel stage and emits a [`FrameEvent::StageExecuted`](crate::bus::FrameEvent::StageExecuted)
+    /// onto `bus` describing it (serial cost vs makespan). Same timeline
+    /// semantics as [`VirtualSchedule::stage`].
+    pub fn stage_observed(
+        &mut self,
+        jobs: &[VirtualJob],
+        stream: crate::bus::StreamId,
+        frame: usize,
+        bus: &mut crate::bus::EventBus,
+    ) -> f64 {
+        let start = self.now;
+        let end = self.stage(jobs);
+        bus.emit(crate::bus::FrameEvent::StageExecuted {
+            stream,
+            frame,
+            jobs: jobs.len(),
+            serial_ms: jobs.iter().map(|j| j.duration_ms).sum(),
+            makespan_ms: end - start,
+        });
+        end
+    }
 }
 
 /// Makespan of a single parallel stage starting from an idle platform.
@@ -93,7 +115,7 @@ pub struct PipelinedResult {
 /// stage `j+1` processes frame `i-1`). This is the partitioning the paper
 /// contrasts with data-parallel striping ("For a comparison between
 /// data-parallel partitioning and function-parallel partitioning, we refer
-/// to [17]", Section 6): it multiplies throughput but cannot shorten a
+/// to \[17\]", Section 6): it multiplies throughput but cannot shorten a
 /// single frame's latency below the sum of its stage times.
 ///
 /// `stage_times[i][j]` is the measured duration of stage `j` on frame `i`;

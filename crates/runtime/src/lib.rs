@@ -9,16 +9,23 @@
 //! * [`adaptation`] — the repartitioning policy (stripe-count selection);
 //! * [`manager`] — the initialization / adaptation / profiling loop;
 //! * [`qos`] — quality degradation when the budget is infeasible;
-//! * [`run`] — the managed closed-loop sequence executor.
+//! * [`run`] — the managed closed-loop sequence executor;
+//! * [`session`] — multi-stream sessions: concurrent streams admitted
+//!   against a shared core budget with a fairness policy.
 
 pub mod adaptation;
 pub mod budget;
 pub mod manager;
 pub mod qos;
 pub mod run;
+pub mod session;
 
 pub use adaptation::{choose_policy, predicted_latency, CostPrediction, STRIPE_EFFICIENCY};
 pub use budget::LatencyBudget;
 pub use manager::{ManagerConfig, Plan, ResourceManager};
 pub use qos::{QosController, QosLevel};
 pub use run::{run_managed_sequence, run_managed_sequence_qos, ManagedRun, QosManagedRun};
+pub use session::{
+    allocate_cores, percentile, FairnessPolicy, SessionConfig, SessionReport, SessionScheduler,
+    StreamResult, StreamSession, StreamSpec,
+};

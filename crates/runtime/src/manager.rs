@@ -9,7 +9,8 @@
 use crate::adaptation::{choose_policy, CostPrediction};
 use crate::budget::LatencyBudget;
 use pipeline::executor::{ExecutionPolicy, FrameOutput};
-use triplec::accuracy::AccuracyReport;
+use platform::bus::{EventBus, FrameEvent, StreamId, Subscriber, DEFAULT_STREAM};
+use triplec::accuracy::{AccuracyReport, PredictionLog, PredictionLogHandle};
 use triplec::predictor::PredictContext;
 use triplec::scenario::Scenario;
 use triplec::triple::TripleC;
@@ -34,7 +35,9 @@ pub struct ManagerConfig {
 impl Default for ManagerConfig {
     fn default() -> Self {
         Self {
-            cores: 8,
+            // the modelled platform's core count (the paper's dual
+            // quad-core testbed), not a hard-coded constant
+            cores: platform::arch::ArchModel::default().cores,
             headroom: 0.15,
             budget_factor: 0.75,
             planning_quantile: 0.5,
@@ -56,29 +59,70 @@ pub struct Plan {
 }
 
 /// The runtime resource manager.
+///
+/// Publishes its lifecycle onto a typed [`EventBus`]: a
+/// [`FrameEvent::PlanIssued`] per plan, and [`FrameEvent::FrameExecuted`] /
+/// [`FrameEvent::BudgetOverrun`] / [`FrameEvent::ModelRetrained`] per
+/// absorbed frame. The Section 7 accuracy bookkeeping is a
+/// [`PredictionLog`] subscriber on that bus; further subscribers attach
+/// via [`ResourceManager::subscribe`].
 pub struct ResourceManager {
     model: TripleC,
     cfg: ManagerConfig,
     budget: Option<LatencyBudget>,
     last_scenario: Scenario,
     last_plan: Option<Plan>,
-    /// `(predicted, actual)` serial frame times.
-    frame_pairs: Vec<(f64, f64)>,
+    bus: EventBus,
+    pairs: PredictionLogHandle,
+    stream: StreamId,
+    frame_index: usize,
     infeasible_frames: usize,
 }
 
 impl ResourceManager {
-    /// Creates a manager around a trained model.
+    /// Creates a manager around a trained model (stream 0).
     pub fn new(model: TripleC, cfg: ManagerConfig) -> Self {
+        Self::for_stream(model, cfg, DEFAULT_STREAM)
+    }
+
+    /// Creates a manager emitting events under the given stream id (one
+    /// manager per stream in a multi-stream session).
+    pub fn for_stream(model: TripleC, cfg: ManagerConfig, stream: StreamId) -> Self {
+        let mut bus = EventBus::new();
+        let pairs = PredictionLog::subscribe_to(&mut bus);
         Self {
             model,
             cfg,
             budget: None,
             last_scenario: Scenario::worst_case(),
             last_plan: None,
-            frame_pairs: Vec::new(),
+            bus,
+            pairs,
+            stream,
+            frame_index: 0,
             infeasible_frames: 0,
         }
+    }
+
+    /// The stream id this manager emits events under.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// Index of the frame currently being planned/executed.
+    pub fn current_frame(&self) -> usize {
+        self.frame_index
+    }
+
+    /// Attaches a subscriber to the manager's event bus.
+    pub fn subscribe(&mut self, sub: Box<dyn Subscriber>) {
+        self.bus.subscribe(sub);
+    }
+
+    /// Mutable access to the event bus (for emitting events from
+    /// surrounding control loops, e.g. QoS interventions).
+    pub fn bus_mut(&mut self) -> &mut EventBus {
+        &mut self.bus
     }
 
     /// The current latency budget (None until the first frame completed).
@@ -156,12 +200,21 @@ impl ResourceManager {
             }
         };
         self.last_plan = Some(plan);
+        self.bus.emit(FrameEvent::PlanIssued {
+            stream: self.stream,
+            frame: self.frame_index,
+            scenario: plan.scenario.id(),
+            predicted_total_ms: plan.predicted_total_ms,
+            rdg_stripes: plan.policy.rdg_stripes,
+            aux_stripes: plan.policy.aux_stripes,
+            feasible: plan.feasible,
+        });
         plan
     }
 
     /// Absorbs a completed frame: initializes the budget on the first
-    /// frame, records prediction accuracy, and feeds the measured task
-    /// times back into the model.
+    /// frame, emits the frame's events (prediction accuracy is a bus
+    /// subscriber), and feeds the measured task times back into the model.
     pub fn absorb(&mut self, out: &FrameOutput) {
         let actual_total = out.record.total_task_time();
         if self.budget.is_none() {
@@ -172,31 +225,64 @@ impl ResourceManager {
             ));
         }
         if let Some(plan) = self.last_plan.take() {
-            self.frame_pairs
-                .push((plan.predicted_total_ms, actual_total));
+            self.bus.emit(FrameEvent::FrameExecuted {
+                stream: self.stream,
+                frame: self.frame_index,
+                scenario: out.scenario.id(),
+                predicted_total_ms: plan.predicted_total_ms,
+                actual_total_ms: actual_total,
+                latency_ms: out.record.latency_ms,
+            });
+        }
+        if let Some(budget) = self.budget {
+            if out.record.latency_ms > budget.target_ms {
+                self.bus.emit(FrameEvent::BudgetOverrun {
+                    stream: self.stream,
+                    frame: self.frame_index,
+                    latency_ms: out.record.latency_ms,
+                    budget_ms: budget.target_ms,
+                });
+            }
         }
         let ctx = PredictContext {
             roi_kpixels: out.roi_kpixels,
         };
+        let mut observations = 0usize;
         for &(task, ms) in &out.record.task_times {
-            self.model.observe_task(task, ms, &ctx);
+            if self.model.observe_task(task, ms, &ctx) {
+                observations += 1;
+            }
+        }
+        if observations > 0 {
+            self.bus.emit(FrameEvent::ModelRetrained {
+                stream: self.stream,
+                frame: self.frame_index,
+                observations,
+            });
         }
         self.last_scenario = out.scenario;
+        self.frame_index += 1;
     }
 
-    /// Frame-level prediction accuracy so far (Section 7 metric).
+    /// Frame-level prediction accuracy so far (Section 7 metric), read
+    /// from the bus-attached [`PredictionLog`].
     pub fn accuracy(&self) -> AccuracyReport {
-        triplec::accuracy::evaluate(&self.frame_pairs)
+        self.pairs.report()
     }
 
     /// The `(predicted, actual)` pairs (for the Fig. 7 prediction curve).
-    pub fn prediction_pairs(&self) -> &[(f64, f64)] {
-        &self.frame_pairs
+    pub fn prediction_pairs(&self) -> Vec<(f64, f64)> {
+        self.pairs.pairs()
     }
 
     /// Read access to the model.
     pub fn model(&self) -> &TripleC {
         &self.model
+    }
+
+    /// Mutable access to the model (snapshotting, online-training toggles).
+    pub fn model_mut(&mut self) -> &mut TripleC {
+        &mut self.model
     }
 }
 
@@ -364,6 +450,92 @@ mod tests {
         );
         // the recorded point prediction must be identical either way
         assert!((cons_plan.predicted_total_ms - mean_plan.predicted_total_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn external_subscriber_reproduces_accuracy_report() {
+        use std::sync::{Arc, Mutex};
+        let mut m = ResourceManager::new(model(), ManagerConfig::default());
+        let pairs = Arc::new(Mutex::new(Vec::new()));
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let (ps, es) = (Arc::clone(&pairs), Arc::clone(&events));
+        m.subscribe(Box::new(move |e: &FrameEvent| {
+            es.lock().unwrap().push(e.clone());
+            if let FrameEvent::FrameExecuted {
+                predicted_total_ms,
+                actual_total_ms,
+                ..
+            } = *e
+            {
+                ps.lock()
+                    .unwrap()
+                    .push((predicted_total_ms, actual_total_ms));
+            }
+        }));
+        for i in 0..4 {
+            let plan = m.plan(1000.0);
+            let noisy = plan.predicted_total_ms * (1.0 + 0.05 * i as f64);
+            m.absorb(&fake_output(plan.scenario, vec![("RDG_FULL", noisy)]));
+        }
+        // the independently-subscribed pairs reproduce the manager's
+        // AccuracyReport exactly (bit-identical fields)
+        let external = triplec::accuracy::evaluate(&pairs.lock().unwrap());
+        assert_eq!(external, m.accuracy());
+        assert_eq!(m.prediction_pairs(), *pairs.lock().unwrap());
+        // the bus carried a PlanIssued and a FrameExecuted per frame
+        let ev = events.lock().unwrap();
+        let plans = ev
+            .iter()
+            .filter(|e| matches!(e, FrameEvent::PlanIssued { .. }))
+            .count();
+        let frames = ev
+            .iter()
+            .filter(|e| matches!(e, FrameEvent::FrameExecuted { .. }))
+            .count();
+        assert_eq!(plans, 4);
+        assert_eq!(frames, 4);
+        // frame indices advance monotonically
+        let idx: Vec<usize> = ev
+            .iter()
+            .filter(|e| matches!(e, FrameEvent::FrameExecuted { .. }))
+            .map(|e| e.frame())
+            .collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn budget_overrun_and_retrain_events_emitted() {
+        use std::sync::{Arc, Mutex};
+        let mut m = ResourceManager::new(model(), ManagerConfig::default());
+        m.set_budget(LatencyBudget::new(10.0, 0.0));
+        m.model_mut().set_online_training(true);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let es = Arc::clone(&events);
+        m.subscribe(Box::new(move |e: &FrameEvent| {
+            es.lock().unwrap().push(e.clone());
+        }));
+        let _ = m.plan(1000.0);
+        // latency 40 ms against a 10 ms budget: overrun
+        m.absorb(&fake_output(Scenario::from_id(5), vec![("RDG_FULL", 40.0)]));
+        let ev = events.lock().unwrap();
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                FrameEvent::BudgetOverrun { latency_ms, budget_ms, .. }
+                    if *latency_ms == 40.0 && *budget_ms == 10.0
+            )),
+            "no overrun event in {ev:?}"
+        );
+        assert!(
+            ev.iter().any(|e| matches!(
+                e,
+                FrameEvent::ModelRetrained {
+                    observations: 1,
+                    ..
+                }
+            )),
+            "no retrain event in {ev:?}"
+        );
     }
 
     #[test]

@@ -51,6 +51,16 @@ impl QosLevel {
         }
     }
 
+    /// Numeric severity for event payloads: 0 = full quality, higher =
+    /// more degraded.
+    pub fn severity(self) -> u8 {
+        match self {
+            QosLevel::Full => 0,
+            QosLevel::ReducedScales => 1,
+            QosLevel::ReducedZoom => 2,
+        }
+    }
+
     /// Applies the level to a full-quality configuration.
     pub fn apply(self, base: &AppConfig) -> AppConfig {
         let mut cfg = base.clone();

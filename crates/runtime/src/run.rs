@@ -3,7 +3,8 @@
 
 use crate::manager::ResourceManager;
 use pipeline::app::{AppConfig, AppState};
-use pipeline::executor::process_frame;
+use pipeline::executor::process_frame_observed;
+use platform::bus::FrameEvent;
 use platform::trace::TraceLog;
 use xray::{SequenceConfig, SequenceGenerator};
 
@@ -40,7 +41,16 @@ pub fn run_managed_sequence(
         predictions.push(plan.predicted_total_ms);
         stripes.push(plan.policy.rdg_stripes);
 
-        let out = process_frame(frame.index, &frame.image, &mut state, app, &plan.policy);
+        let stream = manager.stream();
+        let out = process_frame_observed(
+            frame.index,
+            &frame.image,
+            &mut state,
+            app,
+            &plan.policy,
+            stream,
+            manager.bus_mut(),
+        );
         manager.absorb(&out);
         trace.push(out.record);
     }
@@ -86,7 +96,16 @@ pub fn run_managed_sequence_qos(
         predictions.push(plan.predicted_total_ms);
         stripes.push(plan.policy.rdg_stripes);
 
-        let out = process_frame(frame.index, &frame.image, &mut state, &app, &plan.policy);
+        let stream = manager.stream();
+        let out = process_frame_observed(
+            frame.index,
+            &frame.image,
+            &mut state,
+            &app,
+            &plan.policy,
+            stream,
+            manager.bus_mut(),
+        );
 
         let comfortable = manager
             .budget()
@@ -96,6 +115,12 @@ pub fn run_managed_sequence_qos(
         let level = controller.update(plan.feasible, comfortable);
         if level != before {
             app = level.apply(base_app);
+            let (stream, frame) = (manager.stream(), manager.current_frame());
+            manager.bus_mut().emit(FrameEvent::QosIntervention {
+                stream,
+                frame,
+                level: level.severity(),
+            });
         }
         levels.push(level);
 

@@ -1,0 +1,550 @@
+//! Multi-stream sessions: N concurrent imaging streams on one platform.
+//!
+//! An interventional X-ray suite can host several simultaneous imaging
+//! streams (biplane acquisition, multiple exam rooms sharing a
+//! reconstruction server). Each [`StreamSession`] owns its own
+//! [`ResourceManager`] and prediction-model instance and runs the managed
+//! closed loop of `runtime::run` independently; the [`SessionScheduler`]
+//! admits sessions against a shared modelled-core budget, divides the
+//! cores by a [`FairnessPolicy`], and executes admitted streams
+//! concurrently on host threads over the process-wide
+//! [`StripePool`](imaging::parallel::StripePool).
+//!
+//! Stream outputs are bit-identical to a serial back-to-back run: pixel
+//! results depend only on the input sequence and the application
+//! configuration, never on the partitioning policy or on measured timing
+//! (the property the striping tests establish per task).
+
+use crate::budget::LatencyBudget;
+use crate::manager::{ManagerConfig, ResourceManager};
+use imaging::image::ImageU16;
+use pipeline::app::{AppConfig, AppState};
+use pipeline::executor::process_frame_observed;
+use platform::bus::StreamId;
+use platform::trace::TraceLog;
+use std::collections::VecDeque;
+use std::time::Instant;
+use triplec::accuracy::AccuracyReport;
+use triplec::triple::TripleC;
+use xray::{SequenceConfig, SequenceGenerator};
+
+/// How the shared core budget is divided among concurrently admitted
+/// streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FairnessPolicy {
+    /// Every admitted stream gets an equal share of the cores.
+    EqualShare,
+    /// Cores are apportioned proportionally to each stream's declared
+    /// demand weight (e.g. predicted frame cost).
+    WeightedDemand,
+}
+
+/// Divides `total` cores among streams with the given demand weights:
+/// largest-remainder apportionment with a minimum of one core per stream.
+///
+/// When there are more streams than cores every stream still receives one
+/// core (the scheduler's admission policy prevents that case by queueing
+/// the excess streams).
+pub fn allocate_cores(total: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(total > 0, "at least one core required");
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n >= total {
+        return vec![1; n];
+    }
+    let sum: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    // degenerate weights: fall back to equal shares
+    let shares: Vec<f64> = if sum <= 1e-12 {
+        vec![total as f64 / n as f64; n]
+    } else {
+        weights
+            .iter()
+            .map(|w| w.max(0.0) / sum * total as f64)
+            .collect()
+    };
+    // floor each share (at least 1), then hand out the remaining cores by
+    // largest fractional remainder
+    let mut alloc: Vec<usize> = shares.iter().map(|s| (s.floor() as usize).max(1)).collect();
+    let mut used: usize = alloc.iter().sum();
+    // floors plus minimums may overshoot; shave the smallest-remainder
+    // streams (never below 1)
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ra = shares[a] - shares[a].floor();
+        let rb = shares[b] - shares[b].floor();
+        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
+    });
+    while used > total {
+        // take from the stream with the smallest remainder that still has
+        // more than one core
+        if let Some(&i) = order.iter().rev().find(|&&i| alloc[i] > 1) {
+            alloc[i] -= 1;
+            used -= 1;
+        } else {
+            break;
+        }
+    }
+    for &i in &order {
+        if used >= total {
+            break;
+        }
+        alloc[i] += 1;
+        used += 1;
+    }
+    alloc
+}
+
+/// Everything needed to run one stream: its input sequence, application
+/// configuration, trained model, and resource-management parameters.
+pub struct StreamSpec {
+    /// The input sequence.
+    pub seq: SequenceConfig,
+    /// Application (task-graph) configuration.
+    pub app: AppConfig,
+    /// Trained prediction model (each stream gets its own instance).
+    pub model: TripleC,
+    /// Manager parameters; `cores` is overwritten by the scheduler's
+    /// allocation.
+    pub manager_cfg: ManagerConfig,
+    /// Fixed per-stream latency budget (None = initialize from the first
+    /// frame, the paper's default).
+    pub budget: Option<LatencyBudget>,
+    /// Demand weight under [`FairnessPolicy::WeightedDemand`].
+    pub weight: f64,
+}
+
+impl StreamSpec {
+    /// A spec with default management parameters and unit weight.
+    pub fn new(seq: SequenceConfig, app: AppConfig, model: TripleC) -> Self {
+        Self {
+            seq,
+            app,
+            model,
+            manager_cfg: ManagerConfig::default(),
+            budget: None,
+            weight: 1.0,
+        }
+    }
+}
+
+/// One admitted stream: a manager plus its sequence, ready to run.
+pub struct StreamSession {
+    id: StreamId,
+    seq: SequenceConfig,
+    app: AppConfig,
+    manager: ResourceManager,
+    cores: usize,
+}
+
+impl StreamSession {
+    /// Builds a session from a spec with an allocated core count.
+    pub fn new(id: StreamId, spec: StreamSpec, cores: usize) -> Self {
+        let cores = cores.max(1);
+        let cfg = ManagerConfig {
+            cores,
+            ..spec.manager_cfg
+        };
+        let mut manager = ResourceManager::for_stream(spec.model, cfg, id);
+        if let Some(b) = spec.budget {
+            manager.set_budget(b);
+        }
+        Self {
+            id,
+            seq: spec.seq,
+            app: spec.app,
+            manager,
+            cores,
+        }
+    }
+
+    /// The stream id.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// The modelled cores allocated to this stream.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The stream's resource manager (e.g. to attach bus subscribers
+    /// before running).
+    pub fn manager_mut(&mut self) -> &mut ResourceManager {
+        &mut self.manager
+    }
+
+    /// Runs the stream's full sequence through the managed closed loop,
+    /// consuming the session.
+    pub fn run(mut self) -> StreamResult {
+        let t0 = Instant::now();
+        let mut state = AppState::new(self.seq.width, self.seq.height);
+        let frames = self.seq.frames;
+        let mut trace = TraceLog::new();
+        let mut predictions = Vec::with_capacity(frames);
+        let mut stripes = Vec::with_capacity(frames);
+        let mut scenarios = Vec::with_capacity(frames);
+        let mut displays = Vec::with_capacity(frames);
+        let mut frame_wall_ms = Vec::with_capacity(frames);
+
+        for frame in SequenceGenerator::new(self.seq) {
+            let ft0 = Instant::now();
+            let roi_kpixels = state
+                .current_roi
+                .map(|r| r.area() as f64 / 1000.0)
+                .unwrap_or_else(|| (frame.image.width() * frame.image.height()) as f64 / 1000.0);
+            let plan = self.manager.plan(roi_kpixels);
+            predictions.push(plan.predicted_total_ms);
+            stripes.push(plan.policy.rdg_stripes);
+
+            let out = process_frame_observed(
+                frame.index,
+                &frame.image,
+                &mut state,
+                &self.app,
+                &plan.policy,
+                self.id,
+                self.manager.bus_mut(),
+            );
+            self.manager.absorb(&out);
+            scenarios.push(out.scenario.id());
+            displays.push(out.display);
+            trace.push(out.record);
+            frame_wall_ms.push(ft0.elapsed().as_secs_f64() * 1000.0);
+        }
+
+        StreamResult {
+            stream: self.id,
+            cores: self.cores,
+            accuracy: self.manager.accuracy(),
+            infeasible_frames: self.manager.infeasible_frames(),
+            trace,
+            predictions,
+            stripes,
+            scenarios,
+            displays,
+            frame_wall_ms,
+            wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+        }
+    }
+}
+
+/// Result of one finished stream.
+pub struct StreamResult {
+    /// Stream id.
+    pub stream: StreamId,
+    /// Modelled cores the stream ran with.
+    pub cores: usize,
+    /// Per-frame execution records (virtual-scheduled latency).
+    pub trace: TraceLog,
+    /// Predicted serial computation time per frame, ms.
+    pub predictions: Vec<f64>,
+    /// RDG stripe count chosen per frame.
+    pub stripes: Vec<usize>,
+    /// Executed scenario id per frame.
+    pub scenarios: Vec<u8>,
+    /// Output image per frame (None when registration had not succeeded).
+    pub displays: Vec<Option<ImageU16>>,
+    /// Host wall-clock time per frame, ms.
+    pub frame_wall_ms: Vec<f64>,
+    /// Host wall-clock time of the whole stream, ms.
+    pub wall_ms: f64,
+    /// Frame-level prediction accuracy (Section 7 metric).
+    pub accuracy: AccuracyReport,
+    /// Frames whose budget was infeasible even fully parallel.
+    pub infeasible_frames: usize,
+}
+
+impl StreamResult {
+    /// p99 of the per-frame host wall-clock times, ms (nearest-rank).
+    pub fn p99_wall_ms(&self) -> f64 {
+        percentile(&self.frame_wall_ms, 0.99)
+    }
+}
+
+/// Nearest-rank percentile (`p` in `[0, 1]`) of an unsorted series.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionConfig {
+    /// The shared modelled-core budget streams are admitted against.
+    pub total_cores: usize,
+    /// How the budget is divided among concurrent streams.
+    pub fairness: FairnessPolicy,
+    /// Cap on concurrently running streams (further streams queue). The
+    /// effective concurrency is also bounded by `total_cores`, since every
+    /// admitted stream needs at least one core.
+    pub max_concurrent: usize,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        let cores = platform::arch::ArchModel::default().cores;
+        Self {
+            total_cores: cores,
+            fairness: FairnessPolicy::EqualShare,
+            max_concurrent: cores,
+        }
+    }
+}
+
+/// Admits streams against the shared core budget and runs them.
+pub struct SessionScheduler {
+    cfg: SessionConfig,
+}
+
+impl SessionScheduler {
+    /// A scheduler over the given configuration.
+    pub fn new(cfg: SessionConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Runs every stream to completion: streams are admitted in waves of
+    /// at most `min(max_concurrent, total_cores)`, each wave's cores are
+    /// divided by the fairness policy, and the wave's streams execute
+    /// concurrently (one host thread each, data-parallel stages on the
+    /// shared stripe pool). Results are returned in stream order.
+    pub fn run(&self, specs: Vec<StreamSpec>) -> SessionReport {
+        let t0 = Instant::now();
+        let wave_size = self.cfg.max_concurrent.min(self.cfg.total_cores).max(1);
+        let mut pending: VecDeque<(StreamId, StreamSpec)> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (i as StreamId, s))
+            .collect();
+        let mut results: Vec<StreamResult> = Vec::new();
+
+        while !pending.is_empty() {
+            let take = wave_size.min(pending.len());
+            let wave: Vec<(StreamId, StreamSpec)> = pending.drain(..take).collect();
+            let weights: Vec<f64> = wave
+                .iter()
+                .map(|(_, s)| match self.cfg.fairness {
+                    FairnessPolicy::EqualShare => 1.0,
+                    FairnessPolicy::WeightedDemand => s.weight,
+                })
+                .collect();
+            let cores = allocate_cores(self.cfg.total_cores, &weights);
+            let sessions: Vec<StreamSession> = wave
+                .into_iter()
+                .zip(&cores)
+                .map(|((id, spec), &c)| StreamSession::new(id, spec, c))
+                .collect();
+            let wave_results: Vec<StreamResult> = std::thread::scope(|scope| {
+                let handles: Vec<_> = sessions
+                    .into_iter()
+                    .map(|sess| scope.spawn(move || sess.run()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("stream thread panicked"))
+                    .collect()
+            });
+            results.extend(wave_results);
+        }
+
+        results.sort_by_key(|r| r.stream);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
+        let total_frames: usize = results.iter().map(|r| r.trace.len()).sum();
+        let aggregate_fps = if wall_ms > 0.0 {
+            total_frames as f64 / (wall_ms / 1000.0)
+        } else {
+            0.0
+        };
+        SessionReport {
+            streams: results,
+            wall_ms,
+            total_frames,
+            aggregate_fps,
+        }
+    }
+}
+
+/// Result of a whole session.
+pub struct SessionReport {
+    /// Per-stream results, ordered by stream id.
+    pub streams: Vec<StreamResult>,
+    /// Host wall-clock time of the whole session, ms.
+    pub wall_ms: f64,
+    /// Frames executed across all streams.
+    pub total_frames: usize,
+    /// Aggregate throughput across streams, frames per second.
+    pub aggregate_fps: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipeline::executor::ExecutionPolicy;
+    use pipeline::runner::run_sequence;
+    use triplec::triple::TripleCConfig;
+    use xray::NoiseConfig;
+
+    fn seq(seed: u64, frames: usize) -> SequenceConfig {
+        SequenceConfig {
+            width: 128,
+            height: 128,
+            frames,
+            seed,
+            noise: NoiseConfig {
+                quantum_scale: 0.3,
+                electronic_std: 2.0,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn trained_model() -> TripleC {
+        let profile = run_sequence(
+            seq(100, 10),
+            &AppConfig::default(),
+            &ExecutionPolicy::default(),
+        );
+        let cfg = TripleCConfig {
+            geometry: triplec::FrameGeometry {
+                width: 128,
+                height: 128,
+            },
+            ..Default::default()
+        };
+        TripleC::train(&profile.task_series(), &profile.scenarios, cfg)
+    }
+
+    #[test]
+    fn allocate_equal_shares() {
+        assert_eq!(allocate_cores(8, &[1.0, 1.0]), vec![4, 4]);
+        assert_eq!(allocate_cores(8, &[1.0, 1.0, 1.0, 1.0]), vec![2, 2, 2, 2]);
+        assert_eq!(allocate_cores(8, &[1.0]), vec![8]);
+    }
+
+    #[test]
+    fn allocate_uneven_split_sums_to_total() {
+        let a = allocate_cores(8, &[1.0, 1.0, 1.0]);
+        assert_eq!(a.iter().sum::<usize>(), 8);
+        assert!(a.iter().all(|&c| c >= 2), "{a:?}");
+    }
+
+    #[test]
+    fn allocate_weighted_demand() {
+        let a = allocate_cores(8, &[3.0, 1.0]);
+        assert_eq!(a, vec![6, 2]);
+        let b = allocate_cores(9, &[2.0, 1.0]);
+        assert_eq!(b, vec![6, 3]);
+    }
+
+    #[test]
+    fn allocate_minimum_one_core_each() {
+        let a = allocate_cores(4, &[100.0, 1.0, 1.0]);
+        assert_eq!(a.iter().sum::<usize>(), 4);
+        assert!(a.iter().all(|&c| c >= 1), "{a:?}");
+        assert!(a[0] >= a[1]);
+        // more streams than cores: one core each (admission prevents this)
+        assert_eq!(allocate_cores(2, &[1.0; 5]), vec![1; 5]);
+    }
+
+    #[test]
+    fn allocate_zero_weights_fall_back_to_equal() {
+        assert_eq!(allocate_cores(8, &[0.0, 0.0]), vec![4, 4]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn single_stream_session_matches_managed_run() {
+        let spec = StreamSpec::new(seq(101, 6), AppConfig::default(), trained_model());
+        let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
+        assert_eq!(report.streams.len(), 1);
+        let s = &report.streams[0];
+        assert_eq!(s.trace.len(), 6);
+        assert_eq!(s.accuracy.count, 6);
+        assert_eq!(report.total_frames, 6);
+        assert!(report.aggregate_fps > 0.0);
+
+        // same frames through the single-stream managed loop
+        let mut mgr = crate::manager::ResourceManager::new(
+            trained_model(),
+            ManagerConfig {
+                cores: s.cores,
+                ..Default::default()
+            },
+        );
+        let run = crate::run::run_managed_sequence(seq(101, 6), &AppConfig::default(), &mut mgr);
+        for (a, b) in s.trace.records().iter().zip(run.trace.records()) {
+            assert_eq!(a.scenario, b.scenario, "frame {}", a.frame);
+        }
+    }
+
+    #[test]
+    fn two_streams_round_trip_with_queueing() {
+        // force queueing: budget of 2 cores, max 1 concurrent stream
+        let cfg = SessionConfig {
+            total_cores: 2,
+            fairness: FairnessPolicy::EqualShare,
+            max_concurrent: 1,
+        };
+        let specs = vec![
+            StreamSpec::new(seq(102, 4), AppConfig::default(), trained_model()),
+            StreamSpec::new(seq(103, 5), AppConfig::default(), trained_model()),
+        ];
+        let report = SessionScheduler::new(cfg).run(specs);
+        assert_eq!(report.streams.len(), 2);
+        assert_eq!(report.streams[0].stream, 0);
+        assert_eq!(report.streams[1].stream, 1);
+        assert_eq!(report.streams[0].trace.len(), 4);
+        assert_eq!(report.streams[1].trace.len(), 5);
+        // each admitted alone: full budget allocated
+        assert_eq!(report.streams[0].cores, 2);
+        assert_eq!(report.streams[1].cores, 2);
+        assert_eq!(report.total_frames, 9);
+    }
+
+    #[test]
+    fn weighted_streams_get_proportional_cores() {
+        let mut a = StreamSpec::new(seq(104, 3), AppConfig::default(), trained_model());
+        a.weight = 3.0;
+        let mut b = StreamSpec::new(seq(105, 3), AppConfig::default(), trained_model());
+        b.weight = 1.0;
+        let cfg = SessionConfig {
+            total_cores: 8,
+            fairness: FairnessPolicy::WeightedDemand,
+            max_concurrent: 8,
+        };
+        let report = SessionScheduler::new(cfg).run(vec![a, b]);
+        assert_eq!(report.streams[0].cores, 6);
+        assert_eq!(report.streams[1].cores, 2);
+    }
+
+    #[test]
+    fn per_stream_p99_is_reported() {
+        let spec = StreamSpec::new(seq(106, 8), AppConfig::default(), trained_model());
+        let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
+        let s = &report.streams[0];
+        assert_eq!(s.frame_wall_ms.len(), 8);
+        let p99 = s.p99_wall_ms();
+        let max = s.frame_wall_ms.iter().cloned().fold(0.0, f64::max);
+        assert!(p99 > 0.0 && p99 <= max, "p99 {p99} max {max}");
+    }
+}

@@ -1,0 +1,150 @@
+//! Integration: multi-stream sessions.
+//!
+//! Concurrent `StreamSession`s must produce **bit-identical** per-frame
+//! outputs to running the same streams serially back-to-back (pixel
+//! results are independent of partitioning policy and timing), and on a
+//! multi-core host, running streams concurrently must multiply aggregate
+//! throughput.
+
+use triple_c::pipeline::app::AppConfig;
+use triple_c::pipeline::executor::ExecutionPolicy;
+use triple_c::pipeline::runner::run_sequence;
+use triple_c::runtime::{
+    FairnessPolicy, LatencyBudget, SessionConfig, SessionReport, SessionScheduler, StreamSpec,
+};
+use triple_c::triplec::triple::{TripleC, TripleCConfig};
+use triple_c::xray::{NoiseConfig, SequenceConfig};
+
+fn seq(seed: u64, frames: usize) -> SequenceConfig {
+    SequenceConfig {
+        width: 128,
+        height: 128,
+        frames,
+        seed,
+        noise: NoiseConfig {
+            quantum_scale: 0.3,
+            electronic_std: 2.0,
+        },
+        ..Default::default()
+    }
+}
+
+fn trained_model() -> TripleC {
+    let profile = run_sequence(
+        seq(100, 10),
+        &AppConfig::default(),
+        &ExecutionPolicy::default(),
+    );
+    let cfg = TripleCConfig {
+        geometry: triple_c::triplec::FrameGeometry {
+            width: 128,
+            height: 128,
+        },
+        ..Default::default()
+    };
+    TripleC::train(&profile.task_series(), &profile.scenarios, cfg)
+}
+
+fn specs(model: &TripleC, seeds: &[u64], frames: usize) -> Vec<StreamSpec> {
+    seeds
+        .iter()
+        .map(|&s| StreamSpec::new(seq(s, frames), AppConfig::default(), model.clone()))
+        .collect()
+}
+
+fn run_with_concurrency(
+    model: &TripleC,
+    seeds: &[u64],
+    frames: usize,
+    max: usize,
+) -> SessionReport {
+    let cfg = SessionConfig {
+        total_cores: 8,
+        fairness: FairnessPolicy::EqualShare,
+        max_concurrent: max,
+    };
+    SessionScheduler::new(cfg).run(specs(model, seeds, frames))
+}
+
+fn assert_streams_bit_identical(serial: &SessionReport, concurrent: &SessionReport) {
+    assert_eq!(serial.streams.len(), concurrent.streams.len());
+    for (a, b) in serial.streams.iter().zip(&concurrent.streams) {
+        assert_eq!(a.stream, b.stream);
+        assert_eq!(
+            a.scenarios, b.scenarios,
+            "stream {}: scenario paths diverged",
+            a.stream
+        );
+        assert_eq!(a.displays.len(), b.displays.len());
+        for (i, (da, db)) in a.displays.iter().zip(&b.displays).enumerate() {
+            assert_eq!(
+                da, db,
+                "stream {} frame {i}: display output differs between serial and concurrent execution",
+                a.stream
+            );
+        }
+    }
+}
+
+#[test]
+fn two_concurrent_streams_bit_identical_to_serial() {
+    let model = trained_model();
+    let seeds = [7, 8];
+    let serial = run_with_concurrency(&model, &seeds, 8, 1);
+    let concurrent = run_with_concurrency(&model, &seeds, 8, 2);
+    assert_streams_bit_identical(&serial, &concurrent);
+    // both streams actually produced output frames
+    for s in &serial.streams {
+        assert!(
+            s.displays.iter().any(|d| d.is_some()),
+            "stream {} never produced a display",
+            s.stream
+        );
+    }
+}
+
+#[test]
+fn four_concurrent_streams_multiply_aggregate_throughput() {
+    let model = trained_model();
+    let seeds = [11, 12, 13, 14];
+    let frames = 10;
+    // a generous fixed budget keeps every plan serial, so the serial and
+    // concurrent runs execute identical work (no intra-stream striping)
+    let with_budget = |max: usize| {
+        let mut specs = specs(&model, &seeds, frames);
+        for s in &mut specs {
+            s.budget = Some(LatencyBudget::new(10_000.0, 0.1));
+        }
+        let cfg = SessionConfig {
+            total_cores: 8,
+            fairness: FairnessPolicy::EqualShare,
+            max_concurrent: max,
+        };
+        SessionScheduler::new(cfg).run(specs)
+    };
+
+    let serial = with_budget(1);
+    let concurrent = with_budget(4);
+
+    // outputs stay bit-identical under concurrency, always
+    assert_streams_bit_identical(&serial, &concurrent);
+
+    // the >=2.5x aggregate-throughput criterion requires >=4 host cores
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if host < 4 {
+        eprintln!("skipping throughput assertion: only {host} host core(s)");
+        return;
+    }
+    let speedup = concurrent.aggregate_fps / serial.aggregate_fps;
+    assert!(
+        speedup >= 2.5,
+        "4-stream aggregate throughput speedup {speedup:.2}x < 2.5x \
+         (serial {:.1} fps over {:.0} ms, concurrent {:.1} fps over {:.0} ms)",
+        serial.aggregate_fps,
+        serial.wall_ms,
+        concurrent.aggregate_fps,
+        concurrent.wall_ms
+    );
+}
