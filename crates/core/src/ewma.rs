@@ -63,6 +63,24 @@ impl Ewma {
     pub fn reset(&mut self) {
         self.value = None;
     }
+
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::Writer) {
+        w.f64(self.alpha);
+        w.opt_f64(self.value);
+    }
+
+    pub(crate) fn decode(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let alpha = r.finite_f64("ewma alpha")?;
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(crate::snapshot::SnapshotError::Corrupt(
+                "ewma alpha out of (0, 1]",
+            ));
+        }
+        let value = r.opt_finite_f64("ewma value")?;
+        Ok(Self { alpha, value })
+    }
 }
 
 /// Splits a series into its low-frequency (EWMA) and high-frequency

@@ -20,6 +20,8 @@
 //! * [`model`] — the unified [`ResourceModel`]
 //!   lifecycle (clone / snapshot / restore / online training) the
 //!   multi-stream runtime builds on;
+//! * [`snapshot`] — validated binary (de)serialization of model
+//!   snapshots: corrupt bytes are an `Err`, never a panic;
 //! * [`scenario`] — the eight switch scenarios and the scenario-level
 //!   Markov chain ("scenario-based Markov chains");
 //! * [`memory_model`] — the Table 1 memory requirements;
@@ -41,6 +43,7 @@ pub mod model;
 pub mod predictor;
 pub mod quantize;
 pub mod scenario;
+pub mod snapshot;
 pub mod stats;
 pub mod training;
 pub mod triple;
@@ -57,5 +60,6 @@ pub use predictor::{
 };
 pub use quantize::Quantizer;
 pub use scenario::{Scenario, ScenarioChain, TASKS};
+pub use snapshot::SnapshotError;
 pub use training::{train_auto, ModelKind, TaskSeries, TrainingConfig};
 pub use triple::{FramePrediction, TripleC, TripleCConfig, TripleCSnapshot};

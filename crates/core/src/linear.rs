@@ -74,6 +74,20 @@ impl LinearModel {
     pub fn residuals(&self, points: &[(f64, f64)]) -> Vec<f64> {
         points.iter().map(|p| p.1 - self.eval(p.0)).collect()
     }
+
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::Writer) {
+        w.f64(self.slope);
+        w.f64(self.intercept);
+    }
+
+    pub(crate) fn decode(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(Self {
+            slope: r.finite_f64("linear slope")?,
+            intercept: r.finite_f64("linear intercept")?,
+        })
+    }
 }
 
 #[cfg(test)]

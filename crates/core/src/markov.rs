@@ -167,6 +167,36 @@ impl MarkovChain {
     pub fn is_row_stochastic(&self, tol: f64) -> bool {
         (0..self.states).all(|i| (self.row(i).iter().sum::<f64>() - 1.0).abs() <= tol)
     }
+
+    /// Probabilities are a pure function of the counts (both `estimate`
+    /// and `observe` derive them by the same Eq. 2 division), so only the
+    /// counts travel in a snapshot and `decode` re-derives `p`
+    /// bit-identically via [`MarkovChain::renormalize`].
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::Writer) {
+        w.u64(self.states as u64);
+        w.u64_slice(&self.counts);
+    }
+
+    pub(crate) fn decode(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError::Corrupt;
+        let states = r.len("markov state count")?;
+        if states == 0 {
+            return Err(Corrupt("markov chain has zero states"));
+        }
+        let counts = r.u64_vec("markov counts")?;
+        if counts.len() != states * states {
+            return Err(Corrupt("markov counts length != states^2"));
+        }
+        let mut chain = Self {
+            states,
+            p: vec![0.0; states * states],
+            counts,
+        };
+        chain.renormalize();
+        Ok(chain)
+    }
 }
 
 #[cfg(test)]

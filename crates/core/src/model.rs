@@ -15,6 +15,14 @@
 //! granularity.
 
 use crate::predictor::{ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, Predictor};
+use crate::snapshot::{Reader, SnapshotError, Writer};
+
+/// Class tag of a [`ConstantPredictor`] in serialized snapshots.
+const TAG_CONSTANT: u8 = 1;
+/// Class tag of an [`EwmaMarkovPredictor`] in serialized snapshots.
+const TAG_EWMA_MARKOV: u8 = 2;
+/// Class tag of a [`LinearMarkovPredictor`] in serialized snapshots.
+const TAG_LINEAR_MARKOV: u8 = 3;
 
 /// An opaque capture of one model's mutable prediction state.
 ///
@@ -40,6 +48,57 @@ impl ModelSnapshot {
             ModelSnapshot::LinearMarkov(_) => "LinearMarkov",
         }
     }
+
+    /// Class tag + payload, without the stream header (so facade
+    /// snapshots can pack many models under one header).
+    pub(crate) fn encode_tagged(&self, w: &mut Writer) {
+        match self {
+            ModelSnapshot::Constant(p) => {
+                w.u8(TAG_CONSTANT);
+                p.encode(w);
+            }
+            ModelSnapshot::EwmaMarkov(p) => {
+                w.u8(TAG_EWMA_MARKOV);
+                p.encode(w);
+            }
+            ModelSnapshot::LinearMarkov(p) => {
+                w.u8(TAG_LINEAR_MARKOV);
+                p.encode(w);
+            }
+        }
+    }
+
+    pub(crate) fn decode_tagged(r: &mut Reader<'_>) -> Result<Self, SnapshotError> {
+        match r.u8()? {
+            TAG_CONSTANT => Ok(ModelSnapshot::Constant(ConstantPredictor::decode(r)?)),
+            TAG_EWMA_MARKOV => Ok(ModelSnapshot::EwmaMarkov(EwmaMarkovPredictor::decode(r)?)),
+            TAG_LINEAR_MARKOV => Ok(ModelSnapshot::LinearMarkov(LinearMarkovPredictor::decode(
+                r,
+            )?)),
+            other => Err(SnapshotError::BadClassTag(other)),
+        }
+    }
+
+    /// Serializes the snapshot to a self-describing byte stream.
+    ///
+    /// The inverse, [`ModelSnapshot::from_bytes`], validates every field
+    /// and never panics on corrupt input — the contract the runtime's
+    /// model-quarantine recovery relies on.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_header();
+        self.encode_tagged(&mut w);
+        w.finish()
+    }
+
+    /// Decodes a snapshot serialized by [`ModelSnapshot::to_bytes`].
+    /// Truncated, garbled or wrong-format bytes return a
+    /// [`SnapshotError`]; this function never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::header(bytes)?;
+        let snap = Self::decode_tagged(&mut r)?;
+        r.expect_end()?;
+        Ok(snap)
+    }
 }
 
 /// A predictor with full per-stream state lifecycle.
@@ -63,6 +122,30 @@ pub trait ResourceModel: Predictor {
 
     /// An independent copy of this model (per-stream instantiation).
     fn clone_model(&self) -> Box<dyn ResourceModel>;
+
+    /// Fallible [`ResourceModel::restore`]: a snapshot of a different
+    /// class returns [`SnapshotError::ClassMismatch`] instead of
+    /// panicking. The recovery runtime uses this when re-applying a
+    /// possibly-corrupted checkpoint.
+    fn try_restore(&mut self, snap: &ModelSnapshot) -> Result<(), SnapshotError> {
+        let own = self.snapshot();
+        if own.class() != snap.class() {
+            return Err(SnapshotError::ClassMismatch {
+                snapshot: snap.class(),
+                model: own.class(),
+            });
+        }
+        self.restore(snap);
+        Ok(())
+    }
+
+    /// Decodes serialized snapshot bytes and restores them. Corrupt bytes
+    /// or a class mismatch return `Err` and leave the model untouched;
+    /// this never panics.
+    fn try_restore_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let snap = ModelSnapshot::from_bytes(bytes)?;
+        self.try_restore(&snap)
+    }
 }
 
 fn wrong_class(model: &str, snap: &ModelSnapshot) -> ! {
@@ -245,5 +328,76 @@ mod tests {
         let series = vec![1.0, 2.0, 3.0, 4.0];
         let mut p = EwmaMarkovPredictor::train(&series, 0.2, 4, "T");
         p.restore(&snap);
+    }
+
+    #[test]
+    fn try_restore_rejects_cross_class_without_panicking() {
+        let snap = ConstantPredictor::new(1.0).snapshot();
+        let series = vec![1.0, 2.0, 3.0, 4.0];
+        let mut p = EwmaMarkovPredictor::train(&series, 0.2, 4, "T");
+        let before = p.predict(&ctx());
+        let err = p.try_restore(&snap).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::snapshot::SnapshotError::ClassMismatch { .. }
+        ));
+        // model untouched on error
+        assert_eq!(p.predict(&ctx()).to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn byte_round_trip_is_bit_identical_for_all_classes() {
+        let series: Vec<f64> = (0..200).map(|i| 40.0 + (i % 7) as f64).collect();
+        let points: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let roi = 50.0 + (i % 40) as f64;
+                (roi, 0.07 * roi + 20.0 + (i % 3) as f64)
+            })
+            .collect();
+        let mut models: Vec<Box<dyn ResourceModel>> = vec![
+            Box::new(ConstantPredictor::new(2.5)),
+            Box::new(EwmaMarkovPredictor::train(&series, 0.2, 16, "RDG")),
+            Box::new(LinearMarkovPredictor::train(&points, 8, "RDG_ROI")),
+        ];
+        for m in &mut models {
+            m.set_online_training(true);
+            for i in 0..15 {
+                m.observe(30.0 + (i % 4) as f64, &ctx());
+            }
+            let bytes = m.snapshot().to_bytes();
+            let before = m.predict(&ctx());
+            for _ in 0..30 {
+                m.observe(90.0, &ctx());
+            }
+            m.try_restore_bytes(&bytes).unwrap();
+            assert_eq!(
+                m.predict(&ctx()).to_bits(),
+                before.to_bits(),
+                "{} prediction differs after byte round trip",
+                m.model_name()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_error_for_every_class() {
+        let series: Vec<f64> = (0..100).map(|i| 10.0 + (i % 4) as f64).collect();
+        let mut p = EwmaMarkovPredictor::train(&series, 0.2, 8, "T");
+        let bytes = p.snapshot().to_bytes();
+        // every truncation is an error, never a panic
+        for cut in 0..bytes.len() {
+            assert!(
+                ModelSnapshot::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} decoded"
+            );
+            assert!(p.try_restore_bytes(&bytes[..cut]).is_err());
+        }
+        // trailing garbage is an error too
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(matches!(
+            ModelSnapshot::from_bytes(&extended),
+            Err(crate::snapshot::SnapshotError::TrailingBytes(1))
+        ));
     }
 }

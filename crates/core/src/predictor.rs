@@ -60,6 +60,18 @@ impl ConstantPredictor {
             value_ms: crate::stats::mean(series),
         }
     }
+
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::Writer) {
+        w.f64(self.value_ms);
+    }
+
+    pub(crate) fn decode(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(Self {
+            value_ms: r.finite_f64("constant value")?,
+        })
+    }
 }
 
 impl Predictor for ConstantPredictor {
@@ -140,6 +152,41 @@ impl EwmaMarkovPredictor {
     /// The residual Markov chain (for the Table 2(a) report).
     pub fn chain(&self) -> &MarkovChain {
         &self.chain
+    }
+
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::Writer) {
+        self.ewma.encode(w);
+        self.quantizer.encode(w);
+        self.chain.encode(w);
+        w.opt_usize(self.last_state);
+        w.bool(self.online);
+        w.str(self.label);
+    }
+
+    pub(crate) fn decode(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError::Corrupt;
+        let ewma = Ewma::decode(r)?;
+        let quantizer = Quantizer::decode(r)?;
+        let chain = MarkovChain::decode(r)?;
+        if chain.states() != quantizer.states() {
+            return Err(Corrupt("chain/quantizer state count mismatch"));
+        }
+        let last_state = r.opt_usize("ewma-markov last state")?;
+        if last_state.is_some_and(|s| s >= chain.states()) {
+            return Err(Corrupt("last state out of range"));
+        }
+        let online = r.bool("ewma-markov online flag")?;
+        let label = crate::snapshot::intern_label(r.str("ewma-markov label")?);
+        Ok(Self {
+            ewma,
+            quantizer,
+            chain,
+            last_state,
+            online,
+            label,
+        })
     }
 }
 
@@ -233,6 +280,41 @@ impl LinearMarkovPredictor {
     /// The fitted growth function (compare with Eq. 3).
     pub fn growth(&self) -> LinearModel {
         self.model
+    }
+
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::Writer) {
+        self.model.encode(w);
+        self.quantizer.encode(w);
+        self.chain.encode(w);
+        w.opt_usize(self.last_state);
+        w.bool(self.online);
+        w.str(self.label);
+    }
+
+    pub(crate) fn decode(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError::Corrupt;
+        let model = LinearModel::decode(r)?;
+        let quantizer = Quantizer::decode(r)?;
+        let chain = MarkovChain::decode(r)?;
+        if chain.states() != quantizer.states() {
+            return Err(Corrupt("chain/quantizer state count mismatch"));
+        }
+        let last_state = r.opt_usize("linear-markov last state")?;
+        if last_state.is_some_and(|s| s >= chain.states()) {
+            return Err(Corrupt("last state out of range"));
+        }
+        let online = r.bool("linear-markov online flag")?;
+        let label = crate::snapshot::intern_label(r.str("linear-markov label")?);
+        Ok(Self {
+            model,
+            quantizer,
+            chain,
+            last_state,
+            online,
+            label,
+        })
     }
 }
 

@@ -170,6 +170,41 @@ impl Quantizer {
     pub fn reconstruct(&self, x: f64) -> f64 {
         self.representative(self.state_of(x))
     }
+
+    pub(crate) fn encode(&self, w: &mut crate::snapshot::Writer) {
+        w.f64_slice(&self.bounds);
+        w.f64_slice(&self.reps);
+    }
+
+    pub(crate) fn decode(
+        r: &mut crate::snapshot::Reader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError::Corrupt;
+        let bounds = r.f64_vec("quantizer bounds")?;
+        let reps = r.f64_vec("quantizer reps")?;
+        if bounds.is_empty() {
+            return Err(Corrupt("quantizer has no states"));
+        }
+        if reps.len() != bounds.len() {
+            return Err(Corrupt("quantizer reps/bounds length mismatch"));
+        }
+        // every bound but the open-ended last one is finite; the sequence
+        // is strictly increasing (state_of relies on sorted bounds)
+        let (last, inner) = bounds.split_last().unwrap();
+        if *last != f64::INFINITY {
+            return Err(Corrupt("quantizer last bound must be +inf"));
+        }
+        if inner.iter().any(|b| !b.is_finite()) {
+            return Err(Corrupt("quantizer inner bound not finite"));
+        }
+        if bounds.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Corrupt("quantizer bounds not strictly increasing"));
+        }
+        if reps.iter().any(|x| !x.is_finite()) {
+            return Err(Corrupt("quantizer representative not finite"));
+        }
+        Ok(Self { bounds, reps })
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@ use crate::memory_model::{implementation_table, FrameGeometry, TaskMemory};
 use crate::model::{ModelSnapshot, ResourceModel};
 use crate::predictor::PredictContext;
 use crate::scenario::{Scenario, ScenarioChain};
+use crate::snapshot::{Reader, SnapshotError, Writer};
 use crate::training::{train_auto, ModelKind, TaskSeries, TrainingConfig};
 use std::collections::BTreeMap;
 
@@ -104,6 +105,46 @@ pub struct TripleCSnapshot {
     models: BTreeMap<&'static str, ModelSnapshot>,
 }
 
+/// Class tag of a serialized [`TripleCSnapshot`] (the facade, as opposed
+/// to single-predictor snapshots).
+const TAG_FACADE: u8 = 0xF0;
+
+impl TripleCSnapshot {
+    /// Serializes the facade snapshot: one tagged model snapshot per task,
+    /// under a single validated stream header.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::with_header();
+        w.u8(TAG_FACADE);
+        w.u32(self.models.len() as u32);
+        for (task, snap) in &self.models {
+            w.str(task);
+            snap.encode_tagged(&mut w);
+        }
+        w.finish()
+    }
+
+    /// Decodes bytes produced by [`TripleCSnapshot::to_bytes`]. Truncated
+    /// or garbled input returns a [`SnapshotError`]; this never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader::header(bytes)?;
+        let tag = r.u8()?;
+        if tag != TAG_FACADE {
+            return Err(SnapshotError::BadClassTag(tag));
+        }
+        let count = r.u32()? as usize;
+        let mut models = BTreeMap::new();
+        for _ in 0..count {
+            let task = crate::snapshot::intern_label(r.str("facade task name")?);
+            let snap = ModelSnapshot::decode_tagged(&mut r)?;
+            if models.insert(task, snap).is_some() {
+                return Err(SnapshotError::Corrupt("duplicate task in facade snapshot"));
+            }
+        }
+        r.expect_end()?;
+        Ok(Self { models })
+    }
+}
+
 impl TripleC {
     /// Trains the model from per-task profiled series and the observed
     /// scenario sequence.
@@ -189,6 +230,40 @@ impl TripleC {
                 p.restore(s);
             }
         }
+    }
+
+    /// Fallible [`TripleC::restore`]: every per-task snapshot class is
+    /// checked against the trained predictor *before* anything is applied,
+    /// so on `Err` the model is untouched (no partial restore).
+    pub fn try_restore(&mut self, snap: &TripleCSnapshot) -> Result<(), SnapshotError> {
+        for (task, s) in &snap.models {
+            if let Some((_, p)) = self.predictors.get(task) {
+                let own = p.snapshot();
+                if own.class() != s.class() {
+                    return Err(SnapshotError::ClassMismatch {
+                        snapshot: s.class(),
+                        model: own.class(),
+                    });
+                }
+            }
+        }
+        self.restore(snap);
+        Ok(())
+    }
+
+    /// Serializes the current mutable prediction state
+    /// ([`TripleC::snapshot`] as bytes).
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        self.snapshot().to_bytes()
+    }
+
+    /// Decodes and restores serialized snapshot bytes. Truncated or
+    /// garbled bytes return `Err` and leave the model untouched; this
+    /// never panics — the contract the runtime's model-quarantine
+    /// recovery path depends on.
+    pub fn try_restore_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let snap = TripleCSnapshot::from_bytes(bytes)?;
+        self.try_restore(&snap)
     }
 
     /// Predicted serial computation time of a whole frame under `scenario`.
@@ -436,5 +511,56 @@ mod tests {
         let ctx = PredictContext::default();
         assert!(t.observe_task("RDG_FULL", 40.0, &ctx));
         assert!(!t.observe_task("NOPE", 40.0, &ctx));
+    }
+
+    #[test]
+    fn facade_byte_round_trip_is_bit_identical() {
+        let mut t = trained();
+        let ctx = PredictContext { roi_kpixels: 800.0 };
+        t.set_online_training(true);
+        for i in 0..20 {
+            t.observe_task("RDG_FULL", 40.0 + (i % 6) as f64, &ctx);
+            t.observe_task("CPLS_SEL", 1.0 + (i % 3) as f64, &ctx);
+        }
+        let bytes = t.snapshot_bytes();
+        let before: Vec<(&str, u64)> = Scenario::worst_case()
+            .active_tasks()
+            .iter()
+            .map(|&task| (task, t.predict_task(task, &ctx).unwrap_or(0.0).to_bits()))
+            .collect();
+        for _ in 0..60 {
+            t.observe_task("RDG_FULL", 95.0, &ctx);
+            t.observe_task("CPLS_SEL", 9.0, &ctx);
+        }
+        t.try_restore_bytes(&bytes).unwrap();
+        for (task, bits) in before {
+            assert_eq!(
+                t.predict_task(task, &ctx).unwrap_or(0.0).to_bits(),
+                bits,
+                "{task} prediction differs after byte round trip"
+            );
+        }
+    }
+
+    #[test]
+    fn facade_corrupt_bytes_never_panic_and_leave_model_untouched() {
+        let mut t = trained();
+        let ctx = PredictContext::default();
+        let bytes = t.snapshot_bytes();
+        let before = t.predict_task("RDG_FULL", &ctx).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                t.try_restore_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} restored"
+            );
+        }
+        // single-byte corruption of the payload either fails cleanly or
+        // decodes to a *valid* (if different) model — never panics
+        for i in 0..bytes.len() {
+            let mut garbled = bytes.clone();
+            garbled[i] ^= 0xA5;
+            let _ = TripleCSnapshot::from_bytes(&garbled);
+        }
+        assert_eq!(t.predict_task("RDG_FULL", &ctx).unwrap(), before);
     }
 }

@@ -27,6 +27,38 @@ use crate::ridge::{assemble_stripes, rdg_roi, rdg_stripe, RdgBuffers, RdgConfig,
 /// A lifetime-erased unit of work executed on a pool worker.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// Why a pooled batch did not complete cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// One or more jobs panicked; the collected panic messages. The
+    /// workers survive and the pool stays usable.
+    JobPanicked(Vec<String>),
+    /// A job could not be submitted, or its completion signal never
+    /// arrived (worker channel torn down mid-batch).
+    Disconnected,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::JobPanicked(msgs) => {
+                write!(f, "stripe worker panicked: {}", msgs.join("; "))
+            }
+            PoolError::Disconnected => write!(f, "stripe pool channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
 struct Item {
     job: Task,
     done: Sender<bool>,
@@ -63,12 +95,7 @@ impl StripePool {
                         let result = catch_unwind(AssertUnwindSafe(job));
                         let panicked = result.is_err();
                         if let Err(payload) = result {
-                            let msg = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "non-string panic payload".into());
-                            panics.lock().push(msg);
+                            panics.lock().push(panic_message(payload.as_ref()));
                         }
                         // The dispatcher may have given up (itself panicked);
                         // a dead done-channel is not an error for the worker.
@@ -89,6 +116,14 @@ impl StripePool {
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Number of worker threads still running. A healthy pool keeps this
+    /// equal to [`StripePool::threads`] for its whole life — job panics
+    /// are caught inside the worker loop and must never kill a thread
+    /// (asserted by the fault-recovery tests).
+    pub fn live_threads(&self) -> usize {
+        self.handles.iter().filter(|h| !h.is_finished()).count()
     }
 
     /// The process-wide shared pool, sized to the available hardware
@@ -115,39 +150,76 @@ impl StripePool {
     /// (wrapped modulo the pool size). Jobs given the same index always
     /// run on the same worker thread, which models per-core assignment.
     pub fn run_on<'scope>(&self, jobs: Vec<(usize, Box<dyn FnOnce() + Send + 'scope>)>) {
-        let n = jobs.len();
-        if n == 0 {
-            return;
+        if let Err(e) = self.try_run_on(jobs) {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking [`StripePool::run`]: a job panic (or a torn-down
+    /// worker channel) is returned as a [`PoolError`] after the whole
+    /// batch has drained, so the caller — not the pool — decides whether
+    /// the failure unwinds. The recovery runtime's retry/fallback
+    /// policies are built on this.
+    pub fn try_run<'scope>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+    ) -> Result<(), PoolError> {
+        self.try_run_on(jobs.into_iter().enumerate().collect())
+    }
+
+    /// Non-panicking [`StripePool::run_on`] (see [`StripePool::try_run`]).
+    pub fn try_run_on<'scope>(
+        &self,
+        jobs: Vec<(usize, Box<dyn FnOnce() + Send + 'scope>)>,
+    ) -> Result<(), PoolError> {
+        if jobs.is_empty() {
+            return Ok(());
         }
         let (done_tx, done_rx) = unbounded::<bool>();
+        let mut submitted = 0usize;
+        let mut disconnected = false;
         for (i, job) in jobs {
-            // SAFETY: the loop below blocks until every job has signalled
-            // completion (the done sender is dropped only after the job ran
-            // or was dropped unexecuted by a dying worker), so all 'scope
-            // borrows captured by the job strictly outlive its execution.
+            // SAFETY: the loop below blocks until every *submitted* job has
+            // signalled completion (the done sender is dropped only after
+            // the job ran or was dropped unexecuted by a dying worker), so
+            // all 'scope borrows captured by a job strictly outlive its
+            // execution. Jobs that fail to submit are dropped unexecuted
+            // right here, releasing their borrows immediately.
             let job: Task =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(job) };
-            self.workers[i % self.workers.len()]
+            if self.workers[i % self.workers.len()]
                 .send(Item {
                     job,
                     done: done_tx.clone(),
                 })
-                .expect("stripe worker alive");
+                .is_err()
+            {
+                disconnected = true;
+                break;
+            }
+            submitted += 1;
         }
         drop(done_tx);
         let mut panicked = false;
-        for _ in 0..n {
+        for _ in 0..submitted {
             match done_rx.recv() {
                 Ok(flag) => panicked |= flag,
                 // A worker died without running the job (only possible if
-                // its thread was torn down); treat as a panic.
-                Err(_) => panicked = true,
+                // its thread was torn down).
+                Err(_) => {
+                    disconnected = true;
+                    break;
+                }
             }
         }
         if panicked {
             let msgs = std::mem::take(&mut *self.panics.lock());
-            panic!("stripe worker panicked: {}", msgs.join("; "));
+            return Err(PoolError::JobPanicked(msgs));
         }
+        if disconnected {
+            return Err(PoolError::Disconnected);
+        }
+        Ok(())
     }
 }
 
@@ -369,6 +441,61 @@ pub fn rdg_parallel_pooled(
     stripes: usize,
     bufs: &mut ParallelRdgBuffers,
 ) -> RdgOutput {
+    match rdg_parallel_pooled_inner(pool, src, roi, cfg, stripes, bufs, 0) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Deterministic faults to inject into one
+/// [`rdg_parallel_pooled_faulted`] call (testing only; the nominal path
+/// never constructs one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StripeFault {
+    /// Panic this many stripe jobs at job start. The panic fires before
+    /// the job touches its scratch or output band, so a failed attempt
+    /// leaves no partial writes and a clean retry is bit-identical to an
+    /// unfaulted run.
+    pub panic_jobs: usize,
+    /// Fail the dispatch with a transient [`PoolError::Disconnected`]
+    /// before any job is submitted.
+    pub channel_error: bool,
+}
+
+impl StripeFault {
+    /// Whether this fault spec injects anything.
+    pub fn is_armed(&self) -> bool {
+        self.panic_jobs > 0 || self.channel_error
+    }
+}
+
+/// [`rdg_parallel_pooled`] with fault injection: failures (injected or
+/// real) are returned as [`PoolError`] instead of unwinding, and a failed
+/// attempt recycles its output buffers so a retry allocates nothing.
+pub fn rdg_parallel_pooled_faulted(
+    pool: &StripePool,
+    src: &ImageU16,
+    roi: Roi,
+    cfg: &RdgConfig,
+    stripes: usize,
+    bufs: &mut ParallelRdgBuffers,
+    fault: StripeFault,
+) -> Result<RdgOutput, PoolError> {
+    if fault.channel_error {
+        return Err(PoolError::Disconnected);
+    }
+    rdg_parallel_pooled_inner(pool, src, roi, cfg, stripes, bufs, fault.panic_jobs)
+}
+
+fn rdg_parallel_pooled_inner(
+    pool: &StripePool,
+    src: &ImageU16,
+    roi: Roi,
+    cfg: &RdgConfig,
+    stripes: usize,
+    bufs: &mut ParallelRdgBuffers,
+    panic_jobs: usize,
+) -> Result<RdgOutput, PoolError> {
     assert!(stripes > 0, "stripe count must be positive");
     let roi = roi.clamp_to(src.width(), src.height());
     let width = src.width();
@@ -393,7 +520,7 @@ pub fn rdg_parallel_pooled(
         let ridgeness_bands = row_bands(ridgeness.as_mut_slice(), width, &parts);
 
         let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(parts.len());
-        for ((((&stripe, &ext), fband), rband), (scratch, ms)) in parts
+        for (i, ((((&stripe, &ext), fband), rband), (scratch, ms))) in parts
             .iter()
             .zip(exts.iter())
             .zip(filtered_bands)
@@ -404,7 +531,15 @@ pub fn rdg_parallel_pooled(
                     .flatten()
                     .zip(bufs.stripe_ms.iter_mut()),
             )
+            .enumerate()
         {
+            if i < panic_jobs {
+                // injected fault: dies at job start, before any write
+                jobs.push(Box::new(move || {
+                    panic!("injected stripe-worker fault (job {i})");
+                }));
+                continue;
+            }
             jobs.push(Box::new(move || {
                 let t0 = Instant::now();
                 let StripeScratch { sub, bufs } = scratch;
@@ -431,13 +566,39 @@ pub fn rdg_parallel_pooled(
                 *ms = t0.elapsed().as_secs_f64() * 1e3;
             }));
         }
-        if jobs.len() <= 1 {
-            // Single stripe: run inline, sharing the code path.
+        let dispatch = if jobs.len() <= 1 && panic_jobs == 0 {
+            // Single stripe, nominal path: run inline, sharing the code
+            // path (no catch_unwind, no channel hop).
             for job in jobs {
                 job();
             }
+            Ok(())
+        } else if jobs.len() <= 1 {
+            // Single inline job with an injected panic: catch it locally
+            // so the fault cannot unwind into the session thread.
+            let mut result = Ok(());
+            for job in jobs {
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    result = Err(PoolError::JobPanicked(vec![panic_message(
+                        payload.as_ref(),
+                    )]));
+                }
+            }
+            result
         } else {
-            pool.run(jobs);
+            pool.try_run(jobs)
+        };
+        if let Err(e) = dispatch {
+            // Failed attempts leave no partial state behind: the output
+            // images go back to the buffer pool (a retry re-copies from
+            // `src` and re-zeroes, so nothing from this attempt leaks).
+            bufs.recycle(RdgOutput {
+                filtered,
+                ridgeness,
+                ridge_pixels: 0,
+                segments: 0,
+            });
+            return Err(e);
         }
     }
 
@@ -467,12 +628,12 @@ pub fn rdg_parallel_pooled(
         }
     }
 
-    RdgOutput {
+    Ok(RdgOutput {
         filtered,
         ridgeness,
         ridge_pixels,
         segments: 0,
-    }
+    })
 }
 
 /// Halo width needed by the active scale set (3 sigma of the largest).
@@ -589,6 +750,163 @@ mod tests {
         // the pool stays usable after a job panic
         let ok = for_each_stripe_on(&pool, roi, 4, |s| s.y);
         assert_eq!(ok, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_run_reports_panics_without_unwinding() {
+        let pool = StripePool::new(2);
+        let mut results = [0usize; 4];
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = results
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| {
+                Box::new(move || {
+                    if i == 1 {
+                        panic!("fault in job {i}");
+                    }
+                    *slot = i + 10;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        let err = pool.try_run(jobs).unwrap_err();
+        match &err {
+            PoolError::JobPanicked(msgs) => {
+                assert_eq!(msgs.len(), 1);
+                assert!(msgs[0].contains("fault in job 1"), "{msgs:?}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        // the whole batch drained: every non-faulted job still ran
+        assert_eq!(results, [10, 0, 12, 13]);
+        // the pool remains fully usable with all threads alive
+        assert_eq!(pool.live_threads(), 2);
+        let ok: Vec<usize> = for_each_stripe_on(&pool, Roi::new(0, 0, 4, 4), 4, |s| s.y);
+        assert_eq!(ok, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn job_panics_never_kill_worker_threads() {
+        let pool = StripePool::new(3);
+        assert_eq!(pool.live_threads(), 3);
+        for round in 0..10 {
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+                .map(|i| {
+                    Box::new(move || {
+                        if (i + round) % 2 == 0 {
+                            panic!("round {round} job {i}");
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            assert!(pool.try_run(jobs).is_err());
+            assert_eq!(pool.live_threads(), 3, "round {round} leaked a thread");
+        }
+    }
+
+    #[test]
+    fn faulted_rdg_panic_then_clean_retry_is_bit_identical() {
+        let src = wire_frame(96, 96);
+        let cfg = RdgConfig::default();
+        let pool = StripePool::new(4);
+        let mut bufs = ParallelRdgBuffers::new();
+        let reference = rdg_parallel_pooled(
+            &pool,
+            &src,
+            src.full_roi(),
+            &cfg,
+            4,
+            &mut ParallelRdgBuffers::new(),
+        );
+
+        // armed fault: the attempt fails cleanly
+        let fault = StripeFault {
+            panic_jobs: 1,
+            channel_error: false,
+        };
+        let err =
+            rdg_parallel_pooled_faulted(&pool, &src, src.full_roi(), &cfg, 4, &mut bufs, fault)
+                .unwrap_err();
+        assert!(matches!(err, PoolError::JobPanicked(_)), "{err:?}");
+        assert_eq!(pool.live_threads(), 4);
+
+        // retry without the fault: output identical to a never-faulted run
+        let out = rdg_parallel_pooled_faulted(
+            &pool,
+            &src,
+            src.full_roi(),
+            &cfg,
+            4,
+            &mut bufs,
+            StripeFault::default(),
+        )
+        .unwrap();
+        assert_eq!(out.filtered, reference.filtered);
+        assert_eq!(out.ridgeness, reference.ridgeness);
+        bufs.recycle(out);
+
+        // the failed attempt recycled its buffers: retry allocated nothing new
+        let warm = bufs.allocations();
+        let again = rdg_parallel_pooled_faulted(
+            &pool,
+            &src,
+            src.full_roi(),
+            &cfg,
+            4,
+            &mut bufs,
+            StripeFault {
+                panic_jobs: 2,
+                channel_error: false,
+            },
+        );
+        assert!(again.is_err());
+        assert_eq!(bufs.allocations(), warm, "failed attempt allocated");
+    }
+
+    #[test]
+    fn faulted_rdg_channel_error_is_transient() {
+        let src = wire_frame(64, 64);
+        let cfg = RdgConfig::default();
+        let pool = StripePool::new(2);
+        let mut bufs = ParallelRdgBuffers::new();
+        let fault = StripeFault {
+            panic_jobs: 0,
+            channel_error: true,
+        };
+        assert_eq!(
+            rdg_parallel_pooled_faulted(&pool, &src, src.full_roi(), &cfg, 2, &mut bufs, fault)
+                .unwrap_err(),
+            PoolError::Disconnected
+        );
+        // the next dispatch succeeds — the error was transient by design
+        let out = rdg_parallel_pooled_faulted(
+            &pool,
+            &src,
+            src.full_roi(),
+            &cfg,
+            2,
+            &mut bufs,
+            StripeFault::default(),
+        )
+        .unwrap();
+        bufs.recycle(out);
+    }
+
+    #[test]
+    fn faulted_rdg_single_stripe_inline_panic_is_caught() {
+        // with one stripe the job runs inline on the calling thread; an
+        // injected panic must still surface as an Err, not an unwind
+        let src = wire_frame(64, 64);
+        let cfg = RdgConfig::default();
+        let pool = StripePool::new(2);
+        let mut bufs = ParallelRdgBuffers::new();
+        let fault = StripeFault {
+            panic_jobs: 1,
+            channel_error: false,
+        };
+        let err =
+            rdg_parallel_pooled_faulted(&pool, &src, src.full_roi(), &cfg, 1, &mut bufs, fault)
+                .unwrap_err();
+        assert!(matches!(err, PoolError::JobPanicked(_)));
     }
 
     #[test]

@@ -13,12 +13,14 @@ use imaging::couples::cpls_select;
 use imaging::guidewire::gw_extract_with;
 use imaging::image::{ImageU16, Roi};
 use imaging::markers::mkx_extract;
-use imaging::parallel::{rdg_parallel_pooled, StripePool};
+use imaging::parallel::{
+    rdg_parallel_pooled, rdg_parallel_pooled_faulted, PoolError, StripeFault, StripePool,
+};
 use imaging::registration::register;
 use imaging::ridge::{rdg_roi, RdgOutput};
 use imaging::roi_est::estimate_roi;
 use imaging::zoom::zoom_band;
-use platform::bus::{EventBus, StreamId};
+use platform::bus::{DegradeMode, EventBus, FaultKind, FrameEvent, StreamId};
 use platform::profile::time_ms;
 use platform::schedule::{VirtualJob, VirtualSchedule};
 use platform::trace::FrameRecord;
@@ -53,6 +55,97 @@ impl Default for ExecutionPolicy {
 /// serial within a frame.
 pub const STRIPABLE_TASKS: [&str; 5] = ["RDG_FULL", "RDG_ROI", "GW_EXT", "ENH", "ZOOM"];
 
+/// Faults to inject into one frame's execution (all disabled by default).
+///
+/// Produced per frame by the runtime's seeded fault plan. The executor
+/// injects them at the stripe-dispatch boundary, where a failed attempt
+/// has not yet written any pixel state, so a clean retry (or the serial
+/// fallback) stays bit-identical to an unfaulted frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FrameFaults {
+    /// Panic this many stripe jobs of the first real RDG dispatch.
+    pub rdg_panic_jobs: usize,
+    /// Fail this many leading RDG dispatch attempts with a transient
+    /// pool-channel error (consumed before any panic injection fires).
+    pub rdg_channel_errors: u32,
+    /// Inflate the frame by sleeping this many milliseconds, recorded as
+    /// a `FAULT_DELAY` pseudo-task so latency budgets and overrun
+    /// policies observe it.
+    pub stage_delay_ms: f64,
+}
+
+impl FrameFaults {
+    /// True when any fault is armed for this frame.
+    pub fn any(&self) -> bool {
+        self.rdg_panic_jobs > 0 || self.rdg_channel_errors > 0 || self.stage_delay_ms > 0.0
+    }
+}
+
+/// Bounded-retry policy for a striped stage whose dispatch failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageRetry {
+    /// Clean re-dispatches after a failed attempt before giving up.
+    pub max_retries: u32,
+    /// Once retries are exhausted, fall back to the bit-identical serial
+    /// path (emitting [`DegradeMode::SerialFallback`]) instead of failing
+    /// the frame.
+    pub serial_fallback: bool,
+}
+
+impl Default for StageRetry {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            serial_fallback: true,
+        }
+    }
+}
+
+/// A frame that could not complete even after retries. Only reachable
+/// when [`StageRetry::serial_fallback`] is disabled.
+#[derive(Debug, Clone)]
+pub struct FrameError {
+    /// Frame index that failed.
+    pub frame: usize,
+    /// Task name of the stage that failed.
+    pub stage: &'static str,
+    /// The final dispatch error.
+    pub error: PoolError,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "frame {}: stage {} failed after retries: {}",
+            self.frame, self.stage, self.error
+        )
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+fn fault_kind_of(err: &PoolError) -> FaultKind {
+    match err {
+        PoolError::JobPanicked(_) => FaultKind::WorkerPanic,
+        PoolError::Disconnected => FaultKind::ChannelError,
+    }
+}
+
+/// Publishes a fault-family event when an observer bus is attached.
+fn emit_fault(
+    observer: &mut Option<(StreamId, &mut EventBus)>,
+    make: impl FnOnce(StreamId) -> FrameEvent,
+) {
+    if let Some((stream, bus)) = observer {
+        bus.emit(make(*stream));
+    }
+}
+
 /// Result of processing one frame.
 pub struct FrameOutput {
     /// Trace record: task times (serial work), scenario, effective latency.
@@ -77,7 +170,8 @@ pub fn process_frame(
     cfg: &AppConfig,
     policy: &ExecutionPolicy,
 ) -> FrameOutput {
-    process_frame_inner(frame_index, frame, state, cfg, policy, &mut None)
+    process_frame_inner(frame_index, frame, state, cfg, policy, &mut None, None)
+        .expect("infallible without fault recovery")
 }
 
 /// Like [`process_frame`], additionally emitting a
@@ -100,6 +194,45 @@ pub fn process_frame_observed(
         cfg,
         policy,
         &mut Some((stream, bus)),
+        None,
+    )
+    .expect("infallible without fault recovery")
+}
+
+/// Like [`process_frame_observed`], with deterministic fault injection
+/// and graceful degradation.
+///
+/// Every fault kind armed in `faults` is announced with a
+/// [`FrameEvent::FaultInjected`] and is guaranteed a terminal event by
+/// the time this returns: a [`FrameEvent::Recovered`] when a clean retry
+/// (or absorption) delivered the nominal result, or a
+/// [`FrameEvent::DegradedMode`] when the stage fell back to its serial
+/// path. Failed dispatch attempts emit [`FrameEvent::RetryAttempted`].
+/// `Err` is only possible when `retry.serial_fallback` is disabled.
+///
+/// Pixel outputs are bit-identical to [`process_frame`] for every frame
+/// this returns `Ok` for: injected stripe faults fire before any band is
+/// written, so retries and the serial fallback see pristine state.
+#[allow(clippy::too_many_arguments)]
+pub fn process_frame_recovering(
+    frame_index: usize,
+    frame: &ImageU16,
+    state: &mut AppState,
+    cfg: &AppConfig,
+    policy: &ExecutionPolicy,
+    stream: StreamId,
+    bus: &mut EventBus,
+    faults: FrameFaults,
+    retry: &StageRetry,
+) -> Result<FrameOutput, FrameError> {
+    process_frame_inner(
+        frame_index,
+        frame,
+        state,
+        cfg,
+        policy,
+        &mut Some((stream, bus)),
+        Some((&faults, retry)),
     )
 }
 
@@ -123,10 +256,42 @@ fn process_frame_inner(
     cfg: &AppConfig,
     policy: &ExecutionPolicy,
     observer: &mut Option<(StreamId, &mut EventBus)>,
-) -> FrameOutput {
+    recovery: Option<(&FrameFaults, &StageRetry)>,
+) -> Result<FrameOutput, FrameError> {
     let (w, h) = frame.dims();
     let mut task_times: Vec<(&'static str, f64)> = Vec::with_capacity(9);
     let mut schedule = VirtualSchedule::new(policy.cores.max(1));
+
+    // --- fault arming ------------------------------------------------
+    // Every armed fault kind is announced up front and owed a terminal
+    // `Recovered`/`DegradedMode` event (or an `Err` return) by the end
+    // of the frame, so replay logs pair injections and outcomes 1:1.
+    // Pool-targeting kinds wait here until the striped RDG dispatch
+    // consumes them; a frame with no such dispatch absorbs them with a
+    // zero-attempt `Recovered` in the bookkeeping section.
+    let mut pending_pool_kinds: Vec<FaultKind> = Vec::new();
+    if let Some((faults, _)) = recovery {
+        if faults.rdg_channel_errors > 0 {
+            pending_pool_kinds.push(FaultKind::ChannelError);
+        }
+        if faults.rdg_panic_jobs > 0 {
+            pending_pool_kinds.push(FaultKind::WorkerPanic);
+        }
+        for &kind in &pending_pool_kinds {
+            emit_fault(observer, |stream| FrameEvent::FaultInjected {
+                stream,
+                frame: frame_index,
+                kind,
+            });
+        }
+        if faults.stage_delay_ms > 0.0 {
+            emit_fault(observer, |stream| FrameEvent::FaultInjected {
+                stream,
+                frame: frame_index,
+                kind: FaultKind::StageDelay,
+            });
+        }
+    }
 
     // --- switch 1: RDG DETECTION --------------------------------------
     let probe = structure_probe(frame, cfg.probe_block);
@@ -150,7 +315,7 @@ fn process_frame_inner(
     let roi_kpixels = work_roi.area() as f64 / 1000.0;
 
     // --- RDG ------------------------------------------------------------
-    let rdg_striped = rdg_active && policy.rdg_stripes.max(1) > 1;
+    let mut rdg_striped = rdg_active && policy.rdg_stripes.max(1) > 1;
     let rdg_out: Option<RdgOutput> = if rdg_active {
         let task: &'static str = if roi_estimated { "RDG_ROI" } else { "RDG_FULL" };
         let stripes = policy.rdg_stripes.max(1);
@@ -159,6 +324,108 @@ fn process_frame_inner(
             task_times.push((task, ms));
             schedule.serial(0, ms);
             Some(out)
+        } else if let Some((faults, retry)) = recovery {
+            // fault-aware dispatch: armed pool faults fire on the early
+            // attempts (channel errors first, then the panic batch), each
+            // failure is retried with a clean dispatch up to
+            // `retry.max_retries` times, and exhaustion falls back to the
+            // bit-identical serial path.
+            let mut attempts = 0u32;
+            let mut panic_jobs = faults.rdg_panic_jobs;
+            let mut channel_left = faults.rdg_channel_errors;
+            let mut last_kind = FaultKind::WorkerPanic;
+            loop {
+                let fault = if channel_left > 0 {
+                    channel_left -= 1;
+                    StripeFault {
+                        panic_jobs: 0,
+                        channel_error: true,
+                    }
+                } else {
+                    let f = StripeFault {
+                        panic_jobs,
+                        channel_error: false,
+                    };
+                    panic_jobs = 0;
+                    f
+                };
+                match rdg_parallel_pooled_faulted(
+                    StripePool::global(),
+                    frame,
+                    work_roi,
+                    &rdg_cfg,
+                    stripes,
+                    &mut state.par_rdg,
+                    fault,
+                ) {
+                    Ok(out) => {
+                        if attempts > 0 {
+                            // a genuine (un-armed) failure still deserves
+                            // a terminal event
+                            if pending_pool_kinds.is_empty() {
+                                pending_pool_kinds.push(last_kind);
+                            }
+                            for kind in pending_pool_kinds.drain(..) {
+                                emit_fault(observer, |stream| FrameEvent::Recovered {
+                                    stream,
+                                    frame: frame_index,
+                                    kind,
+                                    attempts,
+                                });
+                            }
+                        }
+                        let mut jobs = Vec::with_capacity(stripes);
+                        let mut serial_ms = 0.0;
+                        for (i, &ms) in state.par_rdg.stripe_times_ms().iter().enumerate() {
+                            serial_ms += ms;
+                            jobs.push(VirtualJob {
+                                core: i,
+                                duration_ms: ms,
+                            });
+                        }
+                        task_times.push((task, serial_ms));
+                        run_stage(&mut schedule, &jobs, observer, frame_index);
+                        break Some(out);
+                    }
+                    Err(err) => {
+                        last_kind = fault_kind_of(&err);
+                        if attempts < retry.max_retries {
+                            attempts += 1;
+                            emit_fault(observer, |stream| FrameEvent::RetryAttempted {
+                                stream,
+                                frame: frame_index,
+                                kind: last_kind,
+                                attempt: attempts,
+                            });
+                        } else if retry.serial_fallback {
+                            if pending_pool_kinds.is_empty() {
+                                pending_pool_kinds.push(last_kind);
+                            }
+                            for kind in pending_pool_kinds.drain(..) {
+                                emit_fault(observer, |stream| FrameEvent::DegradedMode {
+                                    stream,
+                                    frame: frame_index,
+                                    mode: DegradeMode::SerialFallback,
+                                    cause: kind,
+                                });
+                            }
+                            let (out, ms) =
+                                time_ms(|| rdg_roi(frame, work_roi, &rdg_cfg, &mut state.rdg_bufs));
+                            task_times.push((task, ms));
+                            schedule.serial(0, ms);
+                            // output came from the serial buffer pool
+                            rdg_striped = false;
+                            break Some(out);
+                        } else {
+                            return Err(FrameError {
+                                frame: frame_index,
+                                stage: task,
+                                error: err,
+                            });
+                        }
+                    }
+                }
+            }
         } else {
             // striped: dispatch to the persistent worker pool, then
             // schedule the per-stripe worker times measured inside the
@@ -395,7 +662,40 @@ fn process_frame_inner(
         display = Some(out_img);
     }
 
+    // --- injected stage delay ---------------------------------------------
+    // Applied as a serial pseudo-task at the end of the graph: pixel
+    // outputs are untouched, but the frame's measured latency inflates so
+    // budget overrun and downshift policies react to it.
+    if let Some((faults, _)) = recovery {
+        if faults.stage_delay_ms > 0.0 {
+            let (_, ms) = time_ms(|| {
+                std::thread::sleep(std::time::Duration::from_secs_f64(
+                    faults.stage_delay_ms / 1000.0,
+                ))
+            });
+            task_times.push(("FAULT_DELAY", ms));
+            schedule.serial(0, ms);
+            emit_fault(observer, |stream| FrameEvent::Recovered {
+                stream,
+                frame: frame_index,
+                kind: FaultKind::StageDelay,
+                attempts: 0,
+            });
+        }
+    }
+
     // --- bookkeeping -----------------------------------------------------
+    // Armed pool faults that found no striped dispatch this frame are
+    // absorbed: a zero-attempt `Recovered` keeps the fault/terminal
+    // pairing 1:1 in replay logs.
+    for kind in pending_pool_kinds.drain(..) {
+        emit_fault(observer, |stream| FrameEvent::Recovered {
+            stream,
+            frame: frame_index,
+            kind,
+            attempts: 0,
+        });
+    }
     // Return the RDG output images to the pool they came from, so the next
     // frame's detection pass runs allocation free.
     if let Some(out) = rdg_out {
@@ -418,7 +718,7 @@ fn process_frame_inner(
         reg_successful,
     };
     let latency_ms = schedule.now();
-    FrameOutput {
+    Ok(FrameOutput {
         record: FrameRecord {
             frame: frame_index,
             scenario: scenario.id(),
@@ -430,7 +730,7 @@ fn process_frame_inner(
         roi_kpixels,
         couple_found: couple.is_some(),
         display,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -566,6 +866,202 @@ mod tests {
             faster * 3 >= pairs * 2,
             "striping faster in only {faster}/{pairs} frames"
         );
+    }
+
+    use std::sync::{Arc, Mutex};
+
+    fn capture_bus() -> (EventBus, Arc<Mutex<Vec<FrameEvent>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut bus = EventBus::new();
+        let sink = Arc::clone(&log);
+        bus.subscribe(Box::new(move |e: &FrameEvent| {
+            sink.lock().unwrap().push(e.clone())
+        }));
+        (bus, log)
+    }
+
+    fn striped_policy() -> ExecutionPolicy {
+        ExecutionPolicy {
+            rdg_stripes: 4,
+            aux_stripes: 2,
+            cores: 8,
+        }
+    }
+
+    fn run_recovering(
+        frames: usize,
+        seed: u64,
+        faults: FrameFaults,
+        retry: StageRetry,
+    ) -> (Vec<FrameOutput>, Vec<FrameEvent>) {
+        let cfg = AppConfig::default();
+        let mut state = AppState::new(160, 160);
+        let (mut bus, log) = capture_bus();
+        let outs = clean_sequence(frames, seed)
+            .map(|f| {
+                process_frame_recovering(
+                    f.index,
+                    &f.image,
+                    &mut state,
+                    &cfg,
+                    &striped_policy(),
+                    7,
+                    &mut bus,
+                    faults,
+                    &retry,
+                )
+                .expect("frame failed despite serial fallback")
+            })
+            .collect();
+        let events = log.lock().unwrap().clone();
+        (outs, events)
+    }
+
+    fn assert_bit_identical(nominal: &[FrameOutput], faulted: &[FrameOutput]) {
+        assert_eq!(nominal.len(), faulted.len());
+        for (a, b) in nominal.iter().zip(faulted) {
+            assert_eq!(a.scenario, b.scenario, "frame {}", a.record.frame);
+            assert_eq!(
+                a.display, b.display,
+                "display differs at frame {}",
+                a.record.frame
+            );
+            assert_eq!(a.roi, b.roi, "roi differs at frame {}", a.record.frame);
+        }
+    }
+
+    #[test]
+    fn recovering_without_faults_matches_nominal_and_stays_silent() {
+        let nominal = run(8, 52, striped_policy());
+        let (faulted, events) =
+            run_recovering(8, 52, FrameFaults::default(), StageRetry::default());
+        assert_bit_identical(&nominal, &faulted);
+        assert!(
+            events.iter().all(|e| e.replay_key().is_none()),
+            "fault-family events emitted without faults armed"
+        );
+    }
+
+    #[test]
+    fn injected_worker_panic_recovers_bit_identically() {
+        let nominal = run(8, 52, striped_policy());
+        let faults = FrameFaults {
+            rdg_panic_jobs: 1,
+            ..Default::default()
+        };
+        let (faulted, events) = run_recovering(8, 52, faults, StageRetry::default());
+        assert_bit_identical(&nominal, &faulted);
+        // every injection is matched by a terminal Recovered on its frame
+        let injected: Vec<usize> = events
+            .iter()
+            .filter(|e| matches!(e, FrameEvent::FaultInjected { .. }))
+            .map(|e| e.frame())
+            .collect();
+        assert!(!injected.is_empty(), "no fault ever injected");
+        for f in &injected {
+            assert!(
+                events.iter().any(|e| matches!(
+                    e,
+                    FrameEvent::Recovered { frame, kind: FaultKind::WorkerPanic, .. } if frame == f
+                )),
+                "frame {f} has no terminal Recovered"
+            );
+        }
+        // frames with a striped dispatch actually retried
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, FrameEvent::RetryAttempted { .. })),
+            "panic never triggered a retry"
+        );
+    }
+
+    #[test]
+    fn channel_faults_beyond_retries_degrade_to_serial_bit_identically() {
+        let nominal = run(8, 52, striped_policy());
+        let faults = FrameFaults {
+            rdg_channel_errors: 10,
+            ..Default::default()
+        };
+        let (faulted, events) = run_recovering(8, 52, faults, StageRetry::default());
+        assert_bit_identical(&nominal, &faulted);
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                FrameEvent::DegradedMode {
+                    mode: DegradeMode::SerialFallback,
+                    cause: FaultKind::ChannelError,
+                    ..
+                }
+            )),
+            "exhausted retries never degraded to serial"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_without_fallback_error_out() {
+        let cfg = AppConfig::default();
+        let mut state = AppState::new(160, 160);
+        let (mut bus, _log) = capture_bus();
+        let faults = FrameFaults {
+            rdg_channel_errors: 10,
+            ..Default::default()
+        };
+        let retry = StageRetry {
+            max_retries: 1,
+            serial_fallback: false,
+        };
+        let mut failures = 0;
+        for f in clean_sequence(8, 53) {
+            match process_frame_recovering(
+                f.index,
+                &f.image,
+                &mut state,
+                &cfg,
+                &striped_policy(),
+                7,
+                &mut bus,
+                faults,
+                &retry,
+            ) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(e.stage.starts_with("RDG"), "unexpected stage {}", e.stage);
+                    assert!(e.to_string().contains("failed after retries"));
+                    failures += 1;
+                }
+            }
+        }
+        assert!(failures > 0, "no frame ever failed");
+    }
+
+    #[test]
+    fn stage_delay_inflates_latency_and_recovers() {
+        let faults = FrameFaults {
+            stage_delay_ms: 5.0,
+            ..Default::default()
+        };
+        let (outs, events) = run_recovering(3, 54, faults, StageRetry::default());
+        for o in &outs {
+            let delay = o
+                .record
+                .task_time("FAULT_DELAY")
+                .expect("delay not recorded");
+            assert!(delay >= 4.0, "delay only {delay} ms");
+        }
+        let recovered = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    FrameEvent::Recovered {
+                        kind: FaultKind::StageDelay,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(recovered, 3, "one StageDelay recovery per frame expected");
     }
 
     #[test]

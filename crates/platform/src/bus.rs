@@ -19,6 +19,67 @@ pub type StreamId = u32;
 /// experiments of the paper).
 pub const DEFAULT_STREAM: StreamId = 0;
 
+/// Classes of faults the deterministic fault-injection layer can arm
+/// (`runtime::faults`), plus [`FaultKind::Overrun`] for genuine,
+/// non-injected causes that trigger the same recovery machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A stripe-pool worker job panicked.
+    WorkerPanic,
+    /// A stage's execution time was artificially inflated.
+    StageDelay,
+    /// A frame's output was dropped (or delivered past its deadline).
+    FrameDrop,
+    /// A model snapshot was corrupted before restore.
+    SnapshotCorruption,
+    /// A transient stripe-pool channel error.
+    ChannelError,
+    /// Not injected: repeated real budget overruns (the stripe-downshift
+    /// trigger).
+    Overrun,
+}
+
+impl FaultKind {
+    /// Stable short name (used in replay keys and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::WorkerPanic => "worker-panic",
+            FaultKind::StageDelay => "stage-delay",
+            FaultKind::FrameDrop => "frame-drop",
+            FaultKind::SnapshotCorruption => "snapshot-corruption",
+            FaultKind::ChannelError => "channel-error",
+            FaultKind::Overrun => "overrun",
+        }
+    }
+}
+
+/// How a stream degraded when recovery could not restore full service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradeMode {
+    /// Striped execution fell back to the bit-identical serial path.
+    SerialFallback,
+    /// The frame's display output was suppressed (internal state still
+    /// advanced, so subsequent frames are unaffected).
+    OutputDropped,
+    /// The stripe count was capped below the planner's choice.
+    StripeDownshift,
+    /// The prediction model was quarantined (restored to last good
+    /// state, online re-training enabled).
+    ModelQuarantine,
+}
+
+impl DegradeMode {
+    /// Stable short name (used in replay keys and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DegradeMode::SerialFallback => "serial-fallback",
+            DegradeMode::OutputDropped => "output-dropped",
+            DegradeMode::StripeDownshift => "stripe-downshift",
+            DegradeMode::ModelQuarantine => "model-quarantine",
+        }
+    }
+}
+
 /// One typed event on the frame bus.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FrameEvent {
@@ -101,6 +162,53 @@ pub enum FrameEvent {
         /// Number of task observations absorbed this frame.
         observations: usize,
     },
+    /// The fault layer armed a fault for this frame
+    /// (`runtime::faults`). Every `FaultInjected` is matched, on the same
+    /// stream and frame, by a terminal [`FrameEvent::Recovered`] or
+    /// [`FrameEvent::DegradedMode`] event.
+    FaultInjected {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// What was injected.
+        kind: FaultKind,
+    },
+    /// A degradation policy retried a failed stage.
+    RetryAttempted {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// The fault being retried against.
+        kind: FaultKind,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// Recovery could not restore full service; the stream degraded
+    /// gracefully instead of failing. A terminal event for its fault.
+    DegradedMode {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// How service degraded.
+        mode: DegradeMode,
+        /// The fault (or genuine condition) that caused it.
+        cause: FaultKind,
+    },
+    /// A fault was fully absorbed: the frame (or stream state) is back to
+    /// nominal service. A terminal event for its fault.
+    Recovered {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// The fault that was recovered from.
+        kind: FaultKind,
+        /// Retry attempts it took (0 = absorbed without retrying).
+        attempts: u32,
+    },
 }
 
 impl FrameEvent {
@@ -112,7 +220,11 @@ impl FrameEvent {
             | FrameEvent::FrameExecuted { stream, .. }
             | FrameEvent::BudgetOverrun { stream, .. }
             | FrameEvent::QosIntervention { stream, .. }
-            | FrameEvent::ModelRetrained { stream, .. } => stream,
+            | FrameEvent::ModelRetrained { stream, .. }
+            | FrameEvent::FaultInjected { stream, .. }
+            | FrameEvent::RetryAttempted { stream, .. }
+            | FrameEvent::DegradedMode { stream, .. }
+            | FrameEvent::Recovered { stream, .. } => stream,
         }
     }
 
@@ -124,7 +236,59 @@ impl FrameEvent {
             | FrameEvent::FrameExecuted { frame, .. }
             | FrameEvent::BudgetOverrun { frame, .. }
             | FrameEvent::QosIntervention { frame, .. }
-            | FrameEvent::ModelRetrained { frame, .. } => frame,
+            | FrameEvent::ModelRetrained { frame, .. }
+            | FrameEvent::FaultInjected { frame, .. }
+            | FrameEvent::RetryAttempted { frame, .. }
+            | FrameEvent::DegradedMode { frame, .. }
+            | FrameEvent::Recovered { frame, .. } => frame,
+        }
+    }
+
+    /// Canonical replay string for fault-family events, `None` for all
+    /// others.
+    ///
+    /// Timing-carrying events (plans, frame times, overruns) depend on
+    /// measured wall-clock durations and are *not* reproducible across
+    /// runs; the fault family is built exclusively from discrete seeded
+    /// state, so two runs with the same seed produce the same replay-key
+    /// sequence per stream — the property the seed-replay recipe and
+    /// reproducibility tests assert on.
+    pub fn replay_key(&self) -> Option<String> {
+        match *self {
+            FrameEvent::FaultInjected {
+                stream,
+                frame,
+                kind,
+            } => Some(format!("s{stream}/f{frame}/inject/{}", kind.name())),
+            FrameEvent::RetryAttempted {
+                stream,
+                frame,
+                kind,
+                attempt,
+            } => Some(format!(
+                "s{stream}/f{frame}/retry/{}#{attempt}",
+                kind.name()
+            )),
+            FrameEvent::DegradedMode {
+                stream,
+                frame,
+                mode,
+                cause,
+            } => Some(format!(
+                "s{stream}/f{frame}/degraded/{}<-{}",
+                mode.name(),
+                cause.name()
+            )),
+            FrameEvent::Recovered {
+                stream,
+                frame,
+                kind,
+                attempts,
+            } => Some(format!(
+                "s{stream}/f{frame}/recovered/{}#{attempts}",
+                kind.name()
+            )),
+            _ => None,
         }
     }
 }
@@ -284,10 +448,83 @@ mod tests {
                 frame: 2,
                 observations: 6,
             },
+            FrameEvent::FaultInjected {
+                stream: 1,
+                frame: 2,
+                kind: FaultKind::WorkerPanic,
+            },
+            FrameEvent::RetryAttempted {
+                stream: 1,
+                frame: 2,
+                kind: FaultKind::WorkerPanic,
+                attempt: 1,
+            },
+            FrameEvent::DegradedMode {
+                stream: 1,
+                frame: 2,
+                mode: DegradeMode::SerialFallback,
+                cause: FaultKind::WorkerPanic,
+            },
+            FrameEvent::Recovered {
+                stream: 1,
+                frame: 2,
+                kind: FaultKind::WorkerPanic,
+                attempts: 1,
+            },
         ];
         for e in events {
             assert_eq!(e.stream(), 1);
             assert_eq!(e.frame(), 2);
         }
+    }
+
+    #[test]
+    fn replay_keys_cover_exactly_the_fault_family() {
+        let fault_events = [
+            FrameEvent::FaultInjected {
+                stream: 3,
+                frame: 9,
+                kind: FaultKind::StageDelay,
+            },
+            FrameEvent::RetryAttempted {
+                stream: 3,
+                frame: 9,
+                kind: FaultKind::ChannelError,
+                attempt: 2,
+            },
+            FrameEvent::DegradedMode {
+                stream: 3,
+                frame: 9,
+                mode: DegradeMode::OutputDropped,
+                cause: FaultKind::FrameDrop,
+            },
+            FrameEvent::Recovered {
+                stream: 3,
+                frame: 9,
+                kind: FaultKind::SnapshotCorruption,
+                attempts: 0,
+            },
+        ];
+        let keys: Vec<String> = fault_events
+            .iter()
+            .map(|e| e.replay_key().expect("fault event must have a key"))
+            .collect();
+        // keys are distinct and carry the stream/frame coordinates
+        for (i, k) in keys.iter().enumerate() {
+            assert!(k.starts_with("s3/f9/"), "key {k}");
+            assert!(keys.iter().enumerate().all(|(j, o)| i == j || o != k));
+        }
+        // timing-carrying events never get a replay key
+        assert_eq!(plan(3, 9).replay_key(), None);
+        assert_eq!(
+            FrameEvent::BudgetOverrun {
+                stream: 3,
+                frame: 9,
+                latency_ms: 80.0,
+                budget_ms: 60.0,
+            }
+            .replay_key(),
+            None
+        );
     }
 }

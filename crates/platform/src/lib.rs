@@ -26,7 +26,7 @@ pub mod trace;
 
 pub use arch::{ArchModel, CacheGeometry, GB, KB, MB};
 pub use bandwidth::{add_intra_task, inter_task_load, BusLoad, Edge};
-pub use bus::{EventBus, FrameEvent, StreamId, Subscriber, DEFAULT_STREAM};
+pub use bus::{DegradeMode, EventBus, FaultKind, FrameEvent, StreamId, Subscriber, DEFAULT_STREAM};
 pub use cache::{Access, CacheSim, CacheStats};
 pub use executor::CorePool;
 pub use hierarchy::{CacheHierarchy, HierarchyTraffic};

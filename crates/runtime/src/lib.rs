@@ -11,21 +11,29 @@
 //! * [`qos`] — quality degradation when the budget is infeasible;
 //! * [`run`] — the managed closed-loop sequence executor;
 //! * [`session`] — multi-stream sessions: concurrent streams admitted
-//!   against a shared core budget with a fairness policy.
+//!   against a shared core budget with a fairness policy;
+//! * [`faults`] — deterministic, seeded fault injection (order
+//!   independent: a seed reproduces a faulted run event-for-event);
+//! * [`recovery`] — graceful-degradation policies (stage retry, stripe
+//!   downshift, model quarantine, frame deadlines).
 
 pub mod adaptation;
 pub mod budget;
+pub mod faults;
 pub mod manager;
 pub mod qos;
+pub mod recovery;
 pub mod run;
 pub mod session;
 
 pub use adaptation::{choose_policy, predicted_latency, CostPrediction, STRIPE_EFFICIENCY};
 pub use budget::LatencyBudget;
+pub use faults::{fault_hash, FaultInjector, FaultPlan, FaultPlanConfig};
 pub use manager::{ManagerConfig, Plan, ResourceManager};
 pub use qos::{QosController, QosLevel};
+pub use recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
 pub use run::{run_managed_sequence, run_managed_sequence_qos, ManagedRun, QosManagedRun};
 pub use session::{
     allocate_cores, percentile, FairnessPolicy, SessionConfig, SessionReport, SessionScheduler,
-    StreamResult, StreamSession, StreamSpec,
+    StreamFailure, StreamResult, StreamSession, StreamSpec,
 };

@@ -16,13 +16,16 @@
 //! (the property the striping tests establish per task).
 
 use crate::budget::LatencyBudget;
+use crate::faults::{fault_hash, FaultInjector};
 use crate::manager::{ManagerConfig, ResourceManager};
+use crate::recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
 use imaging::image::ImageU16;
 use pipeline::app::{AppConfig, AppState};
-use pipeline::executor::process_frame_observed;
-use platform::bus::StreamId;
+use pipeline::executor::{process_frame_observed, process_frame_recovering};
+use platform::bus::{DegradeMode, FaultKind, FrameEvent, StreamId};
 use platform::trace::TraceLog;
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 use triplec::accuracy::AccuracyReport;
 use triplec::triple::TripleC;
@@ -113,6 +116,12 @@ pub struct StreamSpec {
     pub budget: Option<LatencyBudget>,
     /// Demand weight under [`FairnessPolicy::WeightedDemand`].
     pub weight: f64,
+    /// Fault-injection hook. `None` (the default) runs the unhooked hot
+    /// path — no fault bookkeeping, no extra branches per dispatch.
+    pub faults: Option<Arc<dyn FaultInjector>>,
+    /// Degradation policy used when `faults` is set (and for genuine
+    /// runtime faults on the recovering path).
+    pub recovery: RecoveryPolicy,
 }
 
 impl StreamSpec {
@@ -125,7 +134,20 @@ impl StreamSpec {
             manager_cfg: ManagerConfig::default(),
             budget: None,
             weight: 1.0,
+            faults: None,
+            recovery: RecoveryPolicy::default(),
         }
+    }
+
+    /// Enables fault injection with the given hook and recovery policy.
+    pub fn with_faults(
+        mut self,
+        injector: Arc<dyn FaultInjector>,
+        recovery: RecoveryPolicy,
+    ) -> Self {
+        self.faults = Some(injector);
+        self.recovery = recovery;
+        self
     }
 }
 
@@ -136,6 +158,8 @@ pub struct StreamSession {
     app: AppConfig,
     manager: ResourceManager,
     cores: usize,
+    faults: Option<Arc<dyn FaultInjector>>,
+    recovery: RecoveryPolicy,
 }
 
 impl StreamSession {
@@ -156,6 +180,8 @@ impl StreamSession {
             app: spec.app,
             manager,
             cores,
+            faults: spec.faults,
+            recovery: spec.recovery,
         }
     }
 
@@ -176,8 +202,27 @@ impl StreamSession {
     }
 
     /// Runs the stream's full sequence through the managed closed loop,
-    /// consuming the session.
-    pub fn run(mut self) -> StreamResult {
+    /// consuming the session. Panics if the stream fails (only possible
+    /// with fault injection and `serial_fallback` disabled); use
+    /// [`Self::run_result`] to handle failures.
+    pub fn run(self) -> StreamResult {
+        match self.run_result() {
+            Ok(r) => r,
+            Err(f) => panic!("{f}"),
+        }
+    }
+
+    /// Runs the stream, surfacing unrecoverable frame failures as an
+    /// error instead of unwinding.
+    pub fn run_result(self) -> Result<StreamResult, StreamFailure> {
+        match self.faults.clone() {
+            None => Ok(self.run_nominal()),
+            Some(injector) => self.run_faulted(injector),
+        }
+    }
+
+    /// The unhooked hot path: no fault bookkeeping, no recovery branches.
+    fn run_nominal(mut self) -> StreamResult {
         let t0 = Instant::now();
         let mut state = AppState::new(self.seq.width, self.seq.height);
         let frames = self.seq.frames;
@@ -226,7 +271,249 @@ impl StreamSession {
             displays,
             frame_wall_ms,
             wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            dropped_frames: 0,
+            fault_events: Vec::new(),
         }
+    }
+
+    /// The fault-injecting, gracefully-degrading path.
+    fn run_faulted(
+        mut self,
+        injector: Arc<dyn FaultInjector>,
+    ) -> Result<StreamResult, StreamFailure> {
+        let t0 = Instant::now();
+        let mut state = AppState::new(self.seq.width, self.seq.height);
+        let frames = self.seq.frames;
+        let mut trace = TraceLog::new();
+        let mut predictions = Vec::with_capacity(frames);
+        let mut stripes = Vec::with_capacity(frames);
+        let mut scenarios = Vec::with_capacity(frames);
+        let mut displays = Vec::with_capacity(frames);
+        let mut frame_wall_ms = Vec::with_capacity(frames);
+        let mut dropped_frames = 0usize;
+        let mut last_good_display: Option<ImageU16> = None;
+        let mut rec = RecoveryState::new();
+        let policy = self.recovery;
+
+        // record every fault-family event this stream emits (executor- and
+        // session-level) so callers can assert replay determinism
+        let collected: Arc<Mutex<Vec<FrameEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&collected);
+        self.manager.subscribe(Box::new(move |e: &FrameEvent| {
+            if e.replay_key().is_some() {
+                sink.lock().unwrap().push(e.clone());
+            }
+        }));
+
+        for frame in SequenceGenerator::new(self.seq) {
+            let idx = frame.index;
+            if injector.drops_frame(self.id, idx) {
+                let stream = self.id;
+                let bus = self.manager.bus_mut();
+                bus.emit(FrameEvent::FaultInjected {
+                    stream,
+                    frame: idx,
+                    kind: FaultKind::FrameDrop,
+                });
+                bus.emit(FrameEvent::DegradedMode {
+                    stream,
+                    frame: idx,
+                    mode: DegradeMode::OutputDropped,
+                    cause: FaultKind::FrameDrop,
+                });
+                dropped_frames += 1;
+                continue;
+            }
+
+            let ft0 = Instant::now();
+            let roi_kpixels = state
+                .current_roi
+                .map(|r| r.area() as f64 / 1000.0)
+                .unwrap_or_else(|| (frame.image.width() * frame.image.height()) as f64 / 1000.0);
+            let mut plan = self.manager.plan(roi_kpixels);
+            rec.apply_cap(&mut plan.policy);
+            predictions.push(plan.predicted_total_ms);
+            stripes.push(plan.policy.rdg_stripes);
+
+            let faults = injector.frame_faults(self.id, idx);
+            let out = match process_frame_recovering(
+                idx,
+                &frame.image,
+                &mut state,
+                &self.app,
+                &plan.policy,
+                self.id,
+                self.manager.bus_mut(),
+                faults,
+                &policy.retry,
+            ) {
+                Ok(out) => out,
+                Err(err) => {
+                    return Err(StreamFailure {
+                        stream: self.id,
+                        message: err.to_string(),
+                        frames_completed: trace.len(),
+                    });
+                }
+            };
+            self.manager.absorb(&out);
+
+            // stripe downshift on repeated budget overruns
+            let overrun = self
+                .manager
+                .budget()
+                .is_some_and(|b| out.record.latency_ms > b.target_ms);
+            match rec.note_frame(overrun, plan.policy.rdg_stripes, &policy) {
+                RecoveryAction::Downshift(_cap) => {
+                    let stream = self.id;
+                    self.manager.bus_mut().emit(FrameEvent::DegradedMode {
+                        stream,
+                        frame: idx,
+                        mode: DegradeMode::StripeDownshift,
+                        cause: FaultKind::Overrun,
+                    });
+                }
+                RecoveryAction::Lift(_) => {
+                    let stream = self.id;
+                    self.manager.bus_mut().emit(FrameEvent::Recovered {
+                        stream,
+                        frame: idx,
+                        kind: FaultKind::Overrun,
+                        attempts: 0,
+                    });
+                }
+                RecoveryAction::None => {}
+            }
+
+            // model quarantine bookkeeping: release first, then check for
+            // a new corruption checkpoint on this frame
+            if rec.tick_quarantine() {
+                if rec.resume_online() {
+                    self.manager.model_mut().set_online_training(true);
+                }
+                let stream = self.id;
+                self.manager.bus_mut().emit(FrameEvent::Recovered {
+                    stream,
+                    frame: idx,
+                    kind: FaultKind::SnapshotCorruption,
+                    attempts: 0,
+                });
+            }
+            if injector.corrupts_snapshot(self.id, idx) {
+                let stream = self.id;
+                self.manager.bus_mut().emit(FrameEvent::FaultInjected {
+                    stream,
+                    frame: idx,
+                    kind: FaultKind::SnapshotCorruption,
+                });
+                // checkpoint, deterministically garble, and attempt the
+                // restore: the corrupted snapshot must be rejected with an
+                // Err (never a panic), leaving the live model untouched
+                let pristine = self.manager.model().snapshot_bytes();
+                let mut garbled = pristine.clone();
+                if !garbled.is_empty() {
+                    let h = fault_hash(injector.seed(), self.id, idx, 0xC0);
+                    let at = (h as usize) % garbled.len();
+                    garbled[at] ^= 0xA5;
+                }
+                if self.manager.model_mut().try_restore_bytes(&garbled).is_ok() {
+                    // the garble happened to still decode as a valid
+                    // snapshot: roll back to the pristine checkpoint
+                    self.manager
+                        .model_mut()
+                        .try_restore_bytes(&pristine)
+                        .expect("pristine snapshot restores");
+                }
+                let online = self.manager.model().online_training();
+                if online {
+                    self.manager.model_mut().set_online_training(false);
+                }
+                rec.enter_quarantine(online, &policy);
+                self.manager.bus_mut().emit(FrameEvent::DegradedMode {
+                    stream,
+                    frame: idx,
+                    mode: DegradeMode::ModelQuarantine,
+                    cause: FaultKind::SnapshotCorruption,
+                });
+            }
+
+            // per-frame deadline: late frames fall back to the last good
+            // output (wall-clock dependent, so off by default)
+            let wall_ms = ft0.elapsed().as_secs_f64() * 1000.0;
+            let mut display = out.display;
+            if let Some(deadline) = policy.frame_deadline_ms {
+                if wall_ms > deadline {
+                    let stream = self.id;
+                    self.manager.bus_mut().emit(FrameEvent::DegradedMode {
+                        stream,
+                        frame: idx,
+                        mode: DegradeMode::OutputDropped,
+                        cause: FaultKind::Overrun,
+                    });
+                    display = last_good_display.clone();
+                }
+            }
+            if display.is_some() {
+                last_good_display = display.clone();
+            }
+
+            scenarios.push(out.scenario.id());
+            displays.push(display);
+            trace.push(out.record);
+            frame_wall_ms.push(wall_ms);
+        }
+
+        let fault_events = collected.lock().unwrap().clone();
+        Ok(StreamResult {
+            stream: self.id,
+            cores: self.cores,
+            accuracy: self.manager.accuracy(),
+            infeasible_frames: self.manager.infeasible_frames(),
+            trace,
+            predictions,
+            stripes,
+            scenarios,
+            displays,
+            frame_wall_ms,
+            wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+            dropped_frames,
+            fault_events,
+        })
+    }
+}
+
+/// A stream that could not complete: an unrecoverable frame failure
+/// (surfaced as an error) or a panicking stream thread (caught at join).
+#[derive(Debug, Clone)]
+pub struct StreamFailure {
+    /// The failed stream.
+    pub stream: StreamId,
+    /// Human-readable cause.
+    pub message: String,
+    /// Frames that completed before the failure.
+    pub frames_completed: usize,
+}
+
+impl std::fmt::Display for StreamFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stream {} failed after {} frames: {}",
+            self.stream, self.frames_completed, self.message
+        )
+    }
+}
+
+impl std::error::Error for StreamFailure {}
+
+/// Extracts a readable message from a caught thread-panic payload.
+fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -254,6 +541,11 @@ pub struct StreamResult {
     pub accuracy: AccuracyReport,
     /// Frames whose budget was infeasible even fully parallel.
     pub infeasible_frames: usize,
+    /// Frames dropped at the input by fault injection (never executed).
+    pub dropped_frames: usize,
+    /// Fault-family events ([`FrameEvent::replay_key`] is `Some`) the
+    /// stream emitted, in emission order. Empty without fault injection.
+    pub fault_events: Vec<FrameEvent>,
 }
 
 impl StreamResult {
@@ -328,6 +620,7 @@ impl SessionScheduler {
             .map(|(i, s)| (i as StreamId, s))
             .collect();
         let mut results: Vec<StreamResult> = Vec::new();
+        let mut failures: Vec<StreamFailure> = Vec::new();
 
         while !pending.is_empty() {
             let take = wave_size.min(pending.len());
@@ -345,20 +638,37 @@ impl SessionScheduler {
                 .zip(&cores)
                 .map(|((id, spec), &c)| StreamSession::new(id, spec, c))
                 .collect();
-            let wave_results: Vec<StreamResult> = std::thread::scope(|scope| {
-                let handles: Vec<_> = sessions
+            // A panicking stream must neither unwind into the scheduler
+            // nor take its siblings down: every join is caught and folded
+            // into the report's failure list alongside the explicit
+            // per-stream failures.
+            std::thread::scope(|scope| {
+                let handles: Vec<(StreamId, _)> = sessions
                     .into_iter()
-                    .map(|sess| scope.spawn(move || sess.run()))
+                    .map(|sess| {
+                        let id = sess.id();
+                        (id, scope.spawn(move || sess.run_result()))
+                    })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("stream thread panicked"))
-                    .collect()
+                for (id, h) in handles {
+                    match h.join() {
+                        Ok(Ok(r)) => results.push(r),
+                        Ok(Err(f)) => failures.push(f),
+                        Err(payload) => failures.push(StreamFailure {
+                            stream: id,
+                            message: format!(
+                                "stream thread panicked: {}",
+                                panic_payload_message(payload.as_ref())
+                            ),
+                            frames_completed: 0,
+                        }),
+                    }
+                }
             });
-            results.extend(wave_results);
         }
 
         results.sort_by_key(|r| r.stream);
+        failures.sort_by_key(|f| f.stream);
         let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
         let total_frames: usize = results.iter().map(|r| r.trace.len()).sum();
         let aggregate_fps = if wall_ms > 0.0 {
@@ -368,6 +678,7 @@ impl SessionScheduler {
         };
         SessionReport {
             streams: results,
+            failures,
             wall_ms,
             total_frames,
             aggregate_fps,
@@ -379,12 +690,23 @@ impl SessionScheduler {
 pub struct SessionReport {
     /// Per-stream results, ordered by stream id.
     pub streams: Vec<StreamResult>,
+    /// Streams that did not complete (unrecoverable frame failures or
+    /// caught thread panics), ordered by stream id. Previously a failing
+    /// stream unwound into the scheduler and aborted the whole session.
+    pub failures: Vec<StreamFailure>,
     /// Host wall-clock time of the whole session, ms.
     pub wall_ms: f64,
     /// Frames executed across all streams.
     pub total_frames: usize,
     /// Aggregate throughput across streams, frames per second.
     pub aggregate_fps: f64,
+}
+
+impl SessionReport {
+    /// True when every stream completed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -535,6 +857,279 @@ mod tests {
         let report = SessionScheduler::new(cfg).run(vec![a, b]);
         assert_eq!(report.streams[0].cores, 6);
         assert_eq!(report.streams[1].cores, 2);
+    }
+
+    use crate::faults::{FaultPlan, FaultPlanConfig};
+    use pipeline::executor::{FrameFaults, StageRetry};
+
+    /// Deterministic per-frame scripting for targeted fault tests.
+    struct ScriptedFaults {
+        panics: Vec<usize>,
+        drops: Vec<usize>,
+        corrupts: Vec<usize>,
+    }
+
+    impl ScriptedFaults {
+        fn none() -> Self {
+            Self {
+                panics: vec![],
+                drops: vec![],
+                corrupts: vec![],
+            }
+        }
+    }
+
+    impl crate::faults::FaultInjector for ScriptedFaults {
+        fn frame_faults(&self, _stream: StreamId, frame: usize) -> FrameFaults {
+            FrameFaults {
+                rdg_panic_jobs: usize::from(self.panics.contains(&frame)),
+                ..Default::default()
+            }
+        }
+        fn drops_frame(&self, _stream: StreamId, frame: usize) -> bool {
+            self.drops.contains(&frame)
+        }
+        fn corrupts_snapshot(&self, _stream: StreamId, frame: usize) -> bool {
+            self.corrupts.contains(&frame)
+        }
+    }
+
+    /// An injector that panics on the session thread, to exercise the
+    /// scheduler's join-catch path.
+    struct PanickingInjector;
+
+    impl crate::faults::FaultInjector for PanickingInjector {
+        fn frame_faults(&self, _stream: StreamId, frame: usize) -> FrameFaults {
+            if frame >= 2 {
+                panic!("scripted injector panic");
+            }
+            FrameFaults::default()
+        }
+    }
+
+    fn generous_budget() -> LatencyBudget {
+        LatencyBudget::new(10_000.0, 0.1)
+    }
+
+    #[test]
+    fn faulted_session_recovers_with_outputs_matching_nominal() {
+        let mut nominal = StreamSpec::new(seq(110, 8), AppConfig::default(), trained_model());
+        nominal.budget = Some(generous_budget());
+        let clean = SessionScheduler::new(SessionConfig::default()).run(vec![nominal]);
+        assert!(clean.is_clean());
+
+        let plan = FaultPlan::new(
+            99,
+            FaultPlanConfig {
+                panic_rate: 0.5,
+                channel_rate: 0.3,
+                ..Default::default()
+            },
+        );
+        // tight budget: plans stripe aggressively, so armed pool faults
+        // actually reach the stripe dispatch (pixel outputs stay
+        // bit-identical to the serial nominal run regardless)
+        let mut spec = StreamSpec::new(seq(110, 8), AppConfig::default(), trained_model())
+            .with_faults(std::sync::Arc::new(plan), RecoveryPolicy::default());
+        spec.budget = Some(LatencyBudget::new(5.0, 0.1));
+        let faulted = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
+        assert!(faulted.is_clean(), "failures: {:?}", faulted.failures);
+
+        let a = &clean.streams[0];
+        let b = &faulted.streams[0];
+        assert_eq!(a.scenarios, b.scenarios);
+        assert_eq!(
+            a.displays, b.displays,
+            "pixel outputs diverged under faults"
+        );
+        assert_eq!(b.dropped_frames, 0);
+
+        // every injection got a terminal event on its stream+frame
+        for e in &b.fault_events {
+            if let FrameEvent::FaultInjected { stream, frame, .. } = *e {
+                let terminal = b.fault_events.iter().any(|t| {
+                    matches!(t,
+                        FrameEvent::Recovered { stream: s, frame: f, .. }
+                        | FrameEvent::DegradedMode { stream: s, frame: f, .. }
+                        if *s == stream && *f == frame)
+                });
+                assert!(terminal, "no terminal event for {e:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_session_replays_event_for_event() {
+        let run_once = || {
+            let plan = FaultPlan::new(
+                1234,
+                FaultPlanConfig {
+                    panic_rate: 0.4,
+                    channel_rate: 0.4,
+                    drop_rate: 0.2,
+                    corrupt_rate: 0.3,
+                    ..Default::default()
+                },
+            );
+            let mut spec = StreamSpec::new(seq(111, 10), AppConfig::default(), trained_model())
+                .with_faults(std::sync::Arc::new(plan), RecoveryPolicy::default());
+            spec.budget = Some(generous_budget());
+            let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
+            assert!(report.is_clean());
+            report.streams[0]
+                .fault_events
+                .iter()
+                .filter_map(|e| e.replay_key())
+                .collect::<Vec<String>>()
+        };
+        let first = run_once();
+        let second = run_once();
+        assert!(!first.is_empty(), "plan injected nothing");
+        assert_eq!(first, second, "replay diverged");
+    }
+
+    #[test]
+    fn dropped_frames_are_skipped_counted_and_evented() {
+        let script = ScriptedFaults {
+            drops: vec![1, 3],
+            ..ScriptedFaults::none()
+        };
+        let mut spec = StreamSpec::new(seq(112, 6), AppConfig::default(), trained_model())
+            .with_faults(std::sync::Arc::new(script), RecoveryPolicy::default());
+        spec.budget = Some(generous_budget());
+        let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
+        let s = &report.streams[0];
+        assert_eq!(s.dropped_frames, 2);
+        assert_eq!(s.trace.len(), 4);
+        assert_eq!(s.displays.len(), 4);
+        let drops = s
+            .fault_events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    FrameEvent::FaultInjected {
+                        kind: FaultKind::FrameDrop,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let degraded = s
+            .fault_events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    FrameEvent::DegradedMode {
+                        mode: DegradeMode::OutputDropped,
+                        cause: FaultKind::FrameDrop,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(drops, 2);
+        assert_eq!(degraded, 2);
+    }
+
+    #[test]
+    fn corrupted_snapshot_quarantines_then_retrains() {
+        let script = ScriptedFaults {
+            corrupts: vec![2],
+            ..ScriptedFaults::none()
+        };
+        let mut model = trained_model();
+        model.set_online_training(true);
+        let mut spec = StreamSpec::new(seq(113, 8), AppConfig::default(), model).with_faults(
+            std::sync::Arc::new(script),
+            RecoveryPolicy {
+                quarantine_frames: 2,
+                ..Default::default()
+            },
+        );
+        spec.budget = Some(generous_budget());
+        let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
+        assert!(report.is_clean());
+        let keys: Vec<String> = report.streams[0]
+            .fault_events
+            .iter()
+            .filter_map(|e| e.replay_key())
+            .collect();
+        assert!(
+            keys.contains(&"s0/f2/inject/snapshot-corruption".to_string()),
+            "{keys:?}"
+        );
+        assert!(
+            keys.contains(&"s0/f2/degraded/model-quarantine<-snapshot-corruption".to_string()),
+            "{keys:?}"
+        );
+        assert!(
+            keys.contains(&"s0/f4/recovered/snapshot-corruption#0".to_string()),
+            "quarantine never lifted: {keys:?}"
+        );
+    }
+
+    #[test]
+    fn failing_stream_surfaces_as_error_without_harming_siblings() {
+        let pool = imaging::parallel::StripePool::global();
+        let threads_before = pool.live_threads();
+
+        // stream 0: unrecoverable (channel fault storm outlasting the
+        // retries, no serial fallback); stream 1: healthy
+        struct ChannelStorm;
+        impl crate::faults::FaultInjector for ChannelStorm {
+            fn frame_faults(&self, _stream: StreamId, _frame: usize) -> FrameFaults {
+                FrameFaults {
+                    rdg_channel_errors: 5,
+                    ..Default::default()
+                }
+            }
+        }
+        let mut doomed = StreamSpec::new(seq(114, 6), AppConfig::default(), trained_model())
+            .with_faults(
+                std::sync::Arc::new(ChannelStorm),
+                RecoveryPolicy {
+                    retry: StageRetry {
+                        max_retries: 1,
+                        serial_fallback: false,
+                    },
+                    ..Default::default()
+                },
+            );
+        doomed.budget = Some(LatencyBudget::new(0.001, 0.0)); // force striping
+        let healthy = StreamSpec::new(seq(115, 6), AppConfig::default(), trained_model());
+
+        let report = SessionScheduler::new(SessionConfig::default()).run(vec![doomed, healthy]);
+        assert_eq!(report.failures.len(), 1, "failures: {:?}", report.failures);
+        assert_eq!(report.failures[0].stream, 0);
+        assert!(report.failures[0].message.contains("failed after retries"));
+        assert_eq!(report.streams.len(), 1);
+        assert_eq!(report.streams[0].stream, 1);
+        assert_eq!(report.streams[0].trace.len(), 6);
+        assert_eq!(pool.live_threads(), threads_before, "pool lost workers");
+    }
+
+    #[test]
+    fn panicking_stream_thread_is_caught_at_join() {
+        let doomed = StreamSpec::new(seq(116, 6), AppConfig::default(), trained_model())
+            .with_faults(
+                std::sync::Arc::new(PanickingInjector),
+                RecoveryPolicy::default(),
+            );
+        let healthy = StreamSpec::new(seq(117, 5), AppConfig::default(), trained_model());
+        let report = SessionScheduler::new(SessionConfig::default()).run(vec![doomed, healthy]);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].stream, 0);
+        assert!(
+            report.failures[0]
+                .message
+                .contains("scripted injector panic"),
+            "{}",
+            report.failures[0].message
+        );
+        assert_eq!(report.streams.len(), 1);
+        assert_eq!(report.streams[0].trace.len(), 5);
     }
 
     #[test]

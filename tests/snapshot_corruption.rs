@@ -1,0 +1,158 @@
+//! Snapshot/restore under corruption, mirroring `proptest_snapshot.rs`:
+//! restoring a truncated or garbled `ResourceModel` snapshot must return
+//! `Err` (never panic) for every predictor class and for the whole
+//! `TripleC` facade — and a rejected restore must leave the live model
+//! bit-identically untouched.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use triple_c::triplec::model::ResourceModel;
+use triple_c::triplec::predictor::{
+    ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, PredictContext,
+};
+use triple_c::triplec::training::TaskSeries;
+use triple_c::triplec::triple::{TripleC, TripleCConfig};
+
+fn ctx(roi_kpixels: f64) -> PredictContext {
+    PredictContext { roi_kpixels }
+}
+
+/// Every predictor class, freshly trained, for class-sweep properties.
+fn all_classes() -> Vec<Box<dyn ResourceModel>> {
+    let train: Vec<f64> = (0..60).map(|i| 30.0 + (i % 7) as f64).collect();
+    let points: Vec<(f64, f64)> = (0..40)
+        .map(|i| (50.0 + 10.0 * i as f64, 4.0 + 0.02 * i as f64))
+        .collect();
+    vec![
+        Box::new(ConstantPredictor::new(12.5)),
+        Box::new(EwmaMarkovPredictor::train(&train, 0.2, 16, "T")),
+        Box::new(LinearMarkovPredictor::train(&points, 16, "T")),
+    ]
+}
+
+/// Corrupting `bytes[at] ^= mask` (or truncating to `at`) must never
+/// panic; on `Err` the model's next prediction is bit-identical to the
+/// pre-restore prediction.
+fn assert_rejects_cleanly(
+    model: &mut dyn ResourceModel,
+    bytes: &[u8],
+    at: usize,
+    mask: u8,
+    truncate: bool,
+) -> Result<(), TestCaseError> {
+    let before = model.predict(&ctx(100.0)).to_bits();
+    let corrupted: Vec<u8> = if truncate {
+        bytes[..at.min(bytes.len())].to_vec()
+    } else if bytes.is_empty() {
+        Vec::new()
+    } else {
+        let mut b = bytes.to_vec();
+        let i = at % b.len();
+        b[i] ^= mask;
+        b
+    };
+    match model.try_restore_bytes(&corrupted) {
+        Err(_) => {
+            prop_assert!(
+                before == model.predict(&ctx(100.0)).to_bits(),
+                "rejected restore mutated the model"
+            );
+        }
+        Ok(()) => {
+            // the mutation happened to decode as a valid snapshot (e.g. a
+            // benign payload flip): the restored state must itself
+            // round-trip
+            let bytes2 = model.snapshot().to_bytes();
+            prop_assert!(model.try_restore_bytes(&bytes2).is_ok());
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn every_class_rejects_garbled_bytes_without_panicking(
+        at in 0usize..4096,
+        mask in 1u8..255,
+    ) {
+        for mut model in all_classes() {
+            let bytes = model.snapshot().to_bytes();
+            assert_rejects_cleanly(model.as_mut(), &bytes, at, mask, false)?;
+        }
+    }
+
+    #[test]
+    fn every_class_rejects_truncations_without_panicking(at in 0usize..4096) {
+        for mut model in all_classes() {
+            let bytes = model.snapshot().to_bytes();
+            // strict truncation only (the full-length prefix is valid)
+            let cut = at % bytes.len().max(1);
+            prop_assert!(
+                model.try_restore_bytes(&bytes[..cut]).is_err(),
+                "truncation to {cut}/{} accepted",
+                bytes.len()
+            );
+            assert_rejects_cleanly(model.as_mut(), &bytes, cut, 0, true)?;
+        }
+    }
+
+    #[test]
+    fn facade_rejects_corruption_without_panicking(
+        at in 0usize..65536,
+        mask in 1u8..255,
+        truncate in any::<bool>(),
+    ) {
+        let n = 50;
+        let series = vec![
+            TaskSeries::new("RDG_FULL", (0..n).map(|i| 30.0 + (i % 5) as f64).collect()),
+            TaskSeries::new("MKX_EXT", vec![2.5; n]),
+            TaskSeries::new("CPLS_SEL", vec![1.5; n]),
+            TaskSeries::new("REG", vec![2.0; n]),
+        ];
+        let scenarios = vec![1u8; n];
+        let tasks = ["RDG_FULL", "MKX_EXT", "CPLS_SEL", "REG"];
+        let mut t = TripleC::train(&series, &scenarios, TripleCConfig::default());
+        let bytes = t.snapshot_bytes();
+        let before: Vec<u64> = tasks
+            .iter()
+            .map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
+            .collect();
+
+        let corrupted: Vec<u8> = if truncate {
+            bytes[..at % bytes.len()].to_vec()
+        } else {
+            let mut b = bytes.clone();
+            let i = at % b.len();
+            b[i] ^= mask;
+            b
+        };
+        if truncate {
+            prop_assert!(t.try_restore_bytes(&corrupted).is_err());
+        } else {
+            let _ = t.try_restore_bytes(&corrupted); // must not panic
+        }
+        // whatever happened, the facade still predicts finite values and a
+        // pristine restore brings back the exact snapshot-time state
+        let after: Vec<u64> = tasks
+            .iter()
+            .map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
+            .collect();
+        prop_assert!(after.iter().all(|&b| f64::from_bits(b).is_finite()));
+        t.try_restore_bytes(&bytes).expect("pristine bytes restore");
+        let restored: Vec<u64> = tasks
+            .iter()
+            .map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
+            .collect();
+        prop_assert_eq!(&before, &restored);
+    }
+
+    #[test]
+    fn cross_class_restore_is_rejected(which in 0usize..3) {
+        let mut classes = all_classes();
+        let donor = classes[(which + 1) % 3].snapshot().to_bytes();
+        let model = &mut classes[which];
+        let before = model.predict(&ctx(100.0)).to_bits();
+        prop_assert!(model.try_restore_bytes(&donor).is_err());
+        prop_assert_eq!(before, model.predict(&ctx(100.0)).to_bits());
+    }
+}
