@@ -20,8 +20,8 @@ use pipeline::executor::ExecutionPolicy;
 use pipeline::runner::run_sequence;
 use platform::bus::FrameEvent;
 use runtime::{
-    FairnessPolicy, FaultPlan, FaultPlanConfig, LatencyBudget, RecoveryPolicy, SessionConfig,
-    SessionScheduler, StreamSpec,
+    FairnessPolicy, FaultPlan, FaultPlanConfig, LatencyBudget, SessionConfig, SessionScheduler,
+    StreamSpec,
 };
 use std::io::Write;
 use std::sync::Arc;
@@ -97,13 +97,14 @@ fn main() {
         );
         let specs: Vec<StreamSpec> = (0..STREAMS)
             .map(|i| {
-                let mut spec =
-                    StreamSpec::new(seq(1000 + i as u64), AppConfig::default(), model.clone());
-                spec.budget = Some(LatencyBudget::new(5.0, 0.1));
+                let b =
+                    StreamSpec::builder(seq(1000 + i as u64), AppConfig::default(), model.clone())
+                        .budget(LatencyBudget::new(5.0, 0.1));
                 if rate > 0.0 {
-                    spec = spec.with_faults(Arc::new(plan), RecoveryPolicy::default());
+                    b.faults(Arc::new(plan)).build()
+                } else {
+                    b.build()
                 }
-                spec
             })
             .collect();
         let cfg = SessionConfig {

@@ -1,0 +1,145 @@
+//! Observability self-overhead benchmark: the same multi-stream session
+//! run bare and with the full [`platform::metrics::Observability`] bundle
+//! (metrics registry + span tracer) attached, at 1, 2, 4 and 8 streams.
+//!
+//! Runs are interleaved (off, on, off, on, ...) and each configuration
+//! keeps the minimum of three wall times, so host noise hits both sides
+//! equally. The headline number is `overhead_pct` — the relative wall-time
+//! cost of instrumenting every frame, stage, fault and retry — which the
+//! final assertion pins under 2% in aggregate.
+//!
+//! Emits one JSON line per stream count:
+//! `{"name", "streams", "frames", "wall_off_ms", "wall_on_ms",
+//!   "overhead_pct", "self_ms", "spans", "samples"}`.
+//! `BENCH_metrics.json` is produced by running with
+//! `METRICS_JSON=BENCH_metrics.json`.
+
+use pipeline::app::AppConfig;
+use pipeline::executor::ExecutionPolicy;
+use pipeline::runner::run_sequence;
+use platform::metrics::Observability;
+use runtime::{FairnessPolicy, SessionConfig, SessionScheduler, StreamSpec};
+use std::io::Write;
+use triplec::triple::{TripleC, TripleCConfig};
+use xray::{NoiseConfig, SequenceConfig};
+
+const WIDTH: usize = 128;
+const HEIGHT: usize = 128;
+const FRAMES: usize = 10;
+const REPS: usize = 3;
+
+fn seq(seed: u64) -> SequenceConfig {
+    SequenceConfig {
+        width: WIDTH,
+        height: HEIGHT,
+        frames: FRAMES,
+        seed,
+        noise: NoiseConfig {
+            quantum_scale: 0.3,
+            electronic_std: 2.0,
+        },
+        ..Default::default()
+    }
+}
+
+fn trained_model() -> TripleC {
+    let profile = run_sequence(seq(900), &AppConfig::default(), &ExecutionPolicy::default());
+    let cfg = TripleCConfig {
+        geometry: triplec::FrameGeometry {
+            width: WIDTH,
+            height: HEIGHT,
+        },
+        ..Default::default()
+    };
+    TripleC::train(&profile.task_series(), &profile.scenarios, cfg)
+}
+
+fn specs(model: &TripleC, streams: usize) -> Vec<StreamSpec> {
+    (0..streams)
+        .map(|i| {
+            StreamSpec::builder(seq(1000 + i as u64), AppConfig::default(), model.clone()).build()
+        })
+        .collect()
+}
+
+fn session_cfg(streams: usize) -> SessionConfig {
+    SessionConfig {
+        total_cores: 8,
+        fairness: FairnessPolicy::EqualShare,
+        max_concurrent: streams,
+    }
+}
+
+/// One timed run; returns (wall_ms, self_ms, spans) with zeros for the
+/// bare configuration.
+fn run_once(model: &TripleC, streams: usize, observed: bool) -> (f64, f64, usize) {
+    let scheduler = SessionScheduler::new(session_cfg(streams));
+    if observed {
+        let obs = Observability::new();
+        let report = scheduler
+            .with_observability(obs.clone())
+            .run(specs(model, streams));
+        assert_eq!(report.total_frames, streams * FRAMES);
+        (report.wall_ms, obs.self_overhead_ms(), obs.spans().len())
+    } else {
+        let report = scheduler.run(specs(model, streams));
+        assert_eq!(report.total_frames, streams * FRAMES);
+        (report.wall_ms, 0.0, 0)
+    }
+}
+
+fn main() {
+    let model = trained_model();
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("# bench_metrics: {host} host core(s), {FRAMES} frames/stream, min of {REPS}");
+
+    let mut lines = Vec::new();
+    let mut total_off = 0.0f64;
+    let mut total_on = 0.0f64;
+    for &streams in &[1usize, 2, 4, 8] {
+        let mut wall_off = f64::INFINITY;
+        let mut wall_on = f64::INFINITY;
+        let mut self_ms = 0.0;
+        let mut spans = 0;
+        for _ in 0..REPS {
+            // interleave so drift hits both configurations equally
+            let (off, _, _) = run_once(&model, streams, false);
+            let (on, s_ms, s_n) = run_once(&model, streams, true);
+            wall_off = wall_off.min(off);
+            if on < wall_on {
+                wall_on = on;
+                self_ms = s_ms;
+                spans = s_n;
+            }
+        }
+        total_off += wall_off;
+        total_on += wall_on;
+        let overhead_pct = (wall_on - wall_off) / wall_off * 100.0;
+        let line = format!(
+            "{{\"name\": \"metrics/streams/{streams}\", \"streams\": {streams}, \
+             \"frames\": {}, \"wall_off_ms\": {wall_off:.1}, \"wall_on_ms\": {wall_on:.1}, \
+             \"overhead_pct\": {overhead_pct:.2}, \"self_ms\": {self_ms:.3}, \
+             \"spans\": {spans}, \"samples\": {REPS}}}",
+            streams * FRAMES,
+        );
+        println!("{line}");
+        lines.push(line);
+    }
+
+    let aggregate_pct = (total_on - total_off) / total_off * 100.0;
+    eprintln!("# aggregate overhead: {aggregate_pct:.2}%");
+    assert!(
+        aggregate_pct < 2.0,
+        "observability overhead {aggregate_pct:.2}% exceeds the 2% budget"
+    );
+
+    if let Ok(path) = std::env::var("METRICS_JSON") {
+        let mut f = std::fs::File::create(&path).expect("create METRICS_JSON file");
+        for line in &lines {
+            writeln!(f, "{line}").expect("write METRICS_JSON");
+        }
+        eprintln!("# wrote {path}");
+    }
+}

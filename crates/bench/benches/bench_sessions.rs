@@ -60,7 +60,10 @@ fn main() {
     let mut lines = Vec::new();
     for &streams in &[1usize, 2, 4, 8] {
         let specs: Vec<StreamSpec> = (0..streams)
-            .map(|i| StreamSpec::new(seq(1000 + i as u64), AppConfig::default(), model.clone()))
+            .map(|i| {
+                StreamSpec::builder(seq(1000 + i as u64), AppConfig::default(), model.clone())
+                    .build()
+            })
             .collect();
         let cfg = SessionConfig {
             total_cores: 8,

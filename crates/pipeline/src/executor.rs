@@ -240,11 +240,12 @@ pub fn process_frame_recovering(
 fn run_stage(
     schedule: &mut VirtualSchedule,
     jobs: &[VirtualJob],
+    task: &'static str,
     observer: &mut Option<(StreamId, &mut EventBus)>,
     frame_index: usize,
 ) -> f64 {
     match observer {
-        Some((stream, bus)) => schedule.stage_observed(jobs, *stream, frame_index, bus),
+        Some((stream, bus)) => schedule.stage_observed(jobs, task, *stream, frame_index, bus),
         None => schedule.stage(jobs),
     }
 }
@@ -384,7 +385,7 @@ fn process_frame_inner(
                             });
                         }
                         task_times.push((task, serial_ms));
-                        run_stage(&mut schedule, &jobs, observer, frame_index);
+                        run_stage(&mut schedule, &jobs, task, observer, frame_index);
                         break Some(out);
                     }
                     Err(err) => {
@@ -448,7 +449,7 @@ fn process_frame_inner(
                 });
             }
             task_times.push((task, serial_ms));
-            run_stage(&mut schedule, &jobs, observer, frame_index);
+            run_stage(&mut schedule, &jobs, task, observer, frame_index);
             Some(out)
         }
     } else {
@@ -545,7 +546,7 @@ fn process_frame_inner(
                         duration_ms: ms,
                     });
                 }
-                run_stage(&mut schedule, &jobs, observer, frame_index);
+                run_stage(&mut schedule, &jobs, "GW_EXT", observer, frame_index);
                 out
             };
             let (gw, ms) =
@@ -603,7 +604,7 @@ fn process_frame_inner(
                     duration_ms: ms,
                 });
             }
-            run_stage(&mut schedule, &jobs, observer, frame_index);
+            run_stage(&mut schedule, &jobs, "ENH", observer, frame_index);
         }
         state.enh_state.commit();
         // pooled readout buffer: re-created only when the ROI geometry
@@ -655,7 +656,7 @@ fn process_frame_inner(
                     duration_ms: ms,
                 });
             }
-            run_stage(&mut schedule, &jobs, observer, frame_index);
+            run_stage(&mut schedule, &jobs, "ZOOM", observer, frame_index);
         }
         task_times.push(("ZOOM", zoom_serial_ms));
         state.enh_view = Some(enhanced);

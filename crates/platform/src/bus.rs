@@ -80,6 +80,33 @@ impl DegradeMode {
     }
 }
 
+/// Why the resource manager (or a recovery policy) changed the
+/// partitioning between consecutive frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RepartitionReason {
+    /// The predicted cost rose against the budget: more stripes.
+    BudgetPressure,
+    /// The predicted cost relaxed against the budget: fewer stripes.
+    BudgetRelief,
+    /// A recovery policy capped the stripe count below the planner's
+    /// choice (repeated budget overruns).
+    Downshift,
+    /// A recovery cap lifted and the planner's choice applies again.
+    Lift,
+}
+
+impl RepartitionReason {
+    /// Stable short name (used in metric labels and trace args).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RepartitionReason::BudgetPressure => "budget-pressure",
+            RepartitionReason::BudgetRelief => "budget-relief",
+            RepartitionReason::Downshift => "downshift",
+            RepartitionReason::Lift => "lift",
+        }
+    }
+}
+
 /// One typed event on the frame bus.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FrameEvent {
@@ -101,6 +128,37 @@ pub enum FrameEvent {
         /// Whether the latency budget was achievable.
         feasible: bool,
     },
+    /// The predictor produced the upcoming frame's scenario and cost
+    /// estimates (`runtime::manager`): the measured cost of prediction
+    /// itself, so the observability layer can account for what the
+    /// predictors cost the hot path.
+    PredictionIssued {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// Predicted scenario id (0..8).
+        scenario: u8,
+        /// Host wall-clock time spent predicting, microseconds.
+        cost_us: f64,
+    },
+    /// The chosen partitioning changed between consecutive frames: a
+    /// runtime repartition fired (`runtime::manager` on budget pressure
+    /// or relief, `runtime::session` on recovery downshift/lift).
+    RepartitionDecided {
+        /// Emitting stream.
+        stream: StreamId,
+        /// Frame index within the stream.
+        frame: usize,
+        /// RDG stripe count before the repartition.
+        from_rdg_stripes: usize,
+        /// RDG stripe count after the repartition.
+        to_rdg_stripes: usize,
+        /// Auxiliary-task stripe count after the repartition.
+        aux_stripes: usize,
+        /// Why the partitioning changed.
+        reason: RepartitionReason,
+    },
     /// A data-parallel stage ran on the virtual platform
     /// (`platform::schedule`).
     StageExecuted {
@@ -108,6 +166,8 @@ pub enum FrameEvent {
         stream: StreamId,
         /// Frame index within the stream.
         frame: usize,
+        /// Task name of the stage (per-stage metric/span label).
+        task: &'static str,
         /// Number of parallel jobs in the stage.
         jobs: usize,
         /// Sum of the per-job times (the serial cost), ms.
@@ -216,6 +276,8 @@ impl FrameEvent {
     pub fn stream(&self) -> StreamId {
         match *self {
             FrameEvent::PlanIssued { stream, .. }
+            | FrameEvent::PredictionIssued { stream, .. }
+            | FrameEvent::RepartitionDecided { stream, .. }
             | FrameEvent::StageExecuted { stream, .. }
             | FrameEvent::FrameExecuted { stream, .. }
             | FrameEvent::BudgetOverrun { stream, .. }
@@ -232,6 +294,8 @@ impl FrameEvent {
     pub fn frame(&self) -> usize {
         match *self {
             FrameEvent::PlanIssued { frame, .. }
+            | FrameEvent::PredictionIssued { frame, .. }
+            | FrameEvent::RepartitionDecided { frame, .. }
             | FrameEvent::StageExecuted { frame, .. }
             | FrameEvent::FrameExecuted { frame, .. }
             | FrameEvent::BudgetOverrun { frame, .. }
@@ -417,9 +481,24 @@ mod tests {
     fn accessors_cover_every_variant() {
         let events = [
             plan(1, 2),
+            FrameEvent::PredictionIssued {
+                stream: 1,
+                frame: 2,
+                scenario: 5,
+                cost_us: 3.0,
+            },
+            FrameEvent::RepartitionDecided {
+                stream: 1,
+                frame: 2,
+                from_rdg_stripes: 1,
+                to_rdg_stripes: 4,
+                aux_stripes: 2,
+                reason: RepartitionReason::BudgetPressure,
+            },
             FrameEvent::StageExecuted {
                 stream: 1,
                 frame: 2,
+                task: "RDG_FULL",
                 jobs: 4,
                 serial_ms: 40.0,
                 makespan_ms: 11.0,

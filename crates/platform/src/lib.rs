@@ -11,6 +11,9 @@
 //! worker pool used by the pipeline, [`bus`] is the typed frame-event bus
 //! every layer above publishes onto, and [`profile`]/[`trace`] collect the
 //! computation-time statistics the prediction models train on.
+//! [`metrics`] and [`span`] form the observability layer: both feed off
+//! the event bus via built-in subscribers and export plain-text/JSON
+//! snapshots and Chrome `trace_event` timelines.
 
 pub mod arch;
 pub mod bandwidth;
@@ -19,18 +22,27 @@ pub mod cache;
 pub mod executor;
 pub mod hierarchy;
 pub mod mapping;
+pub mod metrics;
 pub mod profile;
 pub mod schedule;
 pub mod spacetime;
+pub mod span;
 pub mod trace;
 
 pub use arch::{ArchModel, CacheGeometry, GB, KB, MB};
 pub use bandwidth::{add_intra_task, inter_task_load, BusLoad, Edge};
-pub use bus::{DegradeMode, EventBus, FaultKind, FrameEvent, StreamId, Subscriber, DEFAULT_STREAM};
+pub use bus::{
+    DegradeMode, EventBus, FaultKind, FrameEvent, RepartitionReason, StreamId, Subscriber,
+    DEFAULT_STREAM,
+};
 pub use cache::{Access, CacheSim, CacheStats};
 pub use executor::CorePool;
 pub use hierarchy::{CacheHierarchy, HierarchyTraffic};
-pub use mapping::{Mapping, Partition};
+pub use mapping::{Mapping, MappingError, Partition};
+pub use metrics::{
+    Counter, Gauge, Histogram, Labels, MetricsRegistry, MetricsSnapshot, MetricsSubscriber,
+    Observability,
+};
 pub use profile::{time_ms, Profiler, TaskStats};
 pub use schedule::{
     pipelined_schedule, stage_makespan, PipelinedResult, VirtualJob, VirtualSchedule,
@@ -39,4 +51,5 @@ pub use schedule::{
 pub use spacetime::{
     predict_traffic, simulate_traffic, BufferSpec, PassSpec, TaskAccessModel, TaskTraffic,
 };
+pub use span::{SpanCollector, SpanGuard, SpanRecord, TraceSubscriber};
 pub use trace::{summary_of, FrameRecord, LatencySummary, TraceLog};

@@ -9,6 +9,43 @@
 use crate::arch::ArchModel;
 use std::collections::BTreeMap;
 
+/// Why a [`Mapping`] failed validation against an [`ArchModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MappingError {
+    /// A task references a core index the platform does not have.
+    NonexistentCore {
+        /// The offending task.
+        task: &'static str,
+        /// The core it referenced.
+        core: usize,
+        /// Cores the platform actually has.
+        platform_cores: usize,
+    },
+    /// A task's partition lists no cores at all.
+    NoCores {
+        /// The offending task.
+        task: &'static str,
+    },
+}
+
+impl std::fmt::Display for MappingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MappingError::NonexistentCore {
+                task,
+                core,
+                platform_cores,
+            } => write!(
+                f,
+                "task {task} mapped to nonexistent core {core} (platform has {platform_cores})"
+            ),
+            MappingError::NoCores { task } => write!(f, "task {task} mapped to no cores"),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
+
 /// How a task is partitioned across cores.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Partition {
@@ -75,17 +112,21 @@ impl Mapping {
 
     /// Validates that all referenced cores exist and returns the number of
     /// distinct cores in use.
-    pub fn validate(&self, arch: &ArchModel) -> Result<usize, String> {
+    pub fn validate(&self, arch: &ArchModel) -> Result<usize, MappingError> {
         let mut used = std::collections::BTreeSet::new();
-        for (task, p) in &self.assignments {
+        for (&task, p) in &self.assignments {
             for &c in p.cores() {
                 if c >= arch.cores {
-                    return Err(format!("task {task} mapped to nonexistent core {c}"));
+                    return Err(MappingError::NonexistentCore {
+                        task,
+                        core: c,
+                        platform_cores: arch.cores,
+                    });
                 }
                 used.insert(c);
             }
             if p.cores().is_empty() {
-                return Err(format!("task {task} mapped to no cores"));
+                return Err(MappingError::NoCores { task });
             }
         }
         Ok(used.len())

@@ -76,6 +76,7 @@ impl VirtualSchedule {
     pub fn stage_observed(
         &mut self,
         jobs: &[VirtualJob],
+        task: &'static str,
         stream: crate::bus::StreamId,
         frame: usize,
         bus: &mut crate::bus::EventBus,
@@ -85,6 +86,7 @@ impl VirtualSchedule {
         bus.emit(crate::bus::FrameEvent::StageExecuted {
             stream,
             frame,
+            task,
             jobs: jobs.len(),
             serial_ms: jobs.iter().map(|j| j.duration_ms).sum(),
             makespan_ms: end - start,

@@ -34,6 +34,6 @@ pub use qos::{QosController, QosLevel};
 pub use recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
 pub use run::{run_managed_sequence, run_managed_sequence_qos, ManagedRun, QosManagedRun};
 pub use session::{
-    allocate_cores, percentile, FairnessPolicy, SessionConfig, SessionReport, SessionScheduler,
-    StreamFailure, StreamResult, StreamSession, StreamSpec,
+    allocate_cores, percentile, FairnessPolicy, SessionConfig, SessionConfigBuilder, SessionReport,
+    SessionScheduler, StreamFailure, StreamResult, StreamSession, StreamSpec, StreamSpecBuilder,
 };

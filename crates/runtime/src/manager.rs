@@ -9,7 +9,9 @@
 use crate::adaptation::{choose_policy, CostPrediction};
 use crate::budget::LatencyBudget;
 use pipeline::executor::{ExecutionPolicy, FrameOutput};
-use platform::bus::{EventBus, FrameEvent, StreamId, Subscriber, DEFAULT_STREAM};
+use platform::bus::{
+    EventBus, FrameEvent, RepartitionReason, StreamId, Subscriber, DEFAULT_STREAM,
+};
 use triplec::accuracy::{AccuracyReport, PredictionLog, PredictionLogHandle};
 use triplec::predictor::PredictContext;
 use triplec::scenario::Scenario;
@@ -77,6 +79,7 @@ pub struct ResourceManager {
     stream: StreamId,
     frame_index: usize,
     infeasible_frames: usize,
+    prev_rdg_stripes: Option<usize>,
 }
 
 impl ResourceManager {
@@ -101,6 +104,7 @@ impl ResourceManager {
             stream,
             frame_index: 0,
             infeasible_frames: 0,
+            prev_rdg_stripes: None,
         }
     }
 
@@ -146,6 +150,7 @@ impl ResourceManager {
     /// `roi_kpixels` is the ROI the frame will process (known from the
     /// tracking state). Before initialization the frame runs serial.
     pub fn plan(&mut self, roi_kpixels: f64) -> Plan {
+        let predict_start = std::time::Instant::now();
         let scenario = self.model.predict_next_scenario(self.last_scenario);
         let ctx = PredictContext { roi_kpixels };
         // planning costs (optionally a conservative quantile) and the
@@ -170,6 +175,15 @@ impl ResourceManager {
                 serial_ms += planning;
             }
         }
+        // the cost of prediction itself (Section 2's "the overhead of the
+        // prediction must be small"), so the observability layer can hold
+        // the predictors to that claim
+        self.bus.emit(FrameEvent::PredictionIssued {
+            stream: self.stream,
+            frame: self.frame_index,
+            scenario: scenario.id(),
+            cost_us: predict_start.elapsed().as_secs_f64() * 1e6,
+        });
 
         let plan = match self.budget {
             None => Plan {
@@ -209,6 +223,25 @@ impl ResourceManager {
             aux_stripes: plan.policy.aux_stripes,
             feasible: plan.feasible,
         });
+        // a change against the previous frame's choice is a runtime
+        // repartition (the Section 6 adaptation actually firing)
+        if let Some(prev) = self.prev_rdg_stripes {
+            if prev != plan.policy.rdg_stripes {
+                self.bus.emit(FrameEvent::RepartitionDecided {
+                    stream: self.stream,
+                    frame: self.frame_index,
+                    from_rdg_stripes: prev,
+                    to_rdg_stripes: plan.policy.rdg_stripes,
+                    aux_stripes: plan.policy.aux_stripes,
+                    reason: if plan.policy.rdg_stripes > prev {
+                        RepartitionReason::BudgetPressure
+                    } else {
+                        RepartitionReason::BudgetRelief
+                    },
+                });
+            }
+        }
+        self.prev_rdg_stripes = Some(plan.policy.rdg_stripes);
         plan
     }
 

@@ -22,7 +22,9 @@ use crate::recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
 use imaging::image::ImageU16;
 use pipeline::app::{AppConfig, AppState};
 use pipeline::executor::{process_frame_observed, process_frame_recovering};
-use platform::bus::{DegradeMode, FaultKind, FrameEvent, StreamId};
+use platform::bus::{DegradeMode, FaultKind, FrameEvent, RepartitionReason, StreamId};
+use platform::metrics::{MetricsSnapshot, Observability};
+use platform::span::SpanCollector;
 use platform::trace::TraceLog;
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -125,21 +127,32 @@ pub struct StreamSpec {
 }
 
 impl StreamSpec {
-    /// A spec with default management parameters and unit weight.
-    pub fn new(seq: SequenceConfig, app: AppConfig, model: TripleC) -> Self {
-        Self {
-            seq,
-            app,
-            model,
-            manager_cfg: ManagerConfig::default(),
-            budget: None,
-            weight: 1.0,
-            faults: None,
-            recovery: RecoveryPolicy::default(),
+    /// Starts building a spec from its three required ingredients; every
+    /// other knob defaults (management parameters from the platform's
+    /// [`ArchModel`](platform::arch::ArchModel), unit weight, no faults).
+    pub fn builder(seq: SequenceConfig, app: AppConfig, model: TripleC) -> StreamSpecBuilder {
+        StreamSpecBuilder {
+            spec: Self {
+                seq,
+                app,
+                model,
+                manager_cfg: ManagerConfig::default(),
+                budget: None,
+                weight: 1.0,
+                faults: None,
+                recovery: RecoveryPolicy::default(),
+            },
         }
     }
 
+    /// A spec with default management parameters and unit weight.
+    #[deprecated(note = "use `StreamSpec::builder(seq, app, model).build()`")]
+    pub fn new(seq: SequenceConfig, app: AppConfig, model: TripleC) -> Self {
+        Self::builder(seq, app, model).build()
+    }
+
     /// Enables fault injection with the given hook and recovery policy.
+    #[deprecated(note = "use `StreamSpec::builder(..).faults(injector).recovery(policy).build()`")]
     pub fn with_faults(
         mut self,
         injector: Arc<dyn FaultInjector>,
@@ -148,6 +161,51 @@ impl StreamSpec {
         self.faults = Some(injector);
         self.recovery = recovery;
         self
+    }
+}
+
+/// Typed builder for [`StreamSpec`] (from [`StreamSpec::builder`]).
+#[must_use = "builders do nothing until `build()` is called"]
+pub struct StreamSpecBuilder {
+    spec: StreamSpec,
+}
+
+impl StreamSpecBuilder {
+    /// Overrides the resource-management parameters.
+    pub fn manager_cfg(mut self, cfg: ManagerConfig) -> Self {
+        self.spec.manager_cfg = cfg;
+        self
+    }
+
+    /// Fixes the latency budget instead of initializing it from the
+    /// first frame.
+    pub fn budget(mut self, budget: LatencyBudget) -> Self {
+        self.spec.budget = Some(budget);
+        self
+    }
+
+    /// Sets the demand weight used by
+    /// [`FairnessPolicy::WeightedDemand`].
+    pub fn weight(mut self, weight: f64) -> Self {
+        self.spec.weight = weight;
+        self
+    }
+
+    /// Arms deterministic fault injection with the given hook.
+    pub fn faults(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.spec.faults = Some(injector);
+        self
+    }
+
+    /// Overrides the degradation policy used on the recovering path.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.spec.recovery = recovery;
+        self
+    }
+
+    /// Finishes the spec.
+    pub fn build(self) -> StreamSpec {
+        self.spec
     }
 }
 
@@ -160,6 +218,7 @@ pub struct StreamSession {
     cores: usize,
     faults: Option<Arc<dyn FaultInjector>>,
     recovery: RecoveryPolicy,
+    tracer: Option<SpanCollector>,
 }
 
 impl StreamSession {
@@ -182,7 +241,16 @@ impl StreamSession {
             cores,
             faults: spec.faults,
             recovery: spec.recovery,
+            tracer: None,
         }
+    }
+
+    /// Attaches an [`Observability`] instance: the stream's bus feeds its
+    /// metrics registry and span collector, and the session wraps its own
+    /// run in a stream-level span.
+    pub fn attach_observability(&mut self, obs: &Observability) {
+        obs.attach(self.manager.bus_mut());
+        self.tracer = Some(obs.spans().clone());
     }
 
     /// The stream id.
@@ -202,23 +270,25 @@ impl StreamSession {
     }
 
     /// Runs the stream's full sequence through the managed closed loop,
-    /// consuming the session. Panics if the stream fails (only possible
-    /// with fault injection and `serial_fallback` disabled); use
-    /// [`Self::run_result`] to handle failures.
-    pub fn run(self) -> StreamResult {
-        match self.run_result() {
-            Ok(r) => r,
-            Err(f) => panic!("{f}"),
+    /// consuming the session. Unrecoverable frame failures (only possible
+    /// with fault injection and `serial_fallback` disabled) surface as a
+    /// [`StreamFailure`] error instead of unwinding.
+    pub fn run(self) -> Result<StreamResult, StreamFailure> {
+        let _stream_span = self.tracer.clone().map(|t| {
+            t.span("stream", "session", self.id)
+                .arg("cores", self.cores as f64)
+        });
+        match self.faults.clone() {
+            None => Ok(self.run_nominal()),
+            Some(injector) => self.run_faulted(injector),
         }
     }
 
     /// Runs the stream, surfacing unrecoverable frame failures as an
     /// error instead of unwinding.
+    #[deprecated(note = "`run` now returns `Result`; call it directly")]
     pub fn run_result(self) -> Result<StreamResult, StreamFailure> {
-        match self.faults.clone() {
-            None => Ok(self.run_nominal()),
-            Some(injector) => self.run_faulted(injector),
-        }
+        self.run()
     }
 
     /// The unhooked hot path: no fault bookkeeping, no recovery branches.
@@ -331,6 +401,7 @@ impl StreamSession {
                 .map(|r| r.area() as f64 / 1000.0)
                 .unwrap_or_else(|| (frame.image.width() * frame.image.height()) as f64 / 1000.0);
             let mut plan = self.manager.plan(roi_kpixels);
+            let planned_rdg = plan.policy.rdg_stripes;
             rec.apply_cap(&mut plan.policy);
             predictions.push(plan.predicted_total_ms);
             stripes.push(plan.policy.rdg_stripes);
@@ -364,22 +435,41 @@ impl StreamSession {
                 .budget()
                 .is_some_and(|b| out.record.latency_ms > b.target_ms);
             match rec.note_frame(overrun, plan.policy.rdg_stripes, &policy) {
-                RecoveryAction::Downshift(_cap) => {
+                RecoveryAction::Downshift(cap) => {
                     let stream = self.id;
-                    self.manager.bus_mut().emit(FrameEvent::DegradedMode {
+                    let aux = plan.policy.aux_stripes.min(cap);
+                    let bus = self.manager.bus_mut();
+                    bus.emit(FrameEvent::DegradedMode {
                         stream,
                         frame: idx,
                         mode: DegradeMode::StripeDownshift,
                         cause: FaultKind::Overrun,
                     });
+                    bus.emit(FrameEvent::RepartitionDecided {
+                        stream,
+                        frame: idx,
+                        from_rdg_stripes: plan.policy.rdg_stripes,
+                        to_rdg_stripes: cap,
+                        aux_stripes: aux,
+                        reason: RepartitionReason::Downshift,
+                    });
                 }
                 RecoveryAction::Lift(_) => {
                     let stream = self.id;
-                    self.manager.bus_mut().emit(FrameEvent::Recovered {
+                    let bus = self.manager.bus_mut();
+                    bus.emit(FrameEvent::Recovered {
                         stream,
                         frame: idx,
                         kind: FaultKind::Overrun,
                         attempts: 0,
+                    });
+                    bus.emit(FrameEvent::RepartitionDecided {
+                        stream,
+                        frame: idx,
+                        from_rdg_stripes: plan.policy.rdg_stripes,
+                        to_rdg_stripes: planned_rdg,
+                        aux_stripes: plan.policy.aux_stripes,
+                        reason: RepartitionReason::Lift,
                     });
                 }
                 RecoveryAction::None => {}
@@ -590,15 +680,73 @@ impl Default for SessionConfig {
     }
 }
 
+impl SessionConfig {
+    /// Starts building a config; every knob defaults from the platform's
+    /// [`ArchModel`](platform::arch::ArchModel).
+    pub fn builder() -> SessionConfigBuilder {
+        SessionConfigBuilder {
+            cfg: Self::default(),
+            max_concurrent: None,
+        }
+    }
+}
+
+/// Typed builder for [`SessionConfig`] (from [`SessionConfig::builder`]).
+#[must_use = "builders do nothing until `build()` is called"]
+pub struct SessionConfigBuilder {
+    cfg: SessionConfig,
+    max_concurrent: Option<usize>,
+}
+
+impl SessionConfigBuilder {
+    /// Sets the shared modelled-core budget. Unless
+    /// [`Self::max_concurrent`] is also set, the concurrency cap follows
+    /// this value.
+    pub fn total_cores(mut self, cores: usize) -> Self {
+        self.cfg.total_cores = cores;
+        self
+    }
+
+    /// Sets how the core budget is divided among concurrent streams.
+    pub fn fairness(mut self, fairness: FairnessPolicy) -> Self {
+        self.cfg.fairness = fairness;
+        self
+    }
+
+    /// Caps concurrently running streams (defaults to the core budget).
+    pub fn max_concurrent(mut self, streams: usize) -> Self {
+        self.max_concurrent = Some(streams);
+        self
+    }
+
+    /// Finishes the config.
+    pub fn build(self) -> SessionConfig {
+        SessionConfig {
+            max_concurrent: self.max_concurrent.unwrap_or(self.cfg.total_cores),
+            ..self.cfg
+        }
+    }
+}
+
 /// Admits streams against the shared core budget and runs them.
 pub struct SessionScheduler {
     cfg: SessionConfig,
+    obs: Option<Observability>,
 }
 
 impl SessionScheduler {
     /// A scheduler over the given configuration.
     pub fn new(cfg: SessionConfig) -> Self {
-        Self { cfg }
+        Self { cfg, obs: None }
+    }
+
+    /// Attaches an [`Observability`] instance: every stream the scheduler
+    /// runs feeds its metrics registry and span collector, and the final
+    /// [`SessionReport`] carries a [`MetricsSnapshot`].
+    #[must_use = "returns the scheduler with observability attached"]
+    pub fn with_observability(mut self, obs: Observability) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// The configuration.
@@ -636,7 +784,13 @@ impl SessionScheduler {
             let sessions: Vec<StreamSession> = wave
                 .into_iter()
                 .zip(&cores)
-                .map(|((id, spec), &c)| StreamSession::new(id, spec, c))
+                .map(|((id, spec), &c)| {
+                    let mut sess = StreamSession::new(id, spec, c);
+                    if let Some(obs) = &self.obs {
+                        sess.attach_observability(obs);
+                    }
+                    sess
+                })
                 .collect();
             // A panicking stream must neither unwind into the scheduler
             // nor take its siblings down: every join is caught and folded
@@ -647,7 +801,7 @@ impl SessionScheduler {
                     .into_iter()
                     .map(|sess| {
                         let id = sess.id();
-                        (id, scope.spawn(move || sess.run_result()))
+                        (id, scope.spawn(move || sess.run()))
                     })
                     .collect();
                 for (id, h) in handles {
@@ -682,6 +836,7 @@ impl SessionScheduler {
             wall_ms,
             total_frames,
             aggregate_fps,
+            metrics: self.obs.as_ref().map(|o| o.snapshot()),
         }
     }
 }
@@ -700,6 +855,9 @@ pub struct SessionReport {
     pub total_frames: usize,
     /// Aggregate throughput across streams, frames per second.
     pub aggregate_fps: f64,
+    /// Point-in-time metrics dump, present when the scheduler ran with
+    /// [`SessionScheduler::with_observability`].
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl SessionReport {
@@ -796,7 +954,7 @@ mod tests {
 
     #[test]
     fn single_stream_session_matches_managed_run() {
-        let spec = StreamSpec::new(seq(101, 6), AppConfig::default(), trained_model());
+        let spec = StreamSpec::builder(seq(101, 6), AppConfig::default(), trained_model()).build();
         let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
         assert_eq!(report.streams.len(), 1);
         let s = &report.streams[0];
@@ -828,8 +986,8 @@ mod tests {
             max_concurrent: 1,
         };
         let specs = vec![
-            StreamSpec::new(seq(102, 4), AppConfig::default(), trained_model()),
-            StreamSpec::new(seq(103, 5), AppConfig::default(), trained_model()),
+            StreamSpec::builder(seq(102, 4), AppConfig::default(), trained_model()).build(),
+            StreamSpec::builder(seq(103, 5), AppConfig::default(), trained_model()).build(),
         ];
         let report = SessionScheduler::new(cfg).run(specs);
         assert_eq!(report.streams.len(), 2);
@@ -845,15 +1003,16 @@ mod tests {
 
     #[test]
     fn weighted_streams_get_proportional_cores() {
-        let mut a = StreamSpec::new(seq(104, 3), AppConfig::default(), trained_model());
-        a.weight = 3.0;
-        let mut b = StreamSpec::new(seq(105, 3), AppConfig::default(), trained_model());
-        b.weight = 1.0;
-        let cfg = SessionConfig {
-            total_cores: 8,
-            fairness: FairnessPolicy::WeightedDemand,
-            max_concurrent: 8,
-        };
+        let a = StreamSpec::builder(seq(104, 3), AppConfig::default(), trained_model())
+            .weight(3.0)
+            .build();
+        let b = StreamSpec::builder(seq(105, 3), AppConfig::default(), trained_model())
+            .weight(1.0)
+            .build();
+        let cfg = SessionConfig::builder()
+            .total_cores(8)
+            .fairness(FairnessPolicy::WeightedDemand)
+            .build();
         let report = SessionScheduler::new(cfg).run(vec![a, b]);
         assert_eq!(report.streams[0].cores, 6);
         assert_eq!(report.streams[1].cores, 2);
@@ -913,8 +1072,9 @@ mod tests {
 
     #[test]
     fn faulted_session_recovers_with_outputs_matching_nominal() {
-        let mut nominal = StreamSpec::new(seq(110, 8), AppConfig::default(), trained_model());
-        nominal.budget = Some(generous_budget());
+        let nominal = StreamSpec::builder(seq(110, 8), AppConfig::default(), trained_model())
+            .budget(generous_budget())
+            .build();
         let clean = SessionScheduler::new(SessionConfig::default()).run(vec![nominal]);
         assert!(clean.is_clean());
 
@@ -929,9 +1089,10 @@ mod tests {
         // tight budget: plans stripe aggressively, so armed pool faults
         // actually reach the stripe dispatch (pixel outputs stay
         // bit-identical to the serial nominal run regardless)
-        let mut spec = StreamSpec::new(seq(110, 8), AppConfig::default(), trained_model())
-            .with_faults(std::sync::Arc::new(plan), RecoveryPolicy::default());
-        spec.budget = Some(LatencyBudget::new(5.0, 0.1));
+        let spec = StreamSpec::builder(seq(110, 8), AppConfig::default(), trained_model())
+            .faults(std::sync::Arc::new(plan))
+            .budget(LatencyBudget::new(5.0, 0.1))
+            .build();
         let faulted = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
         assert!(faulted.is_clean(), "failures: {:?}", faulted.failures);
 
@@ -971,9 +1132,10 @@ mod tests {
                     ..Default::default()
                 },
             );
-            let mut spec = StreamSpec::new(seq(111, 10), AppConfig::default(), trained_model())
-                .with_faults(std::sync::Arc::new(plan), RecoveryPolicy::default());
-            spec.budget = Some(generous_budget());
+            let spec = StreamSpec::builder(seq(111, 10), AppConfig::default(), trained_model())
+                .faults(std::sync::Arc::new(plan))
+                .budget(generous_budget())
+                .build();
             let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
             assert!(report.is_clean());
             report.streams[0]
@@ -994,9 +1156,10 @@ mod tests {
             drops: vec![1, 3],
             ..ScriptedFaults::none()
         };
-        let mut spec = StreamSpec::new(seq(112, 6), AppConfig::default(), trained_model())
-            .with_faults(std::sync::Arc::new(script), RecoveryPolicy::default());
-        spec.budget = Some(generous_budget());
+        let spec = StreamSpec::builder(seq(112, 6), AppConfig::default(), trained_model())
+            .faults(std::sync::Arc::new(script))
+            .budget(generous_budget())
+            .build();
         let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
         let s = &report.streams[0];
         assert_eq!(s.dropped_frames, 2);
@@ -1041,14 +1204,14 @@ mod tests {
         };
         let mut model = trained_model();
         model.set_online_training(true);
-        let mut spec = StreamSpec::new(seq(113, 8), AppConfig::default(), model).with_faults(
-            std::sync::Arc::new(script),
-            RecoveryPolicy {
+        let spec = StreamSpec::builder(seq(113, 8), AppConfig::default(), model)
+            .faults(std::sync::Arc::new(script))
+            .recovery(RecoveryPolicy {
                 quarantine_frames: 2,
                 ..Default::default()
-            },
-        );
-        spec.budget = Some(generous_budget());
+            })
+            .budget(generous_budget())
+            .build();
         let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
         assert!(report.is_clean());
         let keys: Vec<String> = report.streams[0]
@@ -1086,19 +1249,19 @@ mod tests {
                 }
             }
         }
-        let mut doomed = StreamSpec::new(seq(114, 6), AppConfig::default(), trained_model())
-            .with_faults(
-                std::sync::Arc::new(ChannelStorm),
-                RecoveryPolicy {
-                    retry: StageRetry {
-                        max_retries: 1,
-                        serial_fallback: false,
-                    },
-                    ..Default::default()
+        let doomed = StreamSpec::builder(seq(114, 6), AppConfig::default(), trained_model())
+            .faults(std::sync::Arc::new(ChannelStorm))
+            .recovery(RecoveryPolicy {
+                retry: StageRetry {
+                    max_retries: 1,
+                    serial_fallback: false,
                 },
-            );
-        doomed.budget = Some(LatencyBudget::new(0.001, 0.0)); // force striping
-        let healthy = StreamSpec::new(seq(115, 6), AppConfig::default(), trained_model());
+                ..Default::default()
+            })
+            .budget(LatencyBudget::new(0.001, 0.0)) // force striping
+            .build();
+        let healthy =
+            StreamSpec::builder(seq(115, 6), AppConfig::default(), trained_model()).build();
 
         let report = SessionScheduler::new(SessionConfig::default()).run(vec![doomed, healthy]);
         assert_eq!(report.failures.len(), 1, "failures: {:?}", report.failures);
@@ -1112,12 +1275,11 @@ mod tests {
 
     #[test]
     fn panicking_stream_thread_is_caught_at_join() {
-        let doomed = StreamSpec::new(seq(116, 6), AppConfig::default(), trained_model())
-            .with_faults(
-                std::sync::Arc::new(PanickingInjector),
-                RecoveryPolicy::default(),
-            );
-        let healthy = StreamSpec::new(seq(117, 5), AppConfig::default(), trained_model());
+        let doomed = StreamSpec::builder(seq(116, 6), AppConfig::default(), trained_model())
+            .faults(std::sync::Arc::new(PanickingInjector))
+            .build();
+        let healthy =
+            StreamSpec::builder(seq(117, 5), AppConfig::default(), trained_model()).build();
         let report = SessionScheduler::new(SessionConfig::default()).run(vec![doomed, healthy]);
         assert_eq!(report.failures.len(), 1);
         assert_eq!(report.failures[0].stream, 0);
@@ -1134,7 +1296,7 @@ mod tests {
 
     #[test]
     fn per_stream_p99_is_reported() {
-        let spec = StreamSpec::new(seq(106, 8), AppConfig::default(), trained_model());
+        let spec = StreamSpec::builder(seq(106, 8), AppConfig::default(), trained_model()).build();
         let report = SessionScheduler::new(SessionConfig::default()).run(vec![spec]);
         let s = &report.streams[0];
         assert_eq!(s.frame_wall_ms.len(), 8);

@@ -6,18 +6,18 @@
 //!
 //! Run with: `cargo run --release --example cache_analysis`
 
-use triple_c::platform::arch::{ArchModel, MB};
+use triple_c::platform::arch::MB;
 use triple_c::platform::bandwidth::{add_intra_task, inter_task_load};
 use triple_c::platform::hierarchy::CacheHierarchy;
 use triple_c::platform::mapping::{Mapping, Partition};
 use triple_c::platform::spacetime::simulate_traffic;
+use triple_c::prelude::*;
 use triple_c::triplec::bandwidth_model::{
     intra_task_traffic, rdg_access_model, scenario_edges, FRAME_RATE_HZ,
 };
 use triple_c::triplec::memory_model::{implementation_table, FrameGeometry};
-use triple_c::triplec::scenario::Scenario;
 
-fn main() {
+fn main() -> Result<()> {
     let arch = ArchModel::default();
     let geom = FrameGeometry::PAPER;
     println!(
@@ -89,7 +89,7 @@ fn main() {
     mapping.assign("GW_EXT", Partition::Serial { core: 3 });
     mapping.assign("ENH", Partition::Serial { core: 4 });
     mapping.assign("ZOOM", Partition::Serial { core: 5 });
-    mapping.validate(&arch).expect("valid mapping");
+    mapping.validate(&arch)?;
 
     println!("\nper-scenario bus loads under a 6-core mapping (ROI fraction 0.1):");
     println!("  id  cache-bus MB/s  memory-bus MB/s  feasible");
@@ -109,4 +109,5 @@ fn main() {
     }
     println!("\n(the paper's point: the worst-case scenario costs multiples of the");
     println!(" best case — reserving for it permanently wastes most of the platform)");
+    Ok(())
 }

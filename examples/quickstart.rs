@@ -4,13 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use triple_c::pipeline::app::AppConfig;
-use triple_c::pipeline::executor::ExecutionPolicy;
-use triple_c::pipeline::runner::run_sequence;
-use triple_c::triplec::predictor::PredictContext;
-use triple_c::triplec::scenario::Scenario;
-use triple_c::triplec::triple::{TripleC, TripleCConfig};
-use triple_c::xray::SequenceConfig;
+use triple_c::prelude::*;
 
 fn main() {
     const SIZE: usize = 256;

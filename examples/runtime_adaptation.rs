@@ -4,14 +4,10 @@
 //!
 //! Run with: `cargo run --release --example runtime_adaptation`
 
-use triple_c::pipeline::app::AppConfig;
-use triple_c::pipeline::executor::ExecutionPolicy;
 use triple_c::pipeline::latency::{jitter, jitter_reduction, DelayLine};
-use triple_c::pipeline::runner::{run_corpus, run_sequence};
-use triple_c::runtime::manager::{ManagerConfig, ResourceManager};
+use triple_c::prelude::*;
 use triple_c::runtime::run::run_managed_sequence;
-use triple_c::triplec::triple::{TripleC, TripleCConfig};
-use triple_c::xray::{HiddenEpisode, ScenarioConfig, SequenceConfig};
+use triple_c::xray::{HiddenEpisode, ScenarioConfig};
 
 fn dynamic_sequence(size: usize, frames: usize, seed: u64) -> SequenceConfig {
     SequenceConfig {

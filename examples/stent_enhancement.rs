@@ -4,13 +4,11 @@
 //!
 //! Run with: `cargo run --release --example stent_enhancement`
 
-use triple_c::imaging::image::ImageU16;
 use triple_c::imaging::io::write_pgm8;
-use triple_c::pipeline::app::{AppConfig, AppState};
-use triple_c::pipeline::executor::{process_frame, ExecutionPolicy};
-use triple_c::xray::{SequenceConfig, SequenceGenerator};
+use triple_c::pipeline::executor::process_frame;
+use triple_c::prelude::*;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<()> {
     const SIZE: usize = 384;
     let sequence = SequenceConfig {
         width: SIZE,

@@ -11,10 +11,10 @@
 
 use rand::{Rng, SeedableRng};
 use triple_c::imaging::hessian::{blob_response, hessian_at_scale, HessianImages, HessianScratch};
-use triple_c::imaging::image::{Image, ImageF32, ImageU16};
 use triple_c::platform::profile::time_ms;
+use triple_c::prelude::*;
 use triple_c::triplec::accuracy::evaluate;
-use triple_c::triplec::predictor::{EwmaMarkovPredictor, PredictContext, Predictor};
+use triple_c::triplec::predictor::{EwmaMarkovPredictor, Predictor};
 use triple_c::xray::canvas::Canvas;
 
 const SIZE: usize = 256;

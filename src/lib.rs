@@ -13,8 +13,21 @@
 //! * [`pipeline`] — the dynamic flow-graph engine;
 //! * [`runtime`] — the semi-automatic parallelization manager.
 //!
+//! On top of the crate re-exports, the umbrella adds the glue of a
+//! coherent public API:
+//!
+//! * [`prelude`] — `use triple_c::prelude::*;` pulls in the ~20 types
+//!   that nearly every program needs;
+//! * [`error`] — the unified [`Error`]/[`Result`] pair that every
+//!   fallible surface converts into.
+//!
 //! See `examples/quickstart.rs` for the end-to-end tour and DESIGN.md /
 //! EXPERIMENTS.md for the experiment index.
+
+pub mod error;
+pub mod prelude;
+
+pub use error::{Error, Result};
 
 pub use imaging;
 pub use pipeline;

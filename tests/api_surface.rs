@@ -1,0 +1,154 @@
+//! Public-API surface lock: a `cargo public-api`-style check with no
+//! extra tooling. Every `pub` item signature in the workspace sources is
+//! extracted textually, sorted, and diffed against the checked-in
+//! `API.txt`. An unintentional addition, removal or signature change
+//! fails this test with the offending lines; an intentional one is
+//! recorded by regenerating the file:
+//!
+//! ```sh
+//! UPDATE_API=1 cargo test --test api_surface
+//! git diff API.txt   # review the surface change, then commit it
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Source roots that define the public surface.
+fn source_roots(repo: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![repo.join("src")];
+    let crates = repo.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates) {
+        for e in entries.flatten() {
+            let src = e.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                rust_files(&p, out);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+}
+
+/// Extracts the normalized `pub` item lines of one file, ignoring
+/// everything at and after its first `#[cfg(test)]` attribute (test
+/// modules sit at the bottom of each file in this workspace).
+fn pub_items(path: &Path, repo: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let body = match text.find("#[cfg(test)]") {
+        Some(i) => &text[..i],
+        None => &text[..],
+    };
+    let rel = path
+        .strip_prefix(repo)
+        .unwrap_or(path)
+        .display()
+        .to_string();
+    let kinds = [
+        "pub fn ",
+        "pub struct ",
+        "pub enum ",
+        "pub trait ",
+        "pub type ",
+        "pub const ",
+        "pub static ",
+        "pub mod ",
+        "pub use ",
+        "pub union ",
+        "pub unsafe fn ",
+    ];
+    let mut items = Vec::new();
+    let mut pending: Option<String> = None;
+    for raw in body.lines() {
+        let line = raw.trim();
+        let continuing = pending.is_some();
+        if !continuing && !kinds.iter().any(|k| line.starts_with(k)) {
+            continue;
+        }
+        let mut sig = pending.take().unwrap_or_default();
+        if !sig.is_empty() {
+            sig.push(' ');
+        }
+        sig.push_str(line);
+        // a signature is complete at its body brace or terminator;
+        // otherwise it spans onto the next line (rustfmt-wrapped)
+        let end = sig.find('{').or_else(|| sig.find(';'));
+        match end {
+            Some(i) => {
+                let cut = sig[..i].trim_end().to_string();
+                items.push(format!("{rel}: {cut}"));
+            }
+            None => pending = Some(sig),
+        }
+    }
+    if let Some(sig) = pending {
+        items.push(format!("{rel}: {}", sig.trim_end()));
+    }
+    items
+}
+
+fn current_surface(repo: &Path) -> BTreeSet<String> {
+    let mut files = Vec::new();
+    for root in source_roots(repo) {
+        rust_files(&root, &mut files);
+    }
+    let mut surface = BTreeSet::new();
+    for f in files {
+        surface.extend(pub_items(&f, repo));
+    }
+    surface
+}
+
+#[test]
+fn public_api_matches_checked_in_surface() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let api_file = repo.join("API.txt");
+    let surface = current_surface(&repo);
+    let rendered: String = surface.iter().map(|s| format!("{s}\n")).collect::<String>();
+
+    if std::env::var("UPDATE_API").is_ok() {
+        std::fs::write(&api_file, rendered).expect("write API.txt");
+        return;
+    }
+
+    let recorded_text = std::fs::read_to_string(&api_file)
+        .expect("API.txt missing — run `UPDATE_API=1 cargo test --test api_surface`");
+    let recorded: BTreeSet<String> = recorded_text
+        .lines()
+        .map(str::to_string)
+        .filter(|l| !l.is_empty())
+        .collect();
+
+    let added: Vec<&String> = surface.difference(&recorded).collect();
+    let removed: Vec<&String> = recorded.difference(&surface).collect();
+    assert!(
+        added.is_empty() && removed.is_empty(),
+        "public API surface changed.\n\nadded ({}):\n{}\n\nremoved ({}):\n{}\n\n\
+         If intentional: UPDATE_API=1 cargo test --test api_surface, review \
+         the API.txt diff, and commit it.",
+        added.len(),
+        added
+            .iter()
+            .map(|s| format!("  + {s}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        removed.len(),
+        removed
+            .iter()
+            .map(|s| format!("  - {s}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+    );
+}

@@ -25,8 +25,8 @@ use triple_c::pipeline::executor::ExecutionPolicy;
 use triple_c::pipeline::runner::run_sequence;
 use triple_c::platform::bus::FrameEvent;
 use triple_c::runtime::{
-    FairnessPolicy, FaultPlan, FaultPlanConfig, LatencyBudget, RecoveryPolicy, SessionConfig,
-    SessionReport, SessionScheduler, StreamSpec,
+    FairnessPolicy, FaultPlan, FaultPlanConfig, LatencyBudget, SessionConfig, SessionReport,
+    SessionScheduler, StreamSpec,
 };
 use triple_c::triplec::triple::{TripleC, TripleCConfig};
 use triple_c::xray::{NoiseConfig, SequenceConfig};
@@ -86,11 +86,10 @@ fn run_one(spec: StreamSpec) -> SessionReport {
 }
 
 fn spec_with(stream_seed: u64, budget: LatencyBudget, plan: Option<FaultPlan>) -> StreamSpec {
-    let mut spec = StreamSpec::new(seq(stream_seed), AppConfig::default(), model());
-    spec.budget = Some(budget);
+    let b = StreamSpec::builder(seq(stream_seed), AppConfig::default(), model()).budget(budget);
     match plan {
-        Some(p) => spec.with_faults(Arc::new(p), RecoveryPolicy::default()),
-        None => spec,
+        Some(p) => b.faults(Arc::new(p)).build(),
+        None => b.build(),
     }
 }
 

@@ -19,8 +19,8 @@ use triple_c::pipeline::executor::ExecutionPolicy;
 use triple_c::pipeline::runner::run_sequence;
 use triple_c::platform::bus::FrameEvent;
 use triple_c::runtime::{
-    FairnessPolicy, FaultPlan, FaultPlanConfig, LatencyBudget, RecoveryPolicy, SessionConfig,
-    SessionReport, SessionScheduler, StreamSpec,
+    FairnessPolicy, FaultPlan, FaultPlanConfig, LatencyBudget, SessionConfig, SessionReport,
+    SessionScheduler, StreamSpec,
 };
 use triple_c::triplec::triple::{TripleC, TripleCConfig};
 use triple_c::xray::{NoiseConfig, SequenceConfig};
@@ -65,9 +65,10 @@ fn run_faulted(
     let specs: Vec<StreamSpec> = seeds
         .iter()
         .map(|&s| {
-            let mut spec = StreamSpec::new(seq(s, frames), AppConfig::default(), model.clone());
-            spec.budget = Some(budget);
-            spec.with_faults(Arc::new(plan), RecoveryPolicy::default())
+            StreamSpec::builder(seq(s, frames), AppConfig::default(), model.clone())
+                .budget(budget)
+                .faults(Arc::new(plan))
+                .build()
         })
         .collect();
     let cfg = SessionConfig {

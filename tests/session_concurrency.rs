@@ -48,7 +48,7 @@ fn trained_model() -> TripleC {
 fn specs(model: &TripleC, seeds: &[u64], frames: usize) -> Vec<StreamSpec> {
     seeds
         .iter()
-        .map(|&s| StreamSpec::new(seq(s, frames), AppConfig::default(), model.clone()))
+        .map(|&s| StreamSpec::builder(seq(s, frames), AppConfig::default(), model.clone()).build())
         .collect()
 }
 
