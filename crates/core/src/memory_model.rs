@@ -133,25 +133,70 @@ pub fn paper_table1() -> Vec<TaskMemory> {
 /// Per-pixel byte costs of this repository's implementation. These mirror
 /// the buffer allocations in `triplec-imaging` exactly:
 ///
-/// * RDG intermediate: `src_f32` (4) + Hessian Ixx/Iyy/Ixy (12) +
-///   convolution scratch a/b (8) + response accumulator (4) + hysteresis
-///   visited mask (4, generation-stamped u32) = 32 B/px. Recycled output
-///   images parked in the buffer pools and cached derivative-kernel taps
-///   add to the measured `byte_size()` once warm but are excluded from the
-///   per-pixel constant, which describes the freshly-allocated state.
-/// * MKX intermediate: the Hessian buffers without the visited mask
-///   (28 B/px) + a 4 B/px best-scale map = 32 B/px.
+/// * RDG intermediate: `src_f32` (4) + response accumulator (4) +
+///   hysteresis visited mask (4, generation-stamped u32) = 12 B/px. The
+///   fused single-pass Hessian core streams Ixx/Iyy/Ixy through a
+///   tile-height ring of rows, so the former full-frame Hessian planes and
+///   convolution scratch (20 B/px in the pre-fusion implementation) are
+///   replaced by the *width-linear* [`rdg_tile_bytes`] term. Recycled
+///   output images parked in the buffer pools add to the measured
+///   `byte_size()` once frames are returned but are excluded here;
+///   [`rdg_intermediate_bytes`] gives the exact warm working set.
+/// * MKX intermediate: the Hessian component planes + convolution scratch
+///   (28 B/px) + a 4 B/px best-scale map = 32 B/px (MKX still uses the
+///   full-frame Hessian path because it needs all three planes per scale).
 /// * RDG output: filtered u16 (2) + ridgeness f32 (4) = 6 B/px.
 /// * ENH intermediate: the f32 temporal accumulator = 4 B/px.
 pub mod per_pixel {
-    /// RDG intermediate bytes/pixel.
-    pub const RDG_INTERMEDIATE: usize = 32;
+    /// RDG intermediate bytes/pixel (fused engine; see [`super::rdg_tile_bytes`]
+    /// for the additional width-linear ring-buffer term).
+    pub const RDG_INTERMEDIATE: usize = 12;
     /// RDG output bytes/pixel (filtered + ridgeness).
     pub const RDG_OUTPUT: usize = 6;
     /// MKX intermediate bytes/pixel (RDG buffers + best-scale map).
     pub const MKX_INTERMEDIATE: usize = 32;
     /// ENH intermediate bytes/pixel (f32 accumulator).
     pub const ENH_INTERMEDIATE: usize = 4;
+}
+
+/// The RDG scale set active under `RdgConfig::default()` (coarse scales
+/// 1.5 and 2.5 plus the fine scale 4.0, which is enabled by default).
+pub const RDG_DEFAULT_SCALES: [f32; 3] = [1.5, 2.5, 4.0];
+
+/// Gaussian-derivative kernel radius for `sigma` — must match
+/// `Kernel1D::gaussian*` in `triplec-imaging` (`ceil(3*sigma)`, min 1).
+pub fn kernel_radius(sigma: f32) -> usize {
+    ((3.0 * sigma).ceil() as usize).max(1)
+}
+
+/// Bytes of the fused engine's tile ring buffers at `width` for the
+/// largest scale in `scales`: three `(2r+1)`-row f32 rings (row-filtered
+/// `src*g`, `src*d1`, `src*d2`). The Hessian components themselves live
+/// only in registers. Grow-only, so the warm size is set by the maximum
+/// radius.
+pub fn rdg_tile_bytes(width: usize, scales: &[f32]) -> usize {
+    let r = scales.iter().map(|&s| kernel_radius(s)).max().unwrap_or(0);
+    let ring_rows = 2 * r + 1;
+    3 * ring_rows * width * std::mem::size_of::<f32>()
+}
+
+/// Bytes of cached Gaussian-derivative kernel taps for `scales` (three
+/// kernels of `2r+1` f32 taps per scale, held in the bounded kernel cache).
+pub fn rdg_kernel_bytes(scales: &[f32]) -> usize {
+    scales
+        .iter()
+        .map(|&s| 3 * (2 * kernel_radius(s) + 1) * std::mem::size_of::<f32>())
+        .sum()
+}
+
+/// Exact warm intermediate working set of the fused RDG engine at `geom`
+/// running `scales`: the per-pixel planes plus the width-linear tile ring
+/// and the cached kernel taps. Pinned against the implementation's actual
+/// `RdgBuffers::byte_size()` by an integration test.
+pub fn rdg_intermediate_bytes(geom: FrameGeometry, scales: &[f32]) -> usize {
+    geom.pixels() * per_pixel::RDG_INTERMEDIATE
+        + rdg_tile_bytes(geom.width, scales)
+        + rdg_kernel_bytes(scales)
 }
 
 /// The table derived from this repository's implementation at `geom`.
@@ -164,19 +209,20 @@ pub fn implementation_table(geom: FrameGeometry, zoom_out: usize) -> Vec<TaskMem
     let px = geom.pixels();
     let frame = geom.frame_bytes();
     let rdg_out = px * per_pixel::RDG_OUTPUT;
+    let rdg_intermediate = rdg_intermediate_bytes(geom, &RDG_DEFAULT_SCALES);
     vec![
         TaskMemory {
             task: "RDG_FULL",
             rdg_selected: None,
             input: frame,
-            intermediate: px * per_pixel::RDG_INTERMEDIATE,
+            intermediate: rdg_intermediate,
             output: rdg_out,
         },
         TaskMemory {
             task: "RDG_ROI",
             rdg_selected: None,
             input: frame,
-            intermediate: px * per_pixel::RDG_INTERMEDIATE,
+            intermediate: rdg_intermediate,
             output: rdg_out,
         },
         TaskMemory {
@@ -283,7 +329,43 @@ mod tests {
         let s = lookup(&small, "RDG_FULL", true).unwrap();
         let l = lookup(&large, "RDG_FULL", true).unwrap();
         assert_eq!(l.input, 4 * s.input);
-        assert_eq!(l.intermediate, 4 * s.intermediate);
+        // The RDG intermediate splits into a quadratic per-pixel part, a
+        // width-linear tile-ring part and a constant kernel-tap part.
+        let taps = rdg_kernel_bytes(&RDG_DEFAULT_SCALES);
+        let tile_s = rdg_tile_bytes(256, &RDG_DEFAULT_SCALES);
+        let tile_l = rdg_tile_bytes(512, &RDG_DEFAULT_SCALES);
+        assert_eq!(tile_l, 2 * tile_s, "tile ring is width-linear");
+        assert_eq!(
+            s.intermediate,
+            256 * 256 * per_pixel::RDG_INTERMEDIATE + tile_s + taps
+        );
+        assert_eq!(
+            l.intermediate,
+            512 * 512 * per_pixel::RDG_INTERMEDIATE + tile_l + taps
+        );
+        // MKX keeps the full-frame Hessian path, so it still scales x4.
+        let ms = lookup(&small, "MKX_FULL", false).unwrap();
+        let ml = lookup(&large, "MKX_FULL", false).unwrap();
+        assert_eq!(ml.intermediate, 4 * ms.intermediate);
+    }
+
+    #[test]
+    fn kernel_radius_matches_imaging_crate() {
+        assert_eq!(kernel_radius(1.5), 5);
+        assert_eq!(kernel_radius(2.5), 8);
+        assert_eq!(kernel_radius(4.0), 12);
+        assert_eq!(kernel_radius(0.1), 1);
+    }
+
+    #[test]
+    fn fused_rdg_intermediate_is_smaller_than_prefusion() {
+        // The pre-fusion implementation held three full-frame Hessian
+        // planes plus two convolution scratch planes: 32 B/px. The fused
+        // engine's extra cost is only width-linear, so at the paper's
+        // geometry the intermediate drops well below half.
+        let fused = rdg_intermediate_bytes(FrameGeometry::PAPER, &RDG_DEFAULT_SCALES);
+        let prefusion = FrameGeometry::PAPER.pixels() * 32;
+        assert!(fused < prefusion / 2);
     }
 
     #[test]

@@ -17,6 +17,85 @@ pub struct HessianImages {
     pub ixy: ImageF32,
 }
 
+/// Capacity bound of [`KernelCache`]: more distinct sigmas than any
+/// realistic scale set (default RDG uses 3, MKX a handful); beyond it the
+/// least-recently-used triple is evicted, so an adversarial sequence of
+/// per-frame scale tweaks cannot grow the cache without bound.
+pub const KERNEL_CACHE_CAPACITY: usize = 16;
+
+/// Bounded per-sigma cache of the `(G, G', G'')` kernel triple with O(1)
+/// lookup (hash on the sigma bits). Steady-state frames that reuse a
+/// scale set build no tap vectors and perform no allocation; an eviction
+/// scan is O([`KERNEL_CACHE_CAPACITY`]) and only runs on a miss with the
+/// cache full.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    map: std::collections::HashMap<u32, KernelEntry>,
+    tick: u64,
+}
+
+#[derive(Debug)]
+struct KernelEntry {
+    last_used: u64,
+    g: Kernel1D,
+    d1: Kernel1D,
+    d2: Kernel1D,
+}
+
+impl KernelCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up (building on first use) the kernel triple for `sigma`.
+    pub fn get(&mut self, sigma: f32) -> (&Kernel1D, &Kernel1D, &Kernel1D) {
+        let key = sigma.to_bits();
+        self.tick += 1;
+        if !self.map.contains_key(&key) {
+            if self.map.len() >= KERNEL_CACHE_CAPACITY {
+                if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, e)| e.last_used) {
+                    self.map.remove(&lru);
+                }
+            }
+            self.map.insert(
+                key,
+                KernelEntry {
+                    last_used: 0,
+                    g: Kernel1D::gaussian(sigma),
+                    d1: Kernel1D::gaussian_d1(sigma),
+                    d2: Kernel1D::gaussian_d2(sigma),
+                },
+            );
+        }
+        let e = self.map.get_mut(&key).expect("entry just ensured");
+        e.last_used = self.tick;
+        (&e.g, &e.d1, &e.d2)
+    }
+
+    /// Number of cached sigma triples (bounded by
+    /// [`KERNEL_CACHE_CAPACITY`]).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cached tap bytes (for memory accounting).
+    pub fn byte_size(&self) -> usize {
+        self.map
+            .values()
+            .map(|e| {
+                (e.g.taps().len() + e.d1.taps().len() + e.d2.taps().len())
+                    * std::mem::size_of::<f32>()
+            })
+            .sum()
+    }
+}
+
 /// Scratch buffers for a Hessian computation, reusable across frames so the
 /// per-frame allocation count stays zero (the buffers are exactly the
 /// "intermediate" storage accounted in Table 1). Derivative kernels are
@@ -25,8 +104,7 @@ pub struct HessianImages {
 pub struct HessianScratch {
     a: ImageF32,
     b: ImageF32,
-    /// Per-sigma kernel cache: `(sigma, G, G', G'')`.
-    kernels: Vec<(f32, Kernel1D, Kernel1D, Kernel1D)>,
+    kernels: KernelCache,
 }
 
 impl HessianScratch {
@@ -35,42 +113,14 @@ impl HessianScratch {
         Self {
             a: ImageF32::new(width, height),
             b: ImageF32::new(width, height),
-            kernels: Vec::new(),
+            kernels: KernelCache::new(),
         }
     }
 
     /// Total scratch bytes (for memory accounting).
     pub fn byte_size(&self) -> usize {
-        let taps: usize = self
-            .kernels
-            .iter()
-            .map(|(_, g, d1, d2)| {
-                (g.taps().len() + d1.taps().len() + d2.taps().len()) * std::mem::size_of::<f32>()
-            })
-            .sum();
-        self.a.byte_size() + self.b.byte_size() + taps
+        self.a.byte_size() + self.b.byte_size() + self.kernels.byte_size()
     }
-}
-
-/// Looks up (building on first use) the kernel triple for `sigma`.
-fn kernels_for(
-    cache: &mut Vec<(f32, Kernel1D, Kernel1D, Kernel1D)>,
-    sigma: f32,
-) -> (&Kernel1D, &Kernel1D, &Kernel1D) {
-    let idx = match cache.iter().position(|e| e.0.to_bits() == sigma.to_bits()) {
-        Some(i) => i,
-        None => {
-            cache.push((
-                sigma,
-                Kernel1D::gaussian(sigma),
-                Kernel1D::gaussian_d1(sigma),
-                Kernel1D::gaussian_d2(sigma),
-            ));
-            cache.len() - 1
-        }
-    };
-    let e = &cache[idx];
-    (&e.1, &e.2, &e.3)
 }
 
 /// Computes the scale-normalized Hessian of `src` at scale `sigma`,
@@ -86,7 +136,7 @@ pub fn hessian_at_scale(
     sigma: f32,
 ) {
     let HessianScratch { a, b, kernels } = scratch;
-    let (g, d1, d2) = kernels_for(kernels, sigma);
+    let (g, d1, d2) = kernels.get(sigma);
     let halo = g.radius().max(d2.radius());
     let row_roi = roi.inflate(halo, src.width(), src.height());
 
@@ -266,6 +316,36 @@ mod tests {
             blob.get(16, 16),
             ridge.get(16, 16)
         );
+    }
+
+    #[test]
+    fn kernel_cache_does_not_grow_on_repeated_scale_sets() {
+        let mut cache = KernelCache::new();
+        for _ in 0..50 {
+            for &sigma in &[1.5f32, 2.5, 4.0] {
+                let (g, d1, d2) = cache.get(sigma);
+                assert_eq!(g.radius(), d1.radius());
+                assert_eq!(g.radius(), d2.radius());
+            }
+            assert_eq!(cache.len(), 3, "repeated scale set must not grow the cache");
+        }
+        let warm_bytes = cache.byte_size();
+        cache.get(1.5);
+        assert_eq!(cache.byte_size(), warm_bytes);
+    }
+
+    #[test]
+    fn kernel_cache_is_bounded_under_distinct_sigma_flood() {
+        let mut cache = KernelCache::new();
+        for i in 0..4 * KERNEL_CACHE_CAPACITY {
+            cache.get(1.0 + i as f32 * 0.01);
+            assert!(cache.len() <= KERNEL_CACHE_CAPACITY, "cache grew past cap");
+        }
+        assert_eq!(cache.len(), KERNEL_CACHE_CAPACITY);
+        // Entries keep working after evictions: a fresh triple is rebuilt
+        // with the right geometry.
+        let (g, _, _) = cache.get(1.0);
+        assert_eq!(g.radius(), 3);
     }
 
     #[test]

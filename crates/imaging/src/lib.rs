@@ -17,8 +17,10 @@
 //!
 //! Supporting modules: [`image`] (buffers, ROIs, stripes), [`kernel`]
 //! (separable Gaussian-derivative convolution), [`hessian`]
-//! (eigenvalue-based ridge/blob responses) and [`parallel`] (striped
-//! data-parallel execution used by the semi-automatic parallelization).
+//! (eigenvalue-based ridge/blob responses), [`fused`] (tiled single-pass
+//! SIMD multi-scale Hessian core), [`simd`] (explicit 8-lane `f32`
+//! vectors) and [`parallel`] (striped data-parallel execution used by the
+//! semi-automatic parallelization).
 //!
 //! All tasks expose their buffer sizes so the Table-1 memory accounting and
 //! the cache/bandwidth models of `triplec-core` can be derived from the
@@ -26,6 +28,7 @@
 
 pub mod couples;
 pub mod enhance;
+pub mod fused;
 pub mod guidewire;
 pub mod hessian;
 pub mod image;
@@ -38,6 +41,7 @@ pub mod parallel;
 pub mod registration;
 pub mod ridge;
 pub mod roi_est;
+pub mod simd;
 pub mod zoom;
 
 pub use couples::{cpls_select, Couple, CplsConfig, CplsOutput};
@@ -49,6 +53,8 @@ pub use markers::{mkx_extract, Marker, MkxBuffers, MkxConfig, MkxOutput};
 pub use metrics::{cnr, mad, psnr, region_mean};
 pub use overlay::{draw_couple, draw_cross, draw_roi};
 pub use registration::{register, RegConfig, RegOutput, RigidTransform};
-pub use ridge::{rdg_full, rdg_roi, RdgBuffers, RdgConfig, RdgOutput};
+pub use ridge::{
+    rdg_full, rdg_full_reference, rdg_roi, RdgBuffers, RdgConfig, RdgEngine, RdgOutput,
+};
 pub use roi_est::{estimate_roi, RoiEstConfig};
 pub use zoom::{zoom, ZoomConfig, ZoomFilter};

@@ -6,28 +6,56 @@ use triple_c::imaging::enhance::EnhState;
 use triple_c::imaging::image::Image;
 use triple_c::imaging::markers::MkxBuffers;
 use triple_c::imaging::ridge::{rdg_full, RdgBuffers, RdgConfig};
-use triple_c::triplec::memory_model::{implementation_table, lookup, per_pixel, FrameGeometry};
+use triple_c::triplec::memory_model::{
+    implementation_table, lookup, per_pixel, rdg_intermediate_bytes, FrameGeometry,
+    RDG_DEFAULT_SCALES,
+};
 
 const W: usize = 128;
 const H: usize = 96;
 
+fn test_frame() -> Image<u16> {
+    Image::from_fn(W, H, |x, y| {
+        let d = (x as f32 - y as f32).abs();
+        (2000.0 - 500.0 * (-d * d / 4.0).exp()) as u16
+    })
+}
+
 #[test]
-fn rdg_intermediate_formula_matches_actual_buffers() {
+fn rdg_intermediate_formula_matches_fresh_buffers() {
     let bufs = RdgBuffers::new(W, H);
     assert_eq!(
         bufs.byte_size(),
         W * H * per_pixel::RDG_INTERMEDIATE,
-        "RDG intermediate formula drifted from RdgBuffers"
+        "RDG per-pixel constant drifted from fresh RdgBuffers"
+    );
+}
+
+#[test]
+fn rdg_intermediate_formula_matches_warm_fused_buffers() {
+    // After one default-config frame (no output recycling, so the pools
+    // stay empty) the fused engine's working set must match the model's
+    // full formula: per-pixel planes + tile ring + cached kernel taps.
+    let mut bufs = RdgBuffers::new(W, H);
+    let _out = rdg_full(&test_frame(), &RdgConfig::default(), &mut bufs);
+    let geom = FrameGeometry {
+        width: W,
+        height: H,
+    };
+    assert_eq!(
+        bufs.byte_size(),
+        rdg_intermediate_bytes(geom, &RDG_DEFAULT_SCALES),
+        "RDG warm-state formula drifted from the fused engine's buffers"
     );
 }
 
 #[test]
 fn rdg_output_formula_matches_actual_output() {
-    let frame = Image::from_fn(W, H, |x, y| {
-        let d = (x as f32 - y as f32).abs();
-        (2000.0 - 500.0 * (-d * d / 4.0).exp()) as u16
-    });
-    let out = rdg_full(&frame, &RdgConfig::default(), &mut RdgBuffers::new(W, H));
+    let out = rdg_full(
+        &test_frame(),
+        &RdgConfig::default(),
+        &mut RdgBuffers::new(W, H),
+    );
     assert_eq!(
         out.byte_size(),
         W * H * per_pixel::RDG_OUTPUT,
@@ -62,7 +90,10 @@ fn table_rows_use_the_pinned_formulas() {
     };
     let table = implementation_table(geom, 64);
     let rdg = lookup(&table, "RDG_FULL", true).unwrap();
-    assert_eq!(rdg.intermediate, RdgBuffers::new(W, H).byte_size());
+    // Table rows describe the warm working set of the default scale set.
+    let mut bufs = RdgBuffers::new(W, H);
+    let _out = rdg_full(&test_frame(), &RdgConfig::default(), &mut bufs);
+    assert_eq!(rdg.intermediate, bufs.byte_size());
     assert_eq!(rdg.input, W * H * 2);
     let enh = lookup(&table, "ENH", true).unwrap();
     assert_eq!(enh.intermediate, EnhState::new(W, H).byte_size());
