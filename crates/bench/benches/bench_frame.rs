@@ -1,0 +1,195 @@
+//! Per-stage frame-path benchmarks: RDG, ENH, ZOOM, guide-wire and
+//! registration at 512x512 and 1024x1024, with the SIMD paths measured
+//! against their exported scalar references where both exist.
+//!
+//! Every fast path is bit-identical to its reference (enforced by
+//! `tests/simd_stage_identity.rs` and `tests/fused_rdg_identity.rs`);
+//! this bench quantifies the speedup. `BENCH_frame.json` is produced by
+//! running with `CRITERION_JSON=BENCH_frame.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use imaging::couples::Couple;
+use imaging::enhance::EnhState;
+use imaging::guidewire::{gw_extract_reference, gw_extract_with, GwConfig, GwScratch};
+use imaging::image::{Image, ImageF32, ImageU16, Roi};
+use imaging::markers::Marker;
+use imaging::registration::{temporal_difference, RigidTransform};
+use imaging::ridge::{rdg_full, RdgBuffers, RdgConfig};
+use imaging::zoom::{zoom_band_reference, zoom_band_with, ZoomConfig, ZoomFilter, ZoomScratch};
+
+const SIZES: [usize; 2] = [512, 1024];
+
+fn synthetic_u16(w: usize, h: usize) -> ImageU16 {
+    Image::from_fn(w, h, |x, y| {
+        let d = (x as f32 - y as f32).abs() / 1.5;
+        (2000.0 - 900.0 * (-d * d / 2.0).exp()) as u16 + ((x * 7 + y * 13) % 32) as u16
+    })
+}
+
+/// A mild rotation + translation, representative of tracked motion.
+fn motion(n: usize) -> RigidTransform {
+    RigidTransform {
+        theta: 0.02,
+        cx: n as f64 / 2.0,
+        cy: n as f64 / 2.0,
+        tx: 1.3,
+        ty: -0.7,
+    }
+}
+
+fn bench_rdg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_rdg");
+    group.sample_size(10);
+    for n in SIZES {
+        let src = synthetic_u16(n, n);
+        let mut bufs = RdgBuffers::new(n, n);
+        let cfg = RdgConfig::default();
+        group.bench_with_input(BenchmarkId::new("fused_full", n), &n, |b, _| {
+            b.iter(|| rdg_full(&src, &cfg, &mut bufs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_enh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_enh_accumulate");
+    group.sample_size(10);
+    for n in SIZES {
+        let src = synthetic_u16(n, n);
+        let region = Roi {
+            x: 0,
+            y: 0,
+            width: n,
+            height: n,
+        };
+        let t = motion(n);
+        let mut state = EnhState::new(n, n);
+        group.bench_with_input(BenchmarkId::new("simd", n), &n, |b, _| {
+            b.iter(|| state.accumulate(&src, &t, region, 0.125));
+        });
+        let mut state = EnhState::new(n, n);
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| state.accumulate_reference(&src, &t, region, 0.125));
+        });
+        let mut state = EnhState::new(n, n);
+        let identity = RigidTransform::identity();
+        group.bench_with_input(BenchmarkId::new("simd_identity", n), &n, |b, _| {
+            b.iter(|| state.accumulate(&src, &identity, region, 0.125));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("frame_enh_readout");
+    group.sample_size(10);
+    for n in SIZES {
+        let src = synthetic_u16(n, n);
+        let region = Roi {
+            x: 0,
+            y: 0,
+            width: n,
+            height: n,
+        };
+        let mut state = EnhState::new(n, n);
+        state.accumulate(&src, &RigidTransform::identity(), region, 1.0);
+        let mut out = ImageU16::new(n, n);
+        group.bench_with_input(BenchmarkId::new("simd", n), &n, |b, _| {
+            b.iter(|| state.readout_into(region, 1.4, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| state.readout_into_reference(region, 1.4, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn bench_zoom(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_zoom");
+    group.sample_size(10);
+    for n in SIZES {
+        // the pipeline shape: enhanced ROI zoomed up to a display buffer
+        let src = synthetic_u16(n / 2, n / 2);
+        let roi = src.full_roi();
+        for (filter, label) in [
+            (ZoomFilter::Bilinear, "bilinear"),
+            (ZoomFilter::Bicubic, "bicubic"),
+        ] {
+            let cfg = ZoomConfig {
+                out_width: n,
+                out_height: n,
+                filter,
+            };
+            let mut out = ImageU16::new(n, n);
+            let mut scratch = ZoomScratch::new();
+            group.bench_with_input(BenchmarkId::new(format!("simd_{label}"), n), &n, |b, _| {
+                b.iter(|| zoom_band_with(&src, roi, &cfg, &mut out, 0, n, &mut scratch));
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("reference_{label}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| zoom_band_reference(&src, roi, &cfg, &mut out, 0, n));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_guidewire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_guidewire");
+    group.sample_size(10);
+    for n in SIZES {
+        let ridgeness: ImageF32 = Image::from_fn(n, n, |x, y| {
+            let d = (x as f32 - y as f32).abs();
+            900.0 * (-d * d / 3.0).exp() + ((x * 31 + y * 17) % 13) as f32
+        });
+        let marker = |x: f64, y: f64| Marker {
+            x,
+            y,
+            strength: 1.0,
+            scale: 2.0,
+        };
+        let couple = Couple {
+            a: marker(n as f64 * 0.1, n as f64 * 0.1),
+            b: marker(n as f64 * 0.9, n as f64 * 0.9),
+            score: 0.0,
+        };
+        let cfg = GwConfig {
+            corridor_half_width: 12,
+            ..GwConfig::default()
+        };
+        let mut scratch = GwScratch::new();
+        group.bench_with_input(BenchmarkId::new("simd", n), &n, |b, _| {
+            b.iter(|| gw_extract_with(&ridgeness, &couple, &cfg, &mut scratch));
+        });
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| gw_extract_reference(&ridgeness, &couple, &cfg));
+        });
+    }
+    group.finish();
+}
+
+fn bench_registration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_registration");
+    group.sample_size(10);
+    for n in SIZES {
+        let a = synthetic_u16(n, n);
+        let b_img = synthetic_u16(n, n);
+        let t = motion(n);
+        let roi = a.full_roi();
+        group.bench_with_input(BenchmarkId::new("temporal_difference", n), &n, |b, _| {
+            b.iter(|| temporal_difference(&a, &b_img, &t, roi, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rdg,
+    bench_enh,
+    bench_zoom,
+    bench_guidewire,
+    bench_registration
+);
+criterion_main!(benches);

@@ -143,10 +143,15 @@ pub fn paper_table1() -> Vec<TaskMemory> {
 ///   `byte_size()` once frames are returned but are excluded here;
 ///   [`rdg_intermediate_bytes`] gives the exact warm working set.
 /// * MKX intermediate: the Hessian component planes + convolution scratch
-///   (28 B/px) + a 4 B/px best-scale map = 32 B/px (MKX still uses the
-///   full-frame Hessian path because it needs all three planes per scale).
+///   (28 B/px) + the pooled 4 B/px best-scale map inside `MkxBuffers`
+///   = 32 B/px (MKX still uses the full-frame Hessian path because it
+///   needs all three planes per scale).
 /// * RDG output: filtered u16 (2) + ridgeness f32 (4) = 6 B/px.
-/// * ENH intermediate: the f32 temporal accumulator = 4 B/px.
+/// * ENH intermediate: the f32 temporal accumulator = 4 B/px, plus the
+///   width-linear SIMD staging row ([`enh_row_bytes`]).
+/// * ZOOM intermediate: width-linear only — the per-output-column tap
+///   plan plus the pooled horizontally-resolved row cache
+///   ([`zoom_scratch_bytes`]).
 pub mod per_pixel {
     /// RDG intermediate bytes/pixel (fused engine; see [`super::rdg_tile_bytes`]
     /// for the additional width-linear ring-buffer term).
@@ -197,6 +202,41 @@ pub fn rdg_intermediate_bytes(geom: FrameGeometry, scales: &[f32]) -> usize {
     geom.pixels() * per_pixel::RDG_INTERMEDIATE
         + rdg_tile_bytes(geom.width, scales)
         + rdg_kernel_bytes(scales)
+}
+
+/// Bytes of ENH's width-linear staging row: the warp/sample stage resolves
+/// each source row into one f32 row that the SIMD EWMA kernel consumes.
+pub fn enh_row_bytes(width: usize) -> usize {
+    width * std::mem::size_of::<f32>()
+}
+
+/// Exact warm intermediate working set of ENH at `geom`: the per-pixel
+/// f32 accumulator plus the staging row. Pinned against the
+/// implementation's `EnhState::byte_size()` by an integration test.
+pub fn enh_intermediate_bytes(geom: FrameGeometry) -> usize {
+    geom.pixels() * per_pixel::ENH_INTERMEDIATE + enh_row_bytes(geom.width)
+}
+
+/// Per-output-column plan-entry bytes of the separable zoom: two u32
+/// source indices + two f32 weights (bilinear).
+pub const ZOOM_BIL_PLAN_BYTES: usize = 16;
+/// Per-output-column plan-entry bytes of the separable zoom: four u32
+/// source indices + four f32 weights + the f32 weight sum (bicubic).
+pub const ZOOM_CUB_PLAN_BYTES: usize = 36;
+
+/// Exact warm scratch of the separable ZOOM at `out_width`: the
+/// per-column tap plan plus `n_taps` pooled horizontally-resolved f32
+/// rows (2 taps bilinear, 4 bicubic). Width-linear — the former 2D
+/// per-pixel form had no scratch but recomputed every horizontal tap
+/// `n_taps` times. Pinned against `ZoomScratch::byte_size()` by an
+/// integration test.
+pub fn zoom_scratch_bytes(out_width: usize, bicubic: bool) -> usize {
+    let f32s = std::mem::size_of::<f32>();
+    if bicubic {
+        out_width * ZOOM_CUB_PLAN_BYTES + 4 * out_width * f32s
+    } else {
+        out_width * ZOOM_BIL_PLAN_BYTES + 2 * out_width * f32s
+    }
 }
 
 /// The table derived from this repository's implementation at `geom`.
@@ -257,14 +297,15 @@ pub fn implementation_table(geom: FrameGeometry, zoom_out: usize) -> Vec<TaskMem
             task: "ENH",
             rdg_selected: None,
             input: frame,
-            intermediate: px * per_pixel::ENH_INTERMEDIATE,
+            intermediate: enh_intermediate_bytes(geom),
             output: frame,
         },
         TaskMemory {
             task: "ZOOM",
             rdg_selected: None,
             input: frame / 2,
-            intermediate: 0,
+            // bilinear is the pipeline default filter
+            intermediate: zoom_scratch_bytes(zoom_out, false),
             output: zoom_out * zoom_out * 2,
         },
     ]

@@ -166,6 +166,15 @@ fn fused_ridge_scale_impl<const INIT: bool>(
             return;
         }
     }
+    // NEON is baseline on aarch64 — no runtime detection. 4-lane
+    // registers with an 8-chunk unroll keep 24 accumulators live in the
+    // 32-register NEON file, mirroring the AVX-512 shape.
+    #[cfg(target_arch = "aarch64")]
+    {
+        sweep.run::<crate::simd::NeonF32x4, 8, INIT>();
+        return;
+    }
+    #[cfg(not(target_arch = "aarch64"))]
     sweep.run::<F32x8, 4, INIT>();
 }
 

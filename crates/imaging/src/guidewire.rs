@@ -12,6 +12,7 @@
 
 use crate::couples::Couple;
 use crate::image::ImageF32;
+use crate::simd::{F32x8, SimdF32};
 
 /// Configuration of guide-wire extraction.
 #[derive(Debug, Clone)]
@@ -170,23 +171,15 @@ pub fn gw_extract_with(
     best[..n_lat].copy_from_slice(&resp[..n_lat]);
     let mut cells_evaluated = n_lat;
     for i in 1..n_along {
-        for j in 0..n_lat {
-            let lo = j.saturating_sub(cfg.max_kink);
-            let hi = (j + cfg.max_kink).min(n_lat - 1);
-            let mut arg = lo;
-            let mut val = best[(i - 1) * n_lat + lo];
-            for k in (lo + 1)..=hi {
-                cells_evaluated += 1;
-                let v = best[(i - 1) * n_lat + k];
-                if v > val {
-                    val = v;
-                    arg = k;
-                }
-            }
-            cells_evaluated += 1;
-            best[i * n_lat + j] = resp[i * n_lat + j] + val;
-            back[i * n_lat + j] = arg;
-        }
+        let (done, cur) = best.split_at_mut(i * n_lat);
+        let prev = &done[(i - 1) * n_lat..];
+        cells_evaluated += dp_row(
+            prev,
+            &resp[i * n_lat..(i + 1) * n_lat],
+            cfg.max_kink,
+            &mut cur[..n_lat],
+            &mut back[i * n_lat..(i + 1) * n_lat],
+        );
     }
 
     // endpoints are the markers: the path must start and end at the center
@@ -218,6 +211,214 @@ pub fn gw_extract_with(
         mean_response,
         cells_evaluated,
     }
+}
+
+/// Scalar reference for [`gw_extract`]: the plain per-cell DP loop the
+/// SIMD row kernel must reproduce exactly (same windowed strict-`>`
+/// argmax with lowest-index tie-break, same evaluation count).
+pub fn gw_extract_reference(ridgeness: &ImageF32, couple: &Couple, cfg: &GwConfig) -> GwOutput {
+    let (ax, ay) = (couple.a.x, couple.a.y);
+    let (bx, by) = (couple.b.x, couple.b.y);
+    let len = couple.length();
+    if len < 1e-9 {
+        return GwOutput {
+            wire_found: false,
+            path: Vec::new(),
+            mean_response: 0.0,
+            cells_evaluated: 0,
+        };
+    }
+    let ux = (bx - ax) / len;
+    let uy = (by - ay) / len;
+    let (nx, ny) = (-uy, ux);
+
+    let n_along = ((len / cfg.along_step).ceil() as usize).max(2);
+    let n_lat = 2 * cfg.corridor_half_width + 1;
+
+    let mut resp = vec![0.0f32; n_along * n_lat];
+    let mut best = vec![0.0f32; n_along * n_lat];
+    let mut back = vec![0usize; n_along * n_lat];
+    let mut peak = 0.0f32;
+    for i in 0..n_along {
+        let t = i as f64 / (n_along - 1) as f64;
+        let px = ax + ux * t * len;
+        let py = ay + uy * t * len;
+        for j in 0..n_lat {
+            let off = (j as f64 - cfg.corridor_half_width as f64) * cfg.lateral_step;
+            let v = sample_bilinear(ridgeness, px + nx * off, py + ny * off);
+            resp[i * n_lat + j] = v;
+            peak = peak.max(v);
+        }
+    }
+
+    best[..n_lat].copy_from_slice(&resp[..n_lat]);
+    let mut cells_evaluated = n_lat;
+    for i in 1..n_along {
+        for j in 0..n_lat {
+            let lo = j.saturating_sub(cfg.max_kink);
+            let hi = (j + cfg.max_kink).min(n_lat - 1);
+            let mut arg = lo;
+            let mut val = best[(i - 1) * n_lat + lo];
+            for k in (lo + 1)..=hi {
+                cells_evaluated += 1;
+                let v = best[(i - 1) * n_lat + k];
+                if v > val {
+                    val = v;
+                    arg = k;
+                }
+            }
+            cells_evaluated += 1;
+            best[i * n_lat + j] = resp[i * n_lat + j] + val;
+            back[i * n_lat + j] = arg;
+        }
+    }
+
+    let center = cfg.corridor_half_width;
+    let mut j = center;
+    let mut offsets = vec![0usize; n_along];
+    offsets[n_along - 1] = j;
+    for i in (1..n_along).rev() {
+        j = back[i * n_lat + j];
+        offsets[i - 1] = j;
+    }
+
+    let mut path = Vec::with_capacity(n_along);
+    let mut sum = 0.0f32;
+    for (i, &jj) in offsets.iter().enumerate() {
+        let t = i as f64 / (n_along - 1) as f64;
+        let off = (jj as f64 - center as f64) * cfg.lateral_step;
+        let px = ax + ux * t * len + nx * off;
+        let py = ay + uy * t * len + ny * off;
+        path.push((px, py));
+        sum += resp[i * n_lat + jj];
+    }
+    let mean_response = sum / n_along as f32;
+    let wire_found = peak > 0.0 && mean_response >= cfg.min_mean_rel * peak;
+
+    GwOutput {
+        wire_found,
+        path,
+        mean_response,
+        cells_evaluated,
+    }
+}
+
+/// One DP row update: for every lateral cell `j`,
+/// `best[j] = resp[j] + max(prev[j-kink..=j+kink])` with the argmax
+/// index recorded in `back[j]`. Returns the number of window cells
+/// evaluated (the content-dependent load proxy).
+///
+/// Interior columns run SIMD: the windowed argmax is a chain of
+/// strict-`>` selects over shifted loads of `prev`, with lane indices
+/// carried as f32 (exact — corridor widths are far below 2^24). The
+/// scan runs `lo..=hi` exactly like the scalar loop, so the
+/// lowest-index tie-break is preserved.
+#[inline(always)]
+fn dp_row_body<V: SimdF32>(
+    prev: &[f32],
+    resp_row: &[f32],
+    kink: usize,
+    best_row: &mut [f32],
+    back_row: &mut [usize],
+) -> usize {
+    let n = prev.len();
+    let mut cells = 0usize;
+    let scalar_cell =
+        |j: usize, cells: &mut usize, best_row: &mut [f32], back_row: &mut [usize]| {
+            let lo = j.saturating_sub(kink);
+            let hi = (j + kink).min(n - 1);
+            let mut arg = lo;
+            let mut val = prev[lo];
+            for (k, &v) in prev.iter().enumerate().take(hi + 1).skip(lo + 1) {
+                *cells += 1;
+                if v > val {
+                    val = v;
+                    arg = k;
+                }
+            }
+            *cells += 1;
+            best_row[j] = resp_row[j] + val;
+            back_row[j] = arg;
+        };
+    // Columns whose window clamps against either corridor edge run the
+    // scalar cell; the clamp-free interior runs SIMD.
+    if n <= 2 * kink + V::WIDTH {
+        for j in 0..n {
+            scalar_cell(j, &mut cells, best_row, back_row);
+        }
+        return cells;
+    }
+    for j in 0..kink {
+        scalar_cell(j, &mut cells, best_row, back_row);
+    }
+    let win = 2 * kink + 1;
+    let mut iota = [0.0f32; 16];
+    for (l, v) in iota[..V::WIDTH].iter_mut().enumerate() {
+        *v = l as f32;
+    }
+    let base = V::load(&iota);
+    let mut argbuf = [0.0f32; 16];
+    let mut j = kink;
+    while j + V::WIDTH <= n - kink {
+        // SAFETY: max load index is (j + WIDTH - 1) + kink <= n - 1 by
+        // the loop bound; stores stay within the row likewise.
+        unsafe {
+            let lo = j - kink;
+            let mut val = V::load_at(prev, lo);
+            let mut arg = base + V::splat(lo as f32);
+            for k in 1..win {
+                let v = V::load_at(prev, lo + k);
+                let cand = base + V::splat((lo + k) as f32);
+                arg = V::select_gt(v, val, cand, arg);
+                val = V::select_gt(v, val, v, val);
+            }
+            (V::load_at(resp_row, j) + val).store_at(best_row, j);
+            arg.store(&mut argbuf);
+            for (l, &a) in argbuf[..V::WIDTH].iter().enumerate() {
+                back_row[j + l] = a as usize;
+            }
+        }
+        cells += win * V::WIDTH;
+        j += V::WIDTH;
+    }
+    for jj in j..n {
+        scalar_cell(jj, &mut cells, best_row, back_row);
+    }
+    cells
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dp_row_avx2(
+    prev: &[f32],
+    resp_row: &[f32],
+    kink: usize,
+    best_row: &mut [f32],
+    back_row: &mut [usize],
+) -> usize {
+    dp_row_body::<F32x8>(prev, resp_row, kink, best_row, back_row)
+}
+
+fn dp_row(
+    prev: &[f32],
+    resp_row: &[f32],
+    kink: usize,
+    best_row: &mut [f32],
+    back_row: &mut [usize],
+) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the AVX2 requirement is checked at runtime above.
+            return unsafe { dp_row_avx2(prev, resp_row, kink, best_row, back_row) };
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        return dp_row_body::<crate::simd::NeonF32x4>(prev, resp_row, kink, best_row, back_row);
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    dp_row_body::<F32x8>(prev, resp_row, kink, best_row, back_row)
 }
 
 #[cfg(test)]
@@ -347,6 +548,41 @@ mod tests {
             );
             assert_eq!(reused.cells_evaluated, fresh.cells_evaluated);
             assert_eq!(reused.path, fresh.path);
+        }
+    }
+
+    #[test]
+    fn simd_dp_matches_reference() {
+        // wide corridors exercise the SIMD interior; narrow ones stay
+        // fully scalar — both must match the reference bit for bit
+        let map = Image::from_fn(96, 64, |x, y| {
+            let yc = 28.0 + 6.0 * ((x as f64 / 95.0) * 3.1).sin();
+            let d = y as f64 - yc;
+            (90.0 * (-d * d / 3.0).exp()) as f32 + ((x * 31 + y * 17) % 13) as f32
+        });
+        let mut scratch = GwScratch::new();
+        for half_width in [2usize, 8, 13] {
+            for kink in [1usize, 2, 3] {
+                let cfg = GwConfig {
+                    corridor_half_width: half_width,
+                    max_kink: kink,
+                    ..Default::default()
+                };
+                let c = couple(5.0, 30.0, 90.0, 31.0);
+                let fast = gw_extract_with(&map, &c, &cfg, &mut scratch);
+                let reference = gw_extract_reference(&map, &c, &cfg);
+                assert_eq!(
+                    fast.wire_found, reference.wire_found,
+                    "hw={half_width} k={kink}"
+                );
+                assert_eq!(
+                    fast.mean_response.to_bits(),
+                    reference.mean_response.to_bits(),
+                    "hw={half_width} k={kink}"
+                );
+                assert_eq!(fast.cells_evaluated, reference.cells_evaluated);
+                assert_eq!(fast.path, reference.path);
+            }
         }
     }
 

@@ -8,6 +8,7 @@
 
 use crate::hessian::{blob_response, hessian_at_scale, HessianImages, HessianScratch};
 use crate::image::{ImageF32, ImageU16, Roi};
+use crate::simd::{F32x8, SimdF32};
 
 /// A candidate balloon marker.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +63,9 @@ pub struct MkxBuffers {
     hessian: HessianImages,
     scratch: HessianScratch,
     acc: ImageF32,
+    /// Per-pixel winning scale of the multi-scale max (pooled here so
+    /// steady-state frames allocate nothing in `mkx_extract`).
+    best_scale: Vec<f32>,
 }
 
 impl MkxBuffers {
@@ -76,6 +80,7 @@ impl MkxBuffers {
             },
             scratch: HessianScratch::new(width, height),
             acc: ImageF32::new(width, height),
+            best_scale: vec![0.0; width * height],
         }
     }
 
@@ -87,6 +92,7 @@ impl MkxBuffers {
             + self.hessian.ixy.byte_size()
             + self.scratch.byte_size()
             + self.acc.byte_size()
+            + self.best_scale.len() * std::mem::size_of::<f32>()
     }
 }
 
@@ -124,18 +130,19 @@ pub fn mkx_extract(src: &ImageU16, roi: Roi, cfg: &MkxConfig, bufs: &mut MkxBuff
         .unwrap_or(0);
     let conv_roi = roi.inflate(halo, src.width(), src.height());
     for y in conv_roi.y..conv_roi.bottom() {
-        let s = src.row(y);
-        let d = bufs.src_f32.row_mut(y);
-        for x in conv_roi.x..conv_roi.right() {
-            d[x] = s[x] as f32;
+        let s = &src.row(y)[conv_roi.x..conv_roi.right()];
+        let d = &mut bufs.src_f32.row_mut(y)[conv_roi.x..conv_roi.right()];
+        for (d, &s) in d.iter_mut().zip(s) {
+            *d = s as f32;
         }
     }
 
+    let w = src.width();
     for y in roi.y..roi.bottom() {
         bufs.acc.row_mut(y)[roi.x..roi.right()].fill(0.0);
+        // strongest scale per pixel; remember which scale won
+        bufs.best_scale[y * w + roi.x..y * w + roi.right()].fill(cfg.scales[0]);
     }
-    // strongest scale per pixel; remember which scale won
-    let mut best_scale = vec![cfg.scales[0]; src.width() * src.height()];
     for &sigma in &cfg.scales {
         hessian_at_scale(
             &bufs.src_f32,
@@ -145,17 +152,15 @@ pub fn mkx_extract(src: &ImageU16, roi: Roi, cfg: &MkxConfig, bufs: &mut MkxBuff
             sigma,
         );
         for y in roi.y..roi.bottom() {
-            for x in roi.x..roi.right() {
-                let r = blob_response(
-                    bufs.hessian.ixx.get(x, y),
-                    bufs.hessian.iyy.get(x, y),
-                    bufs.hessian.ixy.get(x, y),
-                );
-                if r > bufs.acc.get(x, y) {
-                    bufs.acc.set(x, y, r);
-                    best_scale[y * src.width() + x] = sigma;
-                }
-            }
+            let span = roi.x..roi.right();
+            blob_accumulate_row(
+                &bufs.hessian.ixx.row(y)[span.clone()],
+                &bufs.hessian.iyy.row(y)[span.clone()],
+                &bufs.hessian.ixy.row(y)[span.clone()],
+                &mut bufs.acc.row_mut(y)[span.clone()],
+                &mut bufs.best_scale[y * w + roi.x..y * w + roi.right()],
+                sigma,
+            );
         }
     }
 
@@ -201,7 +206,7 @@ pub fn mkx_extract(src: &ImageU16, roi: Roi, cfg: &MkxConfig, bufs: &mut MkxBuff
                         x: sx,
                         y: sy,
                         strength: v,
-                        scale: best_scale[y * src.width() + x],
+                        scale: bufs.best_scale[y * src.width() + x],
                     });
                 }
             }
@@ -228,6 +233,101 @@ pub fn mkx_extract(src: &ImageU16, roi: Roi, cfg: &MkxConfig, bufs: &mut MkxBuff
         candidates,
         raw_maxima,
     }
+}
+
+/// One row of the multi-scale blob max: `acc = max(acc, blob_response)` with
+/// the winning scale recorded per pixel.
+///
+/// The vector body inlines `hessian::blob_response` with the same expression
+/// association (`(diff*diff)*0.25 + ixy*ixy`, `tr*0.5 ± disc`) and maps its
+/// branches onto per-lane selects: `iso` keeps `lo/hi` only where `hi > 0`,
+/// and the final `0 > lo` select reproduces the `lo <= 0 => 0` early-out. The
+/// only lanes where the select form can differ bitwise from the scalar branch
+/// are `lo == -0.0` (scalar `+0.0` vs vector `-0.0`); neither value survives
+/// the strict `r > acc` max against the zero-filled accumulator, so `acc` and
+/// `best_scale` stay bit-identical.
+#[inline(always)]
+fn blob_accumulate_row_body<V: SimdF32>(
+    ixx: &[f32],
+    iyy: &[f32],
+    ixy: &[f32],
+    acc: &mut [f32],
+    best_scale: &mut [f32],
+    sigma: f32,
+) {
+    let n = acc.len();
+    debug_assert!(ixx.len() == n && iyy.len() == n && ixy.len() == n && best_scale.len() == n);
+    let half = V::splat(0.5);
+    let quarter = V::splat(0.25);
+    let zero = V::splat(0.0);
+    let vsig = V::splat(sigma);
+    let mut i = 0;
+    while i + V::WIDTH <= n {
+        // Safety: `i + V::WIDTH <= n` bounds every load/store below.
+        unsafe {
+            let xx = V::load_at(ixx, i);
+            let yy = V::load_at(iyy, i);
+            let xy = V::load_at(ixy, i);
+            let tr = xx + yy;
+            let diff = xx - yy;
+            let disc = (diff * diff * quarter + xy * xy).sqrt();
+            let hi = tr * half + disc;
+            let lo = tr * half - disc;
+            let iso = V::select_gt(hi, zero, lo / hi, zero);
+            let resp = (hi + lo) * iso;
+            let r = V::select_gt(zero, lo, zero, resp);
+            let a = V::load_at(acc, i);
+            V::select_gt(r, a, r, a).store_at(acc, i);
+            let b = V::load_at(best_scale, i);
+            V::select_gt(r, a, vsig, b).store_at(best_scale, i);
+        }
+        i += V::WIDTH;
+    }
+    for j in i..n {
+        let r = blob_response(ixx[j], iyy[j], ixy[j]);
+        if r > acc[j] {
+            acc[j] = r;
+            best_scale[j] = sigma;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn blob_accumulate_row_avx2(
+    ixx: &[f32],
+    iyy: &[f32],
+    ixy: &[f32],
+    acc: &mut [f32],
+    best_scale: &mut [f32],
+    sigma: f32,
+) {
+    blob_accumulate_row_body::<F32x8>(ixx, iyy, ixy, acc, best_scale, sigma);
+}
+
+fn blob_accumulate_row(
+    ixx: &[f32],
+    iyy: &[f32],
+    ixy: &[f32],
+    acc: &mut [f32],
+    best_scale: &mut [f32],
+    sigma: f32,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // Safety: AVX2 support verified at runtime.
+            unsafe { blob_accumulate_row_avx2(ixx, iyy, ixy, acc, best_scale, sigma) };
+            return;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        blob_accumulate_row_body::<crate::simd::NeonF32x4>(ixx, iyy, ixy, acc, best_scale, sigma);
+        return;
+    }
+    #[allow(unreachable_code)]
+    blob_accumulate_row_body::<F32x8>(ixx, iyy, ixy, acc, best_scale, sigma)
 }
 
 /// Parabolic sub-pixel refinement of a local maximum.
@@ -269,6 +369,38 @@ mod tests {
             }
             v.max(0.0) as u16
         })
+    }
+
+    #[test]
+    fn blob_accumulate_row_matches_scalar_bits() {
+        let n = 61;
+        let mut state = 0x1234_5678u32;
+        let mut next = move || {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            (state >> 8) as f32 / (1 << 24) as f32 * 40.0 - 20.0
+        };
+        let ixx: Vec<f32> = (0..n).map(|_| next()).collect();
+        let iyy: Vec<f32> = (0..n).map(|_| next()).collect();
+        let ixy: Vec<f32> = (0..n).map(|_| next()).collect();
+        let mut acc_fast = vec![0.0f32; n];
+        let mut bs_fast = vec![1.0f32; n];
+        let mut acc_ref = vec![0.0f32; n];
+        let mut bs_ref = vec![1.0f32; n];
+        // Two scales over the same accumulator exercises the max-so-far path.
+        for sigma in [1.5f32, 2.5] {
+            blob_accumulate_row(&ixx, &iyy, &ixy, &mut acc_fast, &mut bs_fast, sigma);
+            for j in 0..n {
+                let r = blob_response(ixx[j], iyy[j], ixy[j]);
+                if r > acc_ref[j] {
+                    acc_ref[j] = r;
+                    bs_ref[j] = sigma;
+                }
+            }
+            for j in 0..n {
+                assert_eq!(acc_fast[j].to_bits(), acc_ref[j].to_bits(), "acc[{j}]");
+                assert_eq!(bs_fast[j].to_bits(), bs_ref[j].to_bits(), "scale[{j}]");
+            }
+        }
     }
 
     #[test]

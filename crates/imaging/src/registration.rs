@@ -161,11 +161,20 @@ pub fn temporal_difference(
     let roi = roi.clamp_to(a.width().min(b.width()), a.height().min(b.height()));
     let mut total = 0.0f64;
     let mut count = 0usize;
+    // Hoisted `apply_inverse`: sin_cos once per call, the dy-dependent terms
+    // once per row. Same association as the per-pixel form, so `sx`/`sy` are
+    // bit-identical to calling `t.apply_inverse` at every grid point.
+    let (s, c) = t.theta.sin_cos();
+    let ns = -s;
     let mut y = roi.y;
     while y < roi.bottom() {
+        let dy = y as f64 - t.cy - t.ty;
+        let (t1, t2) = (s * dy, c * dy);
         let mut x = roi.x;
         while x < roi.right() {
-            let (sx, sy) = t.apply_inverse(x as f64, y as f64);
+            let dx = x as f64 - t.cx - t.tx;
+            let sx = (c * dx + t1) + t.cx;
+            let sy = (ns * dx + t2) + t.cy;
             let v = a.get_clamped(sx.round() as isize, sy.round() as isize) as f64;
             total += (v - b.get(x, y) as f64).abs();
             count += 1;

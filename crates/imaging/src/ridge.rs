@@ -309,10 +309,12 @@ pub fn rdg_roi(src: &ImageU16, roi: Roi, cfg: &RdgConfig, bufs: &mut RdgBuffers)
         .unwrap_or(0);
     let conv_roi = roi.inflate(halo, src.width(), src.height());
     for y in conv_roi.y..conv_roi.bottom() {
-        let s = src.row(y);
-        let d = bufs.src_f32.row_mut(y);
-        for x in conv_roi.x..conv_roi.right() {
-            d[x] = s[x] as f32;
+        // Slice-wise widening lets the compiler emit packed u16→f32
+        // conversions (no per-element bounds checks to defeat it).
+        let s = &src.row(y)[conv_roi.x..conv_roi.right()];
+        let d = &mut bufs.src_f32.row_mut(y)[conv_roi.x..conv_roi.right()];
+        for (d, &s) in d.iter_mut().zip(s) {
+            *d = s as f32;
         }
     }
 
@@ -413,13 +415,7 @@ pub fn rdg_roi(src: &ImageU16, roi: Roi, cfg: &RdgConfig, bufs: &mut RdgBuffers)
         }
         if row_max > threshold {
             let out_row = &mut filtered.row_mut(y)[roi.x..roi.right()];
-            for (o, &r) in out_row.iter_mut().zip(acc_row) {
-                if r > threshold {
-                    // brighten the dark ridge back toward background
-                    let v = *o as f32 + cfg.suppression * r;
-                    *o = v.clamp(0.0, u16::MAX as f32) as u16;
-                }
-            }
+            brighten_row(out_row, acc_row, threshold, cfg.suppression);
         }
     }
 
@@ -429,6 +425,76 @@ pub fn rdg_roi(src: &ImageU16, roi: Roi, cfg: &RdgConfig, bufs: &mut RdgBuffers)
         ridge_pixels,
         segments,
     }
+}
+
+/// Ridge-suppression synthesis of one output row: pixels whose response
+/// exceeds `threshold` are brightened by `suppression * response` and
+/// clamped; the rest pass through unchanged.
+///
+/// SIMD form of the scalar `if r > threshold { o = clamp(o + s*r) }`
+/// loop: both branches are computed in f32 and lane-selected on the
+/// same strict-`>` test. u16→f32→u16 round-trips exactly (all u16
+/// values are representable), the select-based clamp reproduces scalar
+/// `clamp(0.0, 65535.0)` bits, so the result is bit-identical.
+#[inline(always)]
+fn brighten_row_body<V: SimdF32>(out: &mut [u16], resp: &[f32], threshold: f32, suppression: f32) {
+    assert_eq!(out.len(), resp.len());
+    let n = out.len();
+    let thr = V::splat(threshold);
+    let sup = V::splat(suppression);
+    let zero = V::splat(0.0);
+    let hi = V::splat(u16::MAX as f32);
+    let mut buf = [0.0f32; 16];
+    let mut i = 0;
+    while i + V::WIDTH <= n {
+        for (b, &o) in buf[..V::WIDTH].iter_mut().zip(&out[i..]) {
+            *b = o as f32;
+        }
+        let of = V::load(&buf);
+        // SAFETY: the loop bound keeps `i + WIDTH` within `resp`.
+        let r = unsafe { V::load_at(resp, i) };
+        let v = of + sup * r;
+        let lo = V::select_gt(zero, v, zero, v);
+        let clamped = V::select_gt(lo, hi, hi, lo);
+        let res = V::select_gt(r, thr, clamped, of);
+        res.store(&mut buf);
+        for (o, &b) in out[i..i + V::WIDTH].iter_mut().zip(&buf[..V::WIDTH]) {
+            *o = b as u16;
+        }
+        i += V::WIDTH;
+    }
+    for j in i..n {
+        let r = resp[j];
+        if r > threshold {
+            // brighten the dark ridge back toward background
+            let v = out[j] as f32 + suppression * r;
+            out[j] = v.clamp(0.0, u16::MAX as f32) as u16;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn brighten_row_avx2(out: &mut [u16], resp: &[f32], threshold: f32, suppression: f32) {
+    brighten_row_body::<F32x8>(out, resp, threshold, suppression);
+}
+
+fn brighten_row(out: &mut [u16], resp: &[f32], threshold: f32, suppression: f32) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the AVX2 requirement is checked at runtime above.
+            unsafe { brighten_row_avx2(out, resp, threshold, suppression) };
+            return;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        brighten_row_body::<crate::simd::NeonF32x4>(out, resp, threshold, suppression);
+        return;
+    }
+    #[cfg(not(target_arch = "aarch64"))]
+    brighten_row_body::<F32x8>(out, resp, threshold, suppression);
 }
 
 /// Mean and standard deviation of the response inside `roi`.

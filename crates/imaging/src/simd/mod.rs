@@ -1,0 +1,80 @@
+//! Explicit-width SIMD vectors with multi-arch dispatch.
+//!
+//! The hot stages of the frame path (fused RDG sweeps, ENH integration,
+//! ZOOM interpolation, guide-wire scoring) run their inner loops over
+//! fixed-width lane chunks so the compiler has an explicit,
+//! dependency-free shape to vectorize. Every operation is IEEE-exact per
+//! lane — no FMA contraction, no reassociation — so lane results are
+//! bit-identical to the equivalent scalar expression *at any width*.
+//! That invariant is what lets each stage pick its vector type per CPU
+//! and still reproduce its exported reference implementation bit for
+//! bit (enforced by the `*_identity` proptest suites).
+//!
+//! # Dispatch matrix
+//!
+//! | Target | Vector type | Selection |
+//! |---|---|---|
+//! | `x86_64` + AVX-512F | [`F32x8`] under `#[target_feature(enable = "avx512f")]` | runtime (`is_x86_feature_detected!`) |
+//! | `x86_64` + AVX2 | [`F32x8`] under `#[target_feature(enable = "avx2")]` | runtime (`is_x86_feature_detected!`) |
+//! | `aarch64` | `NeonF32x4` (NEON intrinsics) | compile time — NEON is baseline on aarch64 |
+//! | anything else | [`F32x8`] (portable array lanes) | fallback |
+//!
+//! The portable types ([`F32x8`], [`F32x4`]) are plain aligned arrays
+//! whose ops are straight per-lane maps — a `wide`-style fallback
+//! without the external crate — that LLVM lowers to packed instructions
+//! on any SIMD target and to scalar code otherwise. On x86 the stage
+//! kernels monomorphize the same generic body under
+//! `#[target_feature]` clones, following the arch-gated module layout
+//! `jxl-oxide` uses for its SIMD paths. On aarch64 the `NeonF32x4`
+//! type wraps `core::arch::aarch64` intrinsics directly; NEON is part
+//! of the aarch64 baseline so no runtime detection is needed.
+
+use std::ops::{Add, Div, Mul, Sub};
+
+mod portable;
+pub use portable::{F32x4, F32x8, F64x4};
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(target_arch = "aarch64")]
+pub use neon::NeonF32x4;
+
+/// Lane count of [`F32x8`]. Inner loops chunk by this and fall back to
+/// scalar code (same per-pixel op order) for the remainder.
+pub const LANES: usize = 8;
+
+/// The operations the stage kernels need from a fixed-width f32 vector,
+/// all IEEE-exact per lane. Implemented by the portable [`F32x8`] /
+/// [`F32x4`] and by `NeonF32x4` on aarch64; each kernel is generic
+/// over this so one body serves every dispatch width.
+pub trait SimdF32:
+    Copy + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + Div<Output = Self>
+{
+    /// Lane count of the implementing vector.
+    const WIDTH: usize;
+
+    /// All lanes set to `v`.
+    fn splat(v: f32) -> Self;
+    /// Loads `WIDTH` consecutive lanes from `s` (panics if short).
+    fn load(s: &[f32]) -> Self;
+    /// Stores the lanes into `d` (panics if short).
+    fn store(self, d: &mut [f32]);
+    /// Loads `WIDTH` lanes from `s` at `i` without a bounds check.
+    ///
+    /// # Safety
+    /// `i + WIDTH <= s.len()` must hold.
+    unsafe fn load_at(s: &[f32], i: usize) -> Self;
+    /// Stores the lanes into `d` at `i` without a bounds check.
+    ///
+    /// # Safety
+    /// `i + WIDTH <= d.len()` must hold.
+    unsafe fn store_at(self, d: &mut [f32], i: usize);
+    /// Per-lane `sqrt` (IEEE-exact, identical to scalar `f32::sqrt`).
+    fn sqrt(self) -> Self;
+    /// Per-lane absolute value.
+    fn abs(self) -> Self;
+    /// Per-lane `f32::min` (propagates the non-NaN operand, like scalar).
+    fn min(self, rhs: Self) -> Self;
+    /// Per-lane select: `if a > b { t } else { f }`.
+    fn select_gt(a: Self, b: Self, t: Self, f: Self) -> Self;
+}

@@ -1,0 +1,168 @@
+//! aarch64 NEON backend: a 4-lane `f32` vector on a `float32x4_t`
+//! register.
+//!
+//! NEON is part of the aarch64 baseline, so this backend is selected at
+//! compile time (`#[cfg(target_arch = "aarch64")]`) with no runtime
+//! feature detection — the arithmetic intrinsics are callable from safe
+//! code on this target. Only the raw-pointer loads/stores need
+//! `unsafe`, same as the portable types.
+//!
+//! Bit-exactness notes: NEON `vaddq/vsubq/vmulq/vdivq/vsqrtq_f32` are
+//! IEEE-754 single-precision ops, identical per lane to their scalar
+//! equivalents; no FMA intrinsics are used anywhere so no contraction
+//! can occur. `min` uses `vminnmq_f32` (IEEE `minNum`) rather than
+//! `vminq_f32`, because `minNum` propagates the non-NaN operand exactly
+//! like Rust's scalar `f32::min`, whereas `vminq_f32` would return NaN.
+//! `select_gt` uses `vcgtq_f32` + `vbslq_f32`; a NaN operand compares
+//! false and selects the `f` lane, matching the scalar `if a > b`.
+
+use super::SimdF32;
+use core::arch::aarch64::{
+    float32x4_t, vabsq_f32, vaddq_f32, vbslq_f32, vcgtq_f32, vdivq_f32, vdupq_n_f32, vld1q_f32,
+    vminnmq_f32, vmulq_f32, vsqrtq_f32, vst1q_f32, vsubq_f32,
+};
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A 4-lane `f32` vector held in a NEON register.
+#[derive(Debug, Clone, Copy)]
+pub struct NeonF32x4(pub float32x4_t);
+
+impl Add for NeonF32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        Self(vaddq_f32(self.0, rhs.0))
+    }
+}
+
+impl Sub for NeonF32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        Self(vsubq_f32(self.0, rhs.0))
+    }
+}
+
+impl Mul for NeonF32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        Self(vmulq_f32(self.0, rhs.0))
+    }
+}
+
+impl Div for NeonF32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn div(self, rhs: Self) -> Self {
+        Self(vdivq_f32(self.0, rhs.0))
+    }
+}
+
+impl SimdF32 for NeonF32x4 {
+    const WIDTH: usize = 4;
+
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        Self(vdupq_n_f32(v))
+    }
+
+    #[inline(always)]
+    fn load(s: &[f32]) -> Self {
+        assert!(s.len() >= 4, "enough lanes");
+        // SAFETY: length checked above.
+        unsafe { Self(vld1q_f32(s.as_ptr())) }
+    }
+
+    #[inline(always)]
+    fn store(self, d: &mut [f32]) {
+        assert!(d.len() >= 4, "enough lanes");
+        // SAFETY: length checked above.
+        unsafe { vst1q_f32(d.as_mut_ptr(), self.0) }
+    }
+
+    #[inline(always)]
+    unsafe fn load_at(s: &[f32], i: usize) -> Self {
+        debug_assert!(i + 4 <= s.len());
+        Self(vld1q_f32(s.as_ptr().add(i)))
+    }
+
+    #[inline(always)]
+    unsafe fn store_at(self, d: &mut [f32], i: usize) {
+        debug_assert!(i + 4 <= d.len());
+        vst1q_f32(d.as_mut_ptr().add(i), self.0);
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        Self(vsqrtq_f32(self.0))
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        Self(vabsq_f32(self.0))
+    }
+
+    #[inline(always)]
+    fn min(self, rhs: Self) -> Self {
+        Self(vminnmq_f32(self.0, rhs.0))
+    }
+
+    #[inline(always)]
+    fn select_gt(a: Self, b: Self, t: Self, f: Self) -> Self {
+        Self(vbslq_f32(vcgtq_f32(a.0, b.0), t.0, f.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_array(v: NeonF32x4) -> [f32; 4] {
+        let mut out = [0.0f32; 4];
+        v.store(&mut out);
+        out
+    }
+
+    #[test]
+    fn ops_match_scalar_bits() {
+        let a = NeonF32x4::load(&[1.5, -2.0, 1e-20, 9.0]);
+        let b = NeonF32x4::load(&[0.5, 3.0, 1e20, -0.0]);
+        let (aa, ba) = (to_array(a), to_array(b));
+        for (i, v) in to_array(a + b).iter().enumerate() {
+            assert_eq!(v.to_bits(), (aa[i] + ba[i]).to_bits());
+        }
+        for (i, v) in to_array(a * b).iter().enumerate() {
+            assert_eq!(v.to_bits(), (aa[i] * ba[i]).to_bits());
+        }
+        for (i, v) in to_array(a / b).iter().enumerate() {
+            assert_eq!(v.to_bits(), (aa[i] / ba[i]).to_bits());
+        }
+        for (i, v) in to_array(a.abs().sqrt()).iter().enumerate() {
+            assert_eq!(v.to_bits(), aa[i].abs().sqrt().to_bits());
+        }
+        for (i, v) in to_array(a.min(b)).iter().enumerate() {
+            assert_eq!(v.to_bits(), aa[i].min(ba[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn min_propagates_non_nan_like_scalar() {
+        let a = NeonF32x4::load(&[f32::NAN, 1.0, f32::NAN, -2.0]);
+        let b = NeonF32x4::load(&[3.0, f32::NAN, f32::NAN, -5.0]);
+        let m = to_array(a.min(b));
+        assert_eq!(m[0], 3.0);
+        assert_eq!(m[1], 1.0);
+        assert!(m[2].is_nan());
+        assert_eq!(m[3], -5.0);
+    }
+
+    #[test]
+    fn select_gt_picks_per_lane() {
+        let a = NeonF32x4::load(&[1.0, -1.0, f32::NAN, 2.0]);
+        let z = NeonF32x4::splat(0.0);
+        let t = NeonF32x4::splat(7.0);
+        let r = to_array(NeonF32x4::select_gt(a, z, t, z));
+        assert_eq!(r, [7.0, 0.0, 0.0, 7.0]);
+    }
+}

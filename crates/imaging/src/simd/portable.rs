@@ -1,59 +1,13 @@
-//! Explicit-width SIMD helpers: 8- and 16-lane `f32` vectors on plain
-//! arrays.
+//! Portable explicit-width `f32` vectors on plain aligned arrays.
 //!
-//! The fused RDG pipeline ([`crate::fused`]) runs its inner loops over
-//! fixed-width lane chunks so the compiler has an explicit,
-//! dependency-free shape to vectorize (a `wide`-style fallback without
-//! the external crate: every op is a straight per-lane map that LLVM
-//! lowers to packed instructions on any target with SIMD, and to scalar
-//! code otherwise). All operations are IEEE-exact per lane — no FMA
-//! contraction, no reassociation — so lane results are bit-identical to
-//! the equivalent scalar expression *at any width*, which is what lets
-//! the fused path pick its vector width per CPU (AVX-512 → 16 lanes,
-//! AVX2 → 8 lanes, otherwise whatever the baseline target offers) and
-//! still reproduce the reference convolution bit for bit.
+//! Every op is a straight per-lane map that LLVM lowers to packed
+//! instructions on any target with SIMD, and to scalar code otherwise —
+//! a `wide`-style fallback without the external crate. These are the
+//! shapes monomorphized under `#[target_feature]` clones on x86_64 and
+//! the fallback on targets without a dedicated intrinsics backend.
 
+use super::SimdF32;
 use std::ops::{Add, Div, Mul, Sub};
-
-/// Lane count of [`F32x8`]. Inner loops chunk by this and fall back to
-/// scalar code (same per-pixel op order) for the remainder.
-pub const LANES: usize = 8;
-
-/// The operations the fused sweep needs from a fixed-width f32 vector,
-/// all IEEE-exact per lane. Implemented by [`F32x8`];
-/// the sweep is generic over this so one body serves every dispatch
-/// width.
-pub trait SimdF32:
-    Copy + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + Div<Output = Self>
-{
-    /// Lane count of the implementing vector.
-    const WIDTH: usize;
-
-    /// All lanes set to `v`.
-    fn splat(v: f32) -> Self;
-    /// Loads `WIDTH` consecutive lanes from `s` (panics if short).
-    fn load(s: &[f32]) -> Self;
-    /// Stores the lanes into `d` (panics if short).
-    fn store(self, d: &mut [f32]);
-    /// Loads `WIDTH` lanes from `s` at `i` without a bounds check.
-    ///
-    /// # Safety
-    /// `i + WIDTH <= s.len()` must hold.
-    unsafe fn load_at(s: &[f32], i: usize) -> Self;
-    /// Stores the lanes into `d` at `i` without a bounds check.
-    ///
-    /// # Safety
-    /// `i + WIDTH <= d.len()` must hold.
-    unsafe fn store_at(self, d: &mut [f32], i: usize);
-    /// Per-lane `sqrt` (IEEE-exact, identical to scalar `f32::sqrt`).
-    fn sqrt(self) -> Self;
-    /// Per-lane absolute value.
-    fn abs(self) -> Self;
-    /// Per-lane `f32::min` (propagates the non-NaN operand, like scalar).
-    fn min(self, rhs: Self) -> Self;
-    /// Per-lane select: `if a > b { t } else { f }`.
-    fn select_gt(a: Self, b: Self, t: Self, f: Self) -> Self;
-}
 
 macro_rules! simd_f32 {
     ($name:ident, $lanes:literal, $align:literal) => {
@@ -237,6 +191,99 @@ macro_rules! simd_f32 {
 }
 
 simd_f32!(F32x8, 8, 32);
+simd_f32!(F32x4, 4, 16);
+
+/// A 4-lane `f64` vector for the coordinate-warp arithmetic of the ENH
+/// interior path, where the geometry runs in double precision before
+/// narrowing to `f32` blend weights. Only the ops that loop needs are
+/// provided; all of them are per-lane IEEE-exact, so the lane results
+/// match the scalar warp bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(align(32))]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All lanes set to `v`.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        Self([v; 4])
+    }
+
+    /// Per-lane `floor` (exact — `vroundpd` on x86, `frintm` on NEON).
+    #[inline(always)]
+    pub fn floor(self) -> Self {
+        let mut o = self.0;
+        for v in &mut o {
+            *v = v.floor();
+        }
+        Self(o)
+    }
+
+    /// Per-lane narrowing to `f32` (round-to-nearest, identical to the
+    /// scalar `as f32` cast).
+    #[inline(always)]
+    pub fn narrow(self) -> [f32; 4] {
+        [
+            self.0[0] as f32,
+            self.0[1] as f32,
+            self.0[2] as f32,
+            self.0[3] as f32,
+        ]
+    }
+
+    /// Per-lane truncation to `i32` without the saturating-cast range
+    /// checks that defeat vectorization (`vcvttpd2dq` on x86).
+    ///
+    /// # Safety
+    /// Every lane must be finite and in `(-1.0, i32::MAX + 1.0)` after
+    /// truncation — out-of-range lanes are immediate UB, exactly like
+    /// `f64::to_int_unchecked`.
+    #[inline(always)]
+    pub unsafe fn trunc_unchecked(self) -> [i32; 4] {
+        [
+            self.0[0].to_int_unchecked(),
+            self.0[1].to_int_unchecked(),
+            self.0[2].to_int_unchecked(),
+            self.0[3].to_int_unchecked(),
+        ]
+    }
+}
+
+impl Add for F64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut o = self.0;
+        for (v, b) in o.iter_mut().zip(rhs.0) {
+            *v += b;
+        }
+        Self(o)
+    }
+}
+
+impl Sub for F64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        let mut o = self.0;
+        for (v, b) in o.iter_mut().zip(rhs.0) {
+            *v -= b;
+        }
+        Self(o)
+    }
+}
+
+impl Mul for F64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut o = self.0;
+        for (v, b) in o.iter_mut().zip(rhs.0) {
+            *v *= b;
+        }
+        Self(o)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -9,7 +9,7 @@ use imaging::parallel::ParallelRdgBuffers;
 use imaging::registration::RegConfig;
 use imaging::ridge::{RdgBuffers, RdgConfig};
 use imaging::roi_est::RoiEstConfig;
-use imaging::zoom::ZoomConfig;
+use imaging::zoom::{ZoomConfig, ZoomScratch};
 
 /// Configuration of all pipeline tasks plus the switch thresholds.
 #[derive(Debug, Clone)]
@@ -114,6 +114,8 @@ pub struct AppState {
     /// Reusable ENH readout image (re-created only when the ROI geometry
     /// changes).
     pub enh_view: Option<ImageU16>,
+    /// ZOOM interpolation scratch (tap plans + pooled source-row cache).
+    pub zoom_scratch: ZoomScratch,
     /// Reference frame for registration (set on couple acquisition).
     pub reference_frame: Option<ImageU16>,
     /// Reference marker couple.
@@ -142,6 +144,7 @@ impl AppState {
             enh_state: EnhState::new(width, height),
             gw_scratch: GwScratch::new(),
             enh_view: None,
+            zoom_scratch: ZoomScratch::new(),
             reference_frame: None,
             reference_couple: None,
             prev_couple: None,

@@ -19,7 +19,7 @@ use imaging::parallel::{
 use imaging::registration::register;
 use imaging::ridge::{rdg_roi, RdgOutput};
 use imaging::roi_est::estimate_roi;
-use imaging::zoom::zoom_band;
+use imaging::zoom::zoom_band_with;
 use platform::bus::{DegradeMode, EventBus, FaultKind, FrameEvent, StreamId};
 use platform::profile::time_ms;
 use platform::schedule::{VirtualJob, VirtualSchedule};
@@ -622,19 +622,25 @@ fn process_frame_inner(
         schedule.serial(0, ms);
         task_times.push(("ENH", enh_serial_ms));
 
-        // ZOOM: output row bands are independent.
+        // ZOOM: output row bands are independent. The pooled scratch keeps
+        // the per-column tap plans and the source-row cache warm across
+        // bands and frames (the virtual schedule still models the bands as
+        // parallel jobs; they execute serially here, so sharing is safe).
+        // The output image itself is handed to the caller via `display`, so
+        // it is the one per-frame allocation that cannot be pooled.
         let mut out_img = ImageU16::new(cfg.zoom.out_width, cfg.zoom.out_height);
         let src_roi = enhanced.full_roi();
         let mut zoom_serial_ms = 0.0;
         if stripes == 1 {
             let (_, ms) = time_ms(|| {
-                zoom_band(
+                zoom_band_with(
                     &enhanced,
                     src_roi,
                     &cfg.zoom,
                     &mut out_img,
                     0,
                     cfg.zoom.out_height,
+                    &mut state.zoom_scratch,
                 )
             });
             zoom_serial_ms += ms;
@@ -648,8 +654,17 @@ fn process_frame_inner(
                 if y0 >= y1 {
                     continue;
                 }
-                let (_, ms) =
-                    time_ms(|| zoom_band(&enhanced, src_roi, &cfg.zoom, &mut out_img, y0, y1));
+                let (_, ms) = time_ms(|| {
+                    zoom_band_with(
+                        &enhanced,
+                        src_roi,
+                        &cfg.zoom,
+                        &mut out_img,
+                        y0,
+                        y1,
+                        &mut state.zoom_scratch,
+                    )
+                });
                 zoom_serial_ms += ms;
                 jobs.push(VirtualJob {
                     core: i,

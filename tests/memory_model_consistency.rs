@@ -6,9 +6,10 @@ use triple_c::imaging::enhance::EnhState;
 use triple_c::imaging::image::Image;
 use triple_c::imaging::markers::MkxBuffers;
 use triple_c::imaging::ridge::{rdg_full, RdgBuffers, RdgConfig};
+use triple_c::imaging::zoom::{zoom_band_with, ZoomConfig, ZoomFilter, ZoomScratch};
 use triple_c::triplec::memory_model::{
-    implementation_table, lookup, per_pixel, rdg_intermediate_bytes, FrameGeometry,
-    RDG_DEFAULT_SCALES,
+    enh_intermediate_bytes, implementation_table, lookup, per_pixel, rdg_intermediate_bytes,
+    zoom_scratch_bytes, FrameGeometry, RDG_DEFAULT_SCALES,
 };
 
 const W: usize = 128;
@@ -64,13 +65,12 @@ fn rdg_output_formula_matches_actual_output() {
 }
 
 #[test]
-fn mkx_intermediate_formula_tracks_buffers_plus_scale_map() {
+fn mkx_intermediate_formula_tracks_buffers() {
+    // The per-pixel best-scale map is pooled inside MkxBuffers, so the
+    // buffers alone account for the full 32 B/px model.
     let bufs = MkxBuffers::new(W, H);
-    // MKX allocates the Hessian buffers plus a per-pixel best-scale map
-    // inside mkx_extract (4 B/px); the model accounts for both.
-    let scale_map = W * H * 4;
     assert_eq!(
-        bufs.byte_size() + scale_map,
+        bufs.byte_size(),
         W * H * per_pixel::MKX_INTERMEDIATE,
         "MKX intermediate formula drifted"
     );
@@ -78,8 +78,45 @@ fn mkx_intermediate_formula_tracks_buffers_plus_scale_map() {
 
 #[test]
 fn enh_intermediate_formula_matches_state() {
+    // f32 accumulator plane plus the width-linear SIMD staging row.
     let state = EnhState::new(W, H);
-    assert_eq!(state.byte_size(), W * H * per_pixel::ENH_INTERMEDIATE);
+    let geom = FrameGeometry {
+        width: W,
+        height: H,
+    };
+    assert_eq!(state.byte_size(), enh_intermediate_bytes(geom));
+    assert_eq!(
+        enh_intermediate_bytes(geom),
+        W * H * per_pixel::ENH_INTERMEDIATE + W * 4
+    );
+}
+
+#[test]
+fn zoom_scratch_formula_matches_warm_scratch() {
+    let src = test_frame();
+    for (filter, bicubic) in [(ZoomFilter::Bilinear, false), (ZoomFilter::Bicubic, true)] {
+        let cfg = ZoomConfig {
+            out_width: 64,
+            out_height: 48,
+            filter,
+        };
+        let mut out = Image::<u16>::new(cfg.out_width, cfg.out_height);
+        let mut scratch = ZoomScratch::new();
+        zoom_band_with(
+            &src,
+            src.full_roi(),
+            &cfg,
+            &mut out,
+            0,
+            cfg.out_height,
+            &mut scratch,
+        );
+        assert_eq!(
+            scratch.byte_size(),
+            zoom_scratch_bytes(cfg.out_width, bicubic),
+            "ZOOM scratch formula drifted ({filter:?})"
+        );
+    }
 }
 
 #[test]
@@ -97,4 +134,6 @@ fn table_rows_use_the_pinned_formulas() {
     assert_eq!(rdg.input, W * H * 2);
     let enh = lookup(&table, "ENH", true).unwrap();
     assert_eq!(enh.intermediate, EnhState::new(W, H).byte_size());
+    let zoom = lookup(&table, "ZOOM", true).unwrap();
+    assert_eq!(zoom.intermediate, zoom_scratch_bytes(64, false));
 }
