@@ -1,21 +1,31 @@
 //! Multi-stream session benchmark: aggregate throughput and per-stream
-//! tail latency at 1, 2, 4 and 8 concurrent streams.
+//! tail latency at 1, 2, 4 and 8 concurrent streams through the wave
+//! scheduler, then 16, 32 and 64 streams through the sharded service
+//! tier (prediction-driven admission, time-slice eviction, bounded
+//! ingress queues).
 //!
 //! Each stream runs the same managed closed loop (own manager + model
 //! instance) over its own synthetic sequence; the `SessionScheduler`
 //! admits them against a shared 8-core modelled budget and executes them
-//! concurrently on host threads over the shared stripe pool.
+//! concurrently on host threads over the shared stripe pool, while the
+//! `ServiceCore` rows queue the oversubscription and report queue-depth
+//! and admission-latency columns.
 //!
 //! Emits one JSON line per stream count:
 //! `{"name", "streams", "frames", "wall_ms", "aggregate_fps",
-//!   "mean_p99_ms", "p99_ms_per_stream"}`.
+//!   "mean_p99_ms", "p99_ms_per_stream"}`, with service rows adding
+//! `{"max_queue_depth", "mean_admission_ms", "p99_admission_ms",
+//!   "evictions", "shards"}`.
 //! `BENCH_sessions.json` is produced by running with
 //! `SESSIONS_JSON=BENCH_sessions.json`.
 
 use pipeline::app::AppConfig;
 use pipeline::executor::ExecutionPolicy;
 use pipeline::runner::run_sequence;
-use runtime::{FairnessPolicy, SessionConfig, SessionScheduler, StreamSpec};
+use runtime::{
+    percentile, BackpressurePolicy, EvictionPolicy, FairnessPolicy, ServiceConfig, ServiceCore,
+    SessionConfig, SessionScheduler, ShardLayout, StreamSpec,
+};
 use std::io::Write;
 use triplec::triple::{TripleC, TripleCConfig};
 use xray::{NoiseConfig, SequenceConfig};
@@ -81,6 +91,58 @@ fn main() {
             report.wall_ms,
             report.aggregate_fps,
             mean_p99,
+            p99s.iter()
+                .map(|p| format!("{p:.2}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        );
+        println!("{line}");
+        lines.push(line);
+    }
+
+    // Oversubscribed counts go through the service tier: the admission
+    // loop queues what the 8-core budget cannot run, time-slice eviction
+    // round-robins the backlog, and the ingress queues stay bounded.
+    for &streams in &[16usize, 32, 64] {
+        let specs: Vec<StreamSpec> = (0..streams)
+            .map(|i| {
+                StreamSpec::builder(seq(2000 + i as u64), AppConfig::default(), model.clone())
+                    .build()
+            })
+            .collect();
+        let cfg = ServiceConfig {
+            total_cores: 8,
+            layout: ShardLayout::PerCoreGroup,
+            queue_capacity: 4,
+            backpressure: BackpressurePolicy::Block,
+            eviction: EvictionPolicy::TimeSlice { frames: 5 },
+            max_concurrent: 8,
+        };
+        let report = ServiceCore::new(cfg).run_batch(specs);
+        let session = &report.session;
+        let p99s: Vec<f64> = session.streams.iter().map(|s| s.p99_wall_ms()).collect();
+        let mean_p99 = p99s.iter().sum::<f64>() / p99s.len() as f64;
+        let waits: Vec<f64> = report.streams.iter().map(|s| s.admission_wait_ms).collect();
+        let mean_wait = waits.iter().sum::<f64>() / waits.len() as f64;
+        let p99_wait = percentile(&waits, 0.99);
+        let max_depth = report
+            .streams
+            .iter()
+            .map(|s| s.queue.max_depth)
+            .max()
+            .unwrap_or(0);
+        let evictions: usize = report.streams.iter().map(|s| s.evictions).sum();
+        let line = format!(
+            "{{\"name\": \"sessions/service/{streams}\", \"streams\": {streams}, \
+             \"frames\": {}, \"wall_ms\": {:.1}, \"aggregate_fps\": {:.2}, \
+             \"mean_p99_ms\": {:.2}, \"max_queue_depth\": {max_depth}, \
+             \"mean_admission_ms\": {mean_wait:.2}, \"p99_admission_ms\": {p99_wait:.2}, \
+             \"evictions\": {evictions}, \"shards\": {}, \"p99_ms_per_stream\": [{}]}}",
+            session.total_frames,
+            session.wall_ms,
+            session.aggregate_fps,
+            mean_p99,
+            report.shards,
             p99s.iter()
                 .map(|p| format!("{p:.2}"))
                 .collect::<Vec<_>>()

@@ -163,6 +163,10 @@ pub struct FrameOutput {
 }
 
 /// Processes one frame through the dynamic flow graph.
+///
+/// Striped stages dispatch onto the process-global [`StripePool`]; use
+/// [`process_frame_on`] to pin the frame to a specific pool (e.g. a
+/// service-tier shard).
 pub fn process_frame(
     frame_index: usize,
     frame: &ImageU16,
@@ -170,8 +174,31 @@ pub fn process_frame(
     cfg: &AppConfig,
     policy: &ExecutionPolicy,
 ) -> FrameOutput {
-    process_frame_inner(frame_index, frame, state, cfg, policy, &mut None, None)
-        .expect("infallible without fault recovery")
+    process_frame_on(StripePool::global(), frame_index, frame, state, cfg, policy)
+}
+
+/// Like [`process_frame`], dispatching every striped stage onto `pool`
+/// instead of the process-global one. Pixel outputs are bit-identical
+/// regardless of which pool executes the stripes.
+pub fn process_frame_on(
+    pool: &StripePool,
+    frame_index: usize,
+    frame: &ImageU16,
+    state: &mut AppState,
+    cfg: &AppConfig,
+    policy: &ExecutionPolicy,
+) -> FrameOutput {
+    process_frame_inner(
+        pool,
+        frame_index,
+        frame,
+        state,
+        cfg,
+        policy,
+        &mut None,
+        None,
+    )
+    .expect("infallible without fault recovery")
 }
 
 /// Like [`process_frame`], additionally emitting a
@@ -187,7 +214,33 @@ pub fn process_frame_observed(
     stream: StreamId,
     bus: &mut EventBus,
 ) -> FrameOutput {
+    process_frame_observed_on(
+        StripePool::global(),
+        frame_index,
+        frame,
+        state,
+        cfg,
+        policy,
+        stream,
+        bus,
+    )
+}
+
+/// Like [`process_frame_observed`], dispatching striped stages onto
+/// `pool` instead of the process-global one.
+#[allow(clippy::too_many_arguments)]
+pub fn process_frame_observed_on(
+    pool: &StripePool,
+    frame_index: usize,
+    frame: &ImageU16,
+    state: &mut AppState,
+    cfg: &AppConfig,
+    policy: &ExecutionPolicy,
+    stream: StreamId,
+    bus: &mut EventBus,
+) -> FrameOutput {
     process_frame_inner(
+        pool,
         frame_index,
         frame,
         state,
@@ -225,7 +278,39 @@ pub fn process_frame_recovering(
     faults: FrameFaults,
     retry: &StageRetry,
 ) -> Result<FrameOutput, FrameError> {
+    process_frame_recovering_on(
+        StripePool::global(),
+        frame_index,
+        frame,
+        state,
+        cfg,
+        policy,
+        stream,
+        bus,
+        faults,
+        retry,
+    )
+}
+
+/// Like [`process_frame_recovering`], dispatching striped stages onto
+/// `pool` instead of the process-global one. Fault injection and the
+/// retry/fallback protocol are identical; recovery semantics do not
+/// depend on which pool executes the stripes.
+#[allow(clippy::too_many_arguments)]
+pub fn process_frame_recovering_on(
+    pool: &StripePool,
+    frame_index: usize,
+    frame: &ImageU16,
+    state: &mut AppState,
+    cfg: &AppConfig,
+    policy: &ExecutionPolicy,
+    stream: StreamId,
+    bus: &mut EventBus,
+    faults: FrameFaults,
+    retry: &StageRetry,
+) -> Result<FrameOutput, FrameError> {
     process_frame_inner(
+        pool,
         frame_index,
         frame,
         state,
@@ -250,7 +335,9 @@ fn run_stage(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process_frame_inner(
+    pool: &StripePool,
     frame_index: usize,
     frame: &ImageU16,
     state: &mut AppState,
@@ -351,7 +438,7 @@ fn process_frame_inner(
                     f
                 };
                 match rdg_parallel_pooled_faulted(
-                    StripePool::global(),
+                    pool,
                     frame,
                     work_roi,
                     &rdg_cfg,
@@ -431,14 +518,8 @@ fn process_frame_inner(
             // striped: dispatch to the persistent worker pool, then
             // schedule the per-stripe worker times measured inside the
             // pool on distinct cores
-            let out = rdg_parallel_pooled(
-                StripePool::global(),
-                frame,
-                work_roi,
-                &rdg_cfg,
-                stripes,
-                &mut state.par_rdg,
-            );
+            let out =
+                rdg_parallel_pooled(pool, frame, work_roi, &rdg_cfg, stripes, &mut state.par_rdg);
             let mut jobs = Vec::with_capacity(stripes);
             let mut serial_ms = 0.0;
             for (i, &ms) in state.par_rdg.stripe_times_ms().iter().enumerate() {
@@ -530,14 +611,8 @@ fn process_frame_inner(
                 schedule.serial(0, ms);
                 out
             } else {
-                let out = rdg_parallel_pooled(
-                    StripePool::global(),
-                    frame,
-                    roi,
-                    &cfg.rdg,
-                    gw_stripes,
-                    &mut state.par_gw,
-                );
+                let out =
+                    rdg_parallel_pooled(pool, frame, roi, &cfg.rdg, gw_stripes, &mut state.par_gw);
                 let mut jobs = Vec::with_capacity(gw_stripes);
                 for (i, &ms) in state.par_gw.stripe_times_ms().iter().enumerate() {
                     gw_serial_ms += ms;
@@ -1078,6 +1153,19 @@ mod tests {
             })
             .count();
         assert_eq!(recovered, 3, "one StageDelay recovery per frame expected");
+    }
+
+    #[test]
+    fn dedicated_pool_is_bit_identical_to_global_pool() {
+        let policy = striped_policy();
+        let global = run(8, 55, policy);
+        let pool = StripePool::new(2);
+        let cfg = AppConfig::default();
+        let mut state = AppState::new(160, 160);
+        let pinned: Vec<FrameOutput> = clean_sequence(8, 55)
+            .map(|f| process_frame_on(&pool, f.index, &f.image, &mut state, &cfg, &policy))
+            .collect();
+        assert_bit_identical(&global, &pinned);
     }
 
     #[test]

@@ -269,6 +269,57 @@ pub enum FrameEvent {
         /// Retry attempts it took (0 = absorbed without retrying).
         attempts: u32,
     },
+    /// The service-tier admission controller placed a stream onto a pool
+    /// shard (`runtime::service`): predicted demand fit the shard's
+    /// capacity headroom.
+    StreamAdmitted {
+        /// Admitted stream.
+        stream: StreamId,
+        /// Next frame index the stream will execute (0 on first
+        /// admission, the resume point after an eviction).
+        frame: usize,
+        /// Shard the stream was placed on.
+        shard: usize,
+        /// Cores granted on that shard.
+        cores: usize,
+        /// Wall-clock time spent waiting in the admission queue, ms.
+        queued_ms: f64,
+    },
+    /// A stream could not be admitted (no shard had headroom for its
+    /// predicted demand, or the concurrency cap was reached) and was
+    /// parked in the admission queue.
+    StreamQueued {
+        /// Queued stream.
+        stream: StreamId,
+        /// Next frame index the stream will execute once admitted.
+        frame: usize,
+        /// Admission-queue depth at the time of parking (including this
+        /// stream).
+        depth: usize,
+    },
+    /// A running stream was evicted from its shard (time-slice expiry or
+    /// capacity reclaim) and re-queued for admission. Its model state is
+    /// snapshotted; execution resumes exactly at `frame` on re-admission.
+    StreamEvicted {
+        /// Evicted stream.
+        stream: StreamId,
+        /// Next frame index the stream will execute on re-admission.
+        frame: usize,
+        /// Shard the stream was evicted from.
+        shard: usize,
+    },
+    /// A re-admitted stream landed on a different shard than its previous
+    /// placement: a migration across core groups.
+    ShardRebalanced {
+        /// Migrated stream.
+        stream: StreamId,
+        /// Next frame index the stream will execute on the new shard.
+        frame: usize,
+        /// Shard the stream previously ran on.
+        from_shard: usize,
+        /// Shard the stream now runs on.
+        to_shard: usize,
+    },
 }
 
 impl FrameEvent {
@@ -286,7 +337,11 @@ impl FrameEvent {
             | FrameEvent::FaultInjected { stream, .. }
             | FrameEvent::RetryAttempted { stream, .. }
             | FrameEvent::DegradedMode { stream, .. }
-            | FrameEvent::Recovered { stream, .. } => stream,
+            | FrameEvent::Recovered { stream, .. }
+            | FrameEvent::StreamAdmitted { stream, .. }
+            | FrameEvent::StreamQueued { stream, .. }
+            | FrameEvent::StreamEvicted { stream, .. }
+            | FrameEvent::ShardRebalanced { stream, .. } => stream,
         }
     }
 
@@ -304,7 +359,11 @@ impl FrameEvent {
             | FrameEvent::FaultInjected { frame, .. }
             | FrameEvent::RetryAttempted { frame, .. }
             | FrameEvent::DegradedMode { frame, .. }
-            | FrameEvent::Recovered { frame, .. } => frame,
+            | FrameEvent::Recovered { frame, .. }
+            | FrameEvent::StreamAdmitted { frame, .. }
+            | FrameEvent::StreamQueued { frame, .. }
+            | FrameEvent::StreamEvicted { frame, .. }
+            | FrameEvent::ShardRebalanced { frame, .. } => frame,
         }
     }
 
@@ -316,7 +375,11 @@ impl FrameEvent {
     /// runs; the fault family is built exclusively from discrete seeded
     /// state, so two runs with the same seed produce the same replay-key
     /// sequence per stream — the property the seed-replay recipe and
-    /// reproducibility tests assert on.
+    /// reproducibility tests assert on. Service-tier placement events
+    /// (admission/queueing/eviction/rebalance) are likewise excluded:
+    /// admission order depends on wall-clock completion order, while the
+    /// fault layer keys off absolute `(stream, frame)` coordinates and so
+    /// replays identically however streams are placed.
     pub fn replay_key(&self) -> Option<String> {
         match *self {
             FrameEvent::FaultInjected {
@@ -550,6 +613,29 @@ mod tests {
                 kind: FaultKind::WorkerPanic,
                 attempts: 1,
             },
+            FrameEvent::StreamAdmitted {
+                stream: 1,
+                frame: 2,
+                shard: 0,
+                cores: 2,
+                queued_ms: 0.5,
+            },
+            FrameEvent::StreamQueued {
+                stream: 1,
+                frame: 2,
+                depth: 3,
+            },
+            FrameEvent::StreamEvicted {
+                stream: 1,
+                frame: 2,
+                shard: 0,
+            },
+            FrameEvent::ShardRebalanced {
+                stream: 1,
+                frame: 2,
+                from_shard: 0,
+                to_shard: 1,
+            },
         ];
         for e in events {
             assert_eq!(e.stream(), 1);
@@ -601,6 +687,27 @@ mod tests {
                 frame: 9,
                 latency_ms: 80.0,
                 budget_ms: 60.0,
+            }
+            .replay_key(),
+            None
+        );
+        // service placement events are timing-dependent too: no key
+        assert_eq!(
+            FrameEvent::StreamAdmitted {
+                stream: 3,
+                frame: 9,
+                shard: 1,
+                cores: 2,
+                queued_ms: 0.1,
+            }
+            .replay_key(),
+            None
+        );
+        assert_eq!(
+            FrameEvent::StreamEvicted {
+                stream: 3,
+                frame: 9,
+                shard: 1,
             }
             .replay_key(),
             None

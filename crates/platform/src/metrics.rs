@@ -77,6 +77,32 @@ struct Key {
     labels: Labels,
 }
 
+/// 1-based nearest rank of percentile `p` over `count` samples.
+///
+/// The single rank formula shared by the exact series [`percentile`]
+/// and the bucketed [`Histogram::percentile_ms`], so the two report the
+/// same rank semantics (they differ only by bucket quantization).
+fn nearest_rank(p: f64, count: u64) -> u64 {
+    ((p.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count)
+}
+
+/// Nearest-rank percentile of an unsorted series (`p` in `[0, 1]`);
+/// `0.0` on an empty slice.
+///
+/// Exact (sorts a copy of the data) — the small-series complement of
+/// [`Histogram::percentile_ms`], which answers the same question from
+/// fixed buckets without retaining samples. Used for per-stream p99s in
+/// session reports and benchmark tables.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = nearest_rank(p, sorted.len() as u64) as usize;
+    sorted[rank - 1]
+}
+
 /// A monotonically increasing counter. Cloning shares the underlying
 /// atomic cell.
 #[derive(Debug, Clone, Default)]
@@ -192,7 +218,7 @@ impl HistogramCore {
         if count == 0 {
             return 0.0;
         }
-        let rank = ((p.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let rank = nearest_rank(p, count);
         let mut seen = 0u64;
         let mut value_us = bucket_upper_us(HIST_BUCKETS - 1);
         for (i, b) in self.buckets.iter().enumerate() {
@@ -654,6 +680,25 @@ impl MetricsSubscriber {
                 self.counter("recovered", Labels::stage(event.stream(), kind.name()))
                     .inc();
             }
+            FrameEvent::StreamAdmitted {
+                shard, queued_ms, ..
+            } => {
+                self.counter("streams_admitted", per_stream).inc();
+                self.histogram("admission_wait_ms", per_stream)
+                    .record(queued_ms);
+                self.gauge("shard", per_stream).set(shard as f64);
+            }
+            FrameEvent::StreamQueued { depth, .. } => {
+                self.counter("streams_queued", per_stream).inc();
+                self.gauge("admission_queue_depth", Labels::none())
+                    .set(depth as f64);
+            }
+            FrameEvent::StreamEvicted { .. } => {
+                self.counter("streams_evicted", per_stream).inc();
+            }
+            FrameEvent::ShardRebalanced { .. } => {
+                self.counter("shard_rebalances", per_stream).inc();
+            }
         }
     }
 }
@@ -849,6 +894,78 @@ mod tests {
         assert_eq!(lat.count, 5);
         assert!((lat.p50_ms - 12.0).abs() < 1e-9);
         assert!(snap.counter_total("metrics_self_ns") > 0, "self meter idle");
+    }
+
+    #[test]
+    fn series_percentile_is_exact_nearest_rank() {
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[42.0], 0.0), 42.0);
+        assert_eq!(percentile(&[42.0], 1.0), 42.0);
+        // unsorted input; nearest-rank picks an actual sample
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(percentile(&xs, 0.5), 3.0);
+        assert_eq!(percentile(&xs, 0.2), 1.0);
+        assert_eq!(percentile(&xs, 0.99), 5.0);
+        // out-of-range p clamps
+        assert_eq!(percentile(&xs, -1.0), 1.0);
+        assert_eq!(percentile(&xs, 2.0), 5.0);
+    }
+
+    #[test]
+    fn series_and_histogram_percentiles_agree_within_quantization() {
+        let h = Histogram::default();
+        let xs: Vec<f64> = (1..=500).map(|i| i as f64 * 0.25).collect();
+        for &x in &xs {
+            h.record(x);
+        }
+        for p in [0.5, 0.95, 0.99] {
+            let exact = percentile(&xs, p);
+            let bucketed = h.percentile_ms(p);
+            assert!(
+                (bucketed - exact).abs() / exact < 0.125,
+                "p{p}: exact {exact} vs bucketed {bucketed}"
+            );
+        }
+    }
+
+    #[test]
+    fn subscriber_absorbs_service_tier_events() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let mut bus = EventBus::new();
+        MetricsSubscriber::subscribe_to(&mut bus, Arc::clone(&reg));
+        bus.emit(FrameEvent::StreamQueued {
+            stream: 4,
+            frame: 0,
+            depth: 3,
+        });
+        bus.emit(FrameEvent::StreamAdmitted {
+            stream: 4,
+            frame: 0,
+            shard: 1,
+            cores: 2,
+            queued_ms: 7.5,
+        });
+        bus.emit(FrameEvent::StreamEvicted {
+            stream: 4,
+            frame: 6,
+            shard: 1,
+        });
+        bus.emit(FrameEvent::ShardRebalanced {
+            stream: 4,
+            frame: 6,
+            from_shard: 1,
+            to_shard: 2,
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("streams_queued", Labels::stream(4)), 1);
+        assert_eq!(snap.counter("streams_admitted", Labels::stream(4)), 1);
+        assert_eq!(snap.counter("streams_evicted", Labels::stream(4)), 1);
+        assert_eq!(snap.counter("shard_rebalances", Labels::stream(4)), 1);
+        let wait = snap
+            .histogram("admission_wait_ms", Labels::stream(4))
+            .expect("admission wait histogram");
+        assert_eq!(wait.count, 1);
+        assert!((wait.max_ms - 7.5).abs() < 1e-9);
     }
 
     #[test]

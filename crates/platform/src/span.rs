@@ -404,6 +404,48 @@ impl Subscriber for TraceSubscriber {
                 stream,
                 vec![("frame", frame), ("attempts", attempts as f64)],
             ),
+            FrameEvent::StreamAdmitted {
+                shard,
+                cores,
+                queued_ms,
+                ..
+            } => self.spans.instant(
+                "admitted",
+                "service",
+                stream,
+                vec![
+                    ("frame", frame),
+                    ("shard", shard as f64),
+                    ("cores", cores as f64),
+                    ("queued_ms", queued_ms),
+                ],
+            ),
+            FrameEvent::StreamQueued { depth, .. } => self.spans.instant(
+                "queued",
+                "service",
+                stream,
+                vec![("frame", frame), ("depth", depth as f64)],
+            ),
+            FrameEvent::StreamEvicted { shard, .. } => self.spans.instant(
+                "evicted",
+                "service",
+                stream,
+                vec![("frame", frame), ("shard", shard as f64)],
+            ),
+            FrameEvent::ShardRebalanced {
+                from_shard,
+                to_shard,
+                ..
+            } => self.spans.instant(
+                "rebalanced",
+                "service",
+                stream,
+                vec![
+                    ("frame", frame),
+                    ("from_shard", from_shard as f64),
+                    ("to_shard", to_shard as f64),
+                ],
+            ),
         }
     }
 }

@@ -12,6 +12,10 @@
 //! * [`run`] — the managed closed-loop sequence executor;
 //! * [`session`] — multi-stream sessions: concurrent streams admitted
 //!   against a shared core budget with a fairness policy;
+//! * [`service`] — the sharded, prediction-admitted service tier
+//!   (per-core-group stripe-pool shards, demand-driven admission with
+//!   eviction/migration, bounded ingress queues with backpressure, and
+//!   the [`ServiceHandle`] ingestion front-end);
 //! * [`faults`] — deterministic, seeded fault injection (order
 //!   independent: a seed reproduces a faulted run event-for-event);
 //! * [`recovery`] — graceful-degradation policies (stage retry, stripe
@@ -24,16 +28,22 @@ pub mod manager;
 pub mod qos;
 pub mod recovery;
 pub mod run;
+pub mod service;
 pub mod session;
 
 pub use adaptation::{choose_policy, predicted_latency, CostPrediction, STRIPE_EFFICIENCY};
 pub use budget::LatencyBudget;
 pub use faults::{fault_hash, FaultInjector, FaultPlan, FaultPlanConfig};
 pub use manager::{ManagerConfig, Plan, ResourceManager};
+pub use platform::metrics::percentile;
 pub use qos::{QosController, QosLevel};
 pub use recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
 pub use run::{run_managed_sequence, run_managed_sequence_qos, ManagedRun, QosManagedRun};
+pub use service::{
+    predict_demand, BackpressurePolicy, EvictionPolicy, ServiceConfig, ServiceCore, ServiceHandle,
+    ServiceReport, ShardLayout, ShardTopology, StreamDemand, StreamEngine, StreamServiceStats,
+};
 pub use session::{
-    allocate_cores, percentile, FairnessPolicy, SessionConfig, SessionConfigBuilder, SessionReport,
+    allocate_cores, FairnessPolicy, SessionConfig, SessionConfigBuilder, SessionReport,
     SessionScheduler, StreamFailure, StreamResult, StreamSession, StreamSpec, StreamSpecBuilder,
 };

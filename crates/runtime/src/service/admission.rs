@@ -1,0 +1,163 @@
+//! Prediction-driven admission: Triple-C demand estimates as scheduler
+//! input.
+//!
+//! The paper's predictions drive the per-frame repartitioning loop; the
+//! service tier reuses the same model queries one level up, *before* a
+//! stream runs: [`predict_demand`] asks the stream's own trained model
+//! for its worst-case-scenario per-task costs and converts them — through
+//! the identical [`choose_policy`] partitioning rule the runtime uses —
+//! into a core demand and predicted frame latency. The admission loop
+//! compares that demand against per-shard capacity headroom instead of
+//! admitting blindly and discovering contention after the fact.
+
+use crate::adaptation::{choose_policy, predicted_latency, CostPrediction};
+use crate::session::StreamSpec;
+use pipeline::executor::STRIPABLE_TASKS;
+use triplec::predictor::PredictContext;
+use triplec::scenario::Scenario;
+
+/// A stream's predicted steady-state resource demand.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamDemand {
+    /// Cores the stream wants (the stripe width [`choose_policy`] picks
+    /// for its predicted worst-case frame under its budget; 1 when the
+    /// stream has no fixed budget and initializes serially).
+    pub cores: usize,
+    /// Predicted per-frame latency at that width, ms.
+    pub predicted_ms: f64,
+}
+
+/// Predicts a stream's demand from its spec, before it has run a frame.
+///
+/// Uses the worst-case scenario (all tasks active — the same conservative
+/// anchor `ResourceManager` plans its first frame from) over the full
+/// frame as ROI, splits predicted task costs into stripable and serial
+/// parts, and applies the runtime's own partitioning rule capped at
+/// `max_cores` (the widest shard: a stream can never be granted more).
+pub fn predict_demand(spec: &StreamSpec, max_cores: usize) -> StreamDemand {
+    let max_cores = max_cores.max(1);
+    let roi_kpixels = (spec.seq.width * spec.seq.height) as f64 / 1000.0;
+    let ctx = PredictContext { roi_kpixels };
+    let scenario = spec.model.predict_next_scenario(Scenario::worst_case());
+    let mut stripable_ms = 0.0;
+    let mut serial_ms = 0.0;
+    for task in scenario.active_tasks() {
+        let ms = spec.model.predict_task(task, &ctx).unwrap_or(0.0);
+        if STRIPABLE_TASKS.contains(&task) {
+            stripable_ms += ms;
+        } else {
+            serial_ms += ms;
+        }
+    }
+    let cost = CostPrediction {
+        stripable_ms,
+        serial_ms,
+    };
+    match spec.budget {
+        // no fixed budget: the first frame runs serial to initialize the
+        // budget, so the stream enters with minimal demand
+        None => StreamDemand {
+            cores: 1,
+            predicted_ms: stripable_ms + serial_ms,
+        },
+        Some(budget) => {
+            let (policy, _feasible) = choose_policy(&cost, &budget, max_cores);
+            let cores = policy.rdg_stripes.max(policy.aux_stripes).max(1);
+            StreamDemand {
+                cores,
+                predicted_ms: predicted_latency(&cost, cores),
+            }
+        }
+    }
+}
+
+/// When a running stream is forced to yield its shard reservation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Admitted streams run to completion (no preemption).
+    None,
+    /// A stream yields after `frames` executed frames whenever other
+    /// streams are waiting for admission; its engine (model, tracking
+    /// state, recovery bookkeeping) is parked and re-queued, and it
+    /// resumes — possibly on a different shard — exactly where it left
+    /// off.
+    TimeSlice {
+        /// Frames per slice (clamped to ≥ 1).
+        frames: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::LatencyBudget;
+    use pipeline::app::AppConfig;
+    use pipeline::executor::ExecutionPolicy;
+    use pipeline::runner::run_sequence;
+    use triplec::triple::{TripleC, TripleCConfig};
+    use xray::{NoiseConfig, SequenceConfig};
+
+    fn seq(seed: u64, frames: usize) -> SequenceConfig {
+        SequenceConfig {
+            width: 128,
+            height: 128,
+            frames,
+            seed,
+            noise: NoiseConfig {
+                quantum_scale: 0.3,
+                electronic_std: 2.0,
+            },
+            ..Default::default()
+        }
+    }
+
+    fn trained_model() -> TripleC {
+        let profile = run_sequence(
+            seq(100, 10),
+            &AppConfig::default(),
+            &ExecutionPolicy::default(),
+        );
+        let cfg = TripleCConfig {
+            geometry: triplec::FrameGeometry {
+                width: 128,
+                height: 128,
+            },
+            ..Default::default()
+        };
+        TripleC::train(&profile.task_series(), &profile.scenarios, cfg)
+    }
+
+    #[test]
+    fn unbudgeted_stream_demands_one_core() {
+        let spec = StreamSpec::builder(seq(1, 4), AppConfig::default(), trained_model()).build();
+        let d = predict_demand(&spec, 8);
+        assert_eq!(d.cores, 1);
+        assert!(d.predicted_ms > 0.0);
+    }
+
+    #[test]
+    fn tight_budget_demands_more_cores_capped_at_shard_width() {
+        let model = trained_model();
+        let spec = StreamSpec::builder(seq(1, 4), AppConfig::default(), model)
+            .budget(LatencyBudget::new(0.001, 0.0))
+            .build();
+        let wide = predict_demand(&spec, 8);
+        assert!(wide.cores > 1, "infeasible budget must stripe aggressively");
+        assert!(wide.cores <= 8);
+        let narrow = predict_demand(&spec, 2);
+        assert!(narrow.cores <= 2, "demand exceeds the shard width");
+        assert!(
+            narrow.predicted_ms >= wide.predicted_ms,
+            "fewer cores cannot predict faster frames"
+        );
+    }
+
+    #[test]
+    fn generous_budget_demands_few_cores() {
+        let spec = StreamSpec::builder(seq(1, 4), AppConfig::default(), trained_model())
+            .budget(LatencyBudget::new(10_000.0, 0.1))
+            .build();
+        let d = predict_demand(&spec, 8);
+        assert_eq!(d.cores, 1, "a huge budget needs no striping");
+    }
+}

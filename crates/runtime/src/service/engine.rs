@@ -1,0 +1,436 @@
+//! The resumable per-stream execution engine.
+//!
+//! [`StreamEngine`] is the session tier's building block: one stream's
+//! manager, application state, recovery bookkeeping, and result
+//! accumulators, driven one frame at a time through [`StreamEngine::step_on`].
+//! Because each step is externally driven, the engine can be parked
+//! between frames — the service core admits, evicts, and migrates engines
+//! across pool shards without losing stream state, and the wave-mode
+//! compatibility wrapper ([`StreamSession`](crate::session::StreamSession))
+//! simply drives the engine to completion on one thread.
+//!
+//! The per-frame semantics (plan → execute → absorb → recover) are the
+//! managed closed loop of `runtime::run`, bit-identical to the former
+//! monolithic session loop: pixel outputs depend only on the input
+//! sequence and application configuration, never on where or when the
+//! engine was scheduled.
+
+use crate::faults::{fault_hash, FaultInjector};
+use crate::manager::{ManagerConfig, ResourceManager};
+use crate::recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
+use crate::session::{StreamFailure, StreamResult, StreamSpec};
+use imaging::image::ImageU16;
+use imaging::parallel::StripePool;
+use pipeline::app::AppState;
+use pipeline::executor::{process_frame_observed_on, process_frame_recovering_on};
+use platform::bus::{DegradeMode, FaultKind, FrameEvent, RepartitionReason, StreamId};
+use platform::metrics::Observability;
+use platform::trace::TraceLog;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use xray::SequenceConfig;
+
+/// One stream's complete execution state, advanced frame by frame.
+///
+/// Construction mirrors admission: the engine is built from a
+/// [`StreamSpec`] with an allocated core count, and its manager's bus can
+/// be wired to an [`Observability`] instance before the first step. The
+/// engine then accepts frames in strictly increasing sequence order (the
+/// order [`SequenceGenerator`](xray::SequenceGenerator) produces them)
+/// and is consumed by [`finish`](Self::finish) into a [`StreamResult`].
+pub struct StreamEngine {
+    id: StreamId,
+    seq: SequenceConfig,
+    app: pipeline::app::AppConfig,
+    manager: ResourceManager,
+    cores: usize,
+    injector: Option<Arc<dyn FaultInjector>>,
+    recovery: RecoveryPolicy,
+    state: AppState,
+    rec: RecoveryState,
+    trace: TraceLog,
+    predictions: Vec<f64>,
+    stripes: Vec<usize>,
+    scenarios: Vec<u8>,
+    displays: Vec<Option<ImageU16>>,
+    frame_wall_ms: Vec<f64>,
+    dropped_frames: usize,
+    last_good_display: Option<ImageU16>,
+    collected: Option<Arc<Mutex<Vec<FrameEvent>>>>,
+    started: Option<Instant>,
+}
+
+impl StreamEngine {
+    /// Builds an engine from a spec with an allocated core count.
+    pub fn new(id: StreamId, spec: StreamSpec, cores: usize) -> Self {
+        let cores = cores.max(1);
+        let cfg = ManagerConfig {
+            cores,
+            ..spec.manager_cfg
+        };
+        let mut manager = ResourceManager::for_stream(spec.model, cfg, id);
+        if let Some(b) = spec.budget {
+            manager.set_budget(b);
+        }
+        // record every fault-family event this stream emits (executor- and
+        // session-level) so callers can assert replay determinism
+        let collected = spec.faults.as_ref().map(|_| {
+            let collected: Arc<Mutex<Vec<FrameEvent>>> = Arc::new(Mutex::new(Vec::new()));
+            let sink = Arc::clone(&collected);
+            manager.subscribe(Box::new(move |e: &FrameEvent| {
+                if e.replay_key().is_some() {
+                    sink.lock().unwrap().push(e.clone());
+                }
+            }));
+            collected
+        });
+        let state = AppState::new(spec.seq.width, spec.seq.height);
+        let frames = spec.seq.frames;
+        Self {
+            id,
+            seq: spec.seq,
+            app: spec.app,
+            manager,
+            cores,
+            injector: spec.faults,
+            recovery: spec.recovery,
+            state,
+            rec: RecoveryState::new(),
+            trace: TraceLog::new(),
+            predictions: Vec::with_capacity(frames),
+            stripes: Vec::with_capacity(frames),
+            scenarios: Vec::with_capacity(frames),
+            displays: Vec::with_capacity(frames),
+            frame_wall_ms: Vec::with_capacity(frames),
+            dropped_frames: 0,
+            last_good_display: None,
+            collected,
+            started: None,
+        }
+    }
+
+    /// Wires the engine's bus into an [`Observability`] instance (metrics
+    /// registry and span collector).
+    pub fn attach_observability(&mut self, obs: &Observability) {
+        obs.attach(self.manager.bus_mut());
+    }
+
+    /// The stream id.
+    pub fn id(&self) -> StreamId {
+        self.id
+    }
+
+    /// The modelled cores the engine was granted.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The stream's input-sequence configuration.
+    pub fn seq(&self) -> &SequenceConfig {
+        &self.seq
+    }
+
+    /// Frames consumed so far (executed plus injection-dropped).
+    pub fn frames_done(&self) -> usize {
+        self.trace.len() + self.dropped_frames
+    }
+
+    /// The stream's resource manager (e.g. to attach bus subscribers).
+    pub fn manager_mut(&mut self) -> &mut ResourceManager {
+        &mut self.manager
+    }
+
+    /// Emits a service-tier lifecycle event onto the stream's own bus so
+    /// attached observability sees admission/eviction alongside the
+    /// frame-level events.
+    pub(crate) fn emit(&mut self, event: FrameEvent) {
+        self.manager.bus_mut().emit(event);
+    }
+
+    /// Serializes the prediction model (for eviction checkpoints).
+    pub(crate) fn model_snapshot(&self) -> Vec<u8> {
+        self.manager.model().snapshot_bytes()
+    }
+
+    /// Restores the prediction model from a snapshot; `false` when the
+    /// snapshot was rejected (the live model is left untouched).
+    pub(crate) fn restore_model(&mut self, bytes: &[u8]) -> bool {
+        self.manager.model_mut().try_restore_bytes(bytes).is_ok()
+    }
+
+    /// Advances the stream by one frame on the process-global stripe pool.
+    pub fn step(&mut self, index: usize, image: &ImageU16) -> Result<(), StreamFailure> {
+        self.step_on(StripePool::global(), index, image)
+    }
+
+    /// Advances the stream by one frame, running data-parallel stages on
+    /// the given pool shard. Unrecoverable frame failures (only possible
+    /// with fault injection and `serial_fallback` disabled) surface as a
+    /// [`StreamFailure`] error instead of unwinding.
+    pub fn step_on(
+        &mut self,
+        pool: &StripePool,
+        index: usize,
+        image: &ImageU16,
+    ) -> Result<(), StreamFailure> {
+        if self.started.is_none() {
+            self.started = Some(Instant::now());
+        }
+        match self.injector.clone() {
+            None => {
+                self.step_nominal(pool, index, image);
+                Ok(())
+            }
+            Some(injector) => self.step_faulted(pool, &injector, index, image),
+        }
+    }
+
+    /// The unhooked hot path: no fault bookkeeping, no recovery branches.
+    fn step_nominal(&mut self, pool: &StripePool, index: usize, image: &ImageU16) {
+        let ft0 = Instant::now();
+        let roi_kpixels = self
+            .state
+            .current_roi
+            .map(|r| r.area() as f64 / 1000.0)
+            .unwrap_or_else(|| (image.width() * image.height()) as f64 / 1000.0);
+        let plan = self.manager.plan(roi_kpixels);
+        self.predictions.push(plan.predicted_total_ms);
+        self.stripes.push(plan.policy.rdg_stripes);
+
+        let out = process_frame_observed_on(
+            pool,
+            index,
+            image,
+            &mut self.state,
+            &self.app,
+            &plan.policy,
+            self.id,
+            self.manager.bus_mut(),
+        );
+        self.manager.absorb(&out);
+        self.scenarios.push(out.scenario.id());
+        self.displays.push(out.display);
+        self.trace.push(out.record);
+        self.frame_wall_ms
+            .push(ft0.elapsed().as_secs_f64() * 1000.0);
+    }
+
+    /// The fault-injecting, gracefully-degrading path.
+    fn step_faulted(
+        &mut self,
+        pool: &StripePool,
+        injector: &Arc<dyn FaultInjector>,
+        idx: usize,
+        image: &ImageU16,
+    ) -> Result<(), StreamFailure> {
+        let policy = self.recovery;
+        if injector.drops_frame(self.id, idx) {
+            let stream = self.id;
+            let bus = self.manager.bus_mut();
+            bus.emit(FrameEvent::FaultInjected {
+                stream,
+                frame: idx,
+                kind: FaultKind::FrameDrop,
+            });
+            bus.emit(FrameEvent::DegradedMode {
+                stream,
+                frame: idx,
+                mode: DegradeMode::OutputDropped,
+                cause: FaultKind::FrameDrop,
+            });
+            self.dropped_frames += 1;
+            return Ok(());
+        }
+
+        let ft0 = Instant::now();
+        let roi_kpixels = self
+            .state
+            .current_roi
+            .map(|r| r.area() as f64 / 1000.0)
+            .unwrap_or_else(|| (image.width() * image.height()) as f64 / 1000.0);
+        let mut plan = self.manager.plan(roi_kpixels);
+        let planned_rdg = plan.policy.rdg_stripes;
+        self.rec.apply_cap(&mut plan.policy);
+        self.predictions.push(plan.predicted_total_ms);
+        self.stripes.push(plan.policy.rdg_stripes);
+
+        let faults = injector.frame_faults(self.id, idx);
+        let out = match process_frame_recovering_on(
+            pool,
+            idx,
+            image,
+            &mut self.state,
+            &self.app,
+            &plan.policy,
+            self.id,
+            self.manager.bus_mut(),
+            faults,
+            &policy.retry,
+        ) {
+            Ok(out) => out,
+            Err(err) => {
+                return Err(StreamFailure {
+                    stream: self.id,
+                    message: err.to_string(),
+                    frames_completed: self.trace.len(),
+                });
+            }
+        };
+        self.manager.absorb(&out);
+
+        // stripe downshift on repeated budget overruns
+        let overrun = self
+            .manager
+            .budget()
+            .is_some_and(|b| out.record.latency_ms > b.target_ms);
+        match self
+            .rec
+            .note_frame(overrun, plan.policy.rdg_stripes, &policy)
+        {
+            RecoveryAction::Downshift(cap) => {
+                let stream = self.id;
+                let aux = plan.policy.aux_stripes.min(cap);
+                let bus = self.manager.bus_mut();
+                bus.emit(FrameEvent::DegradedMode {
+                    stream,
+                    frame: idx,
+                    mode: DegradeMode::StripeDownshift,
+                    cause: FaultKind::Overrun,
+                });
+                bus.emit(FrameEvent::RepartitionDecided {
+                    stream,
+                    frame: idx,
+                    from_rdg_stripes: plan.policy.rdg_stripes,
+                    to_rdg_stripes: cap,
+                    aux_stripes: aux,
+                    reason: RepartitionReason::Downshift,
+                });
+            }
+            RecoveryAction::Lift(_) => {
+                let stream = self.id;
+                let bus = self.manager.bus_mut();
+                bus.emit(FrameEvent::Recovered {
+                    stream,
+                    frame: idx,
+                    kind: FaultKind::Overrun,
+                    attempts: 0,
+                });
+                bus.emit(FrameEvent::RepartitionDecided {
+                    stream,
+                    frame: idx,
+                    from_rdg_stripes: plan.policy.rdg_stripes,
+                    to_rdg_stripes: planned_rdg,
+                    aux_stripes: plan.policy.aux_stripes,
+                    reason: RepartitionReason::Lift,
+                });
+            }
+            RecoveryAction::None => {}
+        }
+
+        // model quarantine bookkeeping: release first, then check for
+        // a new corruption checkpoint on this frame
+        if self.rec.tick_quarantine() {
+            if self.rec.resume_online() {
+                self.manager.model_mut().set_online_training(true);
+            }
+            let stream = self.id;
+            self.manager.bus_mut().emit(FrameEvent::Recovered {
+                stream,
+                frame: idx,
+                kind: FaultKind::SnapshotCorruption,
+                attempts: 0,
+            });
+        }
+        if injector.corrupts_snapshot(self.id, idx) {
+            let stream = self.id;
+            self.manager.bus_mut().emit(FrameEvent::FaultInjected {
+                stream,
+                frame: idx,
+                kind: FaultKind::SnapshotCorruption,
+            });
+            // checkpoint, deterministically garble, and attempt the
+            // restore: the corrupted snapshot must be rejected with an
+            // Err (never a panic), leaving the live model untouched
+            let pristine = self.manager.model().snapshot_bytes();
+            let mut garbled = pristine.clone();
+            if !garbled.is_empty() {
+                let h = fault_hash(injector.seed(), self.id, idx, 0xC0);
+                let at = (h as usize) % garbled.len();
+                garbled[at] ^= 0xA5;
+            }
+            if self.manager.model_mut().try_restore_bytes(&garbled).is_ok() {
+                // the garble happened to still decode as a valid
+                // snapshot: roll back to the pristine checkpoint
+                self.manager
+                    .model_mut()
+                    .try_restore_bytes(&pristine)
+                    .expect("pristine snapshot restores");
+            }
+            let online = self.manager.model().online_training();
+            if online {
+                self.manager.model_mut().set_online_training(false);
+            }
+            self.rec.enter_quarantine(online, &policy);
+            self.manager.bus_mut().emit(FrameEvent::DegradedMode {
+                stream,
+                frame: idx,
+                mode: DegradeMode::ModelQuarantine,
+                cause: FaultKind::SnapshotCorruption,
+            });
+        }
+
+        // per-frame deadline: late frames fall back to the last good
+        // output (wall-clock dependent, so off by default)
+        let wall_ms = ft0.elapsed().as_secs_f64() * 1000.0;
+        let mut display = out.display;
+        if let Some(deadline) = policy.frame_deadline_ms {
+            if wall_ms > deadline {
+                let stream = self.id;
+                self.manager.bus_mut().emit(FrameEvent::DegradedMode {
+                    stream,
+                    frame: idx,
+                    mode: DegradeMode::OutputDropped,
+                    cause: FaultKind::Overrun,
+                });
+                display = self.last_good_display.clone();
+            }
+        }
+        if display.is_some() {
+            self.last_good_display = display.clone();
+        }
+
+        self.scenarios.push(out.scenario.id());
+        self.displays.push(display);
+        self.trace.push(out.record);
+        self.frame_wall_ms.push(wall_ms);
+        Ok(())
+    }
+
+    /// Consumes the engine into its final [`StreamResult`]. `wall_ms`
+    /// covers first step to finish (queue wait before the first frame is
+    /// reported separately by the service tier as admission latency).
+    pub fn finish(self) -> StreamResult {
+        let wall_ms = self
+            .started
+            .map(|t| t.elapsed().as_secs_f64() * 1000.0)
+            .unwrap_or(0.0);
+        StreamResult {
+            stream: self.id,
+            cores: self.cores,
+            accuracy: self.manager.accuracy(),
+            infeasible_frames: self.manager.infeasible_frames(),
+            trace: self.trace,
+            predictions: self.predictions,
+            stripes: self.stripes,
+            scenarios: self.scenarios,
+            displays: self.displays,
+            frame_wall_ms: self.frame_wall_ms,
+            wall_ms,
+            dropped_frames: self.dropped_frames,
+            fault_events: self
+                .collected
+                .map(|c| c.lock().unwrap().clone())
+                .unwrap_or_default(),
+        }
+    }
+}

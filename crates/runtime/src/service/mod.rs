@@ -1,0 +1,46 @@
+//! The service tier: sharded pools, prediction-driven admission, bounded
+//! ingress with backpressure.
+//!
+//! This module re-architects the former monolithic session loop into
+//! composable pieces (ISSUE 7 / ROADMAP item 1):
+//!
+//! * [`engine`] — [`StreamEngine`], one stream's resumable per-frame
+//!   stepper (plan → execute → absorb → recover), parkable between
+//!   frames;
+//! * [`shard`] — [`ShardTopology`], the core budget partitioned into
+//!   per-core-group stripe pools with best-fit placement;
+//! * [`queue`] — [`FrameQueue`], bounded per-stream ingress with
+//!   [`BackpressurePolicy::Block`] or
+//!   [`BackpressurePolicy::DropOldest`];
+//! * [`admission`] — [`predict_demand`], Triple-C predictions turned
+//!   into admission input (cores + latency per stream), and the
+//!   [`EvictionPolicy`] for time-sliced yielding;
+//! * [`core`] — [`ServiceCore`], the admission loop tying it together,
+//!   emitting `StreamAdmitted` / `StreamQueued` / `StreamEvicted` /
+//!   `ShardRebalanced` bus events;
+//! * [`handle`] — [`ServiceHandle`], the ingestion front-end (submit
+//!   frames, poll completions, scrape metrics).
+//!
+//! The legacy wave scheduler
+//! ([`SessionScheduler`](crate::session::SessionScheduler)) remains the
+//! stable compatibility surface; it drives the same [`StreamEngine`]
+//! building block, so outputs are bit-identical across both modes.
+
+pub mod admission;
+pub mod core;
+pub mod engine;
+pub mod handle;
+pub mod queue;
+pub mod shard;
+
+pub use admission::{predict_demand, EvictionPolicy, StreamDemand};
+pub use engine::StreamEngine;
+pub use handle::{ServiceHandle, SubmitOutcome};
+pub use queue::{BackpressurePolicy, FrameQueue, PushOutcome, QueueStats};
+pub use shard::{ShardLayout, ShardTopology};
+
+pub use self::core::{
+    ServiceConfig, ServiceCore, ServiceReport, StreamCompletion, StreamServiceStats,
+};
+
+pub(crate) use self::core::run_waves;

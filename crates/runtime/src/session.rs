@@ -14,21 +14,25 @@
 //! results depend only on the input sequence and the application
 //! configuration, never on the partitioning policy or on measured timing
 //! (the property the striping tests establish per task).
+//!
+//! This module is the stable *compatibility surface* over the
+//! [`service`](crate::service) tier: [`StreamSession`] wraps the
+//! resumable [`StreamEngine`] and the wave
+//! loop of [`SessionScheduler::run`] is implemented by the service core,
+//! so both scheduling modes share one per-frame execution path.
 
 use crate::budget::LatencyBudget;
-use crate::faults::{fault_hash, FaultInjector};
+use crate::faults::FaultInjector;
 use crate::manager::{ManagerConfig, ResourceManager};
-use crate::recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
+use crate::recovery::RecoveryPolicy;
+use crate::service::engine::StreamEngine;
 use imaging::image::ImageU16;
-use pipeline::app::{AppConfig, AppState};
-use pipeline::executor::{process_frame_observed, process_frame_recovering};
-use platform::bus::{DegradeMode, FaultKind, FrameEvent, RepartitionReason, StreamId};
+use pipeline::app::AppConfig;
+use platform::bus::{FrameEvent, StreamId};
 use platform::metrics::{MetricsSnapshot, Observability};
 use platform::span::SpanCollector;
 use platform::trace::TraceLog;
-use std::collections::VecDeque;
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
 use triplec::accuracy::AccuracyReport;
 use triplec::triple::TripleC;
 use xray::{SequenceConfig, SequenceGenerator};
@@ -45,7 +49,16 @@ pub enum FairnessPolicy {
 }
 
 /// Divides `total` cores among streams with the given demand weights:
-/// largest-remainder apportionment with a minimum of one core per stream.
+/// every stream receives one core up front, then each remaining core
+/// goes to the stream maximizing `weight / (allocated + 1)` — the
+/// highest-averages (D'Hondt/Jefferson) rule, ties broken by lowest
+/// stream index.
+///
+/// Divisor methods are monotone in weight by construction: a stream with
+/// strictly larger weight never ends up with fewer cores (the property
+/// the `allocate_cores` proptests pin down; the previous
+/// largest-remainder scheme violated it at the one-core minimum
+/// boundary). Allocations always sum to `total` when `total >= n`.
 ///
 /// When there are more streams than cores every stream still receives one
 /// core (the scheduler's admission policy prevents that case by queueing
@@ -61,42 +74,23 @@ pub fn allocate_cores(total: usize, weights: &[f64]) -> Vec<usize> {
     }
     let sum: f64 = weights.iter().map(|w| w.max(0.0)).sum();
     // degenerate weights: fall back to equal shares
-    let shares: Vec<f64> = if sum <= 1e-12 {
-        vec![total as f64 / n as f64; n]
+    let weights: Vec<f64> = if sum <= 1e-12 {
+        vec![1.0; n]
     } else {
-        weights
-            .iter()
-            .map(|w| w.max(0.0) / sum * total as f64)
-            .collect()
+        weights.iter().map(|w| w.max(0.0)).collect()
     };
-    // floor each share (at least 1), then hand out the remaining cores by
-    // largest fractional remainder
-    let mut alloc: Vec<usize> = shares.iter().map(|s| (s.floor() as usize).max(1)).collect();
-    let mut used: usize = alloc.iter().sum();
-    // floors plus minimums may overshoot; shave the smallest-remainder
-    // streams (never below 1)
-    let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        let ra = shares[a] - shares[a].floor();
-        let rb = shares[b] - shares[b].floor();
-        rb.partial_cmp(&ra).unwrap().then(a.cmp(&b))
-    });
-    while used > total {
-        // take from the stream with the smallest remainder that still has
-        // more than one core
-        if let Some(&i) = order.iter().rev().find(|&&i| alloc[i] > 1) {
-            alloc[i] -= 1;
-            used -= 1;
-        } else {
-            break;
+    let mut alloc = vec![1usize; n];
+    for _ in n..total {
+        let mut best = 0usize;
+        let mut best_quotient = f64::NEG_INFINITY;
+        for (i, &w) in weights.iter().enumerate() {
+            let quotient = w / (alloc[i] as f64 + 1.0);
+            if quotient > best_quotient {
+                best = i;
+                best_quotient = quotient;
+            }
         }
-    }
-    for &i in &order {
-        if used >= total {
-            break;
-        }
-        alloc[i] += 1;
-        used += 1;
+        alloc[best] += 1;
     }
     alloc
 }
@@ -210,37 +204,20 @@ impl StreamSpecBuilder {
 }
 
 /// One admitted stream: a manager plus its sequence, ready to run.
+///
+/// A thin wrapper over [`StreamEngine`]: the engine holds all stream
+/// state and steps frame by frame; the session adds the stream-level
+/// span and drives the engine over its full sequence on one thread.
 pub struct StreamSession {
-    id: StreamId,
-    seq: SequenceConfig,
-    app: AppConfig,
-    manager: ResourceManager,
-    cores: usize,
-    faults: Option<Arc<dyn FaultInjector>>,
-    recovery: RecoveryPolicy,
+    engine: StreamEngine,
     tracer: Option<SpanCollector>,
 }
 
 impl StreamSession {
     /// Builds a session from a spec with an allocated core count.
     pub fn new(id: StreamId, spec: StreamSpec, cores: usize) -> Self {
-        let cores = cores.max(1);
-        let cfg = ManagerConfig {
-            cores,
-            ..spec.manager_cfg
-        };
-        let mut manager = ResourceManager::for_stream(spec.model, cfg, id);
-        if let Some(b) = spec.budget {
-            manager.set_budget(b);
-        }
         Self {
-            id,
-            seq: spec.seq,
-            app: spec.app,
-            manager,
-            cores,
-            faults: spec.faults,
-            recovery: spec.recovery,
+            engine: StreamEngine::new(id, spec, cores),
             tracer: None,
         }
     }
@@ -249,24 +226,24 @@ impl StreamSession {
     /// metrics registry and span collector, and the session wraps its own
     /// run in a stream-level span.
     pub fn attach_observability(&mut self, obs: &Observability) {
-        obs.attach(self.manager.bus_mut());
+        self.engine.attach_observability(obs);
         self.tracer = Some(obs.spans().clone());
     }
 
     /// The stream id.
     pub fn id(&self) -> StreamId {
-        self.id
+        self.engine.id()
     }
 
     /// The modelled cores allocated to this stream.
     pub fn cores(&self) -> usize {
-        self.cores
+        self.engine.cores()
     }
 
     /// The stream's resource manager (e.g. to attach bus subscribers
     /// before running).
     pub fn manager_mut(&mut self) -> &mut ResourceManager {
-        &mut self.manager
+        self.engine.manager_mut()
     }
 
     /// Runs the stream's full sequence through the managed closed loop,
@@ -274,301 +251,23 @@ impl StreamSession {
     /// with fault injection and `serial_fallback` disabled) surface as a
     /// [`StreamFailure`] error instead of unwinding.
     pub fn run(self) -> Result<StreamResult, StreamFailure> {
-        let _stream_span = self.tracer.clone().map(|t| {
-            t.span("stream", "session", self.id)
-                .arg("cores", self.cores as f64)
+        let Self { mut engine, tracer } = self;
+        let _stream_span = tracer.map(|t| {
+            t.span("stream", "session", engine.id())
+                .arg("cores", engine.cores() as f64)
         });
-        match self.faults.clone() {
-            None => Ok(self.run_nominal()),
-            Some(injector) => self.run_faulted(injector),
+        for frame in SequenceGenerator::new(engine.seq().clone()) {
+            engine.step(frame.index, &frame.image)?;
         }
+        Ok(engine.finish())
     }
 
     /// Runs the stream, surfacing unrecoverable frame failures as an
     /// error instead of unwinding.
+    #[doc(hidden)]
     #[deprecated(note = "`run` now returns `Result`; call it directly")]
     pub fn run_result(self) -> Result<StreamResult, StreamFailure> {
         self.run()
-    }
-
-    /// The unhooked hot path: no fault bookkeeping, no recovery branches.
-    fn run_nominal(mut self) -> StreamResult {
-        let t0 = Instant::now();
-        let mut state = AppState::new(self.seq.width, self.seq.height);
-        let frames = self.seq.frames;
-        let mut trace = TraceLog::new();
-        let mut predictions = Vec::with_capacity(frames);
-        let mut stripes = Vec::with_capacity(frames);
-        let mut scenarios = Vec::with_capacity(frames);
-        let mut displays = Vec::with_capacity(frames);
-        let mut frame_wall_ms = Vec::with_capacity(frames);
-
-        for frame in SequenceGenerator::new(self.seq) {
-            let ft0 = Instant::now();
-            let roi_kpixels = state
-                .current_roi
-                .map(|r| r.area() as f64 / 1000.0)
-                .unwrap_or_else(|| (frame.image.width() * frame.image.height()) as f64 / 1000.0);
-            let plan = self.manager.plan(roi_kpixels);
-            predictions.push(plan.predicted_total_ms);
-            stripes.push(plan.policy.rdg_stripes);
-
-            let out = process_frame_observed(
-                frame.index,
-                &frame.image,
-                &mut state,
-                &self.app,
-                &plan.policy,
-                self.id,
-                self.manager.bus_mut(),
-            );
-            self.manager.absorb(&out);
-            scenarios.push(out.scenario.id());
-            displays.push(out.display);
-            trace.push(out.record);
-            frame_wall_ms.push(ft0.elapsed().as_secs_f64() * 1000.0);
-        }
-
-        StreamResult {
-            stream: self.id,
-            cores: self.cores,
-            accuracy: self.manager.accuracy(),
-            infeasible_frames: self.manager.infeasible_frames(),
-            trace,
-            predictions,
-            stripes,
-            scenarios,
-            displays,
-            frame_wall_ms,
-            wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
-            dropped_frames: 0,
-            fault_events: Vec::new(),
-        }
-    }
-
-    /// The fault-injecting, gracefully-degrading path.
-    fn run_faulted(
-        mut self,
-        injector: Arc<dyn FaultInjector>,
-    ) -> Result<StreamResult, StreamFailure> {
-        let t0 = Instant::now();
-        let mut state = AppState::new(self.seq.width, self.seq.height);
-        let frames = self.seq.frames;
-        let mut trace = TraceLog::new();
-        let mut predictions = Vec::with_capacity(frames);
-        let mut stripes = Vec::with_capacity(frames);
-        let mut scenarios = Vec::with_capacity(frames);
-        let mut displays = Vec::with_capacity(frames);
-        let mut frame_wall_ms = Vec::with_capacity(frames);
-        let mut dropped_frames = 0usize;
-        let mut last_good_display: Option<ImageU16> = None;
-        let mut rec = RecoveryState::new();
-        let policy = self.recovery;
-
-        // record every fault-family event this stream emits (executor- and
-        // session-level) so callers can assert replay determinism
-        let collected: Arc<Mutex<Vec<FrameEvent>>> = Arc::new(Mutex::new(Vec::new()));
-        let sink = Arc::clone(&collected);
-        self.manager.subscribe(Box::new(move |e: &FrameEvent| {
-            if e.replay_key().is_some() {
-                sink.lock().unwrap().push(e.clone());
-            }
-        }));
-
-        for frame in SequenceGenerator::new(self.seq) {
-            let idx = frame.index;
-            if injector.drops_frame(self.id, idx) {
-                let stream = self.id;
-                let bus = self.manager.bus_mut();
-                bus.emit(FrameEvent::FaultInjected {
-                    stream,
-                    frame: idx,
-                    kind: FaultKind::FrameDrop,
-                });
-                bus.emit(FrameEvent::DegradedMode {
-                    stream,
-                    frame: idx,
-                    mode: DegradeMode::OutputDropped,
-                    cause: FaultKind::FrameDrop,
-                });
-                dropped_frames += 1;
-                continue;
-            }
-
-            let ft0 = Instant::now();
-            let roi_kpixels = state
-                .current_roi
-                .map(|r| r.area() as f64 / 1000.0)
-                .unwrap_or_else(|| (frame.image.width() * frame.image.height()) as f64 / 1000.0);
-            let mut plan = self.manager.plan(roi_kpixels);
-            let planned_rdg = plan.policy.rdg_stripes;
-            rec.apply_cap(&mut plan.policy);
-            predictions.push(plan.predicted_total_ms);
-            stripes.push(plan.policy.rdg_stripes);
-
-            let faults = injector.frame_faults(self.id, idx);
-            let out = match process_frame_recovering(
-                idx,
-                &frame.image,
-                &mut state,
-                &self.app,
-                &plan.policy,
-                self.id,
-                self.manager.bus_mut(),
-                faults,
-                &policy.retry,
-            ) {
-                Ok(out) => out,
-                Err(err) => {
-                    return Err(StreamFailure {
-                        stream: self.id,
-                        message: err.to_string(),
-                        frames_completed: trace.len(),
-                    });
-                }
-            };
-            self.manager.absorb(&out);
-
-            // stripe downshift on repeated budget overruns
-            let overrun = self
-                .manager
-                .budget()
-                .is_some_and(|b| out.record.latency_ms > b.target_ms);
-            match rec.note_frame(overrun, plan.policy.rdg_stripes, &policy) {
-                RecoveryAction::Downshift(cap) => {
-                    let stream = self.id;
-                    let aux = plan.policy.aux_stripes.min(cap);
-                    let bus = self.manager.bus_mut();
-                    bus.emit(FrameEvent::DegradedMode {
-                        stream,
-                        frame: idx,
-                        mode: DegradeMode::StripeDownshift,
-                        cause: FaultKind::Overrun,
-                    });
-                    bus.emit(FrameEvent::RepartitionDecided {
-                        stream,
-                        frame: idx,
-                        from_rdg_stripes: plan.policy.rdg_stripes,
-                        to_rdg_stripes: cap,
-                        aux_stripes: aux,
-                        reason: RepartitionReason::Downshift,
-                    });
-                }
-                RecoveryAction::Lift(_) => {
-                    let stream = self.id;
-                    let bus = self.manager.bus_mut();
-                    bus.emit(FrameEvent::Recovered {
-                        stream,
-                        frame: idx,
-                        kind: FaultKind::Overrun,
-                        attempts: 0,
-                    });
-                    bus.emit(FrameEvent::RepartitionDecided {
-                        stream,
-                        frame: idx,
-                        from_rdg_stripes: plan.policy.rdg_stripes,
-                        to_rdg_stripes: planned_rdg,
-                        aux_stripes: plan.policy.aux_stripes,
-                        reason: RepartitionReason::Lift,
-                    });
-                }
-                RecoveryAction::None => {}
-            }
-
-            // model quarantine bookkeeping: release first, then check for
-            // a new corruption checkpoint on this frame
-            if rec.tick_quarantine() {
-                if rec.resume_online() {
-                    self.manager.model_mut().set_online_training(true);
-                }
-                let stream = self.id;
-                self.manager.bus_mut().emit(FrameEvent::Recovered {
-                    stream,
-                    frame: idx,
-                    kind: FaultKind::SnapshotCorruption,
-                    attempts: 0,
-                });
-            }
-            if injector.corrupts_snapshot(self.id, idx) {
-                let stream = self.id;
-                self.manager.bus_mut().emit(FrameEvent::FaultInjected {
-                    stream,
-                    frame: idx,
-                    kind: FaultKind::SnapshotCorruption,
-                });
-                // checkpoint, deterministically garble, and attempt the
-                // restore: the corrupted snapshot must be rejected with an
-                // Err (never a panic), leaving the live model untouched
-                let pristine = self.manager.model().snapshot_bytes();
-                let mut garbled = pristine.clone();
-                if !garbled.is_empty() {
-                    let h = fault_hash(injector.seed(), self.id, idx, 0xC0);
-                    let at = (h as usize) % garbled.len();
-                    garbled[at] ^= 0xA5;
-                }
-                if self.manager.model_mut().try_restore_bytes(&garbled).is_ok() {
-                    // the garble happened to still decode as a valid
-                    // snapshot: roll back to the pristine checkpoint
-                    self.manager
-                        .model_mut()
-                        .try_restore_bytes(&pristine)
-                        .expect("pristine snapshot restores");
-                }
-                let online = self.manager.model().online_training();
-                if online {
-                    self.manager.model_mut().set_online_training(false);
-                }
-                rec.enter_quarantine(online, &policy);
-                self.manager.bus_mut().emit(FrameEvent::DegradedMode {
-                    stream,
-                    frame: idx,
-                    mode: DegradeMode::ModelQuarantine,
-                    cause: FaultKind::SnapshotCorruption,
-                });
-            }
-
-            // per-frame deadline: late frames fall back to the last good
-            // output (wall-clock dependent, so off by default)
-            let wall_ms = ft0.elapsed().as_secs_f64() * 1000.0;
-            let mut display = out.display;
-            if let Some(deadline) = policy.frame_deadline_ms {
-                if wall_ms > deadline {
-                    let stream = self.id;
-                    self.manager.bus_mut().emit(FrameEvent::DegradedMode {
-                        stream,
-                        frame: idx,
-                        mode: DegradeMode::OutputDropped,
-                        cause: FaultKind::Overrun,
-                    });
-                    display = last_good_display.clone();
-                }
-            }
-            if display.is_some() {
-                last_good_display = display.clone();
-            }
-
-            scenarios.push(out.scenario.id());
-            displays.push(display);
-            trace.push(out.record);
-            frame_wall_ms.push(wall_ms);
-        }
-
-        let fault_events = collected.lock().unwrap().clone();
-        Ok(StreamResult {
-            stream: self.id,
-            cores: self.cores,
-            accuracy: self.manager.accuracy(),
-            infeasible_frames: self.manager.infeasible_frames(),
-            trace,
-            predictions,
-            stripes,
-            scenarios,
-            displays,
-            frame_wall_ms,
-            wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
-            dropped_frames,
-            fault_events,
-        })
     }
 }
 
@@ -597,7 +296,7 @@ impl std::fmt::Display for StreamFailure {
 impl std::error::Error for StreamFailure {}
 
 /// Extracts a readable message from a caught thread-panic payload.
-fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -641,19 +340,16 @@ pub struct StreamResult {
 impl StreamResult {
     /// p99 of the per-frame host wall-clock times, ms (nearest-rank).
     pub fn p99_wall_ms(&self) -> f64 {
-        percentile(&self.frame_wall_ms, 0.99)
+        platform::metrics::percentile(&self.frame_wall_ms, 0.99)
     }
 }
 
 /// Nearest-rank percentile (`p` in `[0, 1]`) of an unsorted series.
+#[deprecated(
+    note = "moved to `platform::metrics::percentile` (re-exported as `runtime::percentile`)"
+)]
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    if xs.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    platform::metrics::percentile(xs, p)
 }
 
 /// Scheduler configuration.
@@ -759,85 +455,12 @@ impl SessionScheduler {
     /// divided by the fairness policy, and the wave's streams execute
     /// concurrently (one host thread each, data-parallel stages on the
     /// shared stripe pool). Results are returned in stream order.
+    ///
+    /// A thin wrapper over the service tier's wave driver
+    /// ([`service`](crate::service)); behaviour is unchanged from the
+    /// pre-service monolithic scheduler.
     pub fn run(&self, specs: Vec<StreamSpec>) -> SessionReport {
-        let t0 = Instant::now();
-        let wave_size = self.cfg.max_concurrent.min(self.cfg.total_cores).max(1);
-        let mut pending: VecDeque<(StreamId, StreamSpec)> = specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, s)| (i as StreamId, s))
-            .collect();
-        let mut results: Vec<StreamResult> = Vec::new();
-        let mut failures: Vec<StreamFailure> = Vec::new();
-
-        while !pending.is_empty() {
-            let take = wave_size.min(pending.len());
-            let wave: Vec<(StreamId, StreamSpec)> = pending.drain(..take).collect();
-            let weights: Vec<f64> = wave
-                .iter()
-                .map(|(_, s)| match self.cfg.fairness {
-                    FairnessPolicy::EqualShare => 1.0,
-                    FairnessPolicy::WeightedDemand => s.weight,
-                })
-                .collect();
-            let cores = allocate_cores(self.cfg.total_cores, &weights);
-            let sessions: Vec<StreamSession> = wave
-                .into_iter()
-                .zip(&cores)
-                .map(|((id, spec), &c)| {
-                    let mut sess = StreamSession::new(id, spec, c);
-                    if let Some(obs) = &self.obs {
-                        sess.attach_observability(obs);
-                    }
-                    sess
-                })
-                .collect();
-            // A panicking stream must neither unwind into the scheduler
-            // nor take its siblings down: every join is caught and folded
-            // into the report's failure list alongside the explicit
-            // per-stream failures.
-            std::thread::scope(|scope| {
-                let handles: Vec<(StreamId, _)> = sessions
-                    .into_iter()
-                    .map(|sess| {
-                        let id = sess.id();
-                        (id, scope.spawn(move || sess.run()))
-                    })
-                    .collect();
-                for (id, h) in handles {
-                    match h.join() {
-                        Ok(Ok(r)) => results.push(r),
-                        Ok(Err(f)) => failures.push(f),
-                        Err(payload) => failures.push(StreamFailure {
-                            stream: id,
-                            message: format!(
-                                "stream thread panicked: {}",
-                                panic_payload_message(payload.as_ref())
-                            ),
-                            frames_completed: 0,
-                        }),
-                    }
-                }
-            });
-        }
-
-        results.sort_by_key(|r| r.stream);
-        failures.sort_by_key(|f| f.stream);
-        let wall_ms = t0.elapsed().as_secs_f64() * 1000.0;
-        let total_frames: usize = results.iter().map(|r| r.trace.len()).sum();
-        let aggregate_fps = if wall_ms > 0.0 {
-            total_frames as f64 / (wall_ms / 1000.0)
-        } else {
-            0.0
-        };
-        SessionReport {
-            streams: results,
-            failures,
-            wall_ms,
-            total_frames,
-            aggregate_fps,
-            metrics: self.obs.as_ref().map(|o| o.snapshot()),
-        }
+        crate::service::run_waves(&self.cfg, self.obs.as_ref(), specs)
     }
 }
 
@@ -872,6 +495,7 @@ mod tests {
     use super::*;
     use pipeline::executor::ExecutionPolicy;
     use pipeline::runner::run_sequence;
+    use platform::bus::{DegradeMode, FaultKind};
     use triplec::triple::TripleCConfig;
     use xray::NoiseConfig;
 
@@ -943,6 +567,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim must keep answering like the shared helper
     fn percentile_nearest_rank() {
         let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         assert_eq!(percentile(&xs, 0.99), 99.0);

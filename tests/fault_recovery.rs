@@ -19,8 +19,9 @@ use triple_c::pipeline::executor::ExecutionPolicy;
 use triple_c::pipeline::runner::run_sequence;
 use triple_c::platform::bus::FrameEvent;
 use triple_c::runtime::{
-    FairnessPolicy, FaultPlan, FaultPlanConfig, LatencyBudget, SessionConfig, SessionReport,
-    SessionScheduler, StreamSpec,
+    BackpressurePolicy, EvictionPolicy, FairnessPolicy, FaultPlan, FaultPlanConfig, LatencyBudget,
+    ServiceConfig, ServiceCore, SessionConfig, SessionReport, SessionScheduler, ShardLayout,
+    StreamSpec,
 };
 use triple_c::triplec::triple::{TripleC, TripleCConfig};
 use triple_c::xray::{NoiseConfig, SequenceConfig};
@@ -236,6 +237,117 @@ fn faulted_four_stream_run_replays_event_for_event() {
         "replay comparison is vacuous: no fault events recorded"
     );
     assert_eq!(k1, k2, "two executions of seed 777 diverged");
+}
+
+/// A faulted stream that is evicted and re-admitted mid-run must behave
+/// exactly as if it had never been parked: the model snapshot taken at
+/// every eviction checkpoint round-trips byte-identically (asserted by
+/// the service core itself via `snapshot_roundtrip_ok`), the replay keys
+/// are stable across two service executions of the same seed, and both
+/// the keys and the scenario trace match an uninterrupted wave-scheduler
+/// run of the same streams.
+#[test]
+fn evicted_streams_replay_and_snapshot_round_trip() {
+    let model = trained_model();
+    let seeds = [41u64, 42];
+    let frames = 6;
+    // determinism-safe: generous fixed budget (no measured-time overrun
+    // bookkeeping in the event stream), every seeded fault kind armed
+    let plan = FaultPlan::new(
+        555,
+        FaultPlanConfig {
+            panic_rate: 0.5,
+            channel_rate: 0.4,
+            delay_rate: 0.4,
+            delay_ms: 1.0,
+            drop_rate: 0.2,
+            corrupt_rate: 0.3,
+        },
+    );
+    let budget = LatencyBudget::new(10_000.0, 0.1);
+
+    let specs = |seeds: &[u64]| -> Vec<StreamSpec> {
+        seeds
+            .iter()
+            .map(|&s| {
+                StreamSpec::builder(seq(s, frames), AppConfig::default(), model.clone())
+                    .budget(budget)
+                    .faults(Arc::new(plan))
+                    .build()
+            })
+            .collect()
+    };
+    // one stream runs at a time and yields every 2 frames, so the two
+    // streams strictly alternate: each is evicted and re-admitted twice
+    let cfg = ServiceConfig {
+        total_cores: 2,
+        layout: ShardLayout::Single,
+        queue_capacity: 2,
+        backpressure: BackpressurePolicy::Block,
+        eviction: EvictionPolicy::TimeSlice { frames: 2 },
+        max_concurrent: 1,
+    };
+    let keys = |report: &SessionReport| -> Vec<Vec<String>> {
+        report
+            .streams
+            .iter()
+            .map(|s| {
+                s.fault_events
+                    .iter()
+                    .filter_map(|e| e.replay_key())
+                    .collect()
+            })
+            .collect()
+    };
+
+    let first = ServiceCore::new(cfg).run_batch(specs(&seeds));
+    let second = ServiceCore::new(cfg).run_batch(specs(&seeds));
+    for report in [&first, &second] {
+        assert_recovered_session(&report.session, &seeds, frames);
+        for s in &report.streams {
+            assert!(
+                s.evictions > 0,
+                "stream {}: never evicted — the time-slice never triggered",
+                s.stream
+            );
+            assert!(
+                s.snapshot_roundtrip_ok,
+                "stream {}: eviction checkpoint did not round-trip the model \
+                 snapshot byte-identically",
+                s.stream
+            );
+        }
+    }
+    let (k1, k2) = (keys(&first.session), keys(&second.session));
+    assert!(
+        k1.iter().map(|s| s.len()).sum::<usize>() > 0,
+        "replay comparison is vacuous: no fault events recorded"
+    );
+    assert_eq!(k1, k2, "evicted executions of seed 555 diverged");
+
+    // an uninterrupted wave run of the same streams (same per-stream core
+    // grant: 2 cores over 2 streams is one each) sees the identical fault
+    // schedule and scenario trace — eviction/re-admission is transparent
+    let wave = SessionScheduler::new(SessionConfig {
+        total_cores: 2,
+        fairness: FairnessPolicy::EqualShare,
+        max_concurrent: 2,
+    })
+    .run(specs(&seeds));
+    assert_recovered_session(&wave, &seeds, frames);
+    assert_eq!(
+        keys(&wave),
+        k1,
+        "eviction/re-admission perturbed the fault replay keys"
+    );
+    for (ws, ss) in wave.streams.iter().zip(first.session.streams.iter()) {
+        assert_eq!(ws.stream, ss.stream);
+        assert_eq!(
+            ws.scenarios, ss.scenarios,
+            "stream {}: scenario trace diverged across schedulers",
+            ws.stream
+        );
+    }
 }
 
 /// Nightly soak: more streams, more frames, every fault kind at once.
