@@ -1,0 +1,126 @@
+//! Trace-driven workload benchmark: replays the checked-in trace corpus
+//! (`traces/*.trace`) through the service tier with the virtual replay
+//! clock and reports replay throughput, drop/fault counts, and a
+//! determinism bit (two replays, ledger-diffed). A second section
+//! measures the text-format plane itself: trace and ledger
+//! parse/serialize round-trip throughput.
+//!
+//! Emits one JSON line per row:
+//! `{"name": "workload/replay/<trace>", "streams", "frames", "wall_ms",
+//!   "frames_per_s", "executed", "dropped", "faults", "deterministic"}`
+//! and
+//! `{"name": "workload/format/<what>", "iters", "wall_ms", "per_s"}`.
+//! `BENCH_workload.json` is produced by running with
+//! `WORKLOAD_JSON=BENCH_workload.json`.
+
+use runtime::workload::{FrameOutcome, RunLedger, Trace, TraceRunner};
+use runtime::{BackpressurePolicy, EvictionPolicy, ServiceConfig, ShardLayout};
+use std::io::Write;
+use std::time::Instant;
+
+const TRACES: &[&str] = &["storm", "burst", "mixed"];
+
+fn corpus_path(name: &str) -> String {
+    format!("{}/../../traces/{name}.trace", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn pinned_config() -> ServiceConfig {
+    ServiceConfig {
+        total_cores: 8,
+        layout: ShardLayout::Single,
+        queue_capacity: 4,
+        backpressure: BackpressurePolicy::Block,
+        eviction: EvictionPolicy::None,
+        max_concurrent: 8,
+    }
+}
+
+fn replay(trace: &Trace) -> (RunLedger, f64) {
+    let start = Instant::now();
+    let report = TraceRunner::new(trace.clone())
+        .with_service_config(pinned_config())
+        .run();
+    (report.ledger, start.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!("# bench_workload: {host} host core(s), corpus: {TRACES:?}");
+
+    let mut lines = Vec::new();
+    for &name in TRACES {
+        let text = std::fs::read_to_string(corpus_path(name)).expect("read trace");
+        let trace = Trace::parse(&text).expect("corpus trace parses");
+        let (first, wall_ms) = replay(&trace);
+        let (second, _) = replay(&trace);
+        let deterministic = first.diff(&second).is_empty();
+        let frames = trace.total_frames();
+        let executed = first
+            .entries
+            .iter()
+            .filter(|e| e.outcome == FrameOutcome::Executed)
+            .count();
+        let line = format!(
+            "{{\"name\": \"workload/replay/{name}\", \"streams\": {}, \
+             \"frames\": {frames}, \"wall_ms\": {wall_ms:.1}, \
+             \"frames_per_s\": {:.1}, \"executed\": {executed}, \
+             \"dropped\": {}, \"faults\": {}, \"deterministic\": {deterministic}}}",
+            trace.streams.len(),
+            frames as f64 / (wall_ms / 1e3),
+            frames - executed,
+            first.faults.len(),
+        );
+        println!("{line}");
+        lines.push(line);
+    }
+
+    // Format-plane throughput: parse+serialize round trips over the
+    // whole corpus (trace side) and over a freshly produced ledger.
+    let corpus: Vec<String> = TRACES
+        .iter()
+        .map(|n| std::fs::read_to_string(corpus_path(n)).expect("read trace"))
+        .collect();
+    let iters = 2000usize;
+    let start = Instant::now();
+    for _ in 0..iters {
+        for text in &corpus {
+            let t = Trace::parse(text).expect("parses");
+            std::hint::black_box(t.to_text());
+        }
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let line = format!(
+        "{{\"name\": \"workload/format/trace_roundtrip\", \"iters\": {}, \
+         \"wall_ms\": {wall_ms:.1}, \"per_s\": {:.0}}}",
+        iters * corpus.len(),
+        (iters * corpus.len()) as f64 / (wall_ms / 1e3),
+    );
+    println!("{line}");
+    lines.push(line);
+
+    let (ledger, _) = replay(&Trace::parse(&corpus[2]).expect("parses"));
+    let ledger_text = ledger.to_text();
+    let start = Instant::now();
+    for _ in 0..iters {
+        let l = RunLedger::parse(&ledger_text).expect("parses");
+        std::hint::black_box(l.to_text());
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let line = format!(
+        "{{\"name\": \"workload/format/ledger_roundtrip\", \"iters\": {iters}, \
+         \"wall_ms\": {wall_ms:.1}, \"per_s\": {:.0}}}",
+        iters as f64 / (wall_ms / 1e3),
+    );
+    println!("{line}");
+    lines.push(line);
+
+    if let Ok(path) = std::env::var("WORKLOAD_JSON") {
+        let mut f = std::fs::File::create(&path).expect("create WORKLOAD_JSON file");
+        for line in &lines {
+            writeln!(f, "{line}").expect("write WORKLOAD_JSON");
+        }
+        eprintln!("# wrote {path}");
+    }
+}

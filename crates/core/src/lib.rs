@@ -59,7 +59,7 @@ pub use predictor::{
     ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, PredictContext, Predictor,
 };
 pub use quantize::Quantizer;
-pub use scenario::{Scenario, ScenarioChain, TASKS};
+pub use scenario::{Scenario, ScenarioChain, ScenarioScript, ScriptSegment, TASKS};
 pub use snapshot::SnapshotError;
 pub use training::{train_auto, ModelKind, TaskSeries, TrainingConfig};
 pub use triple::{FramePrediction, TripleC, TripleCConfig, TripleCSnapshot};

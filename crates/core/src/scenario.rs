@@ -118,6 +118,107 @@ impl Scenario {
     }
 }
 
+/// One segment of a scripted scenario storm: hold one switch combination
+/// for a number of consecutive frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptSegment {
+    /// Scenario id (`0..8`) forced during this segment.
+    pub scenario: u8,
+    /// Number of consecutive frames the segment covers (must be > 0).
+    pub frames: usize,
+}
+
+/// A scripted scenario storm: a timed sequence of forced switch states.
+///
+/// Scripts override the data-dependent switches of the flow graph so
+/// workloads can thrash the eight scenario states on a schedule the
+/// Markov predictor has never seen (rapid-switch sequences, held
+/// worst-case bursts). Frames past the end of the script fall back to
+/// the natural content-derived switches.
+///
+/// ```
+/// use triplec::scenario::ScenarioScript;
+/// let script = ScenarioScript::thrash(&[0, 7], 1, 4);
+/// assert_eq!(script.scenario_at(0).unwrap().id(), 0);
+/// assert_eq!(script.scenario_at(1).unwrap().id(), 7);
+/// assert_eq!(script.scenario_at(7).unwrap().id(), 7);
+/// assert!(script.scenario_at(8).is_none()); // past the script
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioScript {
+    segments: Vec<ScriptSegment>,
+}
+
+impl ScenarioScript {
+    /// Builds a script from explicit segments. Panics on an out-of-range
+    /// scenario id or a zero-length segment (both are authoring errors).
+    pub fn new(segments: Vec<ScriptSegment>) -> Self {
+        for seg in &segments {
+            assert!(
+                seg.scenario < 8,
+                "scenario id out of range: {}",
+                seg.scenario
+            );
+            assert!(seg.frames > 0, "zero-length script segment");
+        }
+        Self { segments }
+    }
+
+    /// A single held scenario.
+    pub fn hold(scenario: u8, frames: usize) -> Self {
+        Self::new(vec![ScriptSegment { scenario, frames }])
+    }
+
+    /// A rapid-switch thrash: cycles through `ids`, holding each for
+    /// `period` frames, repeated `cycles` times.
+    pub fn thrash(ids: &[u8], period: usize, cycles: usize) -> Self {
+        let mut segments = Vec::with_capacity(ids.len() * cycles);
+        for _ in 0..cycles {
+            for &id in ids {
+                segments.push(ScriptSegment {
+                    scenario: id,
+                    frames: period,
+                });
+            }
+        }
+        Self::new(segments)
+    }
+
+    /// The scenario forced at `frame`, or `None` past the script's end.
+    pub fn scenario_at(&self, frame: usize) -> Option<Scenario> {
+        let mut start = 0usize;
+        for seg in &self.segments {
+            let end = start + seg.frames;
+            if frame < end {
+                return Some(Scenario::from_id(seg.scenario));
+            }
+            start = end;
+        }
+        None
+    }
+
+    /// Total number of frames the script covers.
+    pub fn len_frames(&self) -> usize {
+        self.segments.iter().map(|s| s.frames).sum()
+    }
+
+    /// The raw segment list.
+    pub fn segments(&self) -> &[ScriptSegment] {
+        &self.segments
+    }
+
+    /// Expands the script into a per-frame scenario-id sequence of length
+    /// `frames` (frames past the end repeat the final segment's scenario,
+    /// or scenario 0 for an empty script) — the training-sequence shape
+    /// [`ScenarioChain::estimate`] expects.
+    pub fn expand(&self, frames: usize) -> Vec<u8> {
+        let last = self.segments.last().map_or(0, |s| s.scenario);
+        (0..frames)
+            .map(|f| self.scenario_at(f).map_or(last, |s| s.id()))
+            .collect()
+    }
+}
+
 /// A Markov chain over scenario ids: predicts the next frame's switch
 /// combination from the current one (the scenario-based part of
 /// "scenario-based Markov chains").
@@ -265,5 +366,40 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_scenario_id_rejected() {
         let _ = Scenario::from_id(8);
+    }
+
+    #[test]
+    fn script_hold_and_thrash() {
+        let hold = ScenarioScript::hold(5, 3);
+        assert_eq!(hold.len_frames(), 3);
+        for f in 0..3 {
+            assert_eq!(hold.scenario_at(f).unwrap().id(), 5);
+        }
+        assert!(hold.scenario_at(3).is_none());
+
+        let thrash = ScenarioScript::thrash(&[1, 6], 2, 2);
+        let ids: Vec<u8> = (0..8)
+            .map(|f| thrash.scenario_at(f).unwrap().id())
+            .collect();
+        assert_eq!(ids, vec![1, 1, 6, 6, 1, 1, 6, 6]);
+    }
+
+    #[test]
+    fn script_expand_repeats_tail() {
+        let script = ScenarioScript::thrash(&[0, 7], 1, 2);
+        assert_eq!(script.expand(6), vec![0, 7, 0, 7, 7, 7]);
+        assert_eq!(ScenarioScript::new(vec![]).expand(2), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn script_rejects_bad_id() {
+        let _ = ScenarioScript::hold(8, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn script_rejects_empty_segment() {
+        let _ = ScenarioScript::hold(0, 0);
     }
 }

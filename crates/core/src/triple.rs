@@ -321,6 +321,24 @@ impl TripleC {
         &self.scenario_chain
     }
 
+    /// Re-estimates the scenario chain from a recently observed
+    /// scenario-id sequence.
+    ///
+    /// The chain is normally a training-time constant (it is excluded
+    /// from snapshots for that reason), but under scenario storms the
+    /// observed transition structure can drift so far from the training
+    /// run that scenario prediction accuracy collapses. The recovery
+    /// layer then quarantines the model and calls this with the recent
+    /// actual-scenario window. Sequences shorter than two observations
+    /// carry no transitions and are ignored (returns `false`).
+    pub fn retrain_scenario_chain(&mut self, sequence: &[u8]) -> bool {
+        if sequence.len() < 2 {
+            return false;
+        }
+        self.scenario_chain = ScenarioChain::estimate(sequence);
+        true
+    }
+
     /// The memory requirement table of this implementation (Table 1).
     pub fn memory_table(&self) -> Vec<TaskMemory> {
         implementation_table(self.cfg.geometry, self.cfg.zoom_out)
@@ -387,6 +405,20 @@ mod tests {
         let worst = t.predict_frame_time(Scenario::worst_case(), &ctx);
         let best = t.predict_frame_time(Scenario::best_case(), &ctx);
         assert!(worst > best + 30.0, "worst {worst} best {best}");
+    }
+
+    #[test]
+    fn retrain_scenario_chain_replaces_transitions() {
+        let mut t = trained();
+        // training data dwells in 7 (runs of 40) — persistence predicts 7->7
+        assert_eq!(t.predict_next_scenario(Scenario::from_id(7)).id(), 7);
+        // too-short sequences are rejected and leave the chain untouched
+        assert!(!t.retrain_scenario_chain(&[3]));
+        assert_eq!(t.predict_next_scenario(Scenario::from_id(7)).id(), 7);
+        // retrain on an alternating storm window: chain now predicts the swap
+        assert!(t.retrain_scenario_chain(&[0, 7, 0, 7, 0, 7, 0, 7]));
+        assert_eq!(t.predict_next_scenario(Scenario::from_id(7)).id(), 0);
+        assert_eq!(t.predict_next_scenario(Scenario::from_id(0)).id(), 7);
     }
 
     #[test]

@@ -10,6 +10,7 @@ use imaging::registration::RegConfig;
 use imaging::ridge::{RdgBuffers, RdgConfig};
 use imaging::roi_est::RoiEstConfig;
 use imaging::zoom::{ZoomConfig, ZoomScratch};
+use triplec::scenario::ScenarioScript;
 
 /// Configuration of all pipeline tasks plus the switch thresholds.
 #[derive(Debug, Clone)]
@@ -34,6 +35,12 @@ pub struct AppConfig {
     /// Structure-probe multiple above which RDG's fine refinement scales
     /// run (the coarse-to-fine content adaptation).
     pub fine_probe_factor: f64,
+    /// Optional scripted scenario storm: while a script covers a frame,
+    /// the three flow-graph switches are forced to the scripted state
+    /// instead of being derived from the content (used by trace-driven
+    /// workloads to thrash the scenario space on a schedule). `None`
+    /// (the default) leaves the data-dependent switches untouched.
+    pub scenario_script: Option<ScenarioScript>,
 }
 
 impl Default for AppConfig {
@@ -51,6 +58,7 @@ impl Default for AppConfig {
             probe_block: 4,
             max_reg_failures: 5,
             fine_probe_factor: 1.25,
+            scenario_script: None,
         }
     }
 }

@@ -381,9 +381,19 @@ fn process_frame_inner(
         }
     }
 
+    // Scripted scenario storms force the three switches for frames a
+    // script covers (work ROIs, registration state and couple tracking
+    // keep their natural bookkeeping — only the switch decisions and the
+    // reported scenario follow the script). `None` leaves every switch
+    // data-dependent, bit-identical to the unscripted path.
+    let forced = cfg
+        .scenario_script
+        .as_ref()
+        .and_then(|s| s.scenario_at(frame_index));
+
     // --- switch 1: RDG DETECTION --------------------------------------
     let probe = structure_probe(frame, cfg.probe_block);
-    let rdg_active = probe > cfg.structure_threshold;
+    let rdg_active = forced.map_or(probe > cfg.structure_threshold, |s| s.rdg_active);
     // coarse-to-fine adaptation: heavy content triggers the fine scales.
     // Deciding from the whole-frame probe keeps serial and striped
     // executions identical; hysteresis (on above the threshold, off only
@@ -398,7 +408,11 @@ fn process_frame_inner(
     rdg_cfg.fine_enabled = state.fine_active;
 
     // --- switch 2 (granularity): ROI ESTIMATED ------------------------
-    let roi_estimated = state.current_roi.is_some();
+    // A forced `roi_estimated` without a tracked ROI still works the full
+    // frame; the tracking tasks additionally need a couple to run, so a
+    // coupleless forced-ROI frame reports the scripted scenario without
+    // executing ROI_EST/GW_EXT (documented script semantics).
+    let roi_estimated = forced.map_or(state.current_roi.is_some(), |s| s.roi_estimated);
     let work_roi = state.current_roi.unwrap_or_else(|| frame.full_roi());
     let roi_kpixels = work_roi.area() as f64 / 1000.0;
 
@@ -582,6 +596,13 @@ fn process_frame_inner(
                 state.reference_couple = Some(*c);
             }
         }
+    }
+    // Scripted REG switch: a forced success runs ENH/ZOOM with whatever
+    // transform registration produced (identity when it did not run); a
+    // forced failure skips them. Registration bookkeeping above
+    // (failure counts, reference acquisition) stays natural either way.
+    if let Some(f) = forced {
+        reg_successful = f.reg_successful;
     }
 
     // --- ROI EST + GW EXT (tracking branch) ------------------------------
@@ -899,6 +920,45 @@ mod tests {
             let ran_rdg =
                 o.record.task_time("RDG_FULL").is_some() || o.record.task_time("RDG_ROI").is_some();
             assert_eq!(ran_rdg, s.rdg_active, "frame {}", o.record.frame);
+        }
+    }
+
+    #[test]
+    fn scenario_script_forces_switches() {
+        use triplec::scenario::ScenarioScript;
+        // thrash 0 <-> 7 every frame for 8 frames, then fall back to content
+        let cfg = AppConfig {
+            scenario_script: Some(ScenarioScript::thrash(&[0, 7], 1, 4)),
+            ..Default::default()
+        };
+        let policy = ExecutionPolicy::default();
+        let mut state = AppState::new(160, 160);
+        let outs: Vec<FrameOutput> = clean_sequence(12, 45)
+            .map(|f| process_frame(f.index, &f.image, &mut state, &cfg, &policy))
+            .collect();
+        for (i, o) in outs.iter().take(8).enumerate() {
+            let want = if i % 2 == 0 { 0 } else { 7 };
+            assert_eq!(o.scenario.id(), want, "frame {i}");
+            // the forced switches actually gate the heavy branches
+            assert_eq!(o.record.task_time("ENH").is_some(), want == 7, "frame {i}");
+            let ran_rdg =
+                o.record.task_time("RDG_FULL").is_some() || o.record.task_time("RDG_ROI").is_some();
+            assert_eq!(ran_rdg, want == 7, "frame {i}");
+        }
+        // past the script: the switches are content-derived again
+        let natural: Vec<FrameOutput> = {
+            let cfg = AppConfig::default();
+            let mut state = AppState::new(160, 160);
+            clean_sequence(12, 45)
+                .map(|f| process_frame(f.index, &f.image, &mut state, &cfg, &policy))
+                .collect()
+        };
+        // frame 8+ RDG switch matches the unscripted probe decision
+        for i in 8..12 {
+            assert_eq!(
+                outs[i].scenario.rdg_active, natural[i].scenario.rdg_active,
+                "frame {i}"
+            );
         }
     }
 

@@ -37,6 +37,10 @@ pub enum FaultKind {
     /// Not injected: repeated real budget overruns (the stripe-downshift
     /// trigger).
     Overrun,
+    /// Not injected: scenario-prediction accuracy collapsed against the
+    /// observed scenario stream (the model-quarantine/re-train trigger
+    /// under scenario storms).
+    PredictionDrift,
 }
 
 impl FaultKind {
@@ -49,6 +53,7 @@ impl FaultKind {
             FaultKind::SnapshotCorruption => "snapshot-corruption",
             FaultKind::ChannelError => "channel-error",
             FaultKind::Overrun => "overrun",
+            FaultKind::PredictionDrift => "prediction-drift",
         }
     }
 }
@@ -320,6 +325,19 @@ pub enum FrameEvent {
         /// Shard the stream now runs on.
         to_shard: usize,
     },
+    /// A trace-driven workload replay crossed a phase boundary
+    /// (`runtime::workload`): arrival-schedule segments, scenario-storm
+    /// onsets and trace completion, labelled so metrics and trace spans
+    /// can be sliced per workload phase.
+    TracePhase {
+        /// Stream the phase applies to (`DEFAULT_STREAM` for whole-trace
+        /// phases).
+        stream: StreamId,
+        /// Frame index at which the phase begins on that stream.
+        frame: usize,
+        /// Stable phase label (e.g. `"submit"`, `"storm"`, `"drain"`).
+        phase: &'static str,
+    },
 }
 
 impl FrameEvent {
@@ -341,7 +359,8 @@ impl FrameEvent {
             | FrameEvent::StreamAdmitted { stream, .. }
             | FrameEvent::StreamQueued { stream, .. }
             | FrameEvent::StreamEvicted { stream, .. }
-            | FrameEvent::ShardRebalanced { stream, .. } => stream,
+            | FrameEvent::ShardRebalanced { stream, .. }
+            | FrameEvent::TracePhase { stream, .. } => stream,
         }
     }
 
@@ -363,7 +382,8 @@ impl FrameEvent {
             | FrameEvent::StreamAdmitted { frame, .. }
             | FrameEvent::StreamQueued { frame, .. }
             | FrameEvent::StreamEvicted { frame, .. }
-            | FrameEvent::ShardRebalanced { frame, .. } => frame,
+            | FrameEvent::ShardRebalanced { frame, .. }
+            | FrameEvent::TracePhase { frame, .. } => frame,
         }
     }
 
@@ -380,6 +400,9 @@ impl FrameEvent {
     /// admission order depends on wall-clock completion order, while the
     /// fault layer keys off absolute `(stream, frame)` coordinates and so
     /// replays identically however streams are placed.
+    /// [`FrameEvent::TracePhase`] is schedule-derived and deterministic,
+    /// but the workload ledger records phases through its own keyspace,
+    /// so replay keys stay exclusively the fault family.
     pub fn replay_key(&self) -> Option<String> {
         match *self {
             FrameEvent::FaultInjected {
@@ -636,6 +659,11 @@ mod tests {
                 from_shard: 0,
                 to_shard: 1,
             },
+            FrameEvent::TracePhase {
+                stream: 1,
+                frame: 2,
+                phase: "storm",
+            },
         ];
         for e in events {
             assert_eq!(e.stream(), 1);
@@ -708,6 +736,16 @@ mod tests {
                 stream: 3,
                 frame: 9,
                 shard: 1,
+            }
+            .replay_key(),
+            None
+        );
+        // trace phases are ledgered through the workload keyspace: no key
+        assert_eq!(
+            FrameEvent::TracePhase {
+                stream: 3,
+                frame: 9,
+                phase: "storm",
             }
             .replay_key(),
             None

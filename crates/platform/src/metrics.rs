@@ -699,6 +699,13 @@ impl MetricsSubscriber {
             FrameEvent::ShardRebalanced { .. } => {
                 self.counter("shard_rebalances", per_stream).inc();
             }
+            FrameEvent::TracePhase { phase, .. } => {
+                self.counter(
+                    "trace_phase_transitions",
+                    Labels::stage(event.stream(), phase),
+                )
+                .inc();
+            }
         }
     }
 }

@@ -446,6 +446,10 @@ impl Subscriber for TraceSubscriber {
                     ("to_shard", to_shard as f64),
                 ],
             ),
+            FrameEvent::TracePhase { phase, .. } => {
+                self.spans
+                    .instant(phase, "trace", stream, vec![("frame", frame)])
+            }
         }
     }
 }

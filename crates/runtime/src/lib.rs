@@ -19,7 +19,10 @@
 //! * [`faults`] — deterministic, seeded fault injection (order
 //!   independent: a seed reproduces a faulted run event-for-event);
 //! * [`recovery`] — graceful-degradation policies (stage retry, stripe
-//!   downshift, model quarantine, frame deadlines).
+//!   downshift, model quarantine, frame deadlines);
+//! * [`workload`] — the trace-driven workload harness: replayable
+//!   scenario storms, mixed-resolution stream fleets, and the diffable
+//!   run ledgers behind the golden-trace regression tests.
 
 pub mod adaptation;
 pub mod budget;
@@ -30,6 +33,7 @@ pub mod recovery;
 pub mod run;
 pub mod service;
 pub mod session;
+pub mod workload;
 
 pub use adaptation::{choose_policy, predicted_latency, CostPrediction, STRIPE_EFFICIENCY};
 pub use budget::LatencyBudget;
@@ -47,3 +51,4 @@ pub use session::{
     allocate_cores, FairnessPolicy, SessionConfig, SessionConfigBuilder, SessionReport,
     SessionScheduler, StreamFailure, StreamResult, StreamSession, StreamSpec, StreamSpecBuilder,
 };
+pub use workload::{ReplayClock, ReplayReport, RunLedger, Trace, TraceError, TraceRunner};

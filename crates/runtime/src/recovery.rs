@@ -17,7 +17,15 @@
 //!   [`RecoveryPolicy::frame_deadline_ms`] has its output replaced by the
 //!   stream's last good display ([`DegradeMode::OutputDropped`]). Wall
 //!   time is not reproducible, so this policy defaults to off and is
-//!   excluded from replay-determinism guarantees.
+//!   excluded from replay-determinism guarantees;
+//! * **prediction-drift quarantine** — when the rolling hit-rate of
+//!   scenario predictions over [`RecoveryPolicy::drift_window`] frames
+//!   falls below [`RecoveryPolicy::drift_threshold`] (scenario storms
+//!   thrash transitions the training chain has never seen), the model is
+//!   quarantined ([`DegradeMode::ModelQuarantine`] with cause
+//!   `PredictionDrift`), its scenario chain is re-estimated from the
+//!   recent actual-scenario window, and a `Recovered` event fires when
+//!   the quarantine lifts. Off by default (`drift_threshold: None`).
 
 use pipeline::executor::{ExecutionPolicy, StageRetry};
 use platform::bus::DegradeMode;
@@ -37,6 +45,12 @@ pub struct RecoveryPolicy {
     pub quarantine_frames: u32,
     /// Host wall-clock deadline per frame, ms (None = no deadline).
     pub frame_deadline_ms: Option<f64>,
+    /// Rolling window (frames) over which scenario-prediction hit-rate
+    /// is measured for drift detection.
+    pub drift_window: usize,
+    /// Hit-rate floor below which the model is quarantined and its
+    /// scenario chain re-estimated (None = drift detection off).
+    pub drift_threshold: Option<f64>,
 }
 
 impl Default for RecoveryPolicy {
@@ -47,6 +61,8 @@ impl Default for RecoveryPolicy {
             min_stripes: 1,
             quarantine_frames: 2,
             frame_deadline_ms: None,
+            drift_window: 8,
+            drift_threshold: None,
         }
     }
 }
@@ -71,6 +87,7 @@ pub struct RecoveryState {
     stripe_cap: Option<usize>,
     quarantine_left: u32,
     online_before_quarantine: bool,
+    drift_hits: std::collections::VecDeque<bool>,
 }
 
 impl RecoveryState {
@@ -155,6 +172,45 @@ impl RecoveryState {
     pub fn resume_online(&self) -> bool {
         self.online_before_quarantine
     }
+
+    /// Books one scenario prediction/actual pair for drift detection.
+    ///
+    /// Returns `true` exactly when the rolling hit-rate over a full
+    /// [`RecoveryPolicy::drift_window`] falls below
+    /// [`RecoveryPolicy::drift_threshold`] and the model is not already
+    /// quarantined — the signal for the caller to quarantine and
+    /// re-estimate the scenario chain. The window resets on trigger so
+    /// one storm produces one quarantine, not one per frame.
+    pub fn note_scenario(&mut self, predicted: u8, actual: u8, policy: &RecoveryPolicy) -> bool {
+        let Some(threshold) = policy.drift_threshold else {
+            return false;
+        };
+        let window = policy.drift_window.max(1);
+        self.drift_hits.push_back(predicted == actual);
+        while self.drift_hits.len() > window {
+            self.drift_hits.pop_front();
+        }
+        if self.quarantine_left > 0 || self.drift_hits.len() < window {
+            return false;
+        }
+        let hits = self.drift_hits.iter().filter(|&&h| h).count();
+        let rate = hits as f64 / window as f64;
+        if rate < threshold {
+            self.drift_hits.clear();
+            return true;
+        }
+        false
+    }
+
+    /// The current drift hit-rate over the partially or fully filled
+    /// window (`None` while empty).
+    pub fn drift_hit_rate(&self) -> Option<f64> {
+        if self.drift_hits.is_empty() {
+            return None;
+        }
+        let hits = self.drift_hits.iter().filter(|&&h| h).count();
+        Some(hits as f64 / self.drift_hits.len() as f64)
+    }
 }
 
 #[cfg(test)]
@@ -236,6 +292,56 @@ mod tests {
             assert_eq!(st.note_frame(false, 8, &policy), RecoveryAction::None);
         }
         assert_eq!(st.stripe_cap(), None);
+    }
+
+    #[test]
+    fn drift_detection_fires_once_per_storm() {
+        let policy = RecoveryPolicy {
+            drift_window: 4,
+            drift_threshold: Some(0.5),
+            ..Default::default()
+        };
+        let mut st = RecoveryState::new();
+        // all hits: no trigger
+        for _ in 0..6 {
+            assert!(!st.note_scenario(7, 7, &policy));
+        }
+        assert_eq!(st.drift_hit_rate(), Some(1.0));
+        // all misses: trigger exactly once the window fills with misses
+        let mut fired = 0;
+        for _ in 0..4 {
+            if st.note_scenario(7, 0, &policy) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 1);
+        // window was reset on trigger: takes a full window to fire again
+        assert!(!st.note_scenario(7, 0, &policy));
+    }
+
+    #[test]
+    fn drift_detection_off_by_default() {
+        let policy = RecoveryPolicy::default();
+        let mut st = RecoveryState::new();
+        for _ in 0..32 {
+            assert!(!st.note_scenario(1, 2, &policy));
+        }
+        assert_eq!(st.drift_hit_rate(), None);
+    }
+
+    #[test]
+    fn drift_detection_suppressed_while_quarantined() {
+        let policy = RecoveryPolicy {
+            drift_window: 2,
+            drift_threshold: Some(0.9),
+            quarantine_frames: 3,
+            ..Default::default()
+        };
+        let mut st = RecoveryState::new();
+        st.enter_quarantine(true, &policy);
+        for _ in 0..6 {
+            assert!(!st.note_scenario(0, 5, &policy));
+        }
     }
 
     #[test]

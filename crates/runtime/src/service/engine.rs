@@ -58,6 +58,7 @@ pub struct StreamEngine {
     last_good_display: Option<ImageU16>,
     collected: Option<Arc<Mutex<Vec<FrameEvent>>>>,
     started: Option<Instant>,
+    quarantine_cause: FaultKind,
 }
 
 impl StreamEngine {
@@ -106,6 +107,7 @@ impl StreamEngine {
             last_good_display: None,
             collected,
             started: None,
+            quarantine_cause: FaultKind::SnapshotCorruption,
         }
     }
 
@@ -185,6 +187,65 @@ impl StreamEngine {
         }
     }
 
+    /// Releases a pending model quarantine if its countdown expires this
+    /// frame: re-enables online training (when it was on before) and
+    /// emits the matching terminal `Recovered` event.
+    fn release_quarantine(&mut self, idx: usize) {
+        if self.rec.tick_quarantine() {
+            if self.rec.resume_online() {
+                self.manager.model_mut().set_online_training(true);
+            }
+            let stream = self.id;
+            let kind = self.quarantine_cause;
+            self.manager.bus_mut().emit(FrameEvent::Recovered {
+                stream,
+                frame: idx,
+                kind,
+                attempts: 0,
+            });
+        }
+    }
+
+    /// Prediction-drift bookkeeping: feeds the predicted/actual scenario
+    /// pair into the rolling drift window and, on a drift trigger,
+    /// quarantines the model and re-estimates its scenario chain from
+    /// the recent actual-scenario window (a storm's transition structure
+    /// replaces the stale training-time chain). No-op unless
+    /// [`RecoveryPolicy::drift_threshold`] is set.
+    fn check_drift(&mut self, idx: usize, predicted: u8, actual: u8) {
+        let policy = self.recovery;
+        if !self.rec.note_scenario(predicted, actual, &policy) {
+            return;
+        }
+        let online = self.manager.model().online_training();
+        if online {
+            self.manager.model_mut().set_online_training(false);
+        }
+        self.rec.enter_quarantine(online, &policy);
+        self.quarantine_cause = FaultKind::PredictionDrift;
+        let start = self
+            .scenarios
+            .len()
+            .saturating_sub(policy.drift_window.max(2));
+        let recent: Vec<u8> = self.scenarios[start..].to_vec();
+        let retrained = self.manager.model_mut().retrain_scenario_chain(&recent);
+        let stream = self.id;
+        let bus = self.manager.bus_mut();
+        bus.emit(FrameEvent::DegradedMode {
+            stream,
+            frame: idx,
+            mode: DegradeMode::ModelQuarantine,
+            cause: FaultKind::PredictionDrift,
+        });
+        if retrained {
+            bus.emit(FrameEvent::ModelRetrained {
+                stream,
+                frame: idx,
+                observations: recent.len(),
+            });
+        }
+    }
+
     /// The unhooked hot path: no fault bookkeeping, no recovery branches.
     fn step_nominal(&mut self, pool: &StripePool, index: usize, image: &ImageU16) {
         let ft0 = Instant::now();
@@ -209,6 +270,13 @@ impl StreamEngine {
         );
         self.manager.absorb(&out);
         self.scenarios.push(out.scenario.id());
+        // drift quarantine is the one recovery policy active on the
+        // nominal path (it needs no injector — scenario storms in the
+        // input content are enough to trigger it); zero-cost when off
+        if self.recovery.drift_threshold.is_some() {
+            self.release_quarantine(index);
+            self.check_drift(index, plan.scenario.id(), out.scenario.id());
+        }
         self.displays.push(out.display);
         self.trace.push(out.record);
         self.frame_wall_ms
@@ -329,18 +397,7 @@ impl StreamEngine {
 
         // model quarantine bookkeeping: release first, then check for
         // a new corruption checkpoint on this frame
-        if self.rec.tick_quarantine() {
-            if self.rec.resume_online() {
-                self.manager.model_mut().set_online_training(true);
-            }
-            let stream = self.id;
-            self.manager.bus_mut().emit(FrameEvent::Recovered {
-                stream,
-                frame: idx,
-                kind: FaultKind::SnapshotCorruption,
-                attempts: 0,
-            });
-        }
+        self.release_quarantine(idx);
         if injector.corrupts_snapshot(self.id, idx) {
             let stream = self.id;
             self.manager.bus_mut().emit(FrameEvent::FaultInjected {
@@ -371,6 +428,7 @@ impl StreamEngine {
                 self.manager.model_mut().set_online_training(false);
             }
             self.rec.enter_quarantine(online, &policy);
+            self.quarantine_cause = FaultKind::SnapshotCorruption;
             self.manager.bus_mut().emit(FrameEvent::DegradedMode {
                 stream,
                 frame: idx,
@@ -400,6 +458,9 @@ impl StreamEngine {
         }
 
         self.scenarios.push(out.scenario.id());
+        if policy.drift_threshold.is_some() {
+            self.check_drift(idx, plan.scenario.id(), out.scenario.id());
+        }
         self.displays.push(display);
         self.trace.push(out.record);
         self.frame_wall_ms.push(wall_ms);

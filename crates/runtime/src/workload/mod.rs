@@ -1,0 +1,26 @@
+//! Trace-driven workload harness: replayable scenario storms,
+//! mixed-resolution stream fleets, and golden-trace regression records.
+//!
+//! Three pieces (DESIGN.md §4j):
+//!
+//! - [`trace`]: the versioned, hand-editable trace file format — streams,
+//!   arrival schedules, resolution mixes, scripted scenario storms, fault
+//!   overlays — with typed-error parsing and canonical serialization.
+//! - [`runner`]: [`TraceRunner`] replays a trace deterministically
+//!   through the service tier ([`ServiceHandle`]-driven, virtual-clock
+//!   compressed for tests, real-time paced for benches).
+//! - [`ledger`]: [`RunLedger`], the per-frame replay record whose
+//!   diffable plane is deterministic under a fixed trace — the substrate
+//!   of the golden-trace regression tests in `tests/golden_traces.rs`.
+//!
+//! [`ServiceHandle`]: crate::service::ServiceHandle
+
+pub mod ledger;
+pub mod runner;
+pub mod trace;
+
+pub use ledger::{latency_class, pixel_digest, FrameOutcome, LedgerEntry, RunLedger, SubmitClass};
+pub use runner::{ReplayClock, ReplayReport, TraceRunner};
+pub use trace::{
+    Arrival, ArrivalModel, FaultOverlay, StreamProfile, StreamTrace, Trace, TraceError,
+};
