@@ -31,7 +31,7 @@ fn one_step_accuracy(p: &mut dyn Predictor, warmup: &[f64], test: &[f64]) -> f64
     let pairs: Vec<(f64, f64)> = test
         .iter()
         .map(|&x| {
-            let pred = p.predict(&ctx);
+            let pred = p.predict(&ctx).mean_ms;
             p.observe(x, &ctx);
             (pred, x)
         })
@@ -161,7 +161,7 @@ pub fn decomposition(cfg: &ExperimentConfig) -> (Vec<(&'static str, f64)>, Strin
         let pairs: Vec<(f64, f64)> = test
             .iter()
             .map(|&x| {
-                let pred = p.predict(&ctx);
+                let pred = p.predict(&ctx).mean_ms;
                 p.observe(x, &ctx);
                 (pred, x)
             })
@@ -326,7 +326,7 @@ pub fn online_training(cfg: &ExperimentConfig) -> (Vec<(&'static str, f64)>, Str
         let pairs: Vec<(f64, f64)> = test
             .iter()
             .map(|&x| {
-                let pred = p.predict(&ctx);
+                let pred = p.predict(&ctx).mean_ms;
                 p.observe(x, &ctx);
                 (pred, x)
             })

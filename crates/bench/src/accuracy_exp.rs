@@ -32,6 +32,9 @@ pub fn run(cfg: &ExperimentConfig) -> (AccuracyResult, String) {
         ..Default::default()
     };
     let mut model = TripleC::train(&profile.task_series(), &profile.scenarios, tc_cfg);
+    // Section 6 usage: the deployed model keeps adapting to the stream
+    // (a frozen model would ignore the feedback below)
+    model.set_online_training(true);
 
     // evaluation: run the pipeline over the test corpus; before each task
     // executes, ask the model; after, feed the measurement back (the
@@ -62,7 +65,7 @@ pub fn run(cfg: &ExperimentConfig) -> (AccuracyResult, String) {
             let mut frame_pred = 0.0;
             let mut frame_actual = 0.0;
             for &(task, actual) in &out.record.task_times {
-                if let Some(pred) = model.predict_task(task, &ctx) {
+                if let Some(pred) = model.predict_task(task, &ctx).map(|p| p.mean_ms) {
                     task_pairs.entry(task).or_default().push((pred, actual));
                     frame_pred += pred;
                     frame_actual += actual;

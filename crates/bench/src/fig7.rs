@@ -74,7 +74,12 @@ pub fn train_model(cfg: &ExperimentConfig, app: &AppConfig) -> TripleC {
         geometry: cfg.geometry(),
         ..Default::default()
     };
-    TripleC::train(&profile.task_series(), &profile.scenarios, tc_cfg)
+    let mut model = TripleC::train(&profile.task_series(), &profile.scenarios, tc_cfg);
+    // Section 6 deployment mode: managed runs keep training the model on
+    // every absorbed frame (a frozen model would drift away from the
+    // measured times and tank the Fig. 7 accuracy)
+    model.set_online_training(true);
+    model
 }
 
 /// Runs the Fig. 7 experiment.

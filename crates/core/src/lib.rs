@@ -56,7 +56,8 @@ pub use markov_high::HigherOrderChain;
 pub use memory_model::{implementation_table, paper_table1, FrameGeometry, TaskMemory};
 pub use model::{ModelSnapshot, ResourceModel};
 pub use predictor::{
-    ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, PredictContext, Predictor,
+    ConstantPredictor, EwmaMarkovPredictor, LinearMarkovPredictor, PredictContext, Prediction,
+    Predictor, ResidualWindow, RESIDUAL_WINDOW,
 };
 pub use quantize::Quantizer;
 pub use scenario::{Scenario, ScenarioChain, ScenarioScript, ScriptSegment, TASKS};

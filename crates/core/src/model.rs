@@ -114,7 +114,9 @@ pub trait ResourceModel: Predictor {
 
     /// Enables or disables online training ("on-line model training",
     /// Section 6): when enabled, observed transitions keep adapting the
-    /// model at runtime. A no-op for models without trainable state.
+    /// model at runtime. With training off the model is completely
+    /// frozen — observations are ignored end to end — so repeated plans
+    /// from the same state are deterministic.
     fn set_online_training(&mut self, online: bool);
 
     /// Whether online training is currently enabled.
@@ -157,24 +159,26 @@ fn wrong_class(model: &str, snap: &ModelSnapshot) -> ! {
 
 impl ResourceModel for ConstantPredictor {
     fn snapshot(&self) -> ModelSnapshot {
-        ModelSnapshot::Constant(*self)
+        ModelSnapshot::Constant(self.clone())
     }
 
     fn restore(&mut self, snap: &ModelSnapshot) {
         match snap {
-            ModelSnapshot::Constant(p) => *self = *p,
+            ModelSnapshot::Constant(p) => *self = p.clone(),
             other => wrong_class("Constant", other),
         }
     }
 
-    fn set_online_training(&mut self, _online: bool) {}
+    fn set_online_training(&mut self, online: bool) {
+        self.set_online(online);
+    }
 
     fn online_training(&self) -> bool {
-        false
+        self.online()
     }
 
     fn clone_model(&self) -> Box<dyn ResourceModel> {
-        Box::new(*self)
+        Box::new(self.clone())
     }
 }
 
@@ -244,7 +248,7 @@ mod tests {
         let before = p.predict(&ctx());
         p.observe(100.0, &ctx());
         p.restore(&snap);
-        assert_eq!(p.predict(&ctx()).to_bits(), before.to_bits());
+        assert_eq!(p.predict(&ctx()), before);
     }
 
     #[test]
@@ -257,16 +261,16 @@ mod tests {
         }
         let snap = p.snapshot();
         let before = p.predict(&ctx());
-        let before_q = p.predict_quantile(&ctx(), 0.9);
+        let before_q = p.predict(&ctx()).quantile(0.9);
         // diverge, then restore
         for _ in 0..50 {
             p.observe(90.0, &ctx());
         }
-        assert_ne!(p.predict(&ctx()).to_bits(), before.to_bits());
+        assert_ne!(p.predict(&ctx()), before);
         p.restore(&snap);
-        assert_eq!(p.predict(&ctx()).to_bits(), before.to_bits());
+        assert_eq!(p.predict(&ctx()), before);
         assert_eq!(
-            p.predict_quantile(&ctx(), 0.9).to_bits(),
+            p.predict(&ctx()).quantile(0.9).to_bits(),
             before_q.to_bits()
         );
     }
@@ -289,7 +293,7 @@ mod tests {
             p.observe(80.0, &ctx());
         }
         p.restore(&snap);
-        assert_eq!(p.predict(&ctx()).to_bits(), before.to_bits());
+        assert_eq!(p.predict(&ctx()), before);
     }
 
     #[test]
@@ -303,8 +307,8 @@ mod tests {
             b.observe(99.0, &ctx());
         }
         // training the clone must not disturb the original
-        assert_eq!(a.predict(&ctx()).to_bits(), before.to_bits());
-        assert!(b.predict(&ctx()) > a.predict(&ctx()));
+        assert_eq!(a.predict(&ctx()), before);
+        assert!(b.predict(&ctx()).mean_ms > a.predict(&ctx()).mean_ms);
     }
 
     #[test]
@@ -317,7 +321,7 @@ mod tests {
         for _ in 0..100 {
             p.observe(20.0, &ctx());
         }
-        let pred = p.predict(&ctx());
+        let pred = p.predict(&ctx()).mean_ms;
         assert!((pred - 20.0).abs() < 1.5, "pred {pred}");
     }
 
@@ -342,7 +346,7 @@ mod tests {
             crate::snapshot::SnapshotError::ClassMismatch { .. }
         ));
         // model untouched on error
-        assert_eq!(p.predict(&ctx()).to_bits(), before.to_bits());
+        assert_eq!(p.predict(&ctx()), before);
     }
 
     #[test]
@@ -371,8 +375,8 @@ mod tests {
             }
             m.try_restore_bytes(&bytes).unwrap();
             assert_eq!(
-                m.predict(&ctx()).to_bits(),
-                before.to_bits(),
+                m.predict(&ctx()),
+                before,
                 "{} prediction differs after byte round trip",
                 m.model_name()
             );

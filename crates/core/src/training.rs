@@ -241,7 +241,9 @@ mod tests {
         let s = TaskSeries::new("ENH", vec![24.0, 24.1, 23.9, 24.0, 24.05]);
         let (kind, p) = train_auto(&s, &cfg());
         assert_eq!(kind, ModelKind::Constant);
-        let pred = p.predict(&crate::predictor::PredictContext::default());
+        let pred = p
+            .predict(&crate::predictor::PredictContext::default())
+            .mean_ms;
         assert!((pred - 24.01).abs() < 0.1);
     }
 

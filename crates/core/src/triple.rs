@@ -11,7 +11,7 @@ use crate::bandwidth_model::{
 };
 use crate::memory_model::{implementation_table, FrameGeometry, TaskMemory};
 use crate::model::{ModelSnapshot, ResourceModel};
-use crate::predictor::PredictContext;
+use crate::predictor::{PredictContext, Prediction};
 use crate::scenario::{Scenario, ScenarioChain};
 use crate::snapshot::{Reader, SnapshotError, Writer};
 use crate::training::{train_auto, ModelKind, TaskSeries, TrainingConfig};
@@ -73,6 +73,8 @@ pub struct FramePrediction {
 /// let ctx = PredictContext::default();
 /// let frame_ms = model.predict_frame_time(Scenario::from_id(0), &ctx);
 /// assert!((frame_ms - 5.5).abs() < 1e-9); // 2.5 + 1.0 + 2.0
+/// let dist = model.predict_frame_distribution(Scenario::from_id(0), &ctx);
+/// assert!(dist.p99_ms >= dist.mean_ms - 1e-9);
 /// ```
 pub struct TripleC {
     cfg: TripleCConfig,
@@ -170,28 +172,40 @@ impl TripleC {
         &self.cfg
     }
 
-    /// Predicted computation time of one task, ms (None if untrained).
-    pub fn predict_task(&self, task: &str, ctx: &PredictContext) -> Option<f64> {
+    /// Predictive distribution of one task's computation time (`None`
+    /// if untrained).
+    pub fn predict_task(&self, task: &str, ctx: &PredictContext) -> Option<Prediction> {
         self.predictors.get(task).map(|(_, p)| p.predict(ctx))
     }
 
+    /// Point estimate of one task's computation time, ms.
+    #[deprecated(note = "use `predict_task(task, ctx).map(|p| p.mean_ms)`")]
+    pub fn predict_task_ms(&self, task: &str, ctx: &PredictContext) -> Option<f64> {
+        self.predict_task(task, ctx).map(|p| p.mean_ms)
+    }
+
     /// Conservative `q`-quantile prediction of one task's computation
-    /// time (falls back to the point prediction for constant models).
+    /// time.
+    #[deprecated(note = "use `predict_task(task, ctx).map(|p| p.quantile(q))`")]
     pub fn predict_task_quantile(&self, task: &str, ctx: &PredictContext, q: f64) -> Option<f64> {
-        self.predictors
-            .get(task)
-            .map(|(_, p)| p.predict_quantile(ctx, q))
+        self.predict_task(task, ctx).map(|p| p.quantile(q))
     }
 
     /// Feeds a measured execution time back into the task's predictor.
     /// Returns whether a trained predictor absorbed the observation.
+    ///
+    /// A predictor whose online-training switch is off ignores the
+    /// observation entirely (and this returns `false`): a frozen model
+    /// stays bit-identical no matter what it is shown, which keeps
+    /// quantile-based plans — and the ledgers derived from them —
+    /// deterministic across replays.
     pub fn observe_task(&mut self, task: &str, actual_ms: f64, ctx: &PredictContext) -> bool {
         match self.predictors.get_mut(task) {
-            Some((_, p)) => {
+            Some((_, p)) if p.online_training() => {
                 p.observe(actual_ms, ctx);
                 true
             }
-            None => false,
+            _ => false,
         }
     }
 
@@ -273,7 +287,48 @@ impl TripleC {
             .active_tasks()
             .iter()
             .filter_map(|t| self.predict_task(t, ctx))
+            .map(|p| p.mean_ms)
             .sum()
+    }
+
+    /// Predictive distribution of a whole frame's serial computation
+    /// time under `scenario`, with the memory-over-time profile attached.
+    ///
+    /// Per-task quantiles are summed, which upper-bounds the frame
+    /// quantile (exact only under comonotone task times) — conservative
+    /// by design, since the scheduler admits against tail estimates. The
+    /// profile holds the predicted resident bytes at the start of each
+    /// active task, in execution order (Table 1 footprints).
+    pub fn predict_frame_distribution(
+        &self,
+        scenario: Scenario,
+        ctx: &PredictContext,
+    ) -> Prediction {
+        let mut mean = 0.0;
+        let mut p50 = 0.0;
+        let mut p95 = 0.0;
+        let mut p99 = 0.0;
+        for t in scenario.active_tasks() {
+            if let Some(p) = self.predict_task(t, ctx) {
+                mean += p.mean_ms;
+                p50 += p.p50_ms;
+                p95 += p.p95_ms;
+                p99 += p.p99_ms;
+            }
+        }
+        let table = self.memory_table();
+        let profile: Vec<f64> = scenario
+            .active_tasks()
+            .iter()
+            .map(|&task| {
+                table
+                    .iter()
+                    .filter(|m| m.task == task)
+                    .map(|m| m.total() as f64)
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        Prediction::from_quantiles(mean, p50, p95, p99).with_profile(profile)
     }
 
     /// Full per-frame resource prediction.
@@ -286,7 +341,7 @@ impl TripleC {
         let task_times: Vec<(&'static str, f64)> = scenario
             .active_tasks()
             .iter()
-            .map(|&t| (t, self.predict_task(t, ctx).unwrap_or(0.0)))
+            .map(|&t| (t, self.predict_task(t, ctx).map_or(0.0, |p| p.mean_ms)))
             .collect();
         let total_ms = task_times.iter().map(|(_, t)| t).sum();
         FramePrediction {
@@ -393,8 +448,8 @@ mod tests {
     fn constant_tasks_predict_their_constant() {
         let t = trained();
         let ctx = PredictContext::default();
-        assert!((t.predict_task("MKX_EXT", &ctx).unwrap() - 2.5).abs() < 1e-9);
-        assert!((t.predict_task("ENH", &ctx).unwrap() - 24.0).abs() < 1e-9);
+        assert!((t.predict_task("MKX_EXT", &ctx).unwrap().mean_ms - 2.5).abs() < 1e-9);
+        assert!((t.predict_task("ENH", &ctx).unwrap().mean_ms - 24.0).abs() < 1e-9);
         assert!(t.predict_task("NOPE", &ctx).is_none());
     }
 
@@ -455,11 +510,12 @@ mod tests {
     #[test]
     fn observe_updates_dynamic_predictors() {
         let mut t = trained();
+        t.set_online_training(true);
         let ctx = PredictContext::default();
         for _ in 0..50 {
             t.observe_task("RDG_FULL", 60.0, &ctx);
         }
-        let p = t.predict_task("RDG_FULL", &ctx).unwrap();
+        let p = t.predict_task("RDG_FULL", &ctx).unwrap().mean_ms;
         assert!((p - 60.0).abs() < 6.0, "prediction {p} did not track 60 ms");
     }
 
@@ -483,6 +539,7 @@ mod tests {
     #[test]
     fn cloned_model_is_independent() {
         let mut a = trained();
+        a.set_online_training(true);
         let ctx = PredictContext::default();
         let mut b = a.clone();
         a.observe_task("RDG_FULL", 50.0, &ctx);
@@ -491,11 +548,11 @@ mod tests {
             b.observe_task("RDG_FULL", 90.0, &ctx);
         }
         assert_eq!(
-            a.predict_task("RDG_FULL", &ctx).unwrap().to_bits(),
-            before.to_bits(),
+            a.predict_task("RDG_FULL", &ctx).unwrap(),
+            before,
             "training the clone disturbed the original"
         );
-        assert!(b.predict_task("RDG_FULL", &ctx).unwrap() > before);
+        assert!(b.predict_task("RDG_FULL", &ctx).unwrap().mean_ms > before.mean_ms);
     }
 
     #[test]
@@ -508,20 +565,20 @@ mod tests {
             t.observe_task("CPLS_SEL", 1.0 + (i % 3) as f64, &ctx);
         }
         let snap = t.snapshot();
-        let before: Vec<(&str, u64)> = Scenario::worst_case()
+        let before: Vec<(&str, Option<Prediction>)> = Scenario::worst_case()
             .active_tasks()
             .iter()
-            .map(|&task| (task, t.predict_task(task, &ctx).unwrap_or(0.0).to_bits()))
+            .map(|&task| (task, t.predict_task(task, &ctx)))
             .collect();
         for _ in 0..60 {
             t.observe_task("RDG_FULL", 95.0, &ctx);
             t.observe_task("CPLS_SEL", 9.0, &ctx);
         }
         t.restore(&snap);
-        for (task, bits) in before {
+        for (task, dist) in before {
             assert_eq!(
-                t.predict_task(task, &ctx).unwrap_or(0.0).to_bits(),
-                bits,
+                t.predict_task(task, &ctx),
+                dist,
                 "{task} prediction differs after restore"
             );
         }
@@ -541,6 +598,9 @@ mod tests {
     fn observe_task_reports_trained_tasks() {
         let mut t = trained();
         let ctx = PredictContext::default();
+        // a frozen model ignores observations (determinism guarantee)
+        assert!(!t.observe_task("RDG_FULL", 40.0, &ctx));
+        t.set_online_training(true);
         assert!(t.observe_task("RDG_FULL", 40.0, &ctx));
         assert!(!t.observe_task("NOPE", 40.0, &ctx));
     }
@@ -555,20 +615,20 @@ mod tests {
             t.observe_task("CPLS_SEL", 1.0 + (i % 3) as f64, &ctx);
         }
         let bytes = t.snapshot_bytes();
-        let before: Vec<(&str, u64)> = Scenario::worst_case()
+        let before: Vec<(&str, Option<Prediction>)> = Scenario::worst_case()
             .active_tasks()
             .iter()
-            .map(|&task| (task, t.predict_task(task, &ctx).unwrap_or(0.0).to_bits()))
+            .map(|&task| (task, t.predict_task(task, &ctx)))
             .collect();
         for _ in 0..60 {
             t.observe_task("RDG_FULL", 95.0, &ctx);
             t.observe_task("CPLS_SEL", 9.0, &ctx);
         }
         t.try_restore_bytes(&bytes).unwrap();
-        for (task, bits) in before {
+        for (task, dist) in before {
             assert_eq!(
-                t.predict_task(task, &ctx).unwrap_or(0.0).to_bits(),
-                bits,
+                t.predict_task(task, &ctx),
+                dist,
                 "{task} prediction differs after byte round trip"
             );
         }

@@ -338,6 +338,42 @@ pub enum FrameEvent {
         /// Stable phase label (e.g. `"submit"`, `"storm"`, `"drain"`).
         phase: &'static str,
     },
+    /// A shadow-trained challenger model sustained a prediction-accuracy
+    /// win over the serving champion and was promoted in its place
+    /// (`runtime::selection`). Demotion of a bad promotion runs through
+    /// the existing model-quarantine machinery and is visible as the
+    /// fault-family [`FrameEvent::DegradedMode`] event.
+    ChallengerPromoted {
+        /// Stream whose model was swapped.
+        stream: StreamId,
+        /// Frame index at which the promotion took effect.
+        frame: usize,
+        /// Scenario id the sustained win was scored in.
+        scenario: u8,
+        /// Champion's rolling mean absolute frame-time error, ms.
+        champion_err_ms: f64,
+        /// Challenger's rolling mean absolute frame-time error, ms.
+        challenger_err_ms: f64,
+    },
+    /// Periodic quantile-calibration scorecard: the observed fraction of
+    /// frames whose actual serial time fell at or below the predicted
+    /// p50/p95/p99 (a perfectly calibrated predictor scores 0.50 / 0.95 /
+    /// 0.99; the scheduler's tail-admission guarantees rest on p95/p99
+    /// coverage staying near target).
+    CalibrationReport {
+        /// Stream the scorecard covers.
+        stream: StreamId,
+        /// Frame index at which the report was cut.
+        frame: usize,
+        /// Frames scored since the stream started.
+        frames: u32,
+        /// Observed coverage of the predicted p50.
+        p50_cov: f64,
+        /// Observed coverage of the predicted p95.
+        p95_cov: f64,
+        /// Observed coverage of the predicted p99.
+        p99_cov: f64,
+    },
 }
 
 impl FrameEvent {
@@ -360,7 +396,9 @@ impl FrameEvent {
             | FrameEvent::StreamQueued { stream, .. }
             | FrameEvent::StreamEvicted { stream, .. }
             | FrameEvent::ShardRebalanced { stream, .. }
-            | FrameEvent::TracePhase { stream, .. } => stream,
+            | FrameEvent::TracePhase { stream, .. }
+            | FrameEvent::ChallengerPromoted { stream, .. }
+            | FrameEvent::CalibrationReport { stream, .. } => stream,
         }
     }
 
@@ -383,7 +421,9 @@ impl FrameEvent {
             | FrameEvent::StreamQueued { frame, .. }
             | FrameEvent::StreamEvicted { frame, .. }
             | FrameEvent::ShardRebalanced { frame, .. }
-            | FrameEvent::TracePhase { frame, .. } => frame,
+            | FrameEvent::TracePhase { frame, .. }
+            | FrameEvent::ChallengerPromoted { frame, .. }
+            | FrameEvent::CalibrationReport { frame, .. } => frame,
         }
     }
 
@@ -402,7 +442,10 @@ impl FrameEvent {
     /// replays identically however streams are placed.
     /// [`FrameEvent::TracePhase`] is schedule-derived and deterministic,
     /// but the workload ledger records phases through its own keyspace,
-    /// so replay keys stay exclusively the fault family.
+    /// so replay keys stay exclusively the fault family. The
+    /// model-selection family ([`FrameEvent::ChallengerPromoted`],
+    /// [`FrameEvent::CalibrationReport`]) scores measured frame times and
+    /// is therefore as timing-dependent as the plan events: no key.
     pub fn replay_key(&self) -> Option<String> {
         match *self {
             FrameEvent::FaultInjected {
@@ -664,6 +707,21 @@ mod tests {
                 frame: 2,
                 phase: "storm",
             },
+            FrameEvent::ChallengerPromoted {
+                stream: 1,
+                frame: 2,
+                scenario: 5,
+                champion_err_ms: 4.0,
+                challenger_err_ms: 2.5,
+            },
+            FrameEvent::CalibrationReport {
+                stream: 1,
+                frame: 2,
+                frames: 32,
+                p50_cov: 0.53,
+                p95_cov: 0.94,
+                p99_cov: 0.99,
+            },
         ];
         for e in events {
             assert_eq!(e.stream(), 1);
@@ -746,6 +804,30 @@ mod tests {
                 stream: 3,
                 frame: 9,
                 phase: "storm",
+            }
+            .replay_key(),
+            None
+        );
+        // model-selection events score measured frame times: no key
+        assert_eq!(
+            FrameEvent::ChallengerPromoted {
+                stream: 3,
+                frame: 9,
+                scenario: 2,
+                champion_err_ms: 5.0,
+                challenger_err_ms: 3.0,
+            }
+            .replay_key(),
+            None
+        );
+        assert_eq!(
+            FrameEvent::CalibrationReport {
+                stream: 3,
+                frame: 9,
+                frames: 32,
+                p50_cov: 0.5,
+                p95_cov: 0.95,
+                p99_cov: 0.99,
             }
             .replay_key(),
             None

@@ -706,6 +706,26 @@ impl MetricsSubscriber {
                 )
                 .inc();
             }
+            FrameEvent::ChallengerPromoted {
+                champion_err_ms,
+                challenger_err_ms,
+                ..
+            } => {
+                self.counter("challenger_promotions", per_stream).inc();
+                self.histogram("promotion_err_gain_ms", per_stream)
+                    .record(champion_err_ms - challenger_err_ms);
+            }
+            FrameEvent::CalibrationReport {
+                p50_cov,
+                p95_cov,
+                p99_cov,
+                ..
+            } => {
+                self.counter("calibration_reports", per_stream).inc();
+                self.gauge("calibration_p50", per_stream).set(p50_cov);
+                self.gauge("calibration_p95", per_stream).set(p95_cov);
+                self.gauge("calibration_p99", per_stream).set(p99_cov);
+            }
         }
     }
 }

@@ -16,6 +16,9 @@
 //!   (per-core-group stripe-pool shards, demand-driven admission with
 //!   eviction/migration, bounded ingress queues with backpressure, and
 //!   the [`ServiceHandle`] ingestion front-end);
+//! * [`selection`] — online champion/challenger model selection: a
+//!   shadow-training challenger scored against the live model per
+//!   scenario, promoted on a sustained accuracy win;
 //! * [`faults`] — deterministic, seeded fault injection (order
 //!   independent: a seed reproduces a faulted run event-for-event);
 //! * [`recovery`] — graceful-degradation policies (stage retry, stripe
@@ -31,6 +34,7 @@ pub mod manager;
 pub mod qos;
 pub mod recovery;
 pub mod run;
+pub mod selection;
 pub mod service;
 pub mod session;
 pub mod workload;
@@ -38,14 +42,16 @@ pub mod workload;
 pub use adaptation::{choose_policy, predicted_latency, CostPrediction, STRIPE_EFFICIENCY};
 pub use budget::LatencyBudget;
 pub use faults::{fault_hash, FaultInjector, FaultPlan, FaultPlanConfig};
-pub use manager::{ManagerConfig, Plan, ResourceManager};
+pub use manager::{CalibrationSnapshot, ManagerConfig, Plan, ResourceManager};
 pub use platform::metrics::percentile;
 pub use qos::{QosController, QosLevel};
 pub use recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
 pub use run::{run_managed_sequence, run_managed_sequence_qos, ManagedRun, QosManagedRun};
+pub use selection::{ModelSelector, Promotion, SelectionConfig};
 pub use service::{
-    predict_demand, BackpressurePolicy, EvictionPolicy, ServiceConfig, ServiceCore, ServiceHandle,
-    ServiceReport, ShardLayout, ShardTopology, StreamDemand, StreamEngine, StreamServiceStats,
+    predict_demand, AdmissionPolicy, BackpressurePolicy, EvictionPolicy, ServiceConfig,
+    ServiceCore, ServiceHandle, ServiceReport, ShardLayout, ShardTopology, StreamDemand,
+    StreamEngine, StreamServiceStats,
 };
 pub use session::{
     allocate_cores, FairnessPolicy, SessionConfig, SessionConfigBuilder, SessionReport,

@@ -8,14 +8,18 @@
 
 use crate::adaptation::{choose_policy, CostPrediction};
 use crate::budget::LatencyBudget;
+use crate::selection::{ModelSelector, SelectionConfig};
 use pipeline::executor::{ExecutionPolicy, FrameOutput};
 use platform::bus::{
     EventBus, FrameEvent, RepartitionReason, StreamId, Subscriber, DEFAULT_STREAM,
 };
 use triplec::accuracy::{AccuracyReport, PredictionLog, PredictionLogHandle};
-use triplec::predictor::PredictContext;
+use triplec::predictor::{PredictContext, Prediction};
 use triplec::scenario::Scenario;
 use triplec::triple::TripleC;
+
+/// Frames between [`FrameEvent::CalibrationReport`] emissions.
+const CALIBRATION_REPORT_INTERVAL: u32 = 32;
 
 /// Manager configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +36,8 @@ pub struct ManagerConfig {
     /// trading average parallelism for fewer budget overruns ("without
     /// affecting the reliability", Section 6).
     pub planning_quantile: f64,
+    /// Champion/challenger model selection (off by default).
+    pub selection: SelectionConfig,
 }
 
 impl Default for ManagerConfig {
@@ -43,6 +49,7 @@ impl Default for ManagerConfig {
             headroom: 0.15,
             budget_factor: 0.75,
             planning_quantile: 0.5,
+            selection: SelectionConfig::default(),
         }
     }
 }
@@ -54,10 +61,84 @@ pub struct Plan {
     pub policy: ExecutionPolicy,
     /// Predicted scenario.
     pub scenario: Scenario,
-    /// Predicted serial computation time, ms.
+    /// Predicted serial computation time, ms (distribution mean).
     pub predicted_total_ms: f64,
+    /// Predicted p50 of the serial computation time, ms.
+    pub predicted_p50_ms: f64,
+    /// Predicted p95 of the serial computation time, ms.
+    pub predicted_p95_ms: f64,
+    /// Predicted p99 of the serial computation time, ms.
+    pub predicted_p99_ms: f64,
     /// Whether the budget was achievable (false = QoS intervention needed).
     pub feasible: bool,
+}
+
+impl Plan {
+    /// The plan's predicted cost distribution (quantile sums over the
+    /// scenario's active tasks — an upper bound on the frame quantile,
+    /// exact under comonotone task costs).
+    pub fn prediction(&self) -> Prediction {
+        Prediction::from_quantiles(
+            self.predicted_total_ms,
+            self.predicted_p50_ms,
+            self.predicted_p95_ms,
+            self.predicted_p99_ms,
+        )
+    }
+}
+
+/// Running coverage of the plan-time quantile predictions against
+/// measured frame costs (the calibration loop's state).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CalibrationSnapshot {
+    /// Frames scored so far.
+    pub frames: u32,
+    /// Fraction of frames whose measured total fell at or below the
+    /// predicted p50.
+    pub p50_coverage: f64,
+    /// Fraction at or below the predicted p95.
+    pub p95_coverage: f64,
+    /// Fraction at or below the predicted p99.
+    pub p99_coverage: f64,
+}
+
+/// Counts observed-versus-predicted quantile coverage; a well-calibrated
+/// predictor sees ~50 % of frames under its p50 and ~95 %/99 % under the
+/// upper tails.
+#[derive(Debug, Clone, Copy, Default)]
+struct CalibrationTracker {
+    frames: u32,
+    le_p50: u32,
+    le_p95: u32,
+    le_p99: u32,
+}
+
+impl CalibrationTracker {
+    fn observe(&mut self, actual_ms: f64, plan: &Plan) -> Option<CalibrationSnapshot> {
+        self.frames += 1;
+        if actual_ms <= plan.predicted_p50_ms {
+            self.le_p50 += 1;
+        }
+        if actual_ms <= plan.predicted_p95_ms {
+            self.le_p95 += 1;
+        }
+        if actual_ms <= plan.predicted_p99_ms {
+            self.le_p99 += 1;
+        }
+        self.frames
+            .is_multiple_of(CALIBRATION_REPORT_INTERVAL)
+            .then(|| self.snapshot())
+    }
+
+    fn snapshot(&self) -> CalibrationSnapshot {
+        let n = self.frames.max(1) as f64;
+        CalibrationSnapshot {
+            frames: self.frames,
+            p50_coverage: self.le_p50 as f64 / n,
+            p95_coverage: self.le_p95 as f64 / n,
+            p99_coverage: self.le_p99 as f64 / n,
+        }
+    }
 }
 
 /// The runtime resource manager.
@@ -80,6 +161,8 @@ pub struct ResourceManager {
     frame_index: usize,
     infeasible_frames: usize,
     prev_rdg_stripes: Option<usize>,
+    calibration: CalibrationTracker,
+    selector: Option<ModelSelector>,
 }
 
 impl ResourceManager {
@@ -93,6 +176,10 @@ impl ResourceManager {
     pub fn for_stream(model: TripleC, cfg: ManagerConfig, stream: StreamId) -> Self {
         let mut bus = EventBus::new();
         let pairs = PredictionLog::subscribe_to(&mut bus);
+        let selector = cfg
+            .selection
+            .enabled
+            .then(|| ModelSelector::new(&model, cfg.selection));
         Self {
             model,
             cfg,
@@ -105,6 +192,8 @@ impl ResourceManager {
             frame_index: 0,
             infeasible_frames: 0,
             prev_rdg_stripes: None,
+            calibration: CalibrationTracker::default(),
+            selector,
         }
     }
 
@@ -159,15 +248,19 @@ impl ResourceManager {
         let mut stripable_ms = 0.0;
         let mut serial_ms = 0.0;
         let mut predicted_total_ms = 0.0;
+        let (mut p50_ms, mut p95_ms, mut p99_ms) = (0.0, 0.0, 0.0);
         for task in scenario.active_tasks() {
-            let point = self.model.predict_task(task, &ctx).unwrap_or(0.0);
-            predicted_total_ms += point;
+            let Some(p) = self.model.predict_task(task, &ctx) else {
+                continue;
+            };
+            predicted_total_ms += p.mean_ms;
+            p50_ms += p.p50_ms;
+            p95_ms += p.p95_ms;
+            p99_ms += p.p99_ms;
             let planning = if conservative {
-                self.model
-                    .predict_task_quantile(task, &ctx, self.cfg.planning_quantile)
-                    .unwrap_or(0.0)
+                p.quantile(self.cfg.planning_quantile)
             } else {
-                point
+                p.mean_ms
             };
             if pipeline::executor::STRIPABLE_TASKS.contains(&task) {
                 stripable_ms += planning;
@@ -194,6 +287,9 @@ impl ResourceManager {
                 },
                 scenario,
                 predicted_total_ms,
+                predicted_p50_ms: p50_ms,
+                predicted_p95_ms: p95_ms,
+                predicted_p99_ms: p99_ms,
                 feasible: true,
             },
             Some(budget) => {
@@ -209,6 +305,9 @@ impl ResourceManager {
                     policy,
                     scenario,
                     predicted_total_ms,
+                    predicted_p50_ms: p50_ms,
+                    predicted_p95_ms: p95_ms,
+                    predicted_p99_ms: p99_ms,
                     feasible,
                 }
             }
@@ -266,6 +365,19 @@ impl ResourceManager {
                 actual_total_ms: actual_total,
                 latency_ms: out.record.latency_ms,
             });
+            // calibration: score the measured total against the plan's
+            // predicted quantiles, reporting cumulative coverage
+            // periodically
+            if let Some(snap) = self.calibration.observe(actual_total, &plan) {
+                self.bus.emit(FrameEvent::CalibrationReport {
+                    stream: self.stream,
+                    frame: self.frame_index,
+                    frames: snap.frames,
+                    p50_cov: snap.p50_coverage,
+                    p95_cov: snap.p95_coverage,
+                    p99_cov: snap.p99_coverage,
+                });
+            }
         }
         if let Some(budget) = self.budget {
             if out.record.latency_ms > budget.target_ms {
@@ -280,6 +392,21 @@ impl ResourceManager {
         let ctx = PredictContext {
             roi_kpixels: out.roi_kpixels,
         };
+        // champion/challenger scoring must see the pre-observation model
+        // state (both models predict the same frame the same way the
+        // planner would have), so it runs before the champion trains
+        if let Some(mut selector) = self.selector.take() {
+            if let Some(p) = selector.absorb(&mut self.model, out, &ctx) {
+                self.bus.emit(FrameEvent::ChallengerPromoted {
+                    stream: self.stream,
+                    frame: self.frame_index,
+                    scenario: out.scenario.id(),
+                    champion_err_ms: p.champion_err_ms,
+                    challenger_err_ms: p.challenger_err_ms,
+                });
+            }
+            self.selector = Some(selector);
+        }
         let mut observations = 0usize;
         for &(task, ms) in &out.record.task_times {
             if self.model.observe_task(task, ms, &ctx) {
@@ -316,6 +443,17 @@ impl ResourceManager {
     /// Mutable access to the model (snapshotting, online-training toggles).
     pub fn model_mut(&mut self) -> &mut TripleC {
         &mut self.model
+    }
+
+    /// Cumulative quantile-coverage calibration of the plans absorbed so
+    /// far.
+    pub fn calibration(&self) -> CalibrationSnapshot {
+        self.calibration.snapshot()
+    }
+
+    /// The champion/challenger selector, when enabled.
+    pub fn selector(&self) -> Option<&ModelSelector> {
+        self.selector.as_ref()
     }
 }
 
@@ -415,7 +553,7 @@ mod tests {
                                     roi_kpixels: 1000.0,
                                 },
                             )
-                            .unwrap_or(0.0),
+                            .map_or(0.0, |p| p.mean_ms),
                     )
                 })
                 .collect();
@@ -577,5 +715,134 @@ mod tests {
         let plan = m.plan(1000.0);
         // the training sequence is all scenario 5
         assert_eq!(plan.scenario.id(), 5);
+    }
+
+    #[test]
+    fn plan_quantiles_are_monotone_and_bound_the_mean_path() {
+        let mut m = ResourceManager::new(model(), ManagerConfig::default());
+        let plan = m.plan(1000.0);
+        assert!(plan.predicted_p50_ms <= plan.predicted_p95_ms);
+        assert!(plan.predicted_p95_ms <= plan.predicted_p99_ms);
+        assert!(plan.predicted_p50_ms > 0.0);
+        let dist = plan.prediction();
+        assert!((dist.mean_ms - plan.predicted_total_ms).abs() < 1e-9);
+        assert!(dist.quantile(0.99) >= dist.quantile(0.5));
+    }
+
+    #[test]
+    fn calibration_reports_emitted_with_cumulative_coverage() {
+        use std::sync::{Arc, Mutex};
+        let mut m = ResourceManager::new(model(), ManagerConfig::default());
+        let reports = Arc::new(Mutex::new(Vec::new()));
+        let rs = Arc::clone(&reports);
+        m.subscribe(Box::new(move |e: &FrameEvent| {
+            if let FrameEvent::CalibrationReport {
+                frames,
+                p50_cov,
+                p95_cov,
+                p99_cov,
+                ..
+            } = *e
+            {
+                rs.lock().unwrap().push((frames, p50_cov, p95_cov, p99_cov));
+            }
+        }));
+        for _ in 0..64 {
+            let plan = m.plan(1000.0);
+            // run every frame exactly at the predicted mean: always under
+            // p95/p99, and under p50 when the distribution is degenerate
+            m.absorb(&fake_output(
+                plan.scenario,
+                vec![("RDG_FULL", plan.predicted_total_ms)],
+            ));
+        }
+        let reports = reports.lock().unwrap();
+        assert_eq!(
+            reports.iter().map(|r| r.0).collect::<Vec<_>>(),
+            vec![32, 64],
+            "one report per 32 absorbed frames"
+        );
+        for &(_, p50, p95, p99) in reports.iter() {
+            assert!(p50 <= p95 && p95 <= p99, "coverage must be monotone");
+            assert!(
+                (0.9..=1.0).contains(&p99),
+                "mean-exact frames must sit under p99: coverage {p99}"
+            );
+        }
+        assert_eq!(m.calibration().frames, 64);
+    }
+
+    #[test]
+    fn selection_promotes_challenger_under_drift_and_emits_event() {
+        use std::sync::{Arc, Mutex};
+        // RDG cost trained as a dwell-4 square wave (positive lag-1
+        // autocorrelation -> the adaptive EWMA+Markov model); the live
+        // workload keeps the wave shape but shifts the level up 30 ms,
+        // so the frozen champion stays ~30 ms low every frame while the
+        // shadow-training challenger's EWMA re-converges onto the new
+        // level
+        let rdg: Vec<f64> = (0..200)
+            .map(|i| if (i / 4) % 2 == 0 { 30.0 } else { 50.0 })
+            .collect();
+        let series = vec![
+            TaskSeries::new("RDG_FULL", rdg),
+            TaskSeries::new("MKX_EXT", vec![2.5; 200]),
+            TaskSeries::new("CPLS_SEL", vec![1.5; 200]),
+            TaskSeries::new("REG", vec![2.0; 200]),
+            TaskSeries::new("ENH", vec![24.0; 200]),
+            TaskSeries::new("ZOOM", vec![12.5; 200]),
+        ];
+        let champion = TripleC::train(&series, &[5u8; 200], TripleCConfig::default());
+        let cfg = ManagerConfig {
+            selection: SelectionConfig {
+                enabled: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut m = ResourceManager::new(champion, cfg);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let es = Arc::clone(&events);
+        m.subscribe(Box::new(move |e: &FrameEvent| {
+            if matches!(e, FrameEvent::ChallengerPromoted { .. }) {
+                es.lock().unwrap().push(e.clone());
+            }
+        }));
+        for i in 0..64 {
+            let plan = m.plan(1000.0);
+            let shifted = if (i / 4) % 2 == 0 { 60.0 } else { 80.0 };
+            let times: Vec<(&'static str, f64)> = plan
+                .scenario
+                .active_tasks()
+                .iter()
+                .map(|&t| {
+                    let ms = match t {
+                        "RDG_FULL" => shifted,
+                        "MKX_EXT" => 2.5,
+                        "CPLS_SEL" => 1.5,
+                        "REG" => 2.0,
+                        "ENH" => 24.0,
+                        "ZOOM" => 12.5,
+                        _ => 1.0,
+                    };
+                    (t, ms)
+                })
+                .collect();
+            m.absorb(&fake_output(plan.scenario, times));
+        }
+        let promotions = events.lock().unwrap();
+        assert!(
+            !promotions.is_empty(),
+            "re-structured workload must promote the adaptive challenger"
+        );
+        if let FrameEvent::ChallengerPromoted {
+            champion_err_ms,
+            challenger_err_ms,
+            ..
+        } = &promotions[0]
+        {
+            assert!(challenger_err_ms < champion_err_ms);
+        }
+        assert!(m.selector().unwrap().promotions() >= 1);
     }
 }

@@ -13,8 +13,82 @@
 use crate::adaptation::{choose_policy, predicted_latency, CostPrediction};
 use crate::session::StreamSpec;
 use pipeline::executor::STRIPABLE_TASKS;
-use triplec::predictor::PredictContext;
+use triplec::predictor::{PredictContext, Prediction};
 use triplec::scenario::Scenario;
+
+/// Which point of the predicted cost distribution scheduling decisions
+/// are made against.
+///
+/// [`predict_demand`] (and through it shard placement) sizes a stream's
+/// core grant from its predicted per-task costs; this policy selects the
+/// scalar those [`Prediction`] distributions collapse to. `Mean`
+/// reproduces the historical point-estimate behavior; `Quantile(q)`
+/// admits against the upper tail, reserving headroom for the cost
+/// fluctuations the mean hides (the default is p99 — the service tier's
+/// per-stream SLOs are tail guarantees, so admission is tail-driven).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// Schedule against the predicted mean cost.
+    Mean,
+    /// Schedule against the predicted quantile `q` in `(0, 1]`
+    /// (e.g. `0.99` for p99).
+    Quantile(f64),
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy::Quantile(0.99)
+    }
+}
+
+impl AdmissionPolicy {
+    /// Collapses a predicted distribution to this policy's scheduling
+    /// cost.
+    pub fn cost(&self, p: &Prediction) -> f64 {
+        match *self {
+            AdmissionPolicy::Mean => p.mean_ms,
+            AdmissionPolicy::Quantile(q) => p.quantile(q),
+        }
+    }
+
+    /// The quantile scheduled against (`None` for mean admission).
+    pub fn quantile(&self) -> Option<f64> {
+        match *self {
+            AdmissionPolicy::Mean => None,
+            AdmissionPolicy::Quantile(q) => Some(q),
+        }
+    }
+
+    /// Canonical text label (`"mean"`, `"p99"`, `"p97.5"`), the form the
+    /// run ledger's `quantile=` column records.
+    pub fn label(&self) -> String {
+        match *self {
+            AdmissionPolicy::Mean => "mean".to_string(),
+            AdmissionPolicy::Quantile(q) => {
+                let pct = q * 100.0;
+                if (pct - pct.round()).abs() < 1e-9 {
+                    format!("p{}", pct.round() as u32)
+                } else {
+                    format!("p{pct}")
+                }
+            }
+        }
+    }
+
+    /// Parses a canonical label back into a policy (`None` on anything
+    /// that is not `"mean"` or `"p<percent>"` with a percent in (0, 100]).
+    pub fn from_label(s: &str) -> Option<Self> {
+        if s == "mean" {
+            return Some(AdmissionPolicy::Mean);
+        }
+        let pct: f64 = s.strip_prefix('p')?.parse().ok()?;
+        if pct.is_finite() && pct > 0.0 && pct <= 100.0 {
+            Some(AdmissionPolicy::Quantile(pct / 100.0))
+        } else {
+            None
+        }
+    }
+}
 
 /// A stream's predicted steady-state resource demand.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,18 +97,29 @@ pub struct StreamDemand {
     /// for its predicted worst-case frame under its budget; 1 when the
     /// stream has no fixed budget and initializes serially).
     pub cores: usize,
-    /// Predicted per-frame latency at that width, ms.
+    /// Predicted per-frame latency at that width, ms (at the policy's
+    /// scheduling cost).
     pub predicted_ms: f64,
+    /// The distribution point the demand was sized against.
+    pub policy: AdmissionPolicy,
 }
 
 /// Predicts a stream's demand from its spec, before it has run a frame.
 ///
 /// Uses the worst-case scenario (all tasks active — the same conservative
 /// anchor `ResourceManager` plans its first frame from) over the full
-/// frame as ROI, splits predicted task costs into stripable and serial
-/// parts, and applies the runtime's own partitioning rule capped at
-/// `max_cores` (the widest shard: a stream can never be granted more).
-pub fn predict_demand(spec: &StreamSpec, max_cores: usize) -> StreamDemand {
+/// frame as ROI, collapses each task's predicted cost distribution to the
+/// [`AdmissionPolicy`]'s scheduling point, splits the costs into
+/// stripable and serial parts, and applies the runtime's own partitioning
+/// rule capped at `max_cores` (the widest shard: a stream can never be
+/// granted more). Summing per-task quantiles upper-bounds the frame
+/// quantile (exact under comonotone task costs), which is the
+/// conservative direction for admission.
+pub fn predict_demand(
+    spec: &StreamSpec,
+    max_cores: usize,
+    policy: AdmissionPolicy,
+) -> StreamDemand {
     let max_cores = max_cores.max(1);
     let roi_kpixels = (spec.seq.width * spec.seq.height) as f64 / 1000.0;
     let ctx = PredictContext { roi_kpixels };
@@ -42,7 +127,10 @@ pub fn predict_demand(spec: &StreamSpec, max_cores: usize) -> StreamDemand {
     let mut stripable_ms = 0.0;
     let mut serial_ms = 0.0;
     for task in scenario.active_tasks() {
-        let ms = spec.model.predict_task(task, &ctx).unwrap_or(0.0);
+        let ms = spec
+            .model
+            .predict_task(task, &ctx)
+            .map_or(0.0, |p| policy.cost(&p));
         if STRIPABLE_TASKS.contains(&task) {
             stripable_ms += ms;
         } else {
@@ -59,13 +147,18 @@ pub fn predict_demand(spec: &StreamSpec, max_cores: usize) -> StreamDemand {
         None => StreamDemand {
             cores: 1,
             predicted_ms: stripable_ms + serial_ms,
+            policy,
         },
         Some(budget) => {
-            let (policy, _feasible) = choose_policy(&cost, &budget, max_cores);
-            let cores = policy.rdg_stripes.max(policy.aux_stripes).max(1);
+            let (partitioning, _feasible) = choose_policy(&cost, &budget, max_cores);
+            let cores = partitioning
+                .rdg_stripes
+                .max(partitioning.aux_stripes)
+                .max(1);
             StreamDemand {
                 cores,
                 predicted_ms: predicted_latency(&cost, cores),
+                policy,
             }
         }
     }
@@ -130,9 +223,10 @@ mod tests {
     #[test]
     fn unbudgeted_stream_demands_one_core() {
         let spec = StreamSpec::builder(seq(1, 4), AppConfig::default(), trained_model()).build();
-        let d = predict_demand(&spec, 8);
+        let d = predict_demand(&spec, 8, AdmissionPolicy::default());
         assert_eq!(d.cores, 1);
         assert!(d.predicted_ms > 0.0);
+        assert_eq!(d.policy, AdmissionPolicy::Quantile(0.99));
     }
 
     #[test]
@@ -141,10 +235,10 @@ mod tests {
         let spec = StreamSpec::builder(seq(1, 4), AppConfig::default(), model)
             .budget(LatencyBudget::new(0.001, 0.0))
             .build();
-        let wide = predict_demand(&spec, 8);
+        let wide = predict_demand(&spec, 8, AdmissionPolicy::Mean);
         assert!(wide.cores > 1, "infeasible budget must stripe aggressively");
         assert!(wide.cores <= 8);
-        let narrow = predict_demand(&spec, 2);
+        let narrow = predict_demand(&spec, 2, AdmissionPolicy::Mean);
         assert!(narrow.cores <= 2, "demand exceeds the shard width");
         assert!(
             narrow.predicted_ms >= wide.predicted_ms,
@@ -157,7 +251,50 @@ mod tests {
         let spec = StreamSpec::builder(seq(1, 4), AppConfig::default(), trained_model())
             .budget(LatencyBudget::new(10_000.0, 0.1))
             .build();
-        let d = predict_demand(&spec, 8);
+        let d = predict_demand(&spec, 8, AdmissionPolicy::default());
         assert_eq!(d.cores, 1, "a huge budget needs no striping");
+    }
+
+    #[test]
+    fn quantile_admission_never_demands_less_than_mean() {
+        let spec = StreamSpec::builder(seq(1, 4), AppConfig::default(), trained_model())
+            .budget(LatencyBudget::new(5.0, 0.0))
+            .build();
+        let mean = predict_demand(&spec, 8, AdmissionPolicy::Mean);
+        let p99 = predict_demand(&spec, 8, AdmissionPolicy::Quantile(0.99));
+        assert!(
+            p99.cores >= mean.cores,
+            "tail admission must not shrink the grant: p99 {} < mean {}",
+            p99.cores,
+            mean.cores
+        );
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for policy in [
+            AdmissionPolicy::Mean,
+            AdmissionPolicy::Quantile(0.5),
+            AdmissionPolicy::Quantile(0.95),
+            AdmissionPolicy::Quantile(0.99),
+            AdmissionPolicy::Quantile(0.975),
+        ] {
+            let label = policy.label();
+            let parsed = AdmissionPolicy::from_label(&label)
+                .unwrap_or_else(|| panic!("label {label} did not parse"));
+            match (policy, parsed) {
+                (AdmissionPolicy::Mean, AdmissionPolicy::Mean) => {}
+                (AdmissionPolicy::Quantile(a), AdmissionPolicy::Quantile(b)) => {
+                    assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+                }
+                other => panic!("policy changed shape through its label: {other:?}"),
+            }
+        }
+        assert_eq!(AdmissionPolicy::Mean.label(), "mean");
+        assert_eq!(AdmissionPolicy::Quantile(0.99).label(), "p99");
+        assert_eq!(AdmissionPolicy::Quantile(0.975).label(), "p97.5");
+        assert!(AdmissionPolicy::from_label("p0").is_none());
+        assert!(AdmissionPolicy::from_label("p101").is_none());
+        assert!(AdmissionPolicy::from_label("median").is_none());
     }
 }

@@ -180,7 +180,7 @@ impl ServiceCore {
         let mut queues: BTreeMap<StreamId, Arc<FrameQueue>> = BTreeMap::new();
         for (i, spec) in specs.into_iter().enumerate() {
             let id = i as StreamId;
-            let demand = predict_demand(&spec, widest);
+            let demand = predict_demand(&spec, widest, spec.admission);
             let granted = demand.cores.clamp(1, widest);
             let mut engine = StreamEngine::new(id, spec, granted);
             if let Some(obs) = &self.obs {

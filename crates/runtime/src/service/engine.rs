@@ -18,6 +18,7 @@
 use crate::faults::{fault_hash, FaultInjector};
 use crate::manager::{ManagerConfig, ResourceManager};
 use crate::recovery::{RecoveryAction, RecoveryPolicy, RecoveryState};
+use crate::service::admission::AdmissionPolicy;
 use crate::session::{StreamFailure, StreamResult, StreamSpec};
 use imaging::image::ImageU16;
 use imaging::parallel::StripePool;
@@ -50,6 +51,8 @@ pub struct StreamEngine {
     rec: RecoveryState,
     trace: TraceLog,
     predictions: Vec<f64>,
+    planned_cost_ms: Vec<f64>,
+    admission: AdmissionPolicy,
     stripes: Vec<usize>,
     scenarios: Vec<u8>,
     displays: Vec<Option<ImageU16>>,
@@ -99,6 +102,8 @@ impl StreamEngine {
             rec: RecoveryState::new(),
             trace: TraceLog::new(),
             predictions: Vec::with_capacity(frames),
+            planned_cost_ms: Vec::with_capacity(frames),
+            admission: spec.admission,
             stripes: Vec::with_capacity(frames),
             scenarios: Vec::with_capacity(frames),
             displays: Vec::with_capacity(frames),
@@ -256,6 +261,8 @@ impl StreamEngine {
             .unwrap_or_else(|| (image.width() * image.height()) as f64 / 1000.0);
         let plan = self.manager.plan(roi_kpixels);
         self.predictions.push(plan.predicted_total_ms);
+        self.planned_cost_ms
+            .push(self.admission.cost(&plan.prediction()));
         self.stripes.push(plan.policy.rdg_stripes);
 
         let out = process_frame_observed_on(
@@ -320,6 +327,8 @@ impl StreamEngine {
         let planned_rdg = plan.policy.rdg_stripes;
         self.rec.apply_cap(&mut plan.policy);
         self.predictions.push(plan.predicted_total_ms);
+        self.planned_cost_ms
+            .push(self.admission.cost(&plan.prediction()));
         self.stripes.push(plan.policy.rdg_stripes);
 
         let faults = injector.frame_faults(self.id, idx);
@@ -479,9 +488,12 @@ impl StreamEngine {
             stream: self.id,
             cores: self.cores,
             accuracy: self.manager.accuracy(),
+            calibration: self.manager.calibration(),
             infeasible_frames: self.manager.infeasible_frames(),
             trace: self.trace,
             predictions: self.predictions,
+            planned_cost_ms: self.planned_cost_ms,
+            admission: self.admission,
             stripes: self.stripes,
             scenarios: self.scenarios,
             displays: self.displays,

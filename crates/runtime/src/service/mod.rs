@@ -33,7 +33,7 @@ pub mod handle;
 pub mod queue;
 pub mod shard;
 
-pub use admission::{predict_demand, EvictionPolicy, StreamDemand};
+pub use admission::{predict_demand, AdmissionPolicy, EvictionPolicy, StreamDemand};
 pub use engine::StreamEngine;
 pub use handle::{ServiceHandle, SubmitOutcome};
 pub use queue::{BackpressurePolicy, FrameQueue, PushOutcome, QueueStats};

@@ -23,8 +23,9 @@
 
 use crate::budget::LatencyBudget;
 use crate::faults::FaultInjector;
-use crate::manager::{ManagerConfig, ResourceManager};
+use crate::manager::{CalibrationSnapshot, ManagerConfig, ResourceManager};
 use crate::recovery::RecoveryPolicy;
+use crate::service::admission::AdmissionPolicy;
 use crate::service::engine::StreamEngine;
 use imaging::image::ImageU16;
 use pipeline::app::AppConfig;
@@ -118,6 +119,10 @@ pub struct StreamSpec {
     /// Degradation policy used when `faults` is set (and for genuine
     /// runtime faults on the recovering path).
     pub recovery: RecoveryPolicy,
+    /// Which point of the predicted cost distribution admission and
+    /// shard placement size this stream's core grant against (default:
+    /// p99 — tail-driven admission).
+    pub admission: AdmissionPolicy,
 }
 
 impl StreamSpec {
@@ -135,6 +140,7 @@ impl StreamSpec {
                 weight: 1.0,
                 faults: None,
                 recovery: RecoveryPolicy::default(),
+                admission: AdmissionPolicy::default(),
             },
         }
     }
@@ -194,6 +200,13 @@ impl StreamSpecBuilder {
     /// Overrides the degradation policy used on the recovering path.
     pub fn recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.spec.recovery = recovery;
+        self
+    }
+
+    /// Overrides the admission policy (which point of the predicted cost
+    /// distribution the scheduler sizes the stream's grant against).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.spec.admission = policy;
         self
     }
 
@@ -261,14 +274,6 @@ impl StreamSession {
         }
         Ok(engine.finish())
     }
-
-    /// Runs the stream, surfacing unrecoverable frame failures as an
-    /// error instead of unwinding.
-    #[doc(hidden)]
-    #[deprecated(note = "`run` now returns `Result`; call it directly")]
-    pub fn run_result(self) -> Result<StreamResult, StreamFailure> {
-        self.run()
-    }
 }
 
 /// A stream that could not complete: an unrecoverable frame failure
@@ -314,8 +319,15 @@ pub struct StreamResult {
     pub cores: usize,
     /// Per-frame execution records (virtual-scheduled latency).
     pub trace: TraceLog,
-    /// Predicted serial computation time per frame, ms.
+    /// Predicted serial computation time per frame, ms (the planning
+    /// mean the manager budgeted against).
     pub predictions: Vec<f64>,
+    /// Per-frame scheduling cost under the stream's [`AdmissionPolicy`]
+    /// (the policy's point of the predicted distribution), ms. Same
+    /// length as `predictions`.
+    pub planned_cost_ms: Vec<f64>,
+    /// The admission policy the stream ran under.
+    pub admission: AdmissionPolicy,
     /// RDG stripe count chosen per frame.
     pub stripes: Vec<usize>,
     /// Executed scenario id per frame.
@@ -328,6 +340,9 @@ pub struct StreamResult {
     pub wall_ms: f64,
     /// Frame-level prediction accuracy (Section 7 metric).
     pub accuracy: AccuracyReport,
+    /// Observed coverage of the predicted p50/p95/p99 quantiles over the
+    /// stream's executed frames (measured — nondeterministic plane).
+    pub calibration: CalibrationSnapshot,
     /// Frames whose budget was infeasible even fully parallel.
     pub infeasible_frames: usize,
     /// Frames dropped at the input by fault injection (never executed).
@@ -342,14 +357,6 @@ impl StreamResult {
     pub fn p99_wall_ms(&self) -> f64 {
         platform::metrics::percentile(&self.frame_wall_ms, 0.99)
     }
-}
-
-/// Nearest-rank percentile (`p` in `[0, 1]`) of an unsorted series.
-#[deprecated(
-    note = "moved to `platform::metrics::percentile` (re-exported as `runtime::percentile`)"
-)]
-pub fn percentile(xs: &[f64], p: f64) -> f64 {
-    platform::metrics::percentile(xs, p)
 }
 
 /// Scheduler configuration.
@@ -564,17 +571,6 @@ mod tests {
     #[test]
     fn allocate_zero_weights_fall_back_to_equal() {
         assert_eq!(allocate_cores(8, &[0.0, 0.0]), vec![4, 4]);
-    }
-
-    #[test]
-    #[allow(deprecated)] // the shim must keep answering like the shared helper
-    fn percentile_nearest_rank() {
-        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
-        assert_eq!(percentile(&xs, 0.99), 99.0);
-        assert_eq!(percentile(&xs, 0.5), 50.0);
-        assert_eq!(percentile(&xs, 1.0), 100.0);
-        assert_eq!(percentile(&[], 0.5), 0.0);
-        assert_eq!(percentile(&[7.0], 0.99), 7.0);
     }
 
     #[test]

@@ -15,12 +15,13 @@
 //!
 //! ```text
 //! triplec-ledger v1
-//! frame s0/f0 seq=0 arrival_ms=0 submit=accepted outcome=executed scenario=1 predicted_ms=41.2 stripes=4 class=ok digest=9e3779b97f4a7c15
+//! frame s0/f0 seq=0 arrival_ms=0 submit=accepted outcome=executed scenario=1 predicted_ms=41.2 stripes=4 class=ok quantile=p99 digest=9e3779b97f4a7c15
 //! fault s0/f3/inject/frame-drop
 //! # wall_ms s0 412.7
 //! ```
 
 use super::trace::{parse_header, TraceError, TRACE_VERSION};
+use crate::service::admission::AdmissionPolicy;
 use platform::bus::StreamId;
 
 /// Header magic of a ledger file.
@@ -103,10 +104,14 @@ pub struct LedgerEntry {
     pub predicted_ms: Option<f64>,
     /// Planned RDG stripe count, or `None` for dropped frames.
     pub stripes: Option<usize>,
-    /// Latency class of the plan against the stream budget:
-    /// `"ok"` (≤ 80% of budget), `"tight"` (≤ budget), `"over"`, or
-    /// `"-"` for dropped frames.
+    /// Latency class of the planned scheduling cost (the admission
+    /// policy's point of the predicted distribution) against the stream
+    /// budget: `"ok"` (≤ 80% of budget), `"tight"` (≤ budget), `"over"`,
+    /// or `"-"` for dropped frames.
     pub class: &'static str,
+    /// Admission-policy label the classification was made against
+    /// (`"mean"`, `"p99"`, ...; `"-"` for dropped frames).
+    pub quantile: String,
     /// FNV-1a 64 digest of the display output pixels, or `None` when the
     /// frame produced no display.
     pub digest: Option<u64>,
@@ -169,7 +174,7 @@ impl RunLedger {
             let _ = writeln!(
                 out,
                 "frame {} seq={} arrival_ms={} submit={} outcome={} scenario={} \
-                 predicted_ms={} stripes={} class={} digest={}",
+                 predicted_ms={} stripes={} class={} quantile={} digest={}",
                 e.replay_key(),
                 e.seq,
                 e.arrival_ms,
@@ -179,6 +184,7 @@ impl RunLedger {
                 predicted,
                 stripes,
                 e.class,
+                e.quantile,
                 digest
             );
         }
@@ -230,6 +236,7 @@ impl RunLedger {
                         predicted_ms: None,
                         stripes: None,
                         class: "-",
+                        quantile: "-".to_string(),
                         digest: None,
                     };
                     for tok in toks {
@@ -275,6 +282,12 @@ impl RunLedger {
                                     "-" => "-",
                                     other => return Err(bad(format!("bad class {other:?}"))),
                                 };
+                            }
+                            "quantile" => {
+                                if v != "-" && AdmissionPolicy::from_label(v).is_none() {
+                                    return Err(bad(format!("bad quantile {v:?}")));
+                                }
+                                entry.quantile = v.to_string();
                             }
                             "digest" => {
                                 entry.digest = if v == "-" {
@@ -375,6 +388,9 @@ impl RunLedger {
             if a.class != b.class {
                 out.push(format!("{key}: class {} vs {}", a.class, b.class));
             }
+            if a.quantile != b.quantile {
+                out.push(format!("{key}: quantile {} vs {}", a.quantile, b.quantile));
+            }
             if a.digest != b.digest {
                 out.push(format!("{key}: digest {:?} vs {:?}", a.digest, b.digest));
             }
@@ -439,6 +455,7 @@ mod tests {
             predicted_ms: Some(41.25),
             stripes: Some(4),
             class: "ok",
+            quantile: "p99".to_string(),
             digest: Some(0x9e37_79b9_7f4a_7c15),
         }
     }
@@ -453,6 +470,7 @@ mod tests {
             predicted_ms: None,
             stripes: None,
             class: "-",
+            quantile: "-".to_string(),
             digest: None,
             ..entry(1, 0, 1)
         });
@@ -495,6 +513,11 @@ mod tests {
             RunLedger::parse("triplec-ledger v1\nwidget s0/f0\n"),
             Err(TraceError::Syntax { line: 2, .. })
         ));
+        assert!(matches!(
+            RunLedger::parse("triplec-ledger v1\nframe s0/f0 quantile=median\n"),
+            Err(TraceError::Syntax { line: 2, .. })
+        ));
+        assert!(RunLedger::parse("triplec-ledger v1\nframe s0/f0 quantile=p97.5\n").is_ok());
     }
 
     #[test]

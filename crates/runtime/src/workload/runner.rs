@@ -13,9 +13,11 @@
 //! every diffable ledger field is derived from the deterministic plane:
 //!
 //! - the submit order and arrival times come from the trace itself;
-//! - prediction models are *synthetic* (constant per-task costs scaled
-//!   by resolution, scenario chain trained on a fixed sequence) with
-//!   online training off, so plans never depend on measured wall time;
+//! - prediction models are *synthetic* (per-task cost series scaled by
+//!   resolution with a fixed cyclic fluctuation, scenario chain trained
+//!   on a fixed sequence) with online training off — a frozen model
+//!   ignores observations entirely, so plans (and the admission-quantile
+//!   costs derived from them) never depend on measured wall time;
 //! - every stream carries an explicit [`LatencyBudget`], which disables
 //!   the first-frame (wall-clock) budget initialization;
 //! - fault plans are seeded and keyed on `(stream, frame)`.
@@ -29,8 +31,9 @@ use super::ledger::{
 use super::trace::{StreamProfile, StreamTrace, Trace};
 use crate::budget::LatencyBudget;
 use crate::faults::{FaultPlan, FaultPlanConfig};
+use crate::manager::ManagerConfig;
 use crate::recovery::RecoveryPolicy;
-use crate::service::{ServiceConfig, ServiceCore, ServiceReport};
+use crate::service::{AdmissionPolicy, ServiceConfig, ServiceCore, ServiceReport};
 use crate::session::{StreamResult, StreamSpec};
 use platform::bus::{EventBus, FrameEvent, StreamId};
 use platform::metrics::Observability;
@@ -60,11 +63,13 @@ pub struct TraceRunner {
     service_cfg: ServiceConfig,
     obs: Option<Observability>,
     drift: Option<(f64, usize)>,
+    admission: AdmissionPolicy,
+    planning_quantile: Option<f64>,
 }
 
 impl TraceRunner {
     /// A runner over a parsed trace (virtual clock, default service
-    /// configuration).
+    /// configuration, p99 tail-driven admission).
     pub fn new(trace: Trace) -> Self {
         Self {
             trace,
@@ -72,7 +77,30 @@ impl TraceRunner {
             service_cfg: ServiceConfig::default(),
             obs: None,
             drift: None,
+            admission: AdmissionPolicy::default(),
+            planning_quantile: None,
         }
+    }
+
+    /// Overrides the admission policy every stream is scheduled under
+    /// (the quantile of the predicted cost distribution that demand,
+    /// placement and latency classification are computed from).
+    #[must_use = "builders do nothing until `run()`"]
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Overrides every stream's per-frame planning quantile (the point
+    /// of the cost distribution the manager partitions against). Holding
+    /// this fixed while varying [`with_admission`](Self::with_admission)
+    /// isolates the grant-sizing decision: a frame is counted
+    /// infeasible exactly when the planning-quantile cost cannot be
+    /// held at the granted width.
+    #[must_use = "builders do nothing until `run()`"]
+    pub fn with_planning_quantile(mut self, quantile: f64) -> Self {
+        self.planning_quantile = Some(quantile);
+        self
     }
 
     /// Overrides the service-tier configuration.
@@ -130,8 +158,15 @@ impl TraceRunner {
             ..Default::default()
         };
         let model = synthetic_model(s);
-        let mut builder =
-            StreamSpec::builder(seq, app, model).budget(LatencyBudget::new(s.budget_ms, 0.1));
+        let mut builder = StreamSpec::builder(seq, app, model)
+            .budget(LatencyBudget::new(s.budget_ms, 0.1))
+            .admission(self.admission);
+        if let Some(q) = self.planning_quantile {
+            builder = builder.manager_cfg(ManagerConfig {
+                planning_quantile: q,
+                ..ManagerConfig::default()
+            });
+        }
         let mut recovery = RecoveryPolicy::default();
         if let Some((threshold, window)) = self.drift {
             recovery.drift_threshold = Some(threshold);
@@ -269,10 +304,18 @@ fn scenario_script_for(s: &StreamTrace) -> Option<ScenarioScript> {
     }
 }
 
-/// A synthetic analytic prediction model: constant per-task costs scaled
-/// by frame area (quadratic tasks dominate), scenario chain trained on a
-/// fixed cyclic sequence. Entirely input-independent, so plans are
-/// deterministic and identical across replays.
+/// A synthetic analytic prediction model: per-task cost series scaled by
+/// frame area (quadratic tasks dominate) with a fixed triangular
+/// fluctuation, scenario chain trained on a fixed cyclic sequence.
+/// Entirely input-independent, so plans are deterministic and identical
+/// across replays.
+///
+/// The fluctuation is what makes quantile admission meaningful: its
+/// coefficient of variation (~0.12) and positive lag-1 autocorrelation
+/// (~0.67) select the adaptive EWMA+Markov model class, whose residual
+/// window spreads the predicted distribution so p99 > mean. Training
+/// keeps the models frozen (online off), so the distribution — like the
+/// mean before it — never moves during replay.
 fn synthetic_model(s: &StreamTrace) -> TripleC {
     // per-megapixel base costs, ms (ordered as TASKS) — sized so the
     // full-service scenario at 96² predicts ~50 ms: tight trace budgets
@@ -280,11 +323,19 @@ fn synthetic_model(s: &StreamTrace) -> TripleC {
     const BASE_MS_PER_MPIX: [f64; 9] = [
         2400.0, 300.0, 160.0, 500.0, 600.0, 200.0, 120.0, 800.0, 400.0,
     ];
+    // one period of the triangular fluctuation, ±20 % around the base
+    const WAVE: [f64; 8] = [-1.0, -0.5, 0.0, 0.5, 1.0, 0.5, 0.0, -0.5];
+    const WAVE_AMP: f64 = 0.2;
     let mpix = (s.width * s.height) as f64 / 1.0e6;
     let series: Vec<TaskSeries> = TASKS
         .iter()
         .zip(BASE_MS_PER_MPIX)
-        .map(|(&task, base)| TaskSeries::new(task, vec![base * mpix; 8]))
+        .map(|(&task, base)| {
+            let values: Vec<f64> = (0..64)
+                .map(|i| base * mpix * (1.0 + WAVE_AMP * WAVE[i % WAVE.len()]))
+                .collect();
+            TaskSeries::new(task, values)
+        })
         .collect();
     // dwelling blocks visit every scenario with dominant self-transitions:
     // the chain predicts "stay", so plans track the executing scenario and
@@ -327,7 +378,10 @@ fn assemble_ledger(
         let entry = match record_pos(arrival.stream, arrival.frame) {
             Some(k) => {
                 let r = by_stream(arrival.stream).expect("stream has records");
-                let predicted = r.predictions[k];
+                // classify against the cost the stream was actually
+                // admitted on (the policy's quantile of the predicted
+                // distribution), not the planning mean
+                let planned = r.planned_cost_ms[k];
                 LedgerEntry {
                     stream: arrival.stream,
                     frame: arrival.frame,
@@ -336,9 +390,10 @@ fn assemble_ledger(
                     submit: *submit,
                     outcome: FrameOutcome::Executed,
                     scenario: Some(r.scenarios[k]),
-                    predicted_ms: Some(round3(predicted)),
+                    predicted_ms: Some(round3(r.predictions[k])),
                     stripes: Some(r.stripes[k]),
-                    class: latency_class(predicted, budget_ms),
+                    class: latency_class(planned, budget_ms),
+                    quantile: r.admission.label(),
                     digest: r.displays[k]
                         .as_ref()
                         .map(|img| pixel_digest(img.as_slice())),
@@ -355,6 +410,7 @@ fn assemble_ledger(
                 predicted_ms: None,
                 stripes: None,
                 class: "-",
+                quantile: "-".to_string(),
                 digest: None,
             },
         };
@@ -374,6 +430,15 @@ fn assemble_ledger(
         ledger
             .notes
             .push(format!("wall_ms s{} {:.1}", r.stream, r.wall_ms));
+    }
+    for r in &report.session.streams {
+        let c = r.calibration;
+        if c.frames > 0 {
+            ledger.notes.push(format!(
+                "calibration s{} frames={} p50={:.3} p95={:.3} p99={:.3}",
+                r.stream, c.frames, c.p50_coverage, c.p95_coverage, c.p99_coverage
+            ));
+        }
     }
     ledger
         .notes

@@ -48,7 +48,10 @@ fn main() {
         },
         ..Default::default()
     };
-    let model = TripleC::train(&profile.task_series(), &profile.scenarios, cfg);
+    let mut model = TripleC::train(&profile.task_series(), &profile.scenarios, cfg);
+    // Section 6 deployment mode: the model keeps adapting to the live
+    // stream (a frozen model would drift away from the measured times)
+    model.set_online_training(true);
 
     // baseline: straightforward serial mapping
     println!("running the straightforward (serial) mapping...");

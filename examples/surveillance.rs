@@ -152,7 +152,7 @@ fn main() {
     let pairs: Vec<(f64, f64)> = test
         .iter()
         .map(|&x| {
-            let p = predictor.predict(&ctx);
+            let p = predictor.predict(&ctx).mean_ms;
             predictor.observe(x, &ctx);
             (p, x)
         })

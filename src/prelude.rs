@@ -19,13 +19,15 @@ pub use platform::bus::{EventBus, FrameEvent, StreamId, Subscriber};
 pub use platform::metrics::{Labels, MetricsRegistry, MetricsSnapshot, Observability};
 pub use platform::span::{SpanCollector, SpanGuard};
 pub use runtime::budget::LatencyBudget;
-pub use runtime::manager::{ManagerConfig, ResourceManager};
+pub use runtime::manager::{CalibrationSnapshot, ManagerConfig, ResourceManager};
 pub use runtime::recovery::RecoveryPolicy;
+pub use runtime::selection::SelectionConfig;
+pub use runtime::service::AdmissionPolicy;
 pub use runtime::session::{
     FairnessPolicy, SessionConfig, SessionReport, SessionScheduler, StreamFailure, StreamResult,
     StreamSession, StreamSpec,
 };
-pub use triplec::predictor::PredictContext;
+pub use triplec::predictor::{PredictContext, Prediction};
 pub use triplec::scenario::Scenario;
 pub use triplec::triple::{TripleC, TripleCConfig};
 pub use xray::{SequenceConfig, SequenceGenerator};

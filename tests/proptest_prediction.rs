@@ -27,21 +27,37 @@ proptest! {
         let hi = train.iter().chain(&observe).copied().fold(f64::NEG_INFINITY, f64::max);
         let span = (hi - lo).max(1.0);
         let pred = p.predict(&ctx());
-        prop_assert!(pred >= 0.0);
+        prop_assert!(pred.is_finite());
+        prop_assert!(pred.mean_ms >= 0.0);
         prop_assert!(
-            pred >= lo - span && pred <= hi + span,
-            "prediction {pred} outside [{lo}, {hi}] +- {span}"
+            pred.mean_ms >= lo - span && pred.mean_ms <= hi + span,
+            "mean {} outside [{lo}, {hi}] +- {span}",
+            pred.mean_ms
         );
+        // tail quantiles widen further: observed residuals are measured
+        // against the state-conditioned mean, so they can compound up to
+        // two more spans on top of it
+        prop_assert!(
+            pred.p99_ms >= 0.0 && pred.p99_ms <= hi + 3.0 * span,
+            "p99 {} above {}",
+            pred.p99_ms,
+            hi + 3.0 * span
+        );
+        prop_assert!(pred.p50_ms <= pred.p95_ms && pred.p95_ms <= pred.p99_ms);
     }
 
-    /// A constant predictor is invariant under observation.
+    /// A constant predictor's point estimate is invariant under
+    /// observation: observed residuals widen the tail quantiles but can
+    /// never move the constant itself.
     #[test]
-    fn constant_predictor_is_stateless(v in 0.1f64..1e3, obs in prop::collection::vec(0.0f64..1e3, 0..20)) {
+    fn constant_predictor_mean_is_immovable(v in 0.1f64..1e3, obs in prop::collection::vec(0.0f64..1e3, 0..20)) {
         let mut p = ConstantPredictor::new(v);
         for &x in &obs {
             p.observe(x, &ctx());
         }
-        prop_assert_eq!(p.predict(&ctx()), v);
+        let pred = p.predict(&ctx());
+        prop_assert_eq!(pred.mean_ms, v);
+        prop_assert!(pred.p50_ms <= pred.p95_ms && pred.p95_ms <= pred.p99_ms);
     }
 
     /// Least-squares fitting is exact on noiseless lines and the residuals
@@ -74,7 +90,8 @@ proptest! {
         let (k2, mut p) = triple_c::triplec::training::train_auto(&series, &cfg);
         prop_assert_eq!(kind, k2);
         let v = p.predict(&ctx());
-        prop_assert!(v.is_finite() && v >= 0.0);
+        prop_assert!(v.is_finite() && v.mean_ms >= 0.0);
+        prop_assert!(v.p50_ms <= v.p95_ms && v.p95_ms <= v.p99_ms);
         p.observe(1.0, &ctx());
         prop_assert!(p.predict(&ctx()).is_finite());
     }

@@ -109,7 +109,7 @@ proptest! {
         let tasks = ["RDG_FULL", "MKX_EXT", "CPLS_SEL", "REG"];
         let at_snapshot: Vec<u64> = tasks
             .iter()
-            .map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
+            .flat_map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
             .collect();
 
         for &x in &observe {
@@ -118,7 +118,7 @@ proptest! {
         t.restore(&snap);
         let restored: Vec<u64> = tasks
             .iter()
-            .map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
+            .flat_map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
             .collect();
         prop_assert_eq!(at_snapshot, restored);
     }

@@ -115,7 +115,7 @@ proptest! {
         let bytes = t.snapshot_bytes();
         let before: Vec<u64> = tasks
             .iter()
-            .map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
+            .flat_map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
             .collect();
 
         let corrupted: Vec<u8> = if truncate {
@@ -135,13 +135,13 @@ proptest! {
         // pristine restore brings back the exact snapshot-time state
         let after: Vec<u64> = tasks
             .iter()
-            .map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
+            .flat_map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
             .collect();
         prop_assert!(after.iter().all(|&b| f64::from_bits(b).is_finite()));
         t.try_restore_bytes(&bytes).expect("pristine bytes restore");
         let restored: Vec<u64> = tasks
             .iter()
-            .map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
+            .flat_map(|&task| t.predict_task(task, &ctx(100.0)).unwrap().to_bits())
             .collect();
         prop_assert_eq!(&before, &restored);
     }
